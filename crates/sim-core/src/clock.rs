@@ -1,0 +1,78 @@
+//! A monotonically advancing simulated clock.
+
+use crate::time::{SimDuration, SimTime};
+
+/// The global time source of a simulation.
+///
+/// A [`Clock`] only moves forward. Components advance it by the cost of the
+/// operations they perform ([`Clock::advance`]) or fast-forward it to an
+/// absolute instant ([`Clock::advance_to`]) when scheduling the next runnable
+/// actor.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{Clock, SimDuration, SimTime};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(SimDuration::from_micros(10));
+/// clock.advance_to(SimTime::from_nanos(5_000)); // in the past: no-op
+/// assert_eq!(clock.now().as_nanos(), 10_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// Returns the current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Moves the clock forward by `delta` and returns the new instant.
+    pub fn advance(&mut self, delta: SimDuration) -> SimTime {
+        self.now += delta;
+        self.now
+    }
+
+    /// Moves the clock forward to `instant` if it lies in the future;
+    /// instants in the past are ignored (the clock never goes backwards).
+    ///
+    /// Returns the (possibly unchanged) current instant.
+    pub fn advance_to(&mut self, instant: SimTime) -> SimTime {
+        self.now = self.now.max(instant);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Clock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advances_by_delta() {
+        let mut clock = Clock::new();
+        clock.advance(SimDuration::from_nanos(7));
+        clock.advance(SimDuration::from_nanos(3));
+        assert_eq!(clock.now().as_nanos(), 10);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut clock = Clock::new();
+        clock.advance_to(SimTime::from_nanos(100));
+        clock.advance_to(SimTime::from_nanos(50));
+        assert_eq!(clock.now().as_nanos(), 100);
+    }
+}

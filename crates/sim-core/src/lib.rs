@@ -1,0 +1,39 @@
+//! Discrete-time simulation substrate shared by every `vswap` crate.
+//!
+//! The VSwapper reproduction models a virtualized memory/storage stack as a
+//! *synchronous cost-accounting* simulation: components perform operations
+//! immediately and report how much simulated time the operation consumed.
+//! This crate supplies the shared vocabulary for that style of simulation:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulated clock,
+//! * [`Clock`] — a monotonically advancing time source,
+//! * [`DeterministicRng`] — a seeded random source so every experiment is
+//!   exactly reproducible,
+//! * [`stats`] — counters, gauges, and fixed-bucket histograms used by the
+//!   pathology accounting in `vswap-core`,
+//! * [`trace`] — a bounded in-memory event trace for debugging and for the
+//!   time-series figures (e.g. Figure 15 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::{Clock, SimDuration};
+//!
+//! let mut clock = Clock::new();
+//! clock.advance(SimDuration::from_millis(3));
+//! assert_eq!(clock.now().as_nanos(), 3_000_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use clock::Clock;
+pub use rng::DeterministicRng;
+pub use stats::{Counter, Gauge, Histogram, StatSet};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

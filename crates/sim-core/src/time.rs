@@ -1,0 +1,318 @@
+//! Simulated time: absolute instants ([`SimTime`]) and spans
+//! ([`SimDuration`]), both with nanosecond resolution.
+//!
+//! The types deliberately mirror `std::time::{Instant, Duration}` but are
+//! plain integers so that simulations are portable, deterministic, and can be
+//! serialized into experiment reports.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulated timeline, in nanoseconds since the
+/// start of the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_micros(5);
+/// assert_eq!(t.as_nanos(), 5_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::SimDuration;
+///
+/// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_nanos(), 2_500_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulated timeline.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The latest representable instant; useful as an "infinitely far away"
+    /// sentinel for idle actors.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Returns the number of nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) simulated seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, saturating on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or NaN.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "duration must be finite and non-negative");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Returns the span in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the span in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True for the zero-length span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the longer of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Returns the shorter of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_nanos(10);
+        let t2 = t + SimDuration::from_nanos(5);
+        assert_eq!(t2.as_nanos(), 15);
+        assert_eq!((t2 - t).as_nanos(), 5);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let early = SimTime::from_nanos(5);
+        let late = SimTime::from_nanos(9);
+        assert_eq!((early - late).as_nanos(), 0);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_scale_correctly() {
+        assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimDuration::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn duration_display_picks_unit() {
+        assert_eq!(SimDuration::from_nanos(3).to_string(), "3ns");
+        assert_eq!(SimDuration::from_micros(3).to_string(), "3.000us");
+        assert_eq!(SimDuration::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+        assert_eq!((SimDuration::from_nanos(7) * 3).as_nanos(), 21);
+        assert_eq!((SimDuration::from_nanos(21) / 3).as_nanos(), 7);
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let da = SimDuration::from_nanos(1);
+        let db = SimDuration::from_nanos(2);
+        assert_eq!(da.max(db), db);
+        assert_eq!(da.min(db), da);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_seconds_panic() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! A bounded in-memory event trace.
+//!
+//! Time-series figures (e.g. Figure 15: "size of the page cache as time
+//! progresses") are produced by sampling gauges into a [`Trace`]. The trace
+//! is bounded so long experiments cannot exhaust memory; when full, the
+//! oldest events are dropped.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One sampled point: an instant, a series label, and a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Which series the sample belongs to (e.g. `"guest_page_cache_pages"`).
+    pub series: &'static str,
+    /// The sampled value.
+    pub value: i64,
+}
+
+/// A bounded, append-only log of [`TraceEvent`]s.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{SimTime, Trace};
+///
+/// let mut trace = Trace::with_capacity(8);
+/// trace.record(SimTime::from_nanos(1), "cache_pages", 100);
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.series("cache_pages").count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace that retains at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+    }
+
+    /// Appends a sample, evicting the oldest event if the trace is full.
+    pub fn record(&mut self, at: SimTime, series: &'static str, value: i64) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at, series, value });
+    }
+
+    /// Returns the number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the trace was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over all retained events in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Iterates over the events of one series in chronological order.
+    pub fn series<'a>(&'a self, series: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.series == series)
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_capacity(1 << 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::with_capacity(4);
+        for i in 0..4 {
+            t.record(SimTime::from_nanos(i), "s", i as i64);
+        }
+        let values: Vec<i64> = t.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut t = Trace::with_capacity(2);
+        t.record(SimTime::from_nanos(1), "s", 1);
+        t.record(SimTime::from_nanos(2), "s", 2);
+        t.record(SimTime::from_nanos(3), "s", 3);
+        let values: Vec<i64> = t.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![2, 3]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn filters_by_series() {
+        let mut t = Trace::with_capacity(8);
+        t.record(SimTime::ZERO, "a", 1);
+        t.record(SimTime::ZERO, "b", 2);
+        t.record(SimTime::ZERO, "a", 3);
+        assert_eq!(t.series("a").count(), 2);
+        assert_eq!(t.series("b").count(), 1);
+        assert_eq!(t.series("c").count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::with_capacity(0);
+    }
+}

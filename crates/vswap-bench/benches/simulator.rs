@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: the disk
+//! model, the intrusive LRU lists, the EPT, and the host fault paths.
+//! These bound how large an experiment the harness can sustain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::SimTime;
+use std::hint::black_box;
+use vswap_disk::{DiskModel, DiskSpec, IoKind, IoTag, SectorRange};
+use vswap_hostos::{HostKernel, HostSpec, VmMmConfig};
+use vswap_mem::{Backing, Ept, FrameId, Gfn, IndexList, MemBytes};
+
+fn bench_disk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk");
+    group.bench_function("sequential_submit", |b| {
+        let mut disk = DiskModel::new(DiskSpec::hdd_7200());
+        let mut sector = 0u64;
+        b.iter(|| {
+            let io = disk.submit(
+                SimTime::ZERO,
+                IoKind::Read,
+                SectorRange::new(sector, 8),
+                IoTag::GuestImage,
+            );
+            sector += 8;
+            black_box(io)
+        });
+    });
+    group.bench_function("scattered_submit", |b| {
+        let mut disk = DiskModel::new(DiskSpec::hdd_7200());
+        let mut sector = 0u64;
+        b.iter(|| {
+            let io = disk.submit(
+                SimTime::ZERO,
+                IoKind::Read,
+                SectorRange::new(sector % (1 << 24), 8),
+                IoTag::HostSwap,
+            );
+            sector = sector.wrapping_mul(6364136223846793005).wrapping_add(8);
+            black_box(io)
+        });
+    });
+    group.finish();
+}
+
+fn bench_ilist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index-list");
+    group.bench_function("push_pop_cycle", |b| {
+        let mut list = IndexList::with_capacity(1 << 16);
+        for i in 0..(1 << 15) {
+            list.push_back(i);
+        }
+        b.iter(|| {
+            let idx = list.pop_front().expect("non-empty");
+            list.push_back(idx);
+            black_box(idx)
+        });
+    });
+    group.bench_function("move_to_back", |b| {
+        let mut list = IndexList::with_capacity(1 << 16);
+        for i in 0..(1 << 15) {
+            list.push_back(i);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            list.move_to_back(i % (1 << 15));
+            i = i.wrapping_add(7919);
+        });
+    });
+    group.finish();
+}
+
+fn bench_ept(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ept");
+    group.bench_function("map_unmap", |b| {
+        let mut ept = Ept::new(1 << 16);
+        let mut gfn = 0u64;
+        b.iter(|| {
+            let g = Gfn::new(gfn % (1 << 16));
+            ept.map(g, FrameId::new(1));
+            ept.unmap(g, Backing::None);
+            gfn += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_host_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host-kernel");
+    group.sample_size(20);
+
+    group.bench_function("resident_touch", |b| {
+        let (mut host, vm) = tight_host();
+        host.guest_access(SimTime::ZERO, vm, Gfn::new(0), false);
+        b.iter(|| black_box(host.guest_access(SimTime::ZERO, vm, Gfn::new(0), false)));
+    });
+
+    group.bench_function("zero_fill_fault", |b| {
+        let (mut host, vm) = roomy_host();
+        let mut gfn = 0u64;
+        b.iter(|| {
+            let out = host.guest_access(SimTime::ZERO, vm, Gfn::new(gfn % 30_000), false);
+            gfn += 1;
+            black_box(out)
+        });
+    });
+
+    group.bench_function("swap_cycle", |b| {
+        // Continuously touching twice the limit cycles pages through the
+        // swap area: eviction + swap-in with readahead on every step.
+        let (mut host, vm) = tight_host();
+        let mut gfn = 0u64;
+        b.iter(|| {
+            let out = host.guest_access(SimTime::ZERO, vm, Gfn::new(gfn % 2048), true);
+            gfn += 1;
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+fn tight_host() -> (HostKernel, vswap_mem::VmId) {
+    let spec = HostSpec {
+        dram: MemBytes::from_mb(8),
+        disk_pages: MemBytes::from_mb(128).pages(),
+        swap_pages: MemBytes::from_mb(32).pages(),
+        hypervisor_code_pages: 16,
+        ..HostSpec::paper_testbed()
+    };
+    let mut host = HostKernel::new(spec).expect("valid spec");
+    let vm = host
+        .create_vm(VmMmConfig {
+            gfn_count: 4096,
+            image_pages: 8192,
+            mem_limit_pages: 1024,
+            mapper_enabled: false,
+        })
+        .expect("fits");
+    (host, vm)
+}
+
+fn roomy_host() -> (HostKernel, vswap_mem::VmId) {
+    let spec = HostSpec {
+        dram: MemBytes::from_mb(256),
+        disk_pages: MemBytes::from_mb(512).pages(),
+        swap_pages: MemBytes::from_mb(64).pages(),
+        hypervisor_code_pages: 16,
+        ..HostSpec::paper_testbed()
+    };
+    let mut host = HostKernel::new(spec).expect("valid spec");
+    let vm = host
+        .create_vm(VmMmConfig {
+            gfn_count: 32_768,
+            image_pages: 8192,
+            mem_limit_pages: 32_768,
+            mapper_enabled: false,
+        })
+        .expect("fits");
+    (host, vm)
+}
+
+criterion_group!(benches, bench_disk, bench_ilist, bench_ept, bench_host_paths);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p vswap-bench --bin figures            # everything
+//! cargo run --release -p vswap-bench --bin figures -- fig09   # one experiment
+//! cargo run --release -p vswap-bench --bin figures -- --smoke # reduced scale
+//! ```
+
+use std::time::Instant;
+use vswap_bench::{all_experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Paper };
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut matched = 0;
+    for (id, title, runner) in all_experiments() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == id) {
+            continue;
+        }
+        matched += 1;
+        println!("# {title}  [{id}]");
+        let begin = Instant::now();
+        for table in runner(scale) {
+            println!("{table}");
+        }
+        println!("({id} regenerated in {:.1?} wall-clock)\n", begin.elapsed());
+    }
+    if matched == 0 {
+        eprintln!("no experiment matched; known ids:");
+        for (id, title, _) in all_experiments() {
+            eprintln!("  {id:8} {title}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,400 @@
+//! `vswap` — a scriptable driver for the VSwapper simulation.
+//!
+//! ```text
+//! vswap run --workload sysbench --policy vswapper --mem 512 --actual 100
+//! vswap run --workload mapreduce --policy baseline --guests 4 --gap-secs 10
+//! vswap migrate --policy vswapper --mem 512 --actual 256
+//! vswap pathology --mem 512 --actual 100
+//! vswap list
+//! ```
+//!
+//! Every command prints a human-readable report; add `--json` for a
+//! machine-readable one.
+
+use sim_core::{SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use vswap_core::{
+    LiveMigration, Machine, MachineConfig, MigrationConfig, PathologyBreakdown, RunReport,
+    SwapPolicy, VmHandle,
+};
+use vswap_guestos::{GuestProgram, GuestSpec};
+use vswap_hypervisor::{BalloonPolicy, VmSpec};
+use vswap_mem::MemBytes;
+use vswap_workloads::alloctouch::{AccessMode, AllocStream};
+use vswap_workloads::eclipse::Eclipse;
+use vswap_workloads::kernbench::Kernbench;
+use vswap_workloads::mapreduce::MapReduce;
+use vswap_workloads::pbzip2::Pbzip2;
+use vswap_workloads::{AgeGuest, SharedFile, SysbenchPrepare, SysbenchRead};
+
+const USAGE: &str = "\
+vswap — drive the VSwapper simulation
+
+USAGE:
+  vswap run [OPTIONS]        run a workload and report
+  vswap migrate [OPTIONS]    live-migrate a warmed guest and report
+  vswap pathology [OPTIONS]  run the five-pathology demonstration
+  vswap list                 list workloads and policies
+
+OPTIONS (run / migrate / pathology):
+  --workload <NAME>   sysbench | pbzip2 | kernbench | eclipse | mapreduce | alloc
+                      (default sysbench; `run` only)
+  --policy <NAME>     baseline | balloon | mapper | vswapper | balloon+vswapper
+                      (default vswapper)
+  --mem <MB>          guest-perceived memory (default 512)
+  --actual <MB>       host-granted memory   (default mem)
+  --guests <N>        number of phased guests (default 1; `run` only)
+  --gap-secs <S>      phase gap between guest starts (default 10)
+  --auto-balloon      use the MOM dynamic manager instead of a static balloon
+  --seed <N>          simulation seed (default 0x5eedcafe)
+  --json              machine-readable output
+";
+
+#[derive(Debug, Clone)]
+struct Options {
+    workload: String,
+    policy: SwapPolicy,
+    mem_mb: u64,
+    actual_mb: u64,
+    guests: u32,
+    gap_secs: u64,
+    auto_balloon: bool,
+    seed: Option<u64>,
+    json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: "sysbench".to_owned(),
+            policy: SwapPolicy::Vswapper,
+            mem_mb: 512,
+            actual_mb: 0,
+            guests: 1,
+            gap_secs: 10,
+            auto_balloon: false,
+            seed: None,
+            json: false,
+        }
+    }
+}
+
+fn parse_policy(name: &str) -> Result<SwapPolicy, String> {
+    Ok(match name {
+        "baseline" => SwapPolicy::Baseline,
+        "balloon" | "balloon+base" => SwapPolicy::BalloonBaseline,
+        "mapper" => SwapPolicy::MapperOnly,
+        "vswapper" => SwapPolicy::Vswapper,
+        "balloon+vswapper" | "balloon+vswap" => SwapPolicy::BalloonVswapper,
+        other => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workload" => opts.workload = value("--workload")?,
+            "--policy" => opts.policy = parse_policy(&value("--policy")?)?,
+            "--mem" => {
+                opts.mem_mb =
+                    value("--mem")?.parse().map_err(|e| format!("--mem: {e}"))?
+            }
+            "--actual" => {
+                opts.actual_mb =
+                    value("--actual")?.parse().map_err(|e| format!("--actual: {e}"))?
+            }
+            "--guests" => {
+                opts.guests =
+                    value("--guests")?.parse().map_err(|e| format!("--guests: {e}"))?
+            }
+            "--gap-secs" => {
+                opts.gap_secs =
+                    value("--gap-secs")?.parse().map_err(|e| format!("--gap-secs: {e}"))?
+            }
+            "--auto-balloon" => opts.auto_balloon = true,
+            "--seed" => {
+                opts.seed =
+                    Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.actual_mb == 0 {
+        opts.actual_mb = opts.mem_mb;
+    }
+    if opts.actual_mb > opts.mem_mb {
+        return Err("--actual cannot exceed --mem".to_owned());
+    }
+    if opts.guests == 0 {
+        return Err("--guests must be at least 1".to_owned());
+    }
+    Ok(opts)
+}
+
+fn make_workload(name: &str, seed: u64) -> Result<Box<dyn GuestProgram>, String> {
+    Ok(match name {
+        "pbzip2" => Box::new(Pbzip2::paper_default()),
+        "kernbench" => Box::new(Kernbench::paper_default()),
+        "eclipse" => Box::new(Eclipse::paper_default()),
+        "mapreduce" => Box::new(MapReduce::paper_default(seed)),
+        "alloc" => Box::new(AllocStream::new(MemBytes::from_mb(200).pages(), AccessMode::Write)),
+        "sysbench" => unreachable!("handled by the caller (needs a prepare phase)"),
+        other => return Err(format!("unknown workload `{other}`")),
+    })
+}
+
+fn build_machine(opts: &Options) -> Result<Machine, String> {
+    let mut cfg = MachineConfig::preset(opts.policy);
+    if let Some(seed) = opts.seed {
+        cfg = cfg.with_seed(seed);
+    }
+    if opts.auto_balloon && opts.policy.ballooning() {
+        cfg = cfg.with_auto_balloon(BalloonPolicy::default());
+    }
+    // Size the disk to hold every guest's image.
+    cfg.host.disk_pages = cfg.host.swap_pages
+        + u64::from(opts.guests + 1) * MemBytes::from_gb(21).pages();
+    Machine::new(cfg).map_err(|e| e.to_string())
+}
+
+fn guest_spec(opts: &Options, name: &str) -> VmSpec {
+    VmSpec::linux(name, MemBytes::from_mb(opts.mem_mb), MemBytes::from_mb(opts.actual_mb))
+        .with_guest(GuestSpec {
+            memory: MemBytes::from_mb(opts.mem_mb),
+            ..GuestSpec::linux_default()
+        })
+}
+
+fn report_json(report: &RunReport) -> String {
+    let mut out = String::from("{\n  \"workloads\": [\n");
+    for (i, w) in report.workloads.iter().enumerate() {
+        let comma = if i + 1 < report.workloads.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"vm\": \"{}\", \"workload\": \"{}\", \"runtime_secs\": {}, \"killed\": {}}}{}",
+            w.name,
+            w.workload,
+            if w.runtime_secs().is_nan() { "null".to_owned() } else { format!("{:.6}", w.runtime_secs()) },
+            w.killed.is_some(),
+            comma,
+        );
+    }
+    out.push_str("  ],\n  \"host\": {\n");
+    let host: Vec<(&str, u64)> = report.host.iter().collect();
+    for (i, (k, v)) in host.iter().enumerate() {
+        let comma = if i + 1 < host.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+    }
+    out.push_str("  },\n  \"disk\": {\n");
+    let disk: Vec<(&str, u64)> = report.disk.iter().collect();
+    for (i, (k, v)) in disk.iter().enumerate() {
+        let comma = if i + 1 < disk.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Prepares, ages and warms a sysbench guest; returns the file handle.
+fn sysbench_setup(m: &mut Machine, vm: VmHandle) -> SharedFile {
+    let file = SharedFile::new();
+    m.launch(vm, Box::new(SysbenchPrepare::new(MemBytes::from_mb(200).pages(), file.clone())));
+    m.run();
+    m.launch(vm, Box::new(AgeGuest::new()));
+    m.run();
+    file
+}
+
+fn cmd_run(opts: &Options) -> Result<String, String> {
+    let mut m = build_machine(opts)?;
+    let mut vms = Vec::new();
+    for i in 0..opts.guests {
+        let vm = m.add_vm(guest_spec(opts, &format!("guest{i}"))).map_err(|e| e.to_string())?;
+        vms.push(vm);
+    }
+    for (i, &vm) in vms.iter().enumerate() {
+        let at = SimTime::ZERO + SimDuration::from_secs(opts.gap_secs * i as u64);
+        if opts.workload == "sysbench" {
+            let file = sysbench_setup(&mut m, vm);
+            m.launch_at(vm, Box::new(SysbenchRead::new(file)), at);
+        } else {
+            m.launch_at(vm, make_workload(&opts.workload, i as u64)?, at);
+        }
+    }
+    let report = m.run();
+    m.host().audit().map_err(|e| format!("invariant violation: {e}"))?;
+    Ok(if opts.json { report_json(&report) } else { report.to_string() })
+}
+
+fn cmd_migrate(opts: &Options) -> Result<String, String> {
+    let mut m = build_machine(opts)?;
+    let vm = m.add_vm(guest_spec(opts, "guest")).map_err(|e| e.to_string())?;
+    let file = sysbench_setup(&mut m, vm);
+    m.launch(vm, Box::new(SysbenchRead::new(file)));
+    m.run();
+    let report = LiveMigration::new(MigrationConfig::default()).run(&mut m, vm);
+    m.host().audit().map_err(|e| format!("invariant violation: {e}"))?;
+    if opts.json {
+        Ok(format!(
+            "{{\"total_bytes\": {}, \"total_secs\": {:.6}, \"downtime_ms\": {:.3}, \"rounds\": {}, \"reference_pages\": {}, \"swap_readbacks\": {}}}\n",
+            report.total_bytes,
+            report.total_time.as_secs_f64(),
+            report.downtime.as_millis_f64(),
+            report.rounds.len(),
+            report.sum(|r| r.reference_pages),
+            report.sum(|r| r.swap_readbacks),
+        ))
+    } else {
+        Ok(format!(
+            "migrated in {:.2}s over {} rounds\n  traffic: {:.1} MB ({} pages as block references)\n  downtime: {:.1} ms\n  swap read-backs: {}\n",
+            report.total_time.as_secs_f64(),
+            report.rounds.len(),
+            report.total_bytes as f64 / 1e6,
+            report.sum(|r| r.reference_pages),
+            report.downtime.as_millis_f64(),
+            report.sum(|r| r.swap_readbacks),
+        ))
+    }
+}
+
+fn cmd_pathology(opts: &Options) -> Result<String, String> {
+    let mut m = build_machine(opts)?;
+    let vm = m.add_vm(guest_spec(opts, "guest")).map_err(|e| e.to_string())?;
+    let file = sysbench_setup(&mut m, vm);
+    m.launch(vm, Box::new(SysbenchRead::new(file)));
+    m.run();
+    m.launch(vm, Box::new(AllocStream::new(MemBytes::from_mb(200).pages(), AccessMode::Write)));
+    let report = m.run();
+    m.host().audit().map_err(|e| format!("invariant violation: {e}"))?;
+    let breakdown = PathologyBreakdown::from_stats(&report.host, &report.disk);
+    if opts.json {
+        Ok(format!(
+            "{{\"silent_swap_writes\": {}, \"stale_swap_reads\": {}, \"false_swap_reads\": {}, \"decayed_seq_seeks\": {}, \"false_anonymity_refaults\": {}}}\n",
+            breakdown.silent_swap_writes,
+            breakdown.stale_swap_reads,
+            breakdown.false_swap_reads,
+            breakdown.decayed_seq_seeks,
+            breakdown.false_anonymity_refaults,
+        ))
+    } else {
+        Ok(format!("policy: {}\n{breakdown}", opts.policy))
+    }
+}
+
+fn cmd_list() -> String {
+    "workloads: sysbench pbzip2 kernbench eclipse mapreduce alloc\n\
+     policies:  baseline balloon mapper vswapper balloon+vswapper\n"
+        .to_owned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "list" => Ok(cmd_list()),
+        "run" | "migrate" | "pathology" => match parse_options(rest) {
+            Ok(opts) => match cmd.as_str() {
+                "run" => cmd_run(&opts),
+                "migrate" => cmd_migrate(&opts),
+                _ => cmd_pathology(&opts),
+            },
+            Err(e) => Err(e),
+        },
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&owned)
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.workload, "sysbench");
+        assert_eq!(o.policy, SwapPolicy::Vswapper);
+        assert_eq!(o.mem_mb, 512);
+        assert_eq!(o.actual_mb, 512, "actual defaults to mem");
+    }
+
+    #[test]
+    fn full_option_set_parses() {
+        let o = opts(&[
+            "--workload", "pbzip2", "--policy", "balloon", "--mem", "1024", "--actual", "256",
+            "--guests", "4", "--gap-secs", "5", "--auto-balloon", "--seed", "7", "--json",
+        ])
+        .unwrap();
+        assert_eq!(o.workload, "pbzip2");
+        assert_eq!(o.policy, SwapPolicy::BalloonBaseline);
+        assert_eq!(o.mem_mb, 1024);
+        assert_eq!(o.actual_mb, 256);
+        assert_eq!(o.guests, 4);
+        assert_eq!(o.gap_secs, 5);
+        assert!(o.auto_balloon);
+        assert_eq!(o.seed, Some(7));
+        assert!(o.json);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(opts(&["--mem", "abc"]).is_err());
+        assert!(opts(&["--actual", "600", "--mem", "512"]).is_err());
+        assert!(opts(&["--guests", "0"]).is_err());
+        assert!(opts(&["--policy", "nope"]).is_err());
+        assert!(opts(&["--banana"]).is_err());
+        assert!(opts(&["--mem"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn every_policy_name_parses() {
+        for (name, policy) in [
+            ("baseline", SwapPolicy::Baseline),
+            ("balloon", SwapPolicy::BalloonBaseline),
+            ("mapper", SwapPolicy::MapperOnly),
+            ("vswapper", SwapPolicy::Vswapper),
+            ("balloon+vswapper", SwapPolicy::BalloonVswapper),
+        ] {
+            assert_eq!(parse_policy(name).unwrap(), policy);
+        }
+    }
+
+    #[test]
+    fn json_report_is_emitted() {
+        let mut o = Options { mem_mb: 64, actual_mb: 32, json: true, ..Options::default() };
+        o.workload = "alloc".to_owned();
+        let out = cmd_run(&o).unwrap();
+        assert!(out.contains("\"workloads\""));
+        assert!(out.contains("\"runtime_secs\""));
+        assert!(out.contains("\"host\""));
+    }
+}

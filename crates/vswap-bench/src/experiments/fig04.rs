@@ -1,0 +1,34 @@
+//! Figure 4: the dynamic-conditions headline — average completion time
+//! of ten phased MapReduce guests (the 10-guest point of Figure 14).
+//!
+//! Paper values (seconds): balloon+base 153→167, baseline 153,
+//! vswapper 88, balloon+vswapper 97 — "VSwapper configurations are up to
+//! twice as fast as baseline ballooning" because the balloon manager
+//! cannot reapportion memory fast enough.
+
+use super::common::FOUR_CONFIGS;
+use super::fig14::run_point;
+use super::Scale;
+use crate::table::Table;
+
+/// Paper-reported mean runtimes for the four configurations.
+pub const PAPER_SECONDS: [(&str, f64); 4] =
+    [("baseline", 153.0), ("balloon+base", 167.0), ("vswapper", 88.0), ("balloon+vswap", 97.0)];
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let guests = match scale {
+        Scale::Paper => 10,
+        Scale::Smoke => 5,
+    };
+    let mut table = Table::new(
+        "Figure 4: mean completion time of ten phased MapReduce guests [s]",
+        vec!["config", "measured [s]", "paper [s]"],
+    );
+    for (policy, &(label, paper)) in FOUR_CONFIGS.iter().zip(PAPER_SECONDS.iter()) {
+        debug_assert_eq!(label, policy.label());
+        let (mean, _) = run_point(scale, *policy, guests);
+        table.push(vec![policy.label().into(), mean.into(), paper.into()]);
+    }
+    vec![table]
+}

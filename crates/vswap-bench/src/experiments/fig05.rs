@@ -1,0 +1,59 @@
+//! Figure 5: over-ballooning — pbzip2 inside a 512 MB guest whose actual
+//! memory drops from 512 MB to 128 MB.
+//!
+//! The paper's observation: "Ballooning delivers better performance, but
+//! the guest kills bzip2 when its memory drops below 240MB", while the
+//! uncooperative configurations (baseline, mapper, vswapper) keep the
+//! job alive at every size.
+
+use super::fig11::run_point;
+use super::Scale;
+use crate::table::{Cell, Table};
+use vswap_core::SwapPolicy;
+
+/// The actual-memory points of Figure 5 (MB).
+pub const SWEEP_MB: [u64; 3] = [512, 240, 128];
+
+/// The four lines of Figure 5.
+pub const CONFIGS: [SwapPolicy; 4] = [
+    SwapPolicy::Baseline,
+    SwapPolicy::MapperOnly,
+    SwapPolicy::Vswapper,
+    SwapPolicy::BalloonBaseline,
+];
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let cols: Vec<String> = std::iter::once("config".to_owned())
+        .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
+        .collect();
+    let mut table = Table::new(
+        "Figure 5: pbzip2 runtime [s] vs actual guest memory ('-' = killed by guest OOM)",
+        cols.iter().map(String::as_str).collect(),
+    );
+    for policy in CONFIGS {
+        let mut row = vec![Cell::from(policy.label())];
+        for &mb in &SWEEP_MB {
+            let p = run_point(scale, policy, mb);
+            row.push(if p.killed { Cell::Missing } else { p.runtime_secs.into() });
+        }
+        table.push(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_balloon_kills_only_at_deep_squeeze() {
+        let fine = run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 512);
+        assert!(!fine.killed, "no kill with full memory");
+        let deep = run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 128);
+        assert!(deep.killed, "over-ballooning must kill pbzip2 at 128MB-equivalent");
+        // Uncooperative swapping keeps the job alive at the same point.
+        let base = run_point(Scale::Smoke, SwapPolicy::Baseline, 128);
+        assert!(!base.killed);
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 9: the anatomy of uncooperative swapping — Sysbench
+//! iteratively reads a 200 MB file in a 100 MB guest that believes it has
+//! 512 MB. Eight iterations; four series:
+//!
+//! * (a) runtime per iteration — the baseline's U-shape,
+//! * (b) page faults taken while *host* code runs — iteration 1's stale
+//!   reads, then false-page-anonymity refaults,
+//! * (c) page faults taken while *guest* code runs — growing with decayed
+//!   swap sequentiality,
+//! * (d) sectors written to the host swap area — silent swap writes,
+//!   roughly constant per iteration.
+
+use super::common::{host, linux_vm, machine, prepare_and_age};
+use super::Scale;
+use crate::table::Table;
+use vswap_core::{Machine, RunReport, SwapPolicy, VmHandle};
+use vswap_mem::MemBytes;
+use vswap_workloads::{SharedFile, SysbenchRead};
+
+/// The three configurations Figure 9 plots.
+pub const CONFIGS: [SwapPolicy; 3] =
+    [SwapPolicy::Baseline, SwapPolicy::Vswapper, SwapPolicy::BalloonBaseline];
+
+/// Per-iteration measurements of one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct IterationSeries {
+    /// Runtime per iteration in seconds (Figure 9a).
+    pub runtime_secs: Vec<f64>,
+    /// Host-context faults per iteration (Figure 9b).
+    pub host_faults: Vec<u64>,
+    /// Guest-context major faults per iteration (Figure 9c).
+    pub guest_faults: Vec<u64>,
+    /// Swap sectors written per iteration (Figure 9d).
+    pub sectors_written: Vec<u64>,
+}
+
+/// Runs the iterated experiment for one policy.
+pub fn run_config(scale: Scale, policy: SwapPolicy, iterations: u32) -> IterationSeries {
+    let mut m = machine(policy, host(scale));
+    let vm = m.add_vm(linux_vm(scale, "guest", 512, 100)).expect("fits");
+    let file_pages = MemBytes::from_mb(scale.mb(200)).pages();
+    let shared = prepare_and_age(&mut m, vm, file_pages);
+    let mut series = IterationSeries::default();
+    for _ in 0..iterations {
+        let before = snapshot(&m);
+        let report = run_iteration(&mut m, vm, &shared);
+        let after = snapshot(&m);
+        series.runtime_secs.push(report.vm(vm).runtime_secs());
+        series.host_faults.push(after.0 - before.0);
+        series.guest_faults.push(after.1 - before.1);
+        series.sectors_written.push(after.2 - before.2);
+    }
+    m.host().audit().expect("invariants hold");
+    series
+}
+
+fn snapshot(m: &Machine) -> (u64, u64, u64) {
+    (
+        m.host().stats().host_context_faults,
+        m.host().stats().guest_major_faults,
+        m.host().disk_stats().swap_sectors_written,
+    )
+}
+
+fn run_iteration(m: &mut Machine, vm: VmHandle, shared: &SharedFile) -> RunReport {
+    m.launch(vm, Box::new(SysbenchRead::new(shared.clone())));
+    m.run()
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let iterations = 8;
+    let series: Vec<(SwapPolicy, IterationSeries)> =
+        CONFIGS.iter().map(|&p| (p, run_config(scale, p, iterations))).collect();
+
+    let mut tables = Vec::new();
+    type Extract = fn(&IterationSeries, usize) -> crate::table::Cell;
+    let specs: [(&str, Extract); 4] = [
+        ("Figure 9a: runtime per iteration [s]", |s, i| s.runtime_secs[i].into()),
+        ("Figure 9b: host page faults per iteration (stale reads + false anonymity)", |s, i| {
+            s.host_faults[i].into()
+        }),
+        ("Figure 9c: guest page faults per iteration (decayed sequentiality)", |s, i| {
+            s.guest_faults[i].into()
+        }),
+        ("Figure 9d: sectors written to host swap per iteration (silent writes)", |s, i| {
+            s.sectors_written[i].into()
+        }),
+    ];
+    for (title, extract) in specs {
+        let cols: Vec<String> = std::iter::once("config".to_owned())
+            .chain((1..=iterations).map(|i| format!("iter {i}")))
+            .collect();
+        let mut table = Table::new(title, cols.iter().map(String::as_str).collect());
+        for (policy, s) in &series {
+            let mut row = vec![crate::table::Cell::from(policy.label())];
+            for i in 0..iterations as usize {
+                row.push(extract(s, i));
+            }
+            table.push(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_baseline_has_the_papers_signatures() {
+        let s = run_config(Scale::Smoke, SwapPolicy::Baseline, 4);
+        // Iteration 1 is dominated by stale reads (host faults), later
+        // iterations by guest faults.
+        assert!(
+            s.host_faults[0] > s.host_faults[2],
+            "stale reads happen in iteration 1: {:?}",
+            s.host_faults
+        );
+        assert!(
+            s.guest_faults[2] > s.guest_faults[0],
+            "guest faults take over later: {:?}",
+            s.guest_faults
+        );
+        // Silent writes happen every iteration.
+        assert!(s.sectors_written.iter().all(|&w| w > 0), "{:?}", s.sectors_written);
+    }
+
+    #[test]
+    fn smoke_vswapper_eliminates_swap_writes() {
+        let s = run_config(Scale::Smoke, SwapPolicy::Vswapper, 3);
+        let total: u64 = s.sectors_written.iter().sum();
+        // File pages are discarded, never swapped; the residue is the
+        // handful of anonymous kernel-text pages the Mapper cannot name.
+        assert!(
+            total < 64,
+            "the Mapper discards instead of swapping: {:?}",
+            s.sectors_written
+        );
+        let b = run_config(Scale::Smoke, SwapPolicy::Baseline, 1);
+        assert!(b.sectors_written[0] > total * 100, "baseline writes dwarf the residue");
+    }
+}

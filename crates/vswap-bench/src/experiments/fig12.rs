@@ -1,0 +1,105 @@
+//! Figure 12: Kernbench (building the Linux kernel) inside a 512 MB
+//! guest whose actual allocation sweeps 512 → 192 MB.
+//!
+//! * (a) runtime — the paper reproduces a VMware white paper's 15%
+//!   (baseline) vs 4-5% (balloon) slowdown at 192 MB; VSwapper lands
+//!   within 1% of ballooning,
+//! * (b) Preventer remaps — up to 80 K false reads eliminated as
+//!   compiler processes zero their address spaces over recycled frames.
+
+use super::common::{host, linux_vm, machine};
+use super::Scale;
+use crate::table::{Cell, Table};
+use sim_core::SimDuration;
+use vswap_core::{RunReport, SwapPolicy};
+use vswap_mem::MemBytes;
+use vswap_workloads::kernbench::{Kernbench, KernbenchConfig};
+
+/// The actual-memory sweep of Figure 12 (MB).
+pub const SWEEP_MB: [u64; 5] = [512, 448, 384, 256, 192];
+
+/// The four lines of Figure 12a.
+pub const CONFIGS: [SwapPolicy; 4] = [
+    SwapPolicy::Baseline,
+    SwapPolicy::MapperOnly,
+    SwapPolicy::Vswapper,
+    SwapPolicy::BalloonBaseline,
+];
+
+/// The kernbench workload at a given scale.
+pub fn workload(scale: Scale) -> KernbenchConfig {
+    match scale {
+        Scale::Paper => KernbenchConfig {
+            jobs: 3000,
+            source_pages: MemBytes::from_mb(420).pages(),
+            read_pages_per_job: 32,
+            anon_pages_per_job: 512,
+            output_pages_per_job: 4,
+            cpu_per_job: SimDuration::from_millis(380),
+        },
+        Scale::Smoke => KernbenchConfig {
+            jobs: 120,
+            source_pages: MemBytes::from_mb(26).pages(),
+            read_pages_per_job: 32,
+            anon_pages_per_job: 128,
+            output_pages_per_job: 2,
+            cpu_per_job: SimDuration::from_millis(20),
+        },
+    }
+}
+
+/// Runs one (policy, actual-MB) point; returns (report, runtime, killed).
+pub fn run_point(scale: Scale, policy: SwapPolicy, actual_mb: u64) -> (RunReport, f64, bool) {
+    let mut m = machine(policy, host(scale));
+    let vm = m.add_vm(linux_vm(scale, "guest", 512, actual_mb)).expect("fits");
+    m.launch(vm, Box::new(Kernbench::new(workload(scale))));
+    let report = m.run();
+    m.host().audit().expect("invariants hold");
+    let rt = report.vm(vm).runtime_secs();
+    let killed = report.vm(vm).killed.is_some();
+    (report, rt, killed)
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let cols: Vec<String> = std::iter::once("config".to_owned())
+        .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
+        .collect();
+    let mut runtime =
+        Table::new("Figure 12a: Kernbench runtime [minutes]", cols.iter().map(String::as_str).collect());
+    let mut remaps = Table::new(
+        "Figure 12b: Preventer remaps (false reads eliminated) [count]",
+        cols.iter().map(String::as_str).collect(),
+    );
+    for policy in CONFIGS {
+        let mut rt_row = vec![Cell::from(policy.label())];
+        let mut rm_row = vec![Cell::from(policy.label())];
+        for &mb in &SWEEP_MB {
+            let (report, rt, killed) = run_point(scale, policy, mb);
+            rt_row.push(if killed { Cell::Missing } else { (rt / 60.0).into() });
+            rm_row.push(report.preventer.get("preventer_remaps").into());
+        }
+        runtime.push(rt_row);
+        remaps.push(rm_row);
+    }
+    vec![runtime, remaps]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_everyone_survives_and_vswapper_tracks_balloon() {
+        let (_, base, bk) = run_point(Scale::Smoke, SwapPolicy::Baseline, 192);
+        let (vr, vs, vk) = run_point(Scale::Smoke, SwapPolicy::Vswapper, 192);
+        let (_, bal, lk) = run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 192);
+        assert!(!bk && !vk && !lk, "no kernbench kills (Figure 12 has no missing bars)");
+        assert!(vs <= base * 1.02, "vswapper ({vs:.1}s) must not lose to baseline ({base:.1}s)");
+        // Smoke scale exaggerates relative overheads (tiny guests, hot
+        // kernel slice comparable to the whole allocation); the
+        // paper-scale table in EXPERIMENTS.md shows the ~1% gap.
+        assert!(vs <= bal * 2.5, "vswapper ({vs:.1}s) lands near ballooning ({bal:.1}s)");
+        assert!(vr.preventer.get("preventer_remaps") > 0, "Figure 12b remaps");
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 15: size of the guest page cache (total and excluding dirty
+//! pages) versus the pages the Swap Mapper tracks, sampled over time
+//! during the Eclipse workload.
+//!
+//! The paper's point: the tracked population coincides with the clean
+//! page cache — the Mapper "correctly avoids tracking dirty pages".
+
+use super::common::{host, linux_vm};
+use super::fig13::workload;
+use super::Scale;
+use crate::table::Table;
+use sim_core::SimDuration;
+use vswap_core::{Machine, MachineConfig, SwapPolicy};
+use vswap_workloads::Eclipse;
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let interval = match scale {
+        Scale::Paper => SimDuration::from_secs(5),
+        Scale::Smoke => SimDuration::from_millis(200),
+    };
+    let cfg = MachineConfig::preset(SwapPolicy::Vswapper)
+        .with_host(host(scale))
+        .with_sampling(interval);
+    let mut m = Machine::new(cfg).expect("valid host");
+    let vm = m.add_vm(linux_vm(scale, "guest", 512, 512)).expect("fits");
+    m.launch(vm, Box::new(Eclipse::new(workload(scale))));
+    let report = m.run();
+    m.host().audit().expect("invariants hold");
+
+    let mut table = Table::new(
+        "Figure 15: guest page cache vs Mapper-tracked pages over time [MB]",
+        vec!["t [s]", "page cache", "cache excl. dirty", "tracked by mapper"],
+    );
+    let cache: Vec<_> = report.trace.series("guest_page_cache_pages").collect();
+    let clean: Vec<_> = report.trace.series("guest_page_cache_clean_pages").collect();
+    let tracked: Vec<_> = report.trace.series("mapper_tracked_pages").collect();
+    for ((c, cl), tr) in cache.iter().zip(&clean).zip(&tracked) {
+        table.push(vec![
+            c.at.as_secs_f64().into(),
+            (c.value as f64 * 4096.0 / 1e6).into(),
+            (cl.value as f64 * 4096.0 / 1e6).into(),
+            (tr.value as f64 * 4096.0 / 1e6).into(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tracked_pages_follow_the_clean_cache() {
+        let tables = run(Scale::Smoke);
+        let rows = tables[0].rows();
+        assert!(rows.len() >= 3, "need several samples, got {}", rows.len());
+        // In at least the later samples, the tracked size must be close
+        // to (and never wildly above) the clean cache size.
+        let mut close = 0;
+        for row in rows {
+            let clean = match row[2] {
+                crate::table::Cell::Float(v) => v,
+                _ => continue,
+            };
+            let tracked = match row[3] {
+                crate::table::Cell::Float(v) => v,
+                _ => continue,
+            };
+            if (tracked - clean).abs() <= (clean * 0.5).max(1.0) {
+                close += 1;
+            }
+        }
+        assert!(close * 2 >= rows.len(), "tracked must coincide with clean cache");
+    }
+}

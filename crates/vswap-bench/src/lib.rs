@@ -1,0 +1,46 @@
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§5), plus ablations.
+//!
+//! Every experiment exposes `run(scale) -> Vec<Table>`; the `figures`
+//! binary prints them, `EXPERIMENTS.md` records them, and the Criterion
+//! benches time reduced-scale versions of the same code paths.
+//!
+//! # Scales
+//!
+//! [`Scale::Paper`] reproduces the published experiment sizes (200 MB
+//! files in 512 MB guests, ten 2 GB guests on an 8 GB host, …).
+//! [`Scale::Smoke`] shrinks everything ~16× so the full suite runs in
+//! seconds — used by integration tests and the Criterion timing benches.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::Scale;
+pub use table::Table;
+
+/// A function regenerating one experiment's tables at a given scale.
+pub type ExperimentRunner = fn(Scale) -> Vec<Table>;
+
+/// Every experiment in the suite as `(id, title, runner)`.
+pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentRunner)> {
+    vec![
+        ("fig03", "Figure 3: sequential read of a 200MB file (best case for ballooning)", experiments::fig03::run),
+        ("fig04", "Figure 4: ten phased MapReduce guests (dynamic conditions)", experiments::fig04::run),
+        ("fig05", "Figure 5: pbzip2 runtime vs actual memory (over-ballooning)", experiments::fig05::run),
+        ("fig09", "Figure 9: iterated Sysbench — pathology anatomy", experiments::fig09::run),
+        ("fig10", "Figure 10: false-reads microbenchmark", experiments::fig10::run),
+        ("fig11", "Figure 11: pbzip2 I/O and reclaim-scan counters", experiments::fig11::run),
+        ("fig12", "Figure 12: Kernbench runtime and Preventer remaps", experiments::fig12::run),
+        ("fig13", "Figure 13: DaCapo Eclipse runtime", experiments::fig13::run),
+        ("fig14", "Figure 14: MapReduce scaling, 1-10 phased guests", experiments::fig14::run),
+        ("fig15", "Figure 15: guest page cache vs Mapper-tracked pages", experiments::fig15::run),
+        ("tab01", "Table 1: lines of code of the VSwapper components", experiments::tab01::run),
+        ("tab02", "Table 2: foreign-hypervisor profile, balloon on/off", experiments::tab02::run),
+        ("tab03", "Section 5.3: overheads when memory is plentiful", experiments::tab03::run),
+        ("tab04", "Section 5.4: Windows guests", experiments::tab04::run),
+        ("tab05", "Section 7 (implemented): VSwapper-enhanced live migration", experiments::tab05::run),
+        ("ablate", "Ablations: preventer caps, readahead, reclaim preference, SSD", experiments::ablation::run),
+    ]
+}

@@ -1,0 +1,204 @@
+//! Plain-text result tables, printed the way the paper reports them.
+
+use std::fmt;
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free text (config names, "killed" markers).
+    Text(String),
+    /// An integer count.
+    Int(u64),
+    /// A float with two decimals (runtimes in seconds).
+    Float(f64),
+    /// No value (e.g. the workload was killed).
+    Missing,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Int(v) => write!(f, "{v}"),
+            Cell::Float(v) => write!(f, "{v:.2}"),
+            Cell::Missing => write!(f, "-"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        if v.is_nan() {
+            Cell::Missing
+        } else {
+            Cell::Float(v)
+        }
+    }
+}
+
+/// One experiment result table.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_bench::Table;
+///
+/// let mut t = Table::new("demo", vec!["config", "runtime [s]"]);
+/// t.push(vec!["baseline".into(), 38.7.into()]);
+/// t.push(vec!["vswapper".into(), 4.0.into()]);
+/// assert_eq!(t.rows().len(), 2);
+/// println!("{t}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, columns: Vec<&str>) -> Self {
+        Table {
+            title: title.to_owned(),
+            columns: columns.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the column count.
+    pub fn push(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// Finds the cell at (`row_key` in column 0, `column`) — convenient
+    /// for assertions in tests.
+    pub fn cell(&self, row_key: &str, column: &str) -> Option<&Cell> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let row = self
+            .rows
+            .iter()
+            .find(|r| matches!(&r[0], Cell::Text(s) if s == row_key))?;
+        row.get(col)
+    }
+
+    /// Like [`Table::cell`] but coerced to `f64` (integers included).
+    pub fn value(&self, row_key: &str, column: &str) -> Option<f64> {
+        match self.cell(row_key, column)? {
+            Cell::Int(v) => Some(*v as f64),
+            Cell::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        write!(f, "|")?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, " {c:w$} |")?;
+        }
+        writeln!(f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<1$}|", "", w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            write!(f, "|")?;
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, " {cell:w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("t", vec!["config", "x"]);
+        t.push(vec!["baseline".into(), 1u64.into()]);
+        t.push(vec!["b".into(), Cell::Missing]);
+        let s = t.to_string();
+        assert!(s.contains("## t"));
+        assert!(s.contains("| baseline |"));
+        assert!(s.contains("| b        |"));
+    }
+
+    #[test]
+    fn lookup_by_row_and_column() {
+        let mut t = Table::new("t", vec!["config", "runtime [s]", "ops"]);
+        t.push(vec!["baseline".into(), 38.7.into(), 100u64.into()]);
+        assert_eq!(t.value("baseline", "runtime [s]"), Some(38.7));
+        assert_eq!(t.value("baseline", "ops"), Some(100.0));
+        assert_eq!(t.value("missing", "ops"), None);
+        assert_eq!(t.value("baseline", "nope"), None);
+    }
+
+    #[test]
+    fn nan_becomes_missing() {
+        assert_eq!(Cell::from(f64::NAN), Cell::Missing);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("t", vec!["a", "b"]);
+        t.push(vec!["x".into()]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Machine configuration: the five evaluated policies and their knobs.
+
+use crate::preventer::PreventerConfig;
+use sim_core::SimDuration;
+use vswap_hostos::HostSpec;
+use vswap_hypervisor::BalloonPolicy;
+
+/// The five configurations of the paper's evaluation (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwapPolicy {
+    /// Uncooperative host swapping only.
+    Baseline,
+    /// Ballooning, falling back on baseline uncooperative swapping.
+    BalloonBaseline,
+    /// The Swap Mapper without the False Reads Preventer
+    /// ("mapper" / "vswapper w/o preventer" in the figures).
+    MapperOnly,
+    /// The full VSwapper: Swap Mapper + False Reads Preventer.
+    Vswapper,
+    /// Ballooning on top of the full VSwapper.
+    BalloonVswapper,
+}
+
+impl SwapPolicy {
+    /// All five policies, in the order the paper's figures list them.
+    pub const ALL: [SwapPolicy; 5] = [
+        SwapPolicy::Baseline,
+        SwapPolicy::BalloonBaseline,
+        SwapPolicy::MapperOnly,
+        SwapPolicy::Vswapper,
+        SwapPolicy::BalloonVswapper,
+    ];
+
+    /// True if the Swap Mapper is active.
+    pub fn mapper_enabled(self) -> bool {
+        matches!(self, SwapPolicy::MapperOnly | SwapPolicy::Vswapper | SwapPolicy::BalloonVswapper)
+    }
+
+    /// True if the False Reads Preventer is active.
+    pub fn preventer_enabled(self) -> bool {
+        matches!(self, SwapPolicy::Vswapper | SwapPolicy::BalloonVswapper)
+    }
+
+    /// True if guests run a balloon driver.
+    pub fn ballooning(self) -> bool {
+        matches!(self, SwapPolicy::BalloonBaseline | SwapPolicy::BalloonVswapper)
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwapPolicy::Baseline => "baseline",
+            SwapPolicy::BalloonBaseline => "balloon+base",
+            SwapPolicy::MapperOnly => "mapper",
+            SwapPolicy::Vswapper => "vswapper",
+            SwapPolicy::BalloonVswapper => "balloon+vswap",
+        }
+    }
+}
+
+impl std::fmt::Display for SwapPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How balloons are managed when a policy enables ballooning.
+#[derive(Debug, Clone)]
+pub enum Ballooning {
+    /// No balloon driver installed.
+    None,
+    /// The balloon is inflated once, at VM setup, to exactly the gap
+    /// between perceived and actual memory (the controlled experiments of
+    /// §5.1).
+    Static,
+    /// A MOM-style manager adjusts balloons dynamically (§5.2).
+    Auto(BalloonPolicy),
+}
+
+/// Full machine configuration.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_core::{MachineConfig, SwapPolicy};
+///
+/// let cfg = MachineConfig::preset(SwapPolicy::Vswapper);
+/// assert!(cfg.mapper);
+/// assert!(cfg.preventer.enabled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Host hardware and kernel-policy parameters.
+    pub host: HostSpec,
+    /// Whether the Swap Mapper is active.
+    pub mapper: bool,
+    /// False Reads Preventer parameters (including its enable switch).
+    pub preventer: PreventerConfig,
+    /// Balloon management mode.
+    pub ballooning: Ballooning,
+    /// Root seed for all deterministic randomness.
+    pub seed: u64,
+    /// Interval at which time-series gauges are sampled into the run
+    /// trace (Figure 15); `None` disables sampling.
+    pub sample_interval: Option<SimDuration>,
+    /// Page-type-aware paging (§7 future work, implemented): the host is
+    /// hinted that each guest's kernel pages are vital and never evicts
+    /// them. Off by default — the paper's evaluated system does not have
+    /// it; the ablation benches switch it on.
+    pub protect_guest_kernel: bool,
+}
+
+impl MachineConfig {
+    /// The configuration used by the paper's evaluation for the given
+    /// policy: testbed host, static ballooning where applicable.
+    pub fn preset(policy: SwapPolicy) -> Self {
+        MachineConfig {
+            host: HostSpec::paper_testbed(),
+            mapper: policy.mapper_enabled(),
+            preventer: PreventerConfig {
+                enabled: policy.preventer_enabled(),
+                ..PreventerConfig::default()
+            },
+            ballooning: if policy.ballooning() { Ballooning::Static } else { Ballooning::None },
+            seed: 0x5eed_cafe,
+            sample_interval: None,
+            protect_guest_kernel: false,
+        }
+    }
+
+    /// Switches ballooning to a MOM-style dynamic manager (builder
+    /// style). Only meaningful for balloon policies.
+    #[must_use]
+    pub fn with_auto_balloon(mut self, policy: BalloonPolicy) -> Self {
+        self.ballooning = Ballooning::Auto(policy);
+        self
+    }
+
+    /// Overrides the host spec (builder style).
+    #[must_use]
+    pub fn with_host(mut self, host: HostSpec) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Overrides the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables time-series sampling at the given interval (builder
+    /// style).
+    #[must_use]
+    pub fn with_sampling(mut self, interval: SimDuration) -> Self {
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Enables the page-type-aware kernel-page protection hint (builder
+    /// style).
+    #[must_use]
+    pub fn with_kernel_protection(mut self) -> Self {
+        self.protect_guest_kernel = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_feature_matrix_matches_paper() {
+        use SwapPolicy::*;
+        assert!(!Baseline.mapper_enabled() && !Baseline.preventer_enabled());
+        assert!(!Baseline.ballooning());
+        assert!(BalloonBaseline.ballooning() && !BalloonBaseline.mapper_enabled());
+        assert!(MapperOnly.mapper_enabled() && !MapperOnly.preventer_enabled());
+        assert!(Vswapper.mapper_enabled() && Vswapper.preventer_enabled());
+        assert!(BalloonVswapper.mapper_enabled());
+        assert!(BalloonVswapper.preventer_enabled());
+        assert!(BalloonVswapper.ballooning());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> =
+            SwapPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn preset_wires_ballooning() {
+        assert!(matches!(
+            MachineConfig::preset(SwapPolicy::BalloonBaseline).ballooning,
+            Ballooning::Static
+        ));
+        assert!(matches!(MachineConfig::preset(SwapPolicy::Baseline).ballooning, Ballooning::None));
+        let auto = MachineConfig::preset(SwapPolicy::BalloonVswapper)
+            .with_auto_balloon(BalloonPolicy::default());
+        assert!(matches!(auto.ballooning, Ballooning::Auto(_)));
+    }
+}

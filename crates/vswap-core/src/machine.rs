@@ -1,0 +1,852 @@
+//! The simulated machine: host kernel + VMs + VSwapper + scheduler.
+//!
+//! [`Machine`] is the reproduction's testbed. It owns the host kernel,
+//! the per-VM guest kernels and workloads, the Swap Mapper and False
+//! Reads Preventer, and (optionally) a balloon manager, and it advances
+//! simulated time by interleaving workload steps across VMs.
+
+use crate::config::{Ballooning, MachineConfig};
+use crate::mapper::SwapMapper;
+use crate::preventer::FalseReadsPreventer;
+use crate::report::{RunReport, VmReport};
+use sim_core::{Clock, DeterministicRng, SimDuration, SimTime, Trace};
+use std::error::Error;
+use std::fmt;
+use vswap_guestos::{
+    AccessResult, GuestCtx, GuestError, GuestKernel, GuestProgram, StepOutcome, VirtualHardware,
+};
+use vswap_hostos::{HostError, HostKernel, VmMmConfig};
+use vswap_hypervisor::{BalloonManager, VmSpec, VmTelemetry};
+use vswap_mem::{ContentLabel, Gfn, VmId};
+
+/// Handle to a VM added to a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmHandle(VmId);
+
+impl VmHandle {
+    /// The underlying host-kernel VM identity.
+    pub fn vm_id(self) -> VmId {
+        self.0
+    }
+}
+
+/// Errors from machine construction and VM management.
+#[derive(Debug)]
+pub enum MachineError {
+    /// The host kernel rejected the configuration.
+    Host(HostError),
+    /// The guest could not complete its boot sequence.
+    Boot(GuestError),
+    /// Static balloon inflation failed at VM setup.
+    Balloon(GuestError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Host(e) => write!(f, "host: {e}"),
+            MachineError::Boot(e) => write!(f, "guest boot: {e}"),
+            MachineError::Balloon(e) => write!(f, "static balloon setup: {e}"),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+impl From<HostError> for MachineError {
+    fn from(e: HostError) -> Self {
+        MachineError::Host(e)
+    }
+}
+
+/// One workload slot on a VM.
+struct ProgramSlot {
+    program: Box<dyn GuestProgram>,
+    launch_at: SimTime,
+    started: Option<SimTime>,
+    finished: Option<SimTime>,
+    killed: Option<GuestError>,
+    steps: u64,
+}
+
+struct VmEntry {
+    id: VmId,
+    spec: VmSpec,
+    guest: GuestKernel,
+    /// Concurrently scheduled workloads (guest processes time-share the
+    /// VCPUs round-robin).
+    slots: Vec<ProgramSlot>,
+    /// Round-robin cursor over runnable slots.
+    next_slot: usize,
+    ready_at: SimTime,
+    prev_guest_swap_outs: u64,
+    /// Completed workload records, in completion order.
+    history: Vec<VmReport>,
+}
+
+impl VmEntry {
+    /// The earliest instant any of this VM's workloads can run, or
+    /// `None` if nothing is scheduled.
+    fn next_runnable_at(&self) -> Option<SimTime> {
+        self.slots
+            .iter()
+            .map(|s| self.ready_at.max(s.launch_at))
+            .min()
+    }
+
+    /// Picks the next slot to run, round-robin among those whose launch
+    /// time has arrived (falling back to the earliest launch).
+    fn pick_slot(&mut self, now: SimTime) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let n = self.slots.len();
+        for i in 0..n {
+            let idx = (self.next_slot + i) % n;
+            if self.slots[idx].launch_at <= now {
+                self.next_slot = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        // None launched yet: take the earliest.
+        self.slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.launch_at)
+            .map(|(i, _)| i)
+    }
+}
+
+/// The machine. See the crate-level docs for a quick-start example.
+pub struct Machine {
+    cfg: MachineConfig,
+    clock: Clock,
+    host: HostKernel,
+    mapper: SwapMapper,
+    preventer: FalseReadsPreventer,
+    balloon_manager: Option<BalloonManager>,
+    vms: Vec<VmEntry>,
+    rng: DeterministicRng,
+    trace: Trace,
+    next_sample: SimTime,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.clock.now())
+            .field("vms", &self.vms.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Host`] if the host spec is inconsistent.
+    pub fn new(cfg: MachineConfig) -> Result<Self, MachineError> {
+        let host = HostKernel::new(cfg.host.clone())?;
+        let balloon_manager = match &cfg.ballooning {
+            Ballooning::Auto(policy) => Some(BalloonManager::new(policy.clone())),
+            _ => None,
+        };
+        Ok(Machine {
+            clock: Clock::new(),
+            mapper: SwapMapper::new(cfg.mapper),
+            preventer: FalseReadsPreventer::new(cfg.preventer),
+            balloon_manager,
+            host,
+            vms: Vec::new(),
+            rng: DeterministicRng::seed_from(cfg.seed),
+            trace: Trace::default(),
+            next_sample: SimTime::ZERO,
+            cfg,
+        })
+    }
+
+    /// Adds (and boots) a VM. With [`Ballooning::Static`], the balloon is
+    /// inflated to the perceived-vs-actual gap right after boot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the host cannot place the VM, the
+    /// guest fails to boot, or static balloon inflation OOMs the guest.
+    pub fn add_vm(&mut self, spec: VmSpec) -> Result<VmHandle, MachineError> {
+        let id = self.host.create_vm(VmMmConfig {
+            gfn_count: spec.guest.memory.pages(),
+            image_pages: spec.guest.disk.pages(),
+            mem_limit_pages: spec.actual_memory.pages(),
+            mapper_enabled: self.cfg.mapper,
+        })?;
+        if self.cfg.protect_guest_kernel {
+            // §7 page-type-aware paging: the guest's kernel pages are
+            // vital; never page them out.
+            self.host.hint_protect_low_gfns(id, spec.guest.kernel_pages);
+        }
+        let seed = self.rng.next_u64();
+        let mut guest = GuestKernel::new(spec.guest.clone(), seed);
+
+        // Boot, then optionally apply the static balloon.
+        let now = self.clock.now();
+        let mut bus = MachineBus {
+            host: &mut self.host,
+            mapper: &mut self.mapper,
+            preventer: &mut self.preventer,
+            vm: id,
+            now,
+            stall: SimDuration::ZERO,
+        };
+        let mut boot_cost = guest.boot(&mut bus).map_err(MachineError::Boot)?;
+        if matches!(self.cfg.ballooning, Ballooning::Static) {
+            boot_cost += guest
+                .balloon_set_target(&mut bus, spec.balloon_target_pages())
+                .map_err(MachineError::Balloon)?;
+        }
+        let ready_at = now + boot_cost;
+
+        self.vms.push(VmEntry {
+            id,
+            spec,
+            guest,
+            slots: Vec::new(),
+            next_slot: 0,
+            ready_at,
+            prev_guest_swap_outs: 0,
+            history: Vec::new(),
+        });
+        Ok(VmHandle(id))
+    }
+
+    /// Schedules a workload on a VM, starting as soon as the VM is ready.
+    /// Multiple workloads on one VM time-share it round-robin, like
+    /// processes inside a guest.
+    pub fn launch(&mut self, vm: VmHandle, program: Box<dyn GuestProgram>) {
+        self.launch_at(vm, program, self.clock.now());
+    }
+
+    /// Schedules a workload on a VM, starting no earlier than `at` (the
+    /// phased dispatch of §5.2).
+    pub fn launch_at(&mut self, vm: VmHandle, program: Box<dyn GuestProgram>, at: SimTime) {
+        let entry = self.entry_mut(vm.0);
+        entry.slots.push(ProgramSlot {
+            program,
+            launch_at: at,
+            started: None,
+            finished: None,
+            killed: None,
+            steps: 0,
+        });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The host kernel (for probing counters mid-experiment).
+    pub fn host(&self) -> &HostKernel {
+        &self.host
+    }
+
+    /// Mutable host-kernel access for machine extensions that perform
+    /// host-side work outside a guest context (e.g. live migration
+    /// reading swapped pages back for the wire).
+    pub fn host_mut(&mut self) -> &mut HostKernel {
+        &mut self.host
+    }
+
+    /// The Swap Mapper.
+    pub fn mapper(&self) -> &SwapMapper {
+        &self.mapper
+    }
+
+    /// The False Reads Preventer.
+    pub fn preventer(&self) -> &FalseReadsPreventer {
+        &self.preventer
+    }
+
+    /// The guest kernel of a VM (for probing guest gauges).
+    pub fn guest(&self, vm: VmHandle) -> &GuestKernel {
+        &self.entry(vm.0).guest
+    }
+
+    /// The time-series trace recorded so far (Figure 15).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of workloads the VM has completed (or had killed) so far —
+    /// lets callers drive [`Machine::step`] until a *specific* workload
+    /// retires while others (e.g. daemons) keep running.
+    pub fn completed_workloads(&self, vm: VmHandle) -> usize {
+        self.entry(vm.0).history.len()
+    }
+
+    /// Runs until every launched workload has finished or been killed,
+    /// then returns the cumulative report.
+    pub fn run(&mut self) -> RunReport {
+        while self.step() {}
+        self.report()
+    }
+
+    /// Runs until the simulated clock reaches `deadline` or no runnable
+    /// workload remains, whichever comes first. Returns `true` if
+    /// runnable workloads remain (useful for interleaving external
+    /// activity like live migration with guest execution).
+    pub fn run_until(&mut self, deadline: SimTime) -> bool {
+        while self.clock.now() < deadline {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Advances the machine by one workload step (of whichever VM is
+    /// ready first). Returns false when no runnable workload remains.
+    pub fn step(&mut self) -> bool {
+        // Pick the VM whose next step starts earliest.
+        let Some(idx) = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.next_runnable_at().map(|t| (i, t)))
+            .min_by_key(|&(_, t)| t)
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+
+        let start = self.vms[idx].next_runnable_at().expect("selected as runnable");
+        self.clock.advance_to(start);
+        self.sample_if_due();
+        self.poll_balloon_manager();
+
+        // The balloon round may have retired this VM's workloads.
+        let now = self.clock.now();
+        let entry = &mut self.vms[idx];
+        let Some(slot_idx) = entry.pick_slot(now) else { return true };
+        let slot = &mut entry.slots[slot_idx];
+        slot.started.get_or_insert(now);
+
+        let mut bus = MachineBus {
+            host: &mut self.host,
+            mapper: &mut self.mapper,
+            preventer: &mut self.preventer,
+            vm: entry.id,
+            now,
+            stall: SimDuration::ZERO,
+        };
+        let mut ctx = GuestCtx::new(&mut entry.guest, &mut bus);
+        let result = slot.program.step(&mut ctx);
+        let elapsed = ctx.elapsed();
+        let stall = bus.stall;
+        slot.steps += 1;
+
+        // Asynchronous page faults let multi-VCPU guests overlap host
+        // swap-in stalls with other runnable threads (§5.1).
+        let effective = effective_elapsed(
+            elapsed,
+            stall,
+            entry.spec.vcpus,
+            entry.spec.async_page_faults,
+        );
+        entry.ready_at = now + effective;
+
+        match result {
+            Ok(StepOutcome::Running) => {}
+            Ok(StepOutcome::Done) => {
+                entry.slots[slot_idx].finished = Some(entry.ready_at);
+                Self::retire(entry, &self.host, slot_idx);
+            }
+            Err(e) => {
+                entry.slots[slot_idx].killed = Some(e);
+                entry.slots[slot_idx].finished = Some(entry.ready_at);
+                Self::retire(entry, &self.host, slot_idx);
+            }
+        }
+        true
+    }
+
+    /// Moves a finished slot into the VM's history.
+    fn retire(entry: &mut VmEntry, host: &HostKernel, slot_idx: usize) {
+        let slot = entry.slots.remove(slot_idx);
+        if entry.next_slot > slot_idx {
+            entry.next_slot -= 1;
+        }
+        if !entry.slots.is_empty() {
+            entry.next_slot %= entry.slots.len();
+        } else {
+            entry.next_slot = 0;
+        }
+        entry.history.push(VmReport {
+            vm: entry.id,
+            name: entry.spec.name.clone(),
+            workload: slot.program.name().to_owned(),
+            started: slot.started,
+            finished: slot.finished,
+            killed: slot.killed.map(|e| e.to_string()),
+            steps: slot.steps,
+            guest_stats: entry.guest.stats().to_stat_set(),
+            resident_pages: host.resident_pages(entry.id),
+        });
+    }
+
+    /// Builds the cumulative report for everything run so far.
+    pub fn report(&self) -> RunReport {
+        let mut vms = Vec::new();
+        for entry in &self.vms {
+            vms.extend(entry.history.iter().cloned());
+        }
+        RunReport::new(
+            self.clock.now(),
+            vms,
+            self.host.stats().to_stat_set(),
+            disk_stat_set(self.host.disk_stats()),
+            self.mapper.stats().to_stat_set(),
+            self.preventer.stats().to_stat_set(),
+            self.trace.clone(),
+        )
+    }
+
+    /// Applies one balloon-manager round if dynamic ballooning is on.
+    fn poll_balloon_manager(&mut self) {
+        let Some(manager) = self.balloon_manager.as_mut() else { return };
+        let now = self.clock.now();
+        let free_frac =
+            self.host.free_frames() as f64 / self.cfg.host.dram.pages().max(1) as f64;
+        let telemetry: Vec<VmTelemetry> = self
+            .vms
+            .iter()
+            .map(|e| VmTelemetry {
+                vm: e.id,
+                guest_total_pages: e.spec.guest.memory.pages(),
+                guest_free_pages: e.guest.free_pages(),
+                balloon_pages: e.guest.balloon_pages(),
+                recent_guest_swap_outs: e
+                    .guest
+                    .stats()
+                    .guest_swap_outs
+                    .saturating_sub(e.prev_guest_swap_outs),
+            })
+            .collect();
+        let targets = manager.poll(now, free_frac, &telemetry);
+        for e in &mut self.vms {
+            e.prev_guest_swap_outs = e.guest.stats().guest_swap_outs;
+        }
+        for target in targets {
+            let idx = self
+                .vms
+                .iter()
+                .position(|e| e.id == target.vm)
+                .expect("manager only sees known VMs");
+            let entry = &mut self.vms[idx];
+            let mut bus = MachineBus {
+                host: &mut self.host,
+                mapper: &mut self.mapper,
+                preventer: &mut self.preventer,
+                vm: entry.id,
+                now,
+                stall: SimDuration::ZERO,
+            };
+            match entry.guest.balloon_set_target(&mut bus, target.target_pages) {
+                Ok(cost) => entry.ready_at = entry.ready_at.max(now + cost),
+                Err(e) => {
+                    // Over-ballooning killed a workload process; retire
+                    // every slot whose process is gone (the OOM killer
+                    // targets the largest, i.e. the active workload).
+                    while let Some(i) =
+                        entry.slots.iter().position(|s| s.launch_at <= now)
+                    {
+                        entry.slots[i].killed = Some(e.clone());
+                        entry.slots[i].finished = Some(now);
+                        Self::retire(entry, &self.host, i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records time-series gauges if the sampling interval elapsed.
+    fn sample_if_due(&mut self) {
+        let Some(interval) = self.cfg.sample_interval else { return };
+        let now = self.clock.now();
+        while now >= self.next_sample {
+            for e in &self.vms {
+                self.trace.record(
+                    self.next_sample,
+                    "guest_page_cache_pages",
+                    e.guest.cache_pages() as i64,
+                );
+                self.trace.record(
+                    self.next_sample,
+                    "guest_page_cache_clean_pages",
+                    e.guest.cache_clean_pages() as i64,
+                );
+                self.trace.record(
+                    self.next_sample,
+                    "mapper_tracked_pages",
+                    self.host.origin_len(e.id) as i64,
+                );
+            }
+            self.next_sample += interval;
+        }
+    }
+
+    fn entry(&self, id: VmId) -> &VmEntry {
+        self.vms.iter().find(|e| e.id == id).expect("unknown VM")
+    }
+
+    fn entry_mut(&mut self, id: VmId) -> &mut VmEntry {
+        self.vms.iter_mut().find(|e| e.id == id).expect("unknown VM")
+    }
+}
+
+/// Applies the asynchronous-page-fault overlap model: CPU time is paid in
+/// full; fault-stall time is divided by a modest overlap factor when the
+/// guest has multiple VCPUs and supports async page faults.
+fn effective_elapsed(
+    elapsed: SimDuration,
+    stall: SimDuration,
+    vcpus: u32,
+    async_pf: bool,
+) -> SimDuration {
+    if !async_pf || vcpus <= 1 {
+        return elapsed;
+    }
+    let overlap = (1.0 + 0.5 * (vcpus.min(8) - 1) as f64).min(4.0);
+    let cpu = elapsed.saturating_sub(stall);
+    cpu + SimDuration::from_nanos((stall.as_nanos() as f64 / overlap) as u64)
+}
+
+fn disk_stat_set(stats: &vswap_disk::DiskStats) -> sim_core::StatSet {
+    let mut s = sim_core::StatSet::new();
+    s.set("disk_ops", stats.ops);
+    s.set("disk_read_ops", stats.read_ops);
+    s.set("disk_write_ops", stats.write_ops);
+    s.set("disk_sectors_read", stats.sectors_read);
+    s.set("disk_sectors_written", stats.sectors_written);
+    s.set("disk_sequential_ops", stats.sequential_ops);
+    s.set("disk_seeks", stats.seeks);
+    s.set("disk_swap_sectors_read", stats.swap_sectors_read);
+    s.set("disk_swap_sectors_written", stats.swap_sectors_written);
+    s.set("disk_swap_read_ops", stats.swap_read_ops);
+    s.set("disk_swap_read_seeks", stats.swap_read_seeks);
+    s.set("disk_swap_write_ops", stats.swap_write_ops);
+    s.set("disk_busy_ns", stats.busy.as_nanos());
+    s
+}
+
+// ----------------------------------------------------------------------
+// The hardware bus: guest operations routed through VSwapper
+// ----------------------------------------------------------------------
+
+/// Implements the guest's view of hardware on top of the host kernel,
+/// with the Mapper and Preventer interposed. One bus instance lives for
+/// the duration of one workload step.
+struct MachineBus<'a> {
+    host: &'a mut HostKernel,
+    mapper: &'a mut SwapMapper,
+    preventer: &'a mut FalseReadsPreventer,
+    vm: VmId,
+    now: SimTime,
+    /// Fault-stall time accumulated this step (for async-PF overlap).
+    stall: SimDuration,
+}
+
+impl MachineBus<'_> {
+    fn charge(&mut self, d: SimDuration, is_stall: bool) {
+        self.now += d;
+        if is_stall {
+            self.stall += d;
+        }
+    }
+}
+
+impl VirtualHardware for MachineBus<'_> {
+    fn mem_read(&mut self, gfn: Gfn) -> AccessResult {
+        let mut cost = self.preventer.expire(self.host, self.now);
+        cost += self.preventer.on_guest_read(self.host, self.now + cost, self.vm, gfn);
+        let out = self.host.guest_access(self.now + cost, self.vm, gfn, false);
+        let total = cost + out.latency;
+        self.charge(total, true);
+        AccessResult { latency: total, label: out.label }
+    }
+
+    fn mem_write(&mut self, gfn: Gfn) -> AccessResult {
+        let cost = self.preventer.expire(self.host, self.now);
+        if self.preventer.is_emulating(self.vm, gfn)
+            || (!self.host.is_present(self.vm, gfn)
+                && self.preventer.should_intercept(self.host, self.vm, gfn))
+        {
+            let (label, c) =
+                self.preventer.on_partial_write(self.host, self.now + cost, self.vm, gfn);
+            let total = cost + c;
+            self.charge(total, true);
+            return AccessResult { latency: total, label };
+        }
+        let out = self.host.guest_access(self.now + cost, self.vm, gfn, true);
+        let total = cost + out.latency;
+        self.charge(total, true);
+        AccessResult { latency: total, label: out.label }
+    }
+
+    fn mem_overwrite(&mut self, gfn: Gfn, label: ContentLabel) -> AccessResult {
+        let mut cost = self.preventer.expire(self.host, self.now);
+        if self.preventer.is_emulating(self.vm, gfn)
+            || (!self.host.is_present(self.vm, gfn)
+                && self.preventer.should_intercept(self.host, self.vm, gfn))
+        {
+            cost += self.preventer.on_full_overwrite(
+                self.host,
+                self.now + cost,
+                self.vm,
+                gfn,
+                label,
+            );
+            self.charge(cost, true);
+            return AccessResult { latency: cost, label };
+        }
+        let out = self.host.overwrite_page(self.now + cost, self.vm, gfn, label);
+        let total = cost + out.latency;
+        self.charge(total, true);
+        AccessResult { latency: total, label }
+    }
+
+    fn disk_read(&mut self, image_page: u64, gfns: &[Gfn], aligned: bool) -> SimDuration {
+        let mut cost = self.preventer.expire(self.host, self.now);
+        for &gfn in gfns {
+            cost += self.preventer.flush_for_host_access(
+                self.host,
+                self.now + cost,
+                self.vm,
+                gfn,
+            );
+        }
+        cost += self.mapper.disk_read(
+            self.host,
+            self.now + cost,
+            self.vm,
+            image_page,
+            gfns,
+            aligned,
+        );
+        self.charge(cost, false);
+        cost
+    }
+
+    fn disk_write(&mut self, gfns: &[Gfn], image_page: u64, aligned: bool) -> SimDuration {
+        let mut cost = self.preventer.expire(self.host, self.now);
+        for &gfn in gfns {
+            cost += self.preventer.flush_for_host_access(
+                self.host,
+                self.now + cost,
+                self.vm,
+                gfn,
+            );
+        }
+        cost += self.mapper.disk_write(
+            self.host,
+            self.now + cost,
+            self.vm,
+            gfns,
+            image_page,
+            aligned,
+        );
+        self.charge(cost, false);
+        cost
+    }
+
+    fn balloon_release(&mut self, gfn: Gfn) {
+        self.preventer.cancel(self.host, self.vm, gfn);
+        self.host.balloon_release(self.vm, gfn);
+    }
+
+    fn image_label(&self, image_page: u64) -> ContentLabel {
+        self.host.image_label(self.vm, image_page)
+    }
+
+    fn fresh_label(&mut self) -> ContentLabel {
+        self.host.fresh_label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_pf_overlap_shrinks_stall_only() {
+        let elapsed = SimDuration::from_micros(100);
+        let stall = SimDuration::from_micros(80);
+        let single = effective_elapsed(elapsed, stall, 1, true);
+        assert_eq!(single, elapsed);
+        let dual = effective_elapsed(elapsed, stall, 2, true);
+        // cpu 20us + 80us / 1.5 ≈ 73.3us
+        assert!(dual < elapsed);
+        assert!(dual > SimDuration::from_micros(70));
+        let no_apf = effective_elapsed(elapsed, stall, 2, false);
+        assert_eq!(no_apf, elapsed);
+        // Overlap saturates at 4x.
+        let many = effective_elapsed(elapsed, stall, 32, true);
+        assert_eq!(many, SimDuration::from_micros(20) + stall / 4);
+    }
+}
+
+#[cfg(test)]
+mod machine_tests {
+    use super::*;
+    use crate::config::SwapPolicy;
+    use crate::workload_api::{AllocTouch, FileScan};
+    use vswap_guestos::GuestSpec;
+    use vswap_hostos::HostSpec;
+    use vswap_mem::MemBytes;
+
+    fn tiny_host() -> HostSpec {
+        HostSpec {
+            dram: MemBytes::from_mb(32),
+            disk_pages: MemBytes::from_mb(256).pages(),
+            swap_pages: MemBytes::from_mb(32).pages(),
+            hypervisor_code_pages: 8,
+            ..HostSpec::paper_testbed()
+        }
+    }
+
+    fn tiny_vm(name: &str, mem_mb: u64, actual_mb: u64) -> VmSpec {
+        VmSpec::linux(name, MemBytes::from_mb(mem_mb), MemBytes::from_mb(actual_mb)).with_guest(
+            GuestSpec {
+                memory: MemBytes::from_mb(mem_mb),
+                disk: MemBytes::from_mb(64),
+                swap: MemBytes::from_mb(8),
+                kernel_pages: 64,
+                boot_file_pages: 128,
+                boot_anon_pages: 64,
+                ..GuestSpec::linux_default()
+            },
+        )
+    }
+
+    #[test]
+    fn step_with_no_programs_returns_false() {
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+                .unwrap();
+        assert!(!m.step());
+        let vm = m.add_vm(tiny_vm("g", 8, 8)).unwrap();
+        assert!(!m.step(), "a VM without a workload is not runnable");
+        m.launch(vm, Box::new(FileScan::new(16, 1)));
+        assert!(m.step());
+    }
+
+    #[test]
+    fn launch_at_delays_start() {
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+                .unwrap();
+        let vm = m.add_vm(tiny_vm("g", 8, 8)).unwrap();
+        let delay = SimTime::ZERO + SimDuration::from_secs(3);
+        m.launch_at(vm, Box::new(FileScan::new(16, 1)), delay);
+        let report = m.run();
+        assert!(report.vm(vm).started.expect("started") >= delay);
+    }
+
+    #[test]
+    fn concurrent_workloads_time_share_one_vm() {
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+                .unwrap();
+        let vm = m.add_vm(tiny_vm("g", 8, 8)).unwrap();
+        m.launch(vm, Box::new(FileScan::new(256, 2)));
+        m.launch(vm, Box::new(AllocTouch::new(256, true)));
+        let report = m.run();
+        assert_eq!(report.vm_history(vm).count(), 2, "both processes finish");
+        let recs: Vec<_> = report.vm_history(vm).collect();
+        // They interleaved: each started before the other finished.
+        assert!(recs[0].started.unwrap() < recs[1].finished.unwrap());
+        assert!(recs[1].started.unwrap() < recs[0].finished.unwrap());
+        m.host().audit().unwrap();
+    }
+
+    #[test]
+    fn add_vm_fails_when_image_exceeds_disk() {
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+                .unwrap();
+        let spec = tiny_vm("g", 8, 8).with_guest(GuestSpec {
+            memory: MemBytes::from_mb(8),
+            disk: MemBytes::from_gb(8), // larger than the 256 MB device
+            swap: MemBytes::from_mb(8),
+            kernel_pages: 64,
+            boot_file_pages: 0,
+            boot_anon_pages: 0,
+            ..GuestSpec::linux_default()
+        });
+        let err = m.add_vm(spec).unwrap_err();
+        assert!(matches!(err, MachineError::Host(_)), "{err}");
+        assert!(err.to_string().contains("disk layout full"));
+    }
+
+    #[test]
+    fn two_vms_interleave_and_both_finish() {
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Vswapper).with_host(tiny_host()))
+                .unwrap();
+        let a = m.add_vm(tiny_vm("a", 8, 4)).unwrap();
+        let b = m.add_vm(tiny_vm("b", 8, 4)).unwrap();
+        m.launch(a, Box::new(FileScan::new(512, 2)));
+        m.launch(b, Box::new(AllocTouch::new(512, true)));
+        let report = m.run();
+        assert!(report.vm(a).completed());
+        assert!(report.vm(b).completed());
+        // Their executions overlapped in simulated time.
+        let a_rec = report.vm(a);
+        let b_rec = report.vm(b);
+        assert!(a_rec.started.unwrap() < b_rec.finished.unwrap());
+        assert!(b_rec.started.unwrap() < a_rec.finished.unwrap());
+        m.host().audit().unwrap();
+    }
+
+    #[test]
+    fn static_balloon_is_applied_at_boot() {
+        let mut m = Machine::new(
+            MachineConfig::preset(SwapPolicy::BalloonBaseline).with_host(tiny_host()),
+        )
+        .unwrap();
+        let vm = m.add_vm(tiny_vm("g", 16, 8)).unwrap();
+        assert_eq!(
+            m.guest(vm).balloon_pages(),
+            MemBytes::from_mb(8).pages(),
+            "balloon covers the perceived-vs-actual gap"
+        );
+    }
+
+    #[test]
+    fn baseline_policy_has_no_balloon() {
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+                .unwrap();
+        let vm = m.add_vm(tiny_vm("g", 16, 8)).unwrap();
+        assert_eq!(m.guest(vm).balloon_pages(), 0);
+    }
+
+    #[test]
+    fn report_before_any_run_is_empty() {
+        let m = Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+            .unwrap();
+        let report = m.report();
+        assert!(report.workloads.is_empty());
+        assert!(report.mean_runtime_secs().is_none());
+        assert_eq!(report.kill_count(), 0);
+    }
+
+    #[test]
+    fn machine_debug_shows_state() {
+        let m = Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+            .unwrap();
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("Machine"));
+        assert!(dbg.contains("vms"));
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's five-pathology taxonomy (§3), extracted from raw counters.
+//!
+//! Section 3 of the paper names five distinct causes for the poor
+//! performance of baseline uncooperative swapping. This module maps the
+//! simulation's raw counters onto that taxonomy so experiments can report
+//! "how much of each pathology happened" directly.
+
+use sim_core::StatSet;
+use std::fmt;
+
+/// One of the five named causes of uncooperative-swapping overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pathology {
+    /// Unchanged disk-image data copied to the host swap area (§3,
+    /// "Silent Swap Writes").
+    SilentSwapWrites,
+    /// Swapped-out virtual-disk-read buffers faulted in only to be
+    /// DMA-overwritten (§3, "Stale Swap Reads").
+    StaleSwapReads,
+    /// Swapped-out pages faulted in only to be wholly overwritten by the
+    /// guest CPU (§3, "False Swap Reads").
+    FalseSwapReads,
+    /// File-sequential content scattered across host swap slots,
+    /// defeating fault-time readahead (§3, "Decayed Swap Sequentiality").
+    DecayedSequentiality,
+    /// Guest file-backed pages misclassified as anonymous, leaving the
+    /// hypervisor's own code pages as reclaim's preferred victims (§3,
+    /// "False Page Anonymity").
+    FalsePageAnonymity,
+}
+
+impl Pathology {
+    /// All five, in the paper's order.
+    pub const ALL: [Pathology; 5] = [
+        Pathology::SilentSwapWrites,
+        Pathology::StaleSwapReads,
+        Pathology::FalseSwapReads,
+        Pathology::DecayedSequentiality,
+        Pathology::FalsePageAnonymity,
+    ];
+
+    /// The paper's name for the pathology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pathology::SilentSwapWrites => "silent swap writes",
+            Pathology::StaleSwapReads => "stale swap reads",
+            Pathology::FalseSwapReads => "false swap reads",
+            Pathology::DecayedSequentiality => "decayed swap sequentiality",
+            Pathology::FalsePageAnonymity => "false page anonymity",
+        }
+    }
+
+    /// Which VSwapper component eliminates the pathology.
+    pub fn eliminated_by(self) -> &'static str {
+        match self {
+            Pathology::FalseSwapReads => "False Reads Preventer",
+            _ => "Swap Mapper",
+        }
+    }
+}
+
+impl fmt::Display for Pathology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-pathology event counts for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathologyBreakdown {
+    /// Silent swap writes (pages).
+    pub silent_swap_writes: u64,
+    /// Stale swap reads (pages).
+    pub stale_swap_reads: u64,
+    /// False swap reads actually incurred (pages).
+    pub false_swap_reads: u64,
+    /// A proxy for sequentiality decay: swap-area read requests that paid
+    /// a seek (scattered content) as opposed to streaming.
+    pub decayed_seq_seeks: u64,
+    /// Hypervisor code refaults caused by false page anonymity.
+    pub false_anonymity_refaults: u64,
+}
+
+impl PathologyBreakdown {
+    /// Extracts the breakdown from a host [`StatSet`] and a disk
+    /// [`StatSet`] (as found in a [`RunReport`](crate::RunReport)).
+    pub fn from_stats(host: &StatSet, disk: &StatSet) -> Self {
+        PathologyBreakdown {
+            silent_swap_writes: host.get("silent_swap_writes"),
+            stale_swap_reads: host.get("stale_swap_reads"),
+            false_swap_reads: host.get("false_swap_reads"),
+            decayed_seq_seeks: disk.get("disk_swap_read_seeks"),
+            false_anonymity_refaults: host.get("hypervisor_code_refaults"),
+        }
+    }
+
+    /// The count for one pathology.
+    pub fn count(&self, pathology: Pathology) -> u64 {
+        match pathology {
+            Pathology::SilentSwapWrites => self.silent_swap_writes,
+            Pathology::StaleSwapReads => self.stale_swap_reads,
+            Pathology::FalseSwapReads => self.false_swap_reads,
+            Pathology::DecayedSequentiality => self.decayed_seq_seeks,
+            Pathology::FalsePageAnonymity => self.false_anonymity_refaults,
+        }
+    }
+
+    /// Sum across all pathologies (a rough badness score).
+    pub fn total(&self) -> u64 {
+        Pathology::ALL.iter().map(|&p| self.count(p)).sum()
+    }
+}
+
+impl fmt::Display for PathologyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in Pathology::ALL {
+            writeln!(f, "{:30} {:>12}  (fixed by {})", p.name(), self.count(p), p.eliminated_by())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_extracts_from_stat_sets() {
+        let mut host = StatSet::new();
+        host.set("silent_swap_writes", 10);
+        host.set("stale_swap_reads", 20);
+        host.set("false_swap_reads", 30);
+        host.set("hypervisor_code_refaults", 40);
+        let mut disk = StatSet::new();
+        disk.set("disk_swap_read_seeks", 40);
+        let b = PathologyBreakdown::from_stats(&host, &disk);
+        assert_eq!(b.count(Pathology::SilentSwapWrites), 10);
+        assert_eq!(b.count(Pathology::StaleSwapReads), 20);
+        assert_eq!(b.count(Pathology::FalseSwapReads), 30);
+        assert_eq!(b.count(Pathology::DecayedSequentiality), 40);
+        assert_eq!(b.count(Pathology::FalsePageAnonymity), 40);
+        assert_eq!(b.total(), 140);
+    }
+
+    #[test]
+    fn names_and_fixers_are_the_papers() {
+        assert_eq!(Pathology::FalseSwapReads.eliminated_by(), "False Reads Preventer");
+        assert_eq!(Pathology::SilentSwapWrites.eliminated_by(), "Swap Mapper");
+        let names: std::collections::BTreeSet<&str> =
+            Pathology::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn display_lists_all_five() {
+        let b = PathologyBreakdown::default();
+        let s = b.to_string();
+        for p in Pathology::ALL {
+            assert!(s.contains(p.name()));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-run measurement reports.
+
+use sim_core::{SimDuration, SimTime, StatSet, Trace};
+use vswap_mem::VmId;
+
+/// The record of one completed (or killed) workload on one VM.
+#[derive(Debug, Clone)]
+pub struct VmReport {
+    /// Host-side VM identity.
+    pub vm: VmId,
+    /// VM name from its spec.
+    pub name: String,
+    /// Workload name ([`GuestProgram::name`]).
+    ///
+    /// [`GuestProgram::name`]: vswap_guestos::GuestProgram::name
+    pub workload: String,
+    /// When the first step ran.
+    pub started: Option<SimTime>,
+    /// When the last step completed.
+    pub finished: Option<SimTime>,
+    /// Set if the guest killed the workload (OOM), with the reason.
+    pub killed: Option<String>,
+    /// Steps executed.
+    pub steps: u64,
+    /// Guest kernel counters at completion (cumulative for the guest).
+    pub guest_stats: StatSet,
+    /// EPT-resident pages at completion.
+    pub resident_pages: u64,
+}
+
+impl VmReport {
+    /// True if the workload ran to completion (not killed).
+    pub fn completed(&self) -> bool {
+        self.finished.is_some() && self.killed.is_none()
+    }
+
+    /// Wall-clock (simulated) runtime from first step to completion.
+    pub fn runtime(&self) -> Option<SimDuration> {
+        Some(self.finished? - self.started?)
+    }
+
+    /// Runtime in simulated seconds (`NaN` if the workload never
+    /// finished).
+    pub fn runtime_secs(&self) -> f64 {
+        self.runtime().map_or(f64::NAN, |d| d.as_secs_f64())
+    }
+}
+
+/// The cumulative report of a [`Machine::run`].
+///
+/// [`Machine::run`]: crate::Machine::run
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated time at which the report was taken.
+    pub ended_at: SimTime,
+    /// One record per completed workload, in completion order.
+    pub workloads: Vec<VmReport>,
+    /// Host kernel counters (machine-wide, cumulative).
+    pub host: StatSet,
+    /// Disk counters (machine-wide, cumulative).
+    pub disk: StatSet,
+    /// Swap Mapper counters.
+    pub mapper: StatSet,
+    /// False Reads Preventer counters.
+    pub preventer: StatSet,
+    /// Sampled time series (Figure 15), if sampling was enabled.
+    pub trace: Trace,
+}
+
+impl RunReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ended_at: SimTime,
+        workloads: Vec<VmReport>,
+        host: StatSet,
+        disk: StatSet,
+        mapper: StatSet,
+        preventer: StatSet,
+        trace: Trace,
+    ) -> Self {
+        RunReport { ended_at, workloads, host, disk, mapper, preventer, trace }
+    }
+
+    /// The most recent workload record for a VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM ran no workload.
+    pub fn vm(&self, vm: crate::VmHandle) -> &VmReport {
+        self.workloads
+            .iter()
+            .rev()
+            .find(|r| r.vm == vm.vm_id())
+            .expect("VM ran no workload")
+    }
+
+    /// All records for a VM, oldest first.
+    pub fn vm_history(&self, vm: crate::VmHandle) -> impl Iterator<Item = &VmReport> {
+        let id = vm.vm_id();
+        self.workloads.iter().filter(move |r| r.vm == id)
+    }
+
+    /// Mean runtime in simulated seconds across completed workloads
+    /// (`None` if nothing completed).
+    pub fn mean_runtime_secs(&self) -> Option<f64> {
+        let runtimes: Vec<f64> = self
+            .workloads
+            .iter()
+            .filter(|r| r.completed())
+            .filter_map(|r| r.runtime())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        if runtimes.is_empty() {
+            None
+        } else {
+            Some(runtimes.iter().sum::<f64>() / runtimes.len() as f64)
+        }
+    }
+
+    /// Count of workloads the guest OOM killer claimed.
+    pub fn kill_count(&self) -> usize {
+        self.workloads.iter().filter(|r| r.killed.is_some()).count()
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "run ended at {}", self.ended_at)?;
+        for w in &self.workloads {
+            let status = match &w.killed {
+                Some(reason) => format!("KILLED ({reason})"),
+                None => format!("{:.2}s", w.runtime_secs()),
+            };
+            writeln!(
+                f,
+                "  {:<12} {:<20} {:>12}  ({} steps)",
+                w.name, w.workload, status, w.steps
+            )?;
+        }
+        let interesting = [
+            "swap_outs",
+            "swap_ins",
+            "silent_swap_writes",
+            "stale_swap_reads",
+            "false_swap_reads",
+            "named_discards",
+            "named_refaults",
+        ];
+        for key in interesting {
+            let v = self.host.get(key);
+            if v > 0 {
+                writeln!(f, "  {key:<28} {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(vm: u32, start_ns: u64, end_ns: Option<u64>, killed: bool) -> VmReport {
+        VmReport {
+            vm: VmId::new(vm),
+            name: format!("vm{vm}"),
+            workload: "test".to_owned(),
+            started: Some(SimTime::from_nanos(start_ns)),
+            finished: end_ns.map(SimTime::from_nanos),
+            killed: killed.then(|| "oom".to_owned()),
+            steps: 1,
+            guest_stats: StatSet::new(),
+            resident_pages: 0,
+        }
+    }
+
+    #[test]
+    fn runtime_and_completion() {
+        let r = record(0, 1_000, Some(3_000), false);
+        assert!(r.completed());
+        assert_eq!(r.runtime(), Some(SimDuration::from_nanos(2_000)));
+        let k = record(0, 1_000, Some(2_000), true);
+        assert!(!k.completed());
+    }
+
+    #[test]
+    fn display_summarizes_workloads_and_counters() {
+        let mut host = StatSet::new();
+        host.set("swap_outs", 7);
+        let report = RunReport::new(
+            SimTime::from_nanos(5_000_000_000),
+            vec![record(0, 0, Some(2_000_000_000), false), record(1, 0, Some(1_000), true)],
+            host,
+            StatSet::new(),
+            StatSet::new(),
+            StatSet::new(),
+            Trace::default(),
+        );
+        let s = report.to_string();
+        assert!(s.contains("vm0"));
+        assert!(s.contains("2.00s"));
+        assert!(s.contains("KILLED"));
+        assert!(s.contains("swap_outs"));
+        assert!(!s.contains("swap_ins"), "zero counters are omitted");
+    }
+
+    #[test]
+    fn mean_runtime_skips_killed() {
+        let report = RunReport::new(
+            SimTime::from_nanos(10_000),
+            vec![
+                record(0, 0, Some(2_000_000_000), false),
+                record(1, 0, Some(4_000_000_000), false),
+                record(2, 0, Some(1_000), true),
+            ],
+            StatSet::new(),
+            StatSet::new(),
+            StatSet::new(),
+            StatSet::new(),
+            Trace::default(),
+        );
+        let mean = report.mean_runtime_secs().unwrap();
+        assert!((mean - 3.0).abs() < 1e-9);
+        assert_eq!(report.kill_count(), 1);
+    }
+}

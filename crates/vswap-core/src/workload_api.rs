@@ -1,0 +1,226 @@
+//! Minimal built-in workloads for tests, doctests, and smoke runs.
+//!
+//! The full benchmark workloads (Sysbench, pbzip2, Kernbench, Eclipse,
+//! MapReduce analogues) live in the `vswap-workloads` crate; the programs
+//! here are deliberately tiny so `vswap-core` can exercise the whole
+//! machine in its own tests.
+
+use sim_core::SimDuration;
+use vswap_guestos::{FileId, GuestCtx, GuestError, GuestProgram, ProcId, StepOutcome};
+use vswap_mem::Vpn;
+
+/// Pages a [`FileScan`]/[`AllocTouch`] step processes before yielding.
+const CHUNK_PAGES: u64 = 64;
+
+/// Reads a file sequentially through the guest page cache, `rounds`
+/// times — the skeleton of the paper's Sysbench experiment.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_core::workload_api::FileScan;
+/// use vswap_guestos::GuestProgram;
+///
+/// let scan = FileScan::new(1024, 3);
+/// assert_eq!(scan.name(), "file-scan");
+/// ```
+#[derive(Debug)]
+pub struct FileScan {
+    pages: u64,
+    rounds: u32,
+    file: Option<FileId>,
+    round: u32,
+    pos: u64,
+}
+
+impl FileScan {
+    /// Scans a `pages`-page file `rounds` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` or `rounds` is zero.
+    pub fn new(pages: u64, rounds: u32) -> Self {
+        assert!(pages > 0 && rounds > 0, "scan must do work");
+        FileScan { pages, rounds, file: None, round: 0, pos: 0 }
+    }
+}
+
+impl GuestProgram for FileScan {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        let file = match self.file {
+            Some(f) => f,
+            None => {
+                let f = ctx.create_file(self.pages)?;
+                self.file = Some(f);
+                f
+            }
+        };
+        let count = CHUNK_PAGES.min(self.pages - self.pos);
+        ctx.read_file(file, self.pos, count)?;
+        // A light CPU cost per page consumed.
+        ctx.compute(SimDuration::from_micros(2) * count);
+        self.pos += count;
+        if self.pos == self.pages {
+            self.pos = 0;
+            self.round += 1;
+            if self.round == self.rounds {
+                return Ok(StepOutcome::Done);
+            }
+        }
+        Ok(StepOutcome::Running)
+    }
+
+    fn name(&self) -> &str {
+        "file-scan"
+    }
+}
+
+/// Allocates anonymous memory and touches it sequentially — the
+/// false-reads microbenchmark skeleton (§3.1 / Figure 10).
+#[derive(Debug)]
+pub struct AllocTouch {
+    pages: u64,
+    proc: Option<(ProcId, Vpn)>,
+    pos: u64,
+    write: bool,
+}
+
+impl AllocTouch {
+    /// Allocates and touches `pages` pages; `write` selects stores over
+    /// loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(pages: u64, write: bool) -> Self {
+        assert!(pages > 0, "touch must do work");
+        AllocTouch { pages, proc: None, pos: 0, write }
+    }
+}
+
+impl GuestProgram for AllocTouch {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        let (proc, base) = match self.proc {
+            Some(p) => p,
+            None => {
+                let proc = ctx.spawn_process();
+                let base = ctx.alloc_anon(proc, self.pages)?;
+                self.proc = Some((proc, base));
+                (proc, base)
+            }
+        };
+        let count = CHUNK_PAGES.min(self.pages - self.pos);
+        for i in 0..count {
+            ctx.touch_anon(proc, base.offset(self.pos + i), self.write)?;
+            ctx.compute(SimDuration::from_micros(1));
+        }
+        self.pos += count;
+        if self.pos == self.pages {
+            Ok(StepOutcome::Done)
+        } else {
+            Ok(StepOutcome::Running)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "alloc-touch"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Machine, MachineConfig, SwapPolicy};
+    use vswap_guestos::GuestSpec;
+    use vswap_hostos::HostSpec;
+    use vswap_hypervisor::VmSpec;
+    use vswap_mem::MemBytes;
+
+    use super::*;
+
+    fn small_machine(policy: SwapPolicy) -> Machine {
+        let host = HostSpec {
+            dram: MemBytes::from_mb(64),
+            disk_pages: MemBytes::from_mb(512).pages(),
+            swap_pages: MemBytes::from_mb(64).pages(),
+            hypervisor_code_pages: 16,
+            ..HostSpec::paper_testbed()
+        };
+        Machine::new(MachineConfig::preset(policy).with_host(host)).unwrap()
+    }
+
+    fn small_vm(name: &str, mem_mb: u64, actual_mb: u64) -> VmSpec {
+        VmSpec::linux(name, MemBytes::from_mb(mem_mb), MemBytes::from_mb(actual_mb)).with_guest(
+            GuestSpec {
+                memory: MemBytes::from_mb(mem_mb),
+                disk: MemBytes::from_mb(256),
+                swap: MemBytes::from_mb(32),
+                kernel_pages: MemBytes::from_mb(2).pages(),
+                boot_file_pages: MemBytes::from_mb(4).pages(),
+                boot_anon_pages: MemBytes::from_mb(2).pages(),
+                ..GuestSpec::linux_default()
+            },
+        )
+    }
+
+    #[test]
+    fn file_scan_runs_on_every_policy() {
+        for policy in SwapPolicy::ALL {
+            let mut m = small_machine(policy);
+            let vm = m.add_vm(small_vm("g", 32, 16)).unwrap();
+            m.launch(vm, Box::new(FileScan::new(MemBytes::from_mb(8).pages(), 2)));
+            let report = m.run();
+            assert!(report.vm(vm).completed(), "policy {policy} must complete");
+            assert!(report.vm(vm).runtime_secs() > 0.0);
+            m.host().audit().unwrap();
+        }
+    }
+
+    #[test]
+    fn vswapper_beats_baseline_on_squeezed_rescan() {
+        // A 16 MiB file scanned twice in a guest with only 8 MiB of real
+        // memory: the Mapper's discard/refault path must beat baseline
+        // swapping.
+        let mut runtimes = Vec::new();
+        for policy in [SwapPolicy::Baseline, SwapPolicy::Vswapper] {
+            let mut m = small_machine(policy);
+            let vm = m.add_vm(small_vm("g", 32, 8)).unwrap();
+            m.launch(vm, Box::new(FileScan::new(MemBytes::from_mb(16).pages(), 2)));
+            let report = m.run();
+            assert!(report.vm(vm).completed());
+            runtimes.push(report.vm(vm).runtime_secs());
+            m.host().audit().unwrap();
+        }
+        assert!(
+            runtimes[1] < runtimes[0],
+            "vswapper ({}) must beat baseline ({})",
+            runtimes[1],
+            runtimes[0]
+        );
+    }
+
+    #[test]
+    fn preventer_pays_off_on_alloc_touch() {
+        // Squeeze the guest, fill it with file cache, then allocate anon
+        // memory: recycled frames are swapped out at the host, and each
+        // zeroing write is a false read for the mapper-only config.
+        let mut false_reads = Vec::new();
+        let mut remaps = Vec::new();
+        for policy in [SwapPolicy::MapperOnly, SwapPolicy::Vswapper] {
+            let mut m = small_machine(policy);
+            let vm = m.add_vm(small_vm("g", 32, 8)).unwrap();
+            // 26 MiB of file in a 32 MiB guest: the guest cache fills up
+            // and drops pages, so the later allocation recycles frames
+            // the host has already discarded/swapped.
+            m.launch(vm, Box::new(FileScan::new(MemBytes::from_mb(26).pages(), 1)));
+            let _ = m.run();
+            m.launch(vm, Box::new(AllocTouch::new(MemBytes::from_mb(8).pages(), true)));
+            let report = m.run();
+            assert!(report.workloads.iter().all(|w| w.killed.is_none()));
+            false_reads.push(report.host.get("false_swap_reads"));
+            remaps.push(report.preventer.get("preventer_remaps"));
+            m.host().audit().unwrap();
+        }
+        assert!(false_reads[1] < false_reads[0].max(1), "preventer avoids false reads");
+        assert!(remaps[1] > 0, "preventer must have remapped buffers");
+    }
+}

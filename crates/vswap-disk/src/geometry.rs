@@ -1,0 +1,211 @@
+//! Sector/page geometry shared by the disk, memory, and OS models.
+
+use std::fmt;
+
+/// Bytes per disk sector (512, the classic logical sector size).
+pub const SECTOR_SIZE: u64 = 512;
+
+/// Bytes per memory page (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Sectors per memory page.
+pub const PAGE_SECTORS: u64 = PAGE_SIZE / SECTOR_SIZE;
+
+/// A sector index on the physical device.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_disk::SectorAddr;
+///
+/// let s = SectorAddr::new(8);
+/// assert_eq!(s.get(), 8);
+/// assert_eq!(s.offset(8).get(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SectorAddr(u64);
+
+impl SectorAddr {
+    /// Creates a sector address.
+    pub const fn new(sector: u64) -> Self {
+        SectorAddr(sector)
+    }
+
+    /// Returns the raw sector index.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address `delta` sectors later.
+    pub const fn offset(self, delta: u64) -> SectorAddr {
+        SectorAddr(self.0 + delta)
+    }
+}
+
+impl fmt::Display for SectorAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sector {}", self.0)
+    }
+}
+
+impl From<u64> for SectorAddr {
+    fn from(sector: u64) -> Self {
+        SectorAddr(sector)
+    }
+}
+
+/// A half-open, contiguous run of sectors `[start, start + len)`.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_disk::SectorRange;
+///
+/// let r = SectorRange::new(8, 16);
+/// assert_eq!(r.end(), 24);
+/// assert!(r.contains(8) && r.contains(23) && !r.contains(24));
+/// assert_eq!(r.pages().count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SectorRange {
+    start: u64,
+    len: u64,
+}
+
+impl SectorRange {
+    /// Creates a range starting at `start`, `len` sectors long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(start: u64, len: u64) -> Self {
+        assert!(len > 0, "sector range must be non-empty");
+        SectorRange { start, len }
+    }
+
+    /// Creates the range covering one 4 KiB page worth of sectors starting
+    /// at page index `page` within a page-aligned region based at `base`.
+    pub fn for_page(base: u64, page: u64) -> Self {
+        SectorRange::new(base + page * PAGE_SECTORS, PAGE_SECTORS)
+    }
+
+    /// First sector of the range.
+    pub const fn start(self) -> u64 {
+        self.start
+    }
+
+    /// One past the last sector of the range.
+    pub const fn end(self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Number of sectors.
+    pub const fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Sector ranges are never empty; always `false`.
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Number of bytes covered.
+    pub const fn bytes(self) -> u64 {
+        self.len * SECTOR_SIZE
+    }
+
+    /// True if `sector` falls within the range.
+    pub const fn contains(self, sector: u64) -> bool {
+        sector >= self.start && sector < self.end()
+    }
+
+    /// True if the ranges overlap.
+    pub const fn overlaps(self, other: SectorRange) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// True if `other` begins exactly where `self` ends (back-to-back).
+    pub const fn abuts(self, other: SectorRange) -> bool {
+        self.end() == other.start
+    }
+
+    /// Splits the range into page-sized sub-ranges; a final sub-page tail
+    /// (if the range is not a page multiple) is yielded as-is.
+    pub fn pages(self) -> impl Iterator<Item = SectorRange> {
+        let mut cursor = self.start;
+        let end = self.end();
+        std::iter::from_fn(move || {
+            if cursor >= end {
+                None
+            } else {
+                let len = PAGE_SECTORS.min(end - cursor);
+                let r = SectorRange::new(cursor, len);
+                cursor += len;
+                Some(r)
+            }
+        })
+    }
+}
+
+impl fmt::Display for SectorRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sectors [{}, {})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_geometry_is_consistent() {
+        assert_eq!(PAGE_SECTORS * SECTOR_SIZE, PAGE_SIZE);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let r = SectorRange::new(10, 5);
+        assert_eq!(r.start(), 10);
+        assert_eq!(r.end(), 15);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.bytes(), 5 * SECTOR_SIZE);
+        assert!(r.contains(10));
+        assert!(r.contains(14));
+        assert!(!r.contains(15));
+    }
+
+    #[test]
+    fn overlap_and_abut() {
+        let a = SectorRange::new(0, 8);
+        let b = SectorRange::new(8, 8);
+        let c = SectorRange::new(4, 8);
+        assert!(!a.overlaps(b));
+        assert!(a.abuts(b));
+        assert!(a.overlaps(c));
+        assert!(c.overlaps(a));
+        assert!(!b.abuts(a));
+    }
+
+    #[test]
+    fn pages_splits_range() {
+        let r = SectorRange::new(0, PAGE_SECTORS * 2 + 3);
+        let pages: Vec<_> = r.pages().collect();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0], SectorRange::new(0, PAGE_SECTORS));
+        assert_eq!(pages[1], SectorRange::new(PAGE_SECTORS, PAGE_SECTORS));
+        assert_eq!(pages[2], SectorRange::new(PAGE_SECTORS * 2, 3));
+    }
+
+    #[test]
+    fn for_page_offsets_by_page_index() {
+        let r = SectorRange::for_page(100, 3);
+        assert_eq!(r.start(), 100 + 3 * PAGE_SECTORS);
+        assert_eq!(r.len(), PAGE_SECTORS);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = SectorRange::new(0, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Carves one physical device into non-overlapping regions.
+//!
+//! The simulated host owns a single physical disk holding every guest's
+//! disk image plus the host swap area, mirroring the paper's testbed (one
+//! 2 TB drive). Regions are allocated once at machine construction and give
+//! each subsystem a private, page-aligned sector window.
+
+use crate::geometry::{SectorRange, PAGE_SECTORS};
+use std::error::Error;
+use std::fmt;
+
+/// A page-aligned window of the physical device owned by one subsystem.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_disk::{DiskLayout, PAGE_SECTORS};
+///
+/// let mut layout = DiskLayout::new(1 << 20);
+/// let region = layout.alloc_region("image", 16)?;
+/// assert_eq!(region.pages(), 16);
+/// assert_eq!(region.page_range(3).start(), region.base() + 3 * PAGE_SECTORS);
+/// # Ok::<(), vswap_disk::LayoutError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiskRegion {
+    base: u64,
+    pages: u64,
+}
+
+impl DiskRegion {
+    /// First sector of the region.
+    pub const fn base(self) -> u64 {
+        self.base
+    }
+
+    /// Size of the region in 4 KiB pages.
+    pub const fn pages(self) -> u64 {
+        self.pages
+    }
+
+    /// Size of the region in sectors.
+    pub const fn sectors(self) -> u64 {
+        self.pages * PAGE_SECTORS
+    }
+
+    /// The sector range covering page index `page` of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of bounds.
+    pub fn page_range(self, page: u64) -> SectorRange {
+        assert!(page < self.pages, "page {page} out of region bounds ({})", self.pages);
+        SectorRange::for_page(self.base, page)
+    }
+
+    /// The sector range covering `count` pages starting at `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds the region or `count` is zero.
+    pub fn page_span(self, page: u64, count: u64) -> SectorRange {
+        assert!(count > 0, "span must be non-empty");
+        assert!(page + count <= self.pages, "span exceeds region bounds");
+        SectorRange::new(self.base + page * PAGE_SECTORS, count * PAGE_SECTORS)
+    }
+
+    /// True if the sector range lies wholly inside the region.
+    pub fn contains(self, range: SectorRange) -> bool {
+        range.start() >= self.base && range.end() <= self.base + self.sectors()
+    }
+}
+
+/// Error returned when region allocation exceeds the device capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutError {
+    requested_pages: u64,
+    free_pages: u64,
+    label: String,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot allocate region `{}`: {} pages requested, {} pages free",
+            self.label, self.requested_pages, self.free_pages
+        )
+    }
+}
+
+impl Error for LayoutError {}
+
+/// Allocates non-overlapping [`DiskRegion`]s from a device of fixed size.
+#[derive(Debug, Clone)]
+pub struct DiskLayout {
+    total_pages: u64,
+    next_page: u64,
+    regions: Vec<(String, DiskRegion)>,
+}
+
+impl DiskLayout {
+    /// Creates a layout for a device with `total_pages` 4 KiB pages.
+    pub fn new(total_pages: u64) -> Self {
+        DiskLayout { total_pages, next_page: 0, regions: Vec::new() }
+    }
+
+    /// Allocates the next `pages` pages as a named region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if fewer than `pages` pages remain.
+    pub fn alloc_region(&mut self, label: &str, pages: u64) -> Result<DiskRegion, LayoutError> {
+        let free = self.total_pages - self.next_page;
+        if pages > free {
+            return Err(LayoutError {
+                requested_pages: pages,
+                free_pages: free,
+                label: label.to_owned(),
+            });
+        }
+        let region = DiskRegion { base: self.next_page * PAGE_SECTORS, pages };
+        self.next_page += pages;
+        self.regions.push((label.to_owned(), region));
+        Ok(region)
+    }
+
+    /// Pages not yet allocated to any region.
+    pub fn free_pages(&self) -> u64 {
+        self.total_pages - self.next_page
+    }
+
+    /// Iterates over `(label, region)` pairs in allocation order.
+    pub fn regions(&self) -> impl Iterator<Item = (&str, DiskRegion)> {
+        self.regions.iter().map(|(l, r)| (l.as_str(), *r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut layout = DiskLayout::new(100);
+        let a = layout.alloc_region("a", 10).unwrap();
+        let b = layout.alloc_region("b", 20).unwrap();
+        assert_eq!(a.base(), 0);
+        assert_eq!(b.base(), 10 * PAGE_SECTORS);
+        assert!(!a.page_range(9).overlaps(b.page_range(0)));
+        assert_eq!(layout.free_pages(), 70);
+    }
+
+    #[test]
+    fn allocation_failure_reports_sizes() {
+        let mut layout = DiskLayout::new(5);
+        let err = layout.alloc_region("big", 6).unwrap_err();
+        assert!(err.to_string().contains("6 pages requested"));
+        assert!(err.to_string().contains("5 pages free"));
+    }
+
+    #[test]
+    fn page_span_covers_run() {
+        let mut layout = DiskLayout::new(100);
+        let r = layout.alloc_region("r", 10).unwrap();
+        let span = r.page_span(2, 3);
+        assert_eq!(span.start(), r.base() + 2 * PAGE_SECTORS);
+        assert_eq!(span.len(), 3 * PAGE_SECTORS);
+        assert!(r.contains(span));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region bounds")]
+    fn page_range_bounds_checked() {
+        let mut layout = DiskLayout::new(10);
+        let r = layout.alloc_region("r", 2).unwrap();
+        let _ = r.page_range(2);
+    }
+
+    #[test]
+    fn region_listing_preserves_order() {
+        let mut layout = DiskLayout::new(10);
+        layout.alloc_region("first", 1).unwrap();
+        layout.alloc_region("second", 1).unwrap();
+        let labels: Vec<&str> = layout.regions().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["first", "second"]);
+    }
+}

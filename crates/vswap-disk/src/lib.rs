@@ -1,0 +1,44 @@
+//! A sector-addressed block device model.
+//!
+//! The VSwapper paper's findings are, at bottom, about *where bytes land on a
+//! disk* and *in what order they are read back*: silent swap writes burn
+//! write bandwidth, decayed swap sequentiality turns sequential reads into
+//! random ones, and the Swap Mapper wins by re-reading evicted pages from the
+//! sequential guest disk image instead of a scattered host swap area. This
+//! crate models exactly that level of detail:
+//!
+//! * [`geometry`] — sectors, pages, and sector ranges,
+//! * [`spec`] — mechanical timing parameters ([`DiskSpec::hdd_7200`] matches
+//!   the paper's Seagate Constellation testbed disk),
+//! * [`model`] — the device itself: head position, queueing, per-request
+//!   latency, and sequential-access detection,
+//! * [`layout`] — carves one physical device into regions (guest disk
+//!   images, the host swap area).
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::SimTime;
+//! use vswap_disk::{DiskModel, DiskSpec, IoKind, IoTag, SectorRange};
+//!
+//! let mut disk = DiskModel::new(DiskSpec::hdd_7200());
+//! let io = disk.submit(
+//!     SimTime::ZERO,
+//!     IoKind::Read,
+//!     SectorRange::new(0, 8), // one 4 KiB page
+//!     IoTag::GuestImage,
+//! );
+//! assert!(io.latency.as_nanos() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod layout;
+pub mod model;
+pub mod spec;
+
+pub use geometry::{SectorAddr, SectorRange, PAGE_SECTORS, PAGE_SIZE, SECTOR_SIZE};
+pub use layout::{DiskLayout, DiskRegion, LayoutError};
+pub use model::{CompletedIo, DiskModel, DiskStats, IoKind, IoTag};
+pub use spec::DiskSpec;

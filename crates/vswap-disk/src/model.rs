@@ -1,0 +1,355 @@
+//! The block device model: head tracking, queueing, and I/O accounting.
+
+use crate::geometry::SectorRange;
+use crate::spec::DiskSpec;
+use sim_core::{SimDuration, SimTime};
+
+/// Whether a request reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Data moves from disk to memory.
+    Read,
+    /// Data moves from memory to disk.
+    Write,
+}
+
+/// What part of the storage stack issued a request; used to attribute
+/// sectors to the counters the paper reports (e.g. Figure 9d counts sectors
+/// written *to the host swap area* only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoTag {
+    /// A guest virtual-disk image access (explicit guest I/O, guest swap,
+    /// or Mapper re-reads of named pages).
+    GuestImage,
+    /// A host swap-area access (uncooperative swapping traffic).
+    HostSwap,
+}
+
+/// The outcome of a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedIo {
+    /// When the device started servicing the request (after queueing).
+    pub started: SimTime,
+    /// When the last sector transferred.
+    pub finished: SimTime,
+    /// Latency perceived by the issuer (`finished - submitted`).
+    pub latency: SimDuration,
+    /// True if the request streamed from the previous head position.
+    pub sequential: bool,
+}
+
+/// Cumulative request accounting, overall and per [`IoTag`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Total requests serviced.
+    pub ops: u64,
+    /// Read requests serviced.
+    pub read_ops: u64,
+    /// Write requests serviced.
+    pub write_ops: u64,
+    /// Sectors read.
+    pub sectors_read: u64,
+    /// Sectors written.
+    pub sectors_written: u64,
+    /// Requests that streamed without repositioning.
+    pub sequential_ops: u64,
+    /// Requests that paid a seek.
+    pub seeks: u64,
+    /// Sectors read from the host swap area.
+    pub swap_sectors_read: u64,
+    /// Sectors written to the host swap area.
+    pub swap_sectors_written: u64,
+    /// Read requests against the host swap area.
+    pub swap_read_ops: u64,
+    /// Swap-area read requests that paid a seek — scattered slot content,
+    /// the decayed-sequentiality signal.
+    pub swap_read_seeks: u64,
+    /// Write requests against the host swap area.
+    pub swap_write_ops: u64,
+    /// Total time the device spent busy.
+    pub busy: SimDuration,
+}
+
+/// A single shared block device.
+///
+/// The model is intentionally simple — one head, FIFO servicing — because
+/// the phenomena under study need only the *ratio* between streaming and
+/// seeking, plus queueing delay when several VMs compete for the device
+/// (the cascading effect of Figure 14).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::SimTime;
+/// use vswap_disk::{DiskModel, DiskSpec, IoKind, IoTag, SectorRange};
+///
+/// let mut disk = DiskModel::new(DiskSpec::hdd_7200());
+/// let a = disk.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
+/// let b = disk.submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage);
+/// assert!(b.sequential);
+/// assert!(b.latency < a.latency);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskModel {
+    spec: DiskSpec,
+    /// One past the last sector the head touched, `None` before first I/O.
+    head: Option<u64>,
+    /// The instant the device becomes idle.
+    busy_until: SimTime,
+    stats: DiskStats,
+}
+
+impl DiskModel {
+    /// Creates an idle device with the given timing parameters.
+    pub fn new(spec: DiskSpec) -> Self {
+        DiskModel { spec, head: None, busy_until: SimTime::ZERO, stats: DiskStats::default() }
+    }
+
+    /// Returns the timing parameters.
+    pub fn spec(&self) -> &DiskSpec {
+        &self.spec
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Resets statistics (head position and queue state are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+    }
+
+    /// Returns the instant the device becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Submits a request at simulated instant `now` and returns its
+    /// completion. Requests are serviced FIFO: if the device is busy the
+    /// request waits.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        kind: IoKind,
+        range: SectorRange,
+        tag: IoTag,
+    ) -> CompletedIo {
+        let started = now.max(self.busy_until);
+        let gap = match self.head {
+            None => Some(u64::MAX),
+            Some(end) if end == range.start() => None,
+            Some(end) => Some(end.abs_diff(range.start())),
+        };
+        let service = self.spec.request_latency(gap, range.len());
+        let finished = started + service;
+
+        self.head = Some(range.end());
+        self.busy_until = finished;
+
+        let sequential = gap.is_none();
+        self.stats.ops += 1;
+        self.stats.busy += service;
+        if sequential {
+            self.stats.sequential_ops += 1;
+        } else {
+            self.stats.seeks += 1;
+        }
+        match kind {
+            IoKind::Read => {
+                self.stats.read_ops += 1;
+                self.stats.sectors_read += range.len();
+                if tag == IoTag::HostSwap {
+                    self.stats.swap_read_ops += 1;
+                    self.stats.swap_sectors_read += range.len();
+                    if !sequential {
+                        self.stats.swap_read_seeks += 1;
+                    }
+                }
+            }
+            IoKind::Write => {
+                self.stats.write_ops += 1;
+                self.stats.sectors_written += range.len();
+                if tag == IoTag::HostSwap {
+                    self.stats.swap_write_ops += 1;
+                    self.stats.swap_sectors_written += range.len();
+                }
+            }
+        }
+
+        CompletedIo { started, finished, latency: finished - now, sequential }
+    }
+
+    /// Submits a *write-behind* request: the write is queued behind the
+    /// elevator, costs only its transfer time on the device, and does not
+    /// disturb the head position the foreground read stream depends on.
+    /// The returned completion reflects device occupancy, not a latency
+    /// any caller should wait for.
+    pub fn submit_writeback(&mut self, now: SimTime, range: SectorRange, tag: IoTag) -> CompletedIo {
+        let started = now.max(self.busy_until);
+        let service = self.spec.request_latency(None, range.len());
+        let finished = started + service;
+        self.busy_until = finished;
+        self.stats.ops += 1;
+        self.stats.busy += service;
+        self.stats.sequential_ops += 1;
+        self.stats.write_ops += 1;
+        self.stats.sectors_written += range.len();
+        if tag == IoTag::HostSwap {
+            self.stats.swap_write_ops += 1;
+            self.stats.swap_sectors_written += range.len();
+        }
+        CompletedIo { started, finished, latency: finished - now, sequential: true }
+    }
+
+    /// Submits a batch of ranges as one logical operation (e.g. a readahead
+    /// window). Contiguous ranges are merged so a well-clustered batch pays
+    /// a single positioning cost. Returns the completion of the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges` is empty.
+    pub fn submit_batch(
+        &mut self,
+        now: SimTime,
+        kind: IoKind,
+        ranges: &[SectorRange],
+        tag: IoTag,
+    ) -> CompletedIo {
+        assert!(!ranges.is_empty(), "batch must contain at least one range");
+        let merged = merge_ranges(ranges);
+        let mut last: Option<CompletedIo> = None;
+        for range in merged {
+            let completed = self.submit(now, kind, range, tag);
+            last = Some(match last {
+                None => completed,
+                Some(prev) => CompletedIo {
+                    started: prev.started,
+                    finished: completed.finished,
+                    latency: completed.finished - now,
+                    sequential: prev.sequential && completed.sequential,
+                },
+            });
+        }
+        last.expect("batch was non-empty")
+    }
+}
+
+/// Sorts and merges overlapping/abutting ranges into maximal runs.
+pub(crate) fn merge_ranges(ranges: &[SectorRange]) -> Vec<SectorRange> {
+    let mut sorted: Vec<SectorRange> = ranges.to_vec();
+    sorted.sort_by_key(|r| r.start());
+    let mut out: Vec<SectorRange> = Vec::with_capacity(sorted.len());
+    for r in sorted {
+        match out.last_mut() {
+            Some(last) if last.end() >= r.start() => {
+                let end = last.end().max(r.end());
+                *last = SectorRange::new(last.start(), end - last.start());
+            }
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PAGE_SECTORS;
+
+    fn disk() -> DiskModel {
+        DiskModel::new(DiskSpec::hdd_7200())
+    }
+
+    #[test]
+    fn first_access_pays_full_seek() {
+        let mut d = disk();
+        let io = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
+        assert!(!io.sequential);
+        assert_eq!(d.stats().seeks, 1);
+    }
+
+    #[test]
+    fn contiguous_requests_stream() {
+        let mut d = disk();
+        let a = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
+        let b = d.submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage);
+        assert!(b.sequential);
+        assert!(b.latency < a.latency / 10);
+    }
+
+    #[test]
+    fn queueing_delays_later_requests() {
+        let mut d = disk();
+        let a = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
+        // Submitted at t=0 but device busy until `a.finished`.
+        let b = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage);
+        assert_eq!(b.started, a.finished);
+        assert!(b.latency >= a.latency);
+    }
+
+    #[test]
+    fn swap_tag_attributes_sectors() {
+        let mut d = disk();
+        d.submit(SimTime::ZERO, IoKind::Write, SectorRange::new(0, 8), IoTag::HostSwap);
+        d.submit(SimTime::ZERO, IoKind::Write, SectorRange::new(100, 8), IoTag::GuestImage);
+        d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::HostSwap);
+        let s = d.stats();
+        assert_eq!(s.swap_sectors_written, 8);
+        assert_eq!(s.swap_sectors_read, 8);
+        assert_eq!(s.sectors_written, 16);
+        assert_eq!(s.swap_write_ops, 1);
+        assert_eq!(s.swap_read_ops, 1);
+    }
+
+    #[test]
+    fn batch_merges_contiguous_pages() {
+        let mut d = disk();
+        let ranges: Vec<SectorRange> =
+            (0..4).map(|p| SectorRange::for_page(0, p)).collect();
+        let io = d.submit_batch(SimTime::ZERO, IoKind::Read, &ranges, IoTag::GuestImage);
+        // One merged request: one op, one seek.
+        assert_eq!(d.stats().ops, 1);
+        assert_eq!(d.stats().sectors_read, 4 * PAGE_SECTORS);
+        assert!(io.finished > io.started);
+    }
+
+    #[test]
+    fn batch_scattered_pages_pay_multiple_seeks() {
+        let mut d = disk();
+        let ranges = vec![
+            SectorRange::for_page(0, 0),
+            SectorRange::for_page(1 << 20, 0),
+            SectorRange::for_page(1 << 24, 0),
+        ];
+        d.submit_batch(SimTime::ZERO, IoKind::Read, &ranges, IoTag::HostSwap);
+        assert_eq!(d.stats().ops, 3);
+        assert_eq!(d.stats().seeks, 3);
+    }
+
+    #[test]
+    fn merge_ranges_handles_overlap_and_order() {
+        let merged = merge_ranges(&[
+            SectorRange::new(16, 8),
+            SectorRange::new(0, 8),
+            SectorRange::new(8, 10),
+        ]);
+        assert_eq!(merged, vec![SectorRange::new(0, 24)]);
+    }
+
+    #[test]
+    fn reset_stats_keeps_head() {
+        let mut d = disk();
+        let a = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
+        d.reset_stats();
+        assert_eq!(d.stats().ops, 0);
+        let b = d.submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage);
+        assert!(b.sequential, "head position survives stats reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one range")]
+    fn empty_batch_panics() {
+        disk().submit_batch(SimTime::ZERO, IoKind::Read, &[], IoTag::GuestImage);
+    }
+}

@@ -1,0 +1,159 @@
+//! Mechanical timing parameters of the modelled device.
+
+use sim_core::SimDuration;
+
+/// Timing parameters of a block device.
+///
+/// Latency of a request is modelled as
+///
+/// ```text
+/// positioning + sectors * per-sector transfer time
+/// ```
+///
+/// where *positioning* is zero for a request that begins exactly where the
+/// previous one ended (streaming), [`DiskSpec::near_seek`] +
+/// rotational delay for a short hop, and [`DiskSpec::avg_seek`] + rotational
+/// delay otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_disk::DiskSpec;
+///
+/// let hdd = DiskSpec::hdd_7200();
+/// assert!(hdd.avg_seek > hdd.near_seek);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskSpec {
+    /// Average seek time for a long head movement.
+    pub avg_seek: SimDuration,
+    /// Seek time for a short hop (gap below [`DiskSpec::near_gap_sectors`]).
+    pub near_seek: SimDuration,
+    /// Seek time for a mid-range hop (gap below
+    /// [`DiskSpec::mid_gap_sectors`]) — movements within a narrow zone of
+    /// the platter, e.g. inside a swap area, are much cheaper than
+    /// full-stroke averages.
+    pub mid_seek: SimDuration,
+    /// Average rotational delay (half a revolution).
+    pub rotational: SimDuration,
+    /// Time to transfer one 512-byte sector once positioned.
+    pub sector_transfer: SimDuration,
+    /// Gaps (in sectors) smaller than this count as a "near" seek.
+    pub near_gap_sectors: u64,
+    /// Gaps smaller than this count as a "mid" seek.
+    pub mid_gap_sectors: u64,
+    /// Fixed per-request controller/command overhead.
+    pub command_overhead: SimDuration,
+}
+
+impl DiskSpec {
+    /// A 7200 RPM enterprise hard drive, calibrated to the paper's testbed
+    /// (Seagate Constellation, 2 TB): ~8.5 ms average seek, 4.16 ms average
+    /// rotational delay, ~140 MB/s sequential throughput.
+    pub fn hdd_7200() -> Self {
+        DiskSpec {
+            avg_seek: SimDuration::from_micros(8500),
+            near_seek: SimDuration::from_micros(1200),
+            mid_seek: SimDuration::from_micros(2800),
+            rotational: SimDuration::from_micros(4160),
+            // 140 MB/s => 512 B take ~3.66 us.
+            sector_transfer: SimDuration::from_nanos(3660),
+            near_gap_sectors: 2048,
+            mid_gap_sectors: 4 * 1024 * 1024, // within a ~2 GiB zone
+            command_overhead: SimDuration::from_micros(60),
+        }
+    }
+
+    /// A SATA solid-state drive: no mechanical positioning, uniform access.
+    /// Used by the ablation benches ("beneficial for systems that employ
+    /// SSDs" — §5.1 of the paper).
+    pub fn ssd() -> Self {
+        DiskSpec {
+            avg_seek: SimDuration::from_micros(30),
+            near_seek: SimDuration::from_micros(30),
+            mid_seek: SimDuration::from_micros(30),
+            rotational: SimDuration::ZERO,
+            // 500 MB/s => 512 B take ~1.02 us.
+            sector_transfer: SimDuration::from_nanos(1020),
+            near_gap_sectors: 0,
+            mid_gap_sectors: 0,
+            command_overhead: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Latency of a request of `sectors` sectors given the head gap
+    /// (`None` = streaming / contiguous with the previous request).
+    pub fn request_latency(&self, gap: Option<u64>, sectors: u64) -> SimDuration {
+        // Rotational delay is charged only on long strokes: short hops
+        // inside a zone are absorbed by command queueing (NCQ reorders a
+        // full queue so the platter rarely costs a full half-turn).
+        let positioning = match gap {
+            None => SimDuration::ZERO,
+            Some(g) if g <= self.near_gap_sectors => self.near_seek,
+            Some(g) if g <= self.mid_gap_sectors => self.mid_seek,
+            Some(_) => self.avg_seek + self.rotational,
+        };
+        self.command_overhead + positioning + self.sector_transfer * sectors
+    }
+}
+
+impl Default for DiskSpec {
+    fn default() -> Self {
+        DiskSpec::hdd_7200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PAGE_SECTORS;
+
+    #[test]
+    fn sequential_is_much_cheaper_than_random() {
+        let spec = DiskSpec::hdd_7200();
+        let seq = spec.request_latency(None, PAGE_SECTORS);
+        let rand = spec.request_latency(Some(1 << 26), PAGE_SECTORS);
+        assert!(
+            rand.as_nanos() > 50 * seq.as_nanos(),
+            "random 4K ({rand}) should dwarf sequential 4K ({seq})"
+        );
+    }
+
+    #[test]
+    fn seek_tiers_are_ordered() {
+        let spec = DiskSpec::hdd_7200();
+        let near = spec.request_latency(Some(100), PAGE_SECTORS);
+        let mid = spec.request_latency(Some(1 << 20), PAGE_SECTORS);
+        let far = spec.request_latency(Some(1 << 26), PAGE_SECTORS);
+        assert!(near < mid, "near ({near}) < mid ({mid})");
+        assert!(mid < far, "mid ({mid}) < far ({far})");
+    }
+
+    #[test]
+    fn near_seek_cheaper_than_far_seek() {
+        let spec = DiskSpec::hdd_7200();
+        let near = spec.request_latency(Some(100), PAGE_SECTORS);
+        let far = spec.request_latency(Some(1 << 24), PAGE_SECTORS);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn transfer_scales_with_sectors() {
+        let spec = DiskSpec::hdd_7200();
+        let one = spec.request_latency(None, 1);
+        let many = spec.request_latency(None, 100);
+        assert_eq!(
+            (many - one).as_nanos(),
+            spec.sector_transfer.as_nanos() * 99
+        );
+    }
+
+    #[test]
+    fn ssd_has_flat_latency() {
+        let spec = DiskSpec::ssd();
+        let seq = spec.request_latency(None, PAGE_SECTORS);
+        let rand = spec.request_latency(Some(1 << 20), PAGE_SECTORS);
+        // SSD random penalty is small (< 3x).
+        assert!(rand.as_nanos() < 3 * seq.as_nanos());
+    }
+}

@@ -1,0 +1,166 @@
+//! A minimal extent filesystem over the guest's virtual disk.
+//!
+//! Files are contiguous page runs allocated front-to-back, matching the
+//! paper's observation that "contiguous file pages tend to be contiguous
+//! on disk" — the property that makes image-side readahead effective and
+//! whose loss in the host swap area is the decayed-sequentiality
+//! pathology.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifies a guest file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(u32);
+
+impl FileId {
+    /// Returns the raw identifier.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// Error returned when the filesystem runs out of space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsFullError {
+    requested: u64,
+    free: u64,
+}
+
+impl fmt::Display for FsFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "filesystem full: {} pages requested, {} free", self.requested, self.free)
+    }
+}
+
+impl Error for FsFullError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    start: u64,
+    pages: u64,
+}
+
+/// Allocates files as contiguous extents of virtual-disk pages.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_guestos::GuestFs;
+///
+/// let mut fs = GuestFs::new(100, 1000); // data pages 100..1000
+/// let f = fs.create(50)?;
+/// assert_eq!(fs.image_page(f, 0), 100);
+/// assert_eq!(fs.len(f), 50);
+/// # Ok::<(), vswap_guestos::fs::FsFullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestFs {
+    files: Vec<Extent>,
+    next_page: u64,
+    end_page: u64,
+}
+
+impl GuestFs {
+    /// Creates a filesystem over virtual-disk pages `[data_start, data_end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_start > data_end`.
+    pub fn new(data_start: u64, data_end: u64) -> Self {
+        assert!(data_start <= data_end, "inverted data region");
+        GuestFs { files: Vec::new(), next_page: data_start, end_page: data_end }
+    }
+
+    /// Creates a file of `pages` pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsFullError`] if the data region cannot hold the file.
+    pub fn create(&mut self, pages: u64) -> Result<FileId, FsFullError> {
+        let free = self.end_page - self.next_page;
+        if pages > free {
+            return Err(FsFullError { requested: pages, free });
+        }
+        let id = FileId(self.files.len() as u32);
+        self.files.push(Extent { start: self.next_page, pages });
+        self.next_page += pages;
+        Ok(id)
+    }
+
+    /// Size of a file in pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` is unknown.
+    pub fn len(&self, file: FileId) -> u64 {
+        self.files[file.0 as usize].pages
+    }
+
+    /// Filesystems are never "empty" as collections; provided for lint
+    /// symmetry with [`GuestFs::len`] and always `false`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Translates a page offset within a file to a virtual-disk image
+    /// page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is past the end of the file.
+    pub fn image_page(&self, file: FileId, offset: u64) -> u64 {
+        let e = self.files[file.0 as usize];
+        assert!(offset < e.pages, "offset {offset} past end of {file}");
+        e.start + offset
+    }
+
+    /// Free data pages remaining.
+    pub fn free_pages(&self) -> u64 {
+        self.end_page - self.next_page
+    }
+
+    /// Number of files created.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_are_contiguous_and_disjoint() {
+        let mut fs = GuestFs::new(10, 100);
+        let a = fs.create(20).unwrap();
+        let b = fs.create(30).unwrap();
+        assert_eq!(fs.image_page(a, 0), 10);
+        assert_eq!(fs.image_page(a, 19), 29);
+        assert_eq!(fs.image_page(b, 0), 30);
+        assert_eq!(fs.free_pages(), 40);
+        assert_eq!(fs.file_count(), 2);
+    }
+
+    #[test]
+    fn create_fails_when_full() {
+        let mut fs = GuestFs::new(0, 10);
+        fs.create(8).unwrap();
+        let err = fs.create(3).unwrap_err();
+        assert!(err.to_string().contains("3 pages requested"));
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn offset_out_of_file_panics() {
+        let mut fs = GuestFs::new(0, 10);
+        let f = fs.create(2).unwrap();
+        let _ = fs.image_page(f, 2);
+    }
+}

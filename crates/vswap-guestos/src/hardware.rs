@@ -1,0 +1,190 @@
+//! The bus between the guest kernel and the (virtual) machine beneath it.
+
+use sim_core::SimDuration;
+use std::collections::HashMap;
+use vswap_mem::{ContentLabel, Gfn, LabelGen};
+
+/// The outcome of a guest memory access as seen by the guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Time the access took (zero on a plain hit, large if the host had to
+    /// fault the page in from disk).
+    pub latency: SimDuration,
+    /// Content of the page after the access.
+    pub label: ContentLabel,
+}
+
+/// What the guest kernel can ask of the platform it runs on.
+///
+/// `vswap-core` implements this on top of the host kernel (with the Swap
+/// Mapper and False Reads Preventer interposed when enabled);
+/// [`MockHardware`] implements it for unit tests of guest logic.
+///
+/// All methods are infallible: hardware does not fail in this model, it is
+/// only slow.
+pub trait VirtualHardware {
+    /// Guest CPU load from a guest-physical page.
+    fn mem_read(&mut self, gfn: Gfn) -> AccessResult;
+
+    /// Guest CPU store to part of a guest-physical page. The page content
+    /// changes to a fresh label.
+    fn mem_write(&mut self, gfn: Gfn) -> AccessResult;
+
+    /// Guest CPU overwrite of an *entire* guest-physical page with content
+    /// `label` (page zeroing, COW copies, page migration) — the operation
+    /// behind false swap reads, and the one the False Reads Preventer
+    /// intercepts.
+    fn mem_overwrite(&mut self, gfn: Gfn, label: ContentLabel) -> AccessResult;
+
+    /// Virtual-disk read of consecutive image pages starting at
+    /// `image_page` into `gfns`. `aligned` is false when the guest issued
+    /// a request not aligned to 4 KiB (Windows guests, §5.4), which the
+    /// Mapper cannot track.
+    fn disk_read(&mut self, image_page: u64, gfns: &[Gfn], aligned: bool) -> SimDuration;
+
+    /// Virtual-disk write of `gfns` to consecutive image pages starting at
+    /// `image_page`.
+    fn disk_write(&mut self, gfns: &[Gfn], image_page: u64, aligned: bool) -> SimDuration;
+
+    /// The balloon driver pinned `gfn` and donates it to the host.
+    fn balloon_release(&mut self, gfn: Gfn);
+
+    /// Content currently stored at `image_page` of this guest's disk.
+    fn image_label(&self, image_page: u64) -> ContentLabel;
+
+    /// Draws a fresh content label for data the guest is about to create.
+    fn fresh_label(&mut self) -> ContentLabel;
+}
+
+/// An idealized machine for guest-kernel unit tests: infinite memory (no
+/// host swapping), fixed disk latency, full content tracking.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_guestos::{MockHardware, VirtualHardware};
+/// use vswap_mem::Gfn;
+///
+/// let mut hw = MockHardware::new(128);
+/// let label = hw.image_label(5);
+/// hw.disk_read(5, &[Gfn::new(0)], true);
+/// assert_eq!(hw.mem_read(Gfn::new(0)).label, label);
+/// ```
+#[derive(Debug)]
+pub struct MockHardware {
+    image: Vec<ContentLabel>,
+    mem: HashMap<Gfn, ContentLabel>,
+    labels: LabelGen,
+    disk_latency: SimDuration,
+    /// Every `balloon_release`d gfn, in order.
+    pub released: Vec<Gfn>,
+    /// Count of disk read requests.
+    pub disk_reads: u64,
+    /// Count of disk write requests.
+    pub disk_writes: u64,
+    /// Count of full-page overwrites.
+    pub overwrites: u64,
+}
+
+impl MockHardware {
+    /// Creates a mock with an image of `image_pages` pages of distinct
+    /// content and a flat 100 µs disk latency.
+    pub fn new(image_pages: u64) -> Self {
+        let mut labels = LabelGen::new();
+        MockHardware {
+            image: (0..image_pages).map(|_| labels.fresh()).collect(),
+            mem: HashMap::new(),
+            labels,
+            disk_latency: SimDuration::from_micros(100),
+            released: Vec::new(),
+            disk_reads: 0,
+            disk_writes: 0,
+            overwrites: 0,
+        }
+    }
+}
+
+impl VirtualHardware for MockHardware {
+    fn mem_read(&mut self, gfn: Gfn) -> AccessResult {
+        let label = self.mem.get(&gfn).copied().unwrap_or(ContentLabel::ZERO);
+        AccessResult { latency: SimDuration::ZERO, label }
+    }
+
+    fn mem_write(&mut self, gfn: Gfn) -> AccessResult {
+        let label = self.labels.fresh();
+        self.mem.insert(gfn, label);
+        AccessResult { latency: SimDuration::ZERO, label }
+    }
+
+    fn mem_overwrite(&mut self, gfn: Gfn, label: ContentLabel) -> AccessResult {
+        self.overwrites += 1;
+        self.mem.insert(gfn, label);
+        AccessResult { latency: SimDuration::ZERO, label }
+    }
+
+    fn disk_read(&mut self, image_page: u64, gfns: &[Gfn], _aligned: bool) -> SimDuration {
+        self.disk_reads += 1;
+        for (i, &gfn) in gfns.iter().enumerate() {
+            let label = self.image[(image_page as usize) + i];
+            self.mem.insert(gfn, label);
+        }
+        self.disk_latency
+    }
+
+    fn disk_write(&mut self, gfns: &[Gfn], image_page: u64, _aligned: bool) -> SimDuration {
+        self.disk_writes += 1;
+        for (i, &gfn) in gfns.iter().enumerate() {
+            let label = self.mem.get(&gfn).copied().unwrap_or(ContentLabel::ZERO);
+            self.image[(image_page as usize) + i] = label;
+        }
+        self.disk_latency
+    }
+
+    fn balloon_release(&mut self, gfn: Gfn) {
+        self.released.push(gfn);
+    }
+
+    fn image_label(&self, image_page: u64) -> ContentLabel {
+        self.image[image_page as usize]
+    }
+
+    fn fresh_label(&mut self) -> ContentLabel {
+        self.labels.fresh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_round_trips_content_through_disk() {
+        let mut hw = MockHardware::new(8);
+        let gfn = Gfn::new(1);
+        let w = hw.mem_write(gfn);
+        hw.disk_write(&[gfn], 3, true);
+        assert_eq!(hw.image_label(3), w.label);
+        let other = Gfn::new(2);
+        hw.disk_read(3, &[other], true);
+        assert_eq!(hw.mem_read(other).label, w.label);
+        assert_eq!(hw.disk_reads, 1);
+        assert_eq!(hw.disk_writes, 1);
+    }
+
+    #[test]
+    fn mock_overwrite_replaces_content() {
+        let mut hw = MockHardware::new(1);
+        let gfn = Gfn::new(0);
+        hw.mem_write(gfn);
+        let l = hw.fresh_label();
+        hw.mem_overwrite(gfn, l);
+        assert_eq!(hw.mem_read(gfn).label, l);
+        assert_eq!(hw.overwrites, 1);
+    }
+
+    #[test]
+    fn unmapped_memory_reads_zero() {
+        let mut hw = MockHardware::new(1);
+        assert!(hw.mem_read(Gfn::new(7)).label.is_zero_page());
+    }
+}

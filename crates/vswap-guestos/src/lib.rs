@@ -1,0 +1,61 @@
+//! The guest operating-system model.
+//!
+//! An *uncooperative* guest is the other half of every pathology in the
+//! paper: it caches file content aggressively because it believes memory is
+//! plentiful (driving the host into uncooperative swapping), recycles page
+//! frames it silently dropped (stale and false swap reads), and — when a
+//! balloon squeezes it — runs its own reclaim, swap, and, in extremis, its
+//! OOM killer (§2.4 over-ballooning).
+//!
+//! The guest kernel runs against an abstract [`VirtualHardware`] bus; the
+//! real machine (in `vswap-core`) implements the bus on top of the host
+//! kernel, while unit tests here use [`MockHardware`].
+//!
+//! Modules:
+//!
+//! * [`hardware`] — the [`VirtualHardware`] trait and a mock,
+//! * [`spec`] — guest size/behaviour parameters,
+//! * [`fs`] — a trivial extent filesystem over the virtual disk,
+//! * [`swap`] — the guest's own swap-slot allocator,
+//! * [`process`] — guest processes and their anonymous memory,
+//! * [`kernel`] — the guest kernel proper: page cache, readahead, reclaim,
+//!   balloon driver, OOM killer,
+//! * [`program`] — the [`GuestProgram`] trait workloads implement, and the
+//!   [`GuestCtx`] facade they are driven through.
+//!
+//! # Examples
+//!
+//! ```
+//! use vswap_guestos::{GuestKernel, GuestSpec, MockHardware};
+//!
+//! let mut hw = MockHardware::new(4096);
+//! let mut guest = GuestKernel::new(GuestSpec::small_test(), 7);
+//! let file = guest.create_file(64)?;
+//! guest.read_file(&mut hw, file, 0, 64)?;
+//! assert!(guest.stats().cache_misses > 0);
+//! // Second read is served from the guest page cache.
+//! let misses = guest.stats().cache_misses;
+//! guest.read_file(&mut hw, file, 0, 64)?;
+//! assert_eq!(guest.stats().cache_misses, misses);
+//! # Ok::<(), vswap_guestos::GuestError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fs;
+pub mod hardware;
+pub mod kernel;
+pub mod process;
+pub mod program;
+pub mod spec;
+pub mod stats;
+pub mod swap;
+
+pub use fs::{FileId, GuestFs};
+pub use hardware::{AccessResult, MockHardware, VirtualHardware};
+pub use kernel::{GuestError, GuestKernel, GuestPageState};
+pub use process::ProcId;
+pub use program::{GuestCtx, GuestProgram, StepOutcome};
+pub use spec::GuestSpec;
+pub use stats::GuestStats;
+pub use swap::GuestSwap;

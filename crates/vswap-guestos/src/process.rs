@@ -1,0 +1,102 @@
+//! Guest processes and their anonymous memory.
+
+use std::fmt;
+use vswap_mem::{ContentLabel, Gfn, Vpn};
+
+/// Identifies a guest process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(u32);
+
+impl ProcId {
+    /// Creates a process identifier.
+    pub const fn new(id: u32) -> Self {
+        ProcId(id)
+    }
+
+    /// Returns the raw identifier.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// The state of one virtual page of a process's anonymous memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnonPage {
+    /// Allocated virtually but never touched.
+    #[default]
+    Untouched,
+    /// Resident in guest-physical memory.
+    Resident {
+        /// Backing guest frame.
+        gfn: Gfn,
+        /// Content the process expects to read back.
+        label: ContentLabel,
+    },
+    /// Swapped by the *guest* to its swap partition.
+    Swapped {
+        /// Guest swap slot.
+        slot: u64,
+        /// Content the process expects to read back.
+        label: ContentLabel,
+    },
+}
+
+/// One guest process: a growable anonymous address space.
+#[derive(Debug, Clone)]
+pub(crate) struct Process {
+    pub(crate) pages: Vec<AnonPage>,
+    pub(crate) alive: bool,
+}
+
+impl Process {
+    pub(crate) fn new() -> Self {
+        Process { pages: Vec::new(), alive: true }
+    }
+
+    /// Grows the address space by `count` pages, returning the first new
+    /// virtual page number.
+    pub(crate) fn grow(&mut self, count: u64) -> Vpn {
+        let first = self.pages.len() as u64;
+        self.pages.resize(self.pages.len() + count as usize, AnonPage::Untouched);
+        Vpn::new(first)
+    }
+
+    /// Number of resident pages (the OOM killer's victim metric).
+    pub(crate) fn resident_count(&self) -> u64 {
+        self.pages.iter().filter(|p| matches!(p, AnonPage::Resident { .. })).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_returns_consecutive_ranges() {
+        let mut p = Process::new();
+        assert_eq!(p.grow(4), Vpn::new(0));
+        assert_eq!(p.grow(2), Vpn::new(4));
+        assert_eq!(p.pages.len(), 6);
+        assert!(p.pages.iter().all(|pg| *pg == AnonPage::Untouched));
+    }
+
+    #[test]
+    fn resident_count_counts_only_resident() {
+        let mut p = Process::new();
+        p.grow(3);
+        p.pages[0] = AnonPage::Resident { gfn: Gfn::new(1), label: ContentLabel::ZERO };
+        p.pages[1] = AnonPage::Swapped { slot: 0, label: ContentLabel::ZERO };
+        assert_eq!(p.resident_count(), 1);
+    }
+}

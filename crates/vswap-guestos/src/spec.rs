@@ -1,0 +1,126 @@
+//! Guest size and behaviour parameters.
+
+use vswap_mem::MemBytes;
+
+/// Parameters of one guest: how big it believes it is and how its kernel
+/// behaves.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_guestos::GuestSpec;
+/// use vswap_mem::MemBytes;
+///
+/// let spec = GuestSpec { memory: MemBytes::from_mb(512), ..GuestSpec::linux_default() };
+/// assert_eq!(spec.memory.pages(), 131_072);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestSpec {
+    /// Guest-physical memory size (what the guest believes it has).
+    pub memory: MemBytes,
+    /// Virtual-disk image size.
+    pub disk: MemBytes,
+    /// Guest swap partition size (carved from the front of the disk).
+    pub swap: MemBytes,
+    /// File readahead window in pages (Linux default 128 KiB).
+    pub file_readahead: u64,
+    /// Guest swap readahead window in pages.
+    pub swap_readahead: u64,
+    /// Pages reclaimed per guest direct-reclaim pass.
+    pub reclaim_batch: u64,
+    /// Writeback threshold: flush when dirty pages exceed this fraction of
+    /// guest memory (Linux `dirty_ratio`-ish).
+    pub dirty_ratio: f64,
+    /// Pages the guest kernel itself occupies (text, slabs); touched at
+    /// boot, never reclaimed.
+    pub kernel_pages: u64,
+    /// File pages read during boot (populates the page cache so that
+    /// benchmark-time allocations recycle previously used frames).
+    pub boot_file_pages: u64,
+    /// Anonymous pages dirtied during boot (daemons etc.).
+    pub boot_anon_pages: u64,
+    /// Fraction of virtual-disk requests issued without 4 KiB alignment
+    /// (0.0 for Linux guests; > 0 for the Windows profile, §5.4).
+    pub unaligned_io_fraction: f64,
+    /// Over-ballooning detection (§2.4): while the balloon is inflated,
+    /// every anonymous swap-out raises a pressure score and every
+    /// allocation served without reclaim I/O lowers it. Crossing this
+    /// limit invokes the OOM killer — modelling a guest whose reclaim
+    /// cannot keep pace with balloon-squeezed allocation demand. Without
+    /// a balloon the score never rises, matching the paper's observation
+    /// that only balloon configurations kill applications.
+    pub oom_balloon_swap_limit: u64,
+}
+
+impl GuestSpec {
+    /// An Ubuntu 12.04-like guest, the paper's main configuration.
+    pub fn linux_default() -> Self {
+        GuestSpec {
+            memory: MemBytes::from_mb(512),
+            disk: MemBytes::from_gb(20),
+            swap: MemBytes::from_gb(1),
+            file_readahead: 32,
+            swap_readahead: 8,
+            reclaim_batch: 32,
+            dirty_ratio: 0.20,
+            kernel_pages: MemBytes::from_mb(32).pages(),
+            boot_file_pages: MemBytes::from_mb(64).pages(),
+            boot_anon_pages: MemBytes::from_mb(24).pages(),
+            unaligned_io_fraction: 0.0,
+            oom_balloon_swap_limit: 10_240,
+        }
+    }
+
+    /// A Windows Server 2012-like guest: a slice of its disk traffic is
+    /// not 4 KiB aligned, defeating the Mapper for those requests (§5.4).
+    pub fn windows_default() -> Self {
+        GuestSpec {
+            memory: MemBytes::from_gb(2),
+            kernel_pages: MemBytes::from_mb(128).pages(),
+            boot_file_pages: MemBytes::from_mb(256).pages(),
+            boot_anon_pages: MemBytes::from_mb(192).pages(),
+            unaligned_io_fraction: 0.05,
+            ..GuestSpec::linux_default()
+        }
+    }
+
+    /// A tiny guest for unit tests: 1 MiB of memory, 16 MiB of disk.
+    pub fn small_test() -> Self {
+        GuestSpec {
+            memory: MemBytes::from_mb(1),
+            disk: MemBytes::from_mb(16),
+            swap: MemBytes::from_mb(2),
+            file_readahead: 8,
+            swap_readahead: 4,
+            reclaim_batch: 8,
+            kernel_pages: 16,
+            boot_file_pages: 0,
+            boot_anon_pages: 0,
+            ..GuestSpec::linux_default()
+        }
+    }
+}
+
+impl Default for GuestSpec {
+    fn default() -> Self {
+        GuestSpec::linux_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_default_is_self_consistent() {
+        let s = GuestSpec::linux_default();
+        assert!(s.swap.pages() < s.disk.pages());
+        assert!(s.kernel_pages + s.boot_file_pages + s.boot_anon_pages < s.memory.pages());
+        assert_eq!(s.unaligned_io_fraction, 0.0);
+    }
+
+    #[test]
+    fn windows_profile_issues_unaligned_io() {
+        assert!(GuestSpec::windows_default().unaligned_io_fraction > 0.0);
+    }
+}

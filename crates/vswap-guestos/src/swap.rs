@@ -1,0 +1,151 @@
+//! The guest's own swap partition allocator.
+//!
+//! When a balloon squeezes the guest (or guest memory is simply too small
+//! for its anonymous working set), the guest swaps process pages to its
+//! swap partition — a region of its virtual disk. From the host's point of
+//! view that is ordinary virtual-disk I/O.
+
+use crate::process::ProcId;
+use std::collections::BTreeSet;
+use vswap_mem::{ContentLabel, Vpn};
+
+/// What one occupied guest swap slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestSlotInfo {
+    /// Owning guest process.
+    pub proc: ProcId,
+    /// Virtual page of that process.
+    pub vpn: Vpn,
+    /// Content stored in the slot.
+    pub label: ContentLabel,
+}
+
+/// The guest swap partition: page-sized slots over a virtual-disk region.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_guestos::swap::GuestSlotInfo;
+/// use vswap_guestos::{GuestSwap, ProcId};
+/// use vswap_mem::{ContentLabel, Vpn};
+///
+/// let mut swap = GuestSwap::new(100, 4); // disk pages 100..104
+/// let info = GuestSlotInfo { proc: ProcId::new(0), vpn: Vpn::new(1), label: ContentLabel::ZERO };
+/// let slot = swap.alloc(info).unwrap();
+/// assert_eq!(swap.image_page(slot), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuestSwap {
+    base_page: u64,
+    slots: Vec<Option<GuestSlotInfo>>,
+    free: BTreeSet<u64>,
+    cursor: u64,
+}
+
+impl GuestSwap {
+    /// Creates a swap partition of `pages` slots whose first slot lives at
+    /// virtual-disk page `base_page`.
+    pub fn new(base_page: u64, pages: u64) -> Self {
+        GuestSwap {
+            base_page,
+            slots: vec![None; pages as usize],
+            free: (0..pages).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Occupied slots.
+    pub fn used(&self) -> u64 {
+        self.capacity() - self.free.len() as u64
+    }
+
+    /// Allocates a slot (cursor scan with wrap, like the host allocator).
+    pub fn alloc(&mut self, info: GuestSlotInfo) -> Option<u64> {
+        let slot = self
+            .free
+            .range(self.cursor..)
+            .next()
+            .copied()
+            .or_else(|| self.free.iter().next().copied())?;
+        self.free.remove(&slot);
+        self.cursor = slot + 1;
+        self.slots[slot as usize] = Some(info);
+        Some(slot)
+    }
+
+    /// Frees a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already free.
+    pub fn free(&mut self, slot: u64) {
+        let entry = &mut self.slots[slot as usize];
+        assert!(entry.is_some(), "freeing free guest swap slot {slot}");
+        *entry = None;
+        self.free.insert(slot);
+    }
+
+    /// Contents of a slot, or `None` if free.
+    pub fn get(&self, slot: u64) -> Option<GuestSlotInfo> {
+        self.slots[slot as usize]
+    }
+
+    /// The virtual-disk image page a slot occupies.
+    pub fn image_page(&self, slot: u64) -> u64 {
+        self.base_page + slot
+    }
+
+    /// Occupied slots in `[start, start + window)`, for guest swap
+    /// readahead.
+    pub fn window(&self, start: u64, window: u64) -> Vec<(u64, GuestSlotInfo)> {
+        let end = (start + window).min(self.capacity());
+        (start..end)
+            .filter_map(|s| self.slots[s as usize].map(|i| (s, i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(vpn: u64) -> GuestSlotInfo {
+        GuestSlotInfo { proc: ProcId::new(0), vpn: Vpn::new(vpn), label: ContentLabel::ZERO }
+    }
+
+    #[test]
+    fn slots_map_to_image_pages() {
+        let mut swap = GuestSwap::new(50, 4);
+        let a = swap.alloc(info(0)).unwrap();
+        let b = swap.alloc(info(1)).unwrap();
+        assert_eq!(swap.image_page(a), 50);
+        assert_eq!(swap.image_page(b), 51);
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut swap = GuestSwap::new(0, 2);
+        let a = swap.alloc(info(0)).unwrap();
+        swap.alloc(info(1)).unwrap();
+        assert_eq!(swap.alloc(info(2)), None);
+        swap.free(a);
+        assert_eq!(swap.used(), 1);
+        assert_eq!(swap.alloc(info(3)), Some(a));
+    }
+
+    #[test]
+    fn window_lists_occupied() {
+        let mut swap = GuestSwap::new(0, 8);
+        swap.alloc(info(0)).unwrap();
+        swap.alloc(info(1)).unwrap();
+        swap.free(0);
+        let w = swap.window(0, 8);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].0, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Host hardware and kernel-policy parameters.
+
+use sim_core::SimDuration;
+use vswap_disk::DiskSpec;
+use vswap_mem::MemBytes;
+
+/// Parameters of the simulated host machine and its kernel policies.
+///
+/// Defaults follow the paper's testbed (Dell R420, 16 GB DRAM, one 7200 RPM
+/// enterprise drive) and Linux 3.7-era memory-management constants.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_hostos::HostSpec;
+/// use vswap_mem::MemBytes;
+///
+/// let spec = HostSpec { dram: MemBytes::from_gb(8), ..HostSpec::default() };
+/// assert_eq!(spec.dram.mb(), 8192);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostSpec {
+    /// Host DRAM size.
+    pub dram: MemBytes,
+    /// Physical disk timing parameters.
+    pub disk: DiskSpec,
+    /// Physical disk capacity in 4 KiB pages.
+    pub disk_pages: u64,
+    /// Host swap area capacity in pages.
+    pub swap_pages: u64,
+    /// Swap fault readahead window in pages (Linux `page-cluster` = 3
+    /// gives an 8-page cluster).
+    pub swap_readahead_pages: u64,
+    /// Readahead window for named refaults from a disk image (Linux
+    /// file readahead default, 128 KiB = 32 pages).
+    pub image_readahead_pages: u64,
+    /// Frames freed per direct-reclaim invocation (`SWAP_CLUSTER_MAX`).
+    pub reclaim_batch: u64,
+    /// Swap-slot allocation jitter: the allocator picks among this many
+    /// free slots from its cursor (concurrent per-CPU slot allocation on
+    /// a real kernel). Drives decayed swap sequentiality.
+    pub swap_alloc_jitter: u64,
+    /// CPU cost of an EPT-violation exit plus major-fault handling.
+    pub major_fault_overhead: SimDuration,
+    /// CPU cost of a minor fault (zero-fill or re-map).
+    pub minor_fault_overhead: SimDuration,
+    /// CPU cost of scanning one page during reclaim.
+    pub scan_overhead: SimDuration,
+    /// CPU cost of a copy-on-write break of a named page (VM exit + copy),
+    /// the Mapper's main overhead source (§5.3).
+    pub cow_break_overhead: SimDuration,
+    /// Resident hot-code footprint of the hosted hypervisor (QEMU) per VM,
+    /// in pages. These are the only *named* pages of a baseline guest.
+    pub hypervisor_code_pages: u64,
+    /// How many hypervisor code pages each virtual-I/O emulation touches.
+    pub hypervisor_code_touch_per_io: u64,
+    /// CPU cost of emulating one virtual-disk request (exit + QEMU work).
+    pub virtual_io_overhead: SimDuration,
+    /// Per-page cost of the Mapper's mmap I/O path (readahead(2) +
+    /// mmap(MAP_POPULATE|no_COW) + KVM map ioctl, §4.1 "Guest I/O Flow").
+    /// "Using mmap is slower than regular reading" — §5.3.
+    pub mmap_page_overhead: SimDuration,
+    /// Whether reclaim scans the named (file-backed) list before the
+    /// anonymous list, as Linux does (§3 "False Page Anonymity" explains
+    /// why kernels prefer named victims). Disabled only by the ablation
+    /// benches.
+    pub reclaim_prefers_named: bool,
+}
+
+impl HostSpec {
+    /// The paper's testbed: 16 GB DRAM, 2 TB 7200 RPM drive, Linux 3.7-ish
+    /// memory-management constants.
+    pub fn paper_testbed() -> Self {
+        HostSpec {
+            dram: MemBytes::from_gb(16),
+            disk: DiskSpec::hdd_7200(),
+            // 64 GiB of modelled disk is plenty for every experiment and
+            // keeps the sector address space compact.
+            disk_pages: MemBytes::from_gb(64).pages(),
+            swap_pages: MemBytes::from_gb(16).pages(),
+            swap_readahead_pages: 8,
+            image_readahead_pages: 32,
+            reclaim_batch: 32,
+            swap_alloc_jitter: 2,
+            major_fault_overhead: SimDuration::from_micros(4),
+            minor_fault_overhead: SimDuration::from_micros(1),
+            scan_overhead: SimDuration::from_nanos(120),
+            cow_break_overhead: SimDuration::from_micros(2),
+            hypervisor_code_pages: 64,
+            hypervisor_code_touch_per_io: 4,
+            virtual_io_overhead: SimDuration::from_micros(25),
+            mmap_page_overhead: SimDuration::from_micros(18),
+            reclaim_prefers_named: true,
+        }
+    }
+
+    /// A tiny host for unit tests: 4 MiB DRAM, 32 MiB disk.
+    pub fn small_test() -> Self {
+        HostSpec {
+            dram: MemBytes::from_mb(4),
+            disk_pages: MemBytes::from_mb(32).pages(),
+            swap_pages: MemBytes::from_mb(8).pages(),
+            hypervisor_code_pages: 4,
+            ..HostSpec::paper_testbed()
+        }
+    }
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        HostSpec::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_is_self_consistent() {
+        let s = HostSpec::paper_testbed();
+        assert!(s.swap_pages <= s.disk_pages);
+        assert!(s.dram.pages() > 0);
+        assert!(s.reclaim_batch > 0);
+        assert!(s.swap_readahead_pages >= 1);
+    }
+
+    #[test]
+    fn small_test_shrinks_memory() {
+        let s = HostSpec::small_test();
+        assert_eq!(s.dram.pages(), 1024);
+        assert!(s.hypervisor_code_pages < HostSpec::paper_testbed().hypervisor_code_pages);
+    }
+}

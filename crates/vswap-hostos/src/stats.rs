@@ -1,0 +1,119 @@
+//! Host kernel event counters.
+//!
+//! These are the raw series behind the paper's per-experiment plots:
+//! Figure 9b (host-context faults: stale reads + false page anonymity),
+//! Figure 9c (guest-context faults: decayed sequentiality), Figure 9d
+//! (sectors written to the swap area: silent writes), and Figure 11c
+//! (pages scanned by reclaim).
+
+use sim_core::StatSet;
+
+/// Cumulative host-kernel event counts.
+///
+/// All fields are public: this is a passive accounting record, written by
+/// the [`HostKernel`](crate::HostKernel) and read whole by reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// EPT violations taken while *guest* code ran that required disk I/O
+    /// (major faults — Figure 9c's series).
+    pub guest_major_faults: u64,
+    /// EPT violations taken while guest code ran that were satisfied
+    /// without I/O (zero-fill or re-map).
+    pub guest_minor_faults: u64,
+    /// Page faults taken while *host* code ran in service of the guest
+    /// (Figure 9b's series: stale reads plus hypervisor-code refaults).
+    pub host_context_faults: u64,
+    /// Stale swap reads: swapped-out destination pages faulted in only to
+    /// be overwritten by virtual-disk DMA.
+    pub stale_swap_reads: u64,
+    /// False swap reads: swapped-out pages faulted in only to be wholly
+    /// overwritten by the guest CPU (zeroing, COW copies).
+    pub false_swap_reads: u64,
+    /// Hypervisor (QEMU) code pages refaulted after being reclaimed — the
+    /// cost of false page anonymity.
+    pub hypervisor_code_refaults: u64,
+    /// Guest pages written to the host swap area.
+    pub swap_outs: u64,
+    /// Guest pages read back from the host swap area (faulting page plus
+    /// readahead).
+    pub swap_ins: u64,
+    /// Swap writes whose content was identical to a guest disk-image block
+    /// (silent swap writes).
+    pub silent_swap_writes: u64,
+    /// Named guest pages reclaimed by discarding the mapping (the Mapper's
+    /// replacement for a swap write).
+    pub named_discards: u64,
+    /// Named guest pages faulted back in from the disk image (the Mapper's
+    /// replacement for a swap-in).
+    pub named_refaults: u64,
+    /// Pages examined by the reclaim scanner (Figure 11c).
+    pub pages_scanned: u64,
+    /// Direct-reclaim invocations.
+    pub reclaim_runs: u64,
+    /// Pages brought in by swap readahead beyond the faulting page.
+    pub swap_readahead_extra: u64,
+    /// Pages brought in by image readahead beyond the faulting page.
+    pub image_readahead_extra: u64,
+    /// Pages zero-filled on first touch.
+    pub zero_fills: u64,
+    /// Copy-on-write breaks of named pages (Mapper overhead, §5.3).
+    pub cow_breaks: u64,
+    /// Frames released to the host by balloon inflation.
+    pub balloon_released_pages: u64,
+    /// Swap slots freed because the balloon reclaimed a swapped-out page.
+    pub balloon_released_slots: u64,
+    /// Virtual-disk requests emulated (QEMU I/O servicing).
+    pub virtual_io_requests: u64,
+    /// Mapper consistency invalidations: guest disk writes that dissolved
+    /// (and possibly faulted in) an existing page↔block association.
+    pub consistency_invalidations: u64,
+}
+
+impl HostStats {
+    /// Creates a zeroed record.
+    pub fn new() -> Self {
+        HostStats::default()
+    }
+
+    /// Renders the record as a named [`StatSet`] for reports.
+    pub fn to_stat_set(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.set("guest_major_faults", self.guest_major_faults);
+        s.set("guest_minor_faults", self.guest_minor_faults);
+        s.set("host_context_faults", self.host_context_faults);
+        s.set("stale_swap_reads", self.stale_swap_reads);
+        s.set("false_swap_reads", self.false_swap_reads);
+        s.set("hypervisor_code_refaults", self.hypervisor_code_refaults);
+        s.set("swap_outs", self.swap_outs);
+        s.set("swap_ins", self.swap_ins);
+        s.set("silent_swap_writes", self.silent_swap_writes);
+        s.set("named_discards", self.named_discards);
+        s.set("named_refaults", self.named_refaults);
+        s.set("pages_scanned", self.pages_scanned);
+        s.set("reclaim_runs", self.reclaim_runs);
+        s.set("swap_readahead_extra", self.swap_readahead_extra);
+        s.set("image_readahead_extra", self.image_readahead_extra);
+        s.set("zero_fills", self.zero_fills);
+        s.set("cow_breaks", self.cow_breaks);
+        s.set("balloon_released_pages", self.balloon_released_pages);
+        s.set("balloon_released_slots", self.balloon_released_slots);
+        s.set("virtual_io_requests", self.virtual_io_requests);
+        s.set("consistency_invalidations", self.consistency_invalidations);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_set_round_trips_fields() {
+        let stats = HostStats { stale_swap_reads: 7, pages_scanned: 42, ..HostStats::new() };
+        let set = stats.to_stat_set();
+        assert_eq!(set.get("stale_swap_reads"), 7);
+        assert_eq!(set.get("pages_scanned"), 42);
+        assert_eq!(set.get("swap_outs"), 0);
+        assert!(set.len() >= 20);
+    }
+}

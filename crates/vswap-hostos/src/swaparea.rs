@@ -1,0 +1,233 @@
+//! The host swap area: slot allocation and slot contents.
+//!
+//! Models Linux's swap-slot allocator closely enough to reproduce *decayed
+//! swap sequentiality*: slots are handed out by scanning forward from a
+//! cursor (so a fresh swap area fills sequentially in reclaim order), and
+//! freed slots leave holes that later allocations plug out of order — which
+//! is precisely how file-sequential content gets scattered over time.
+
+use sim_core::DeterministicRng;
+use std::collections::BTreeSet;
+use vswap_mem::{ContentLabel, Gfn, VmId};
+
+/// What one occupied swap slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// VM whose page was swapped out.
+    pub vm: VmId,
+    /// Guest frame number of the swapped page.
+    pub gfn: Gfn,
+    /// Content stored in the slot.
+    pub label: ContentLabel,
+}
+
+/// The host swap area: a fixed number of page-sized slots.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_hostos::{SlotInfo, SwapArea};
+/// use vswap_mem::{ContentLabel, Gfn, VmId};
+///
+/// let mut swap = SwapArea::new(8);
+/// let info = SlotInfo { vm: VmId::new(0), gfn: Gfn::new(3), label: ContentLabel::ZERO };
+/// let slot = swap.alloc(info).unwrap();
+/// assert_eq!(swap.get(slot), Some(info));
+/// swap.free(slot);
+/// assert_eq!(swap.get(slot), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwapArea {
+    slots: Vec<Option<SlotInfo>>,
+    free: BTreeSet<u64>,
+    cursor: u64,
+    high_water: u64,
+}
+
+impl SwapArea {
+    /// Creates an empty swap area of `capacity` slots.
+    pub fn new(capacity: u64) -> Self {
+        SwapArea {
+            slots: vec![None; capacity as usize],
+            free: (0..capacity).collect(),
+            cursor: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Occupied slots.
+    pub fn used(&self) -> u64 {
+        self.capacity() - self.free.len() as u64
+    }
+
+    /// The most slots ever occupied at once.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Allocates a slot for `info`, scanning forward from the allocation
+    /// cursor (wrapping), like Linux's `scan_swap_map`. Returns `None`
+    /// if the area is full.
+    pub fn alloc(&mut self, info: SlotInfo) -> Option<u64> {
+        let slot = self
+            .free
+            .range(self.cursor..)
+            .next()
+            .copied()
+            .or_else(|| self.free.iter().next().copied())?;
+        self.free.remove(&slot);
+        self.cursor = slot + 1;
+        self.slots[slot as usize] = Some(info);
+        self.high_water = self.high_water.max(self.used());
+        Some(slot)
+    }
+
+    /// Like [`SwapArea::alloc`], but picks randomly among the next
+    /// `jitter` free slots from the cursor — modelling the interleaving
+    /// of concurrent per-CPU slot allocations on a real kernel. This
+    /// jitter is the entropy source behind *decayed swap sequentiality*:
+    /// with every swap-out/in generation, file-sequential content
+    /// diffuses a little further apart.
+    pub fn alloc_scattered(
+        &mut self,
+        info: SlotInfo,
+        rng: &mut DeterministicRng,
+        jitter: u64,
+    ) -> Option<u64> {
+        if jitter <= 1 {
+            return self.alloc(info);
+        }
+        let candidates: Vec<u64> = self
+            .free
+            .range(self.cursor..)
+            .chain(self.free.range(..self.cursor))
+            .take(jitter as usize)
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let slot = candidates[rng.index(candidates.len())];
+        self.free.remove(&slot);
+        self.cursor = slot + 1;
+        self.slots[slot as usize] = Some(info);
+        self.high_water = self.high_water.max(self.used());
+        Some(slot)
+    }
+
+    /// Frees a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already free or out of bounds.
+    pub fn free(&mut self, slot: u64) {
+        let entry = &mut self.slots[slot as usize];
+        assert!(entry.is_some(), "freeing an already-free swap slot {slot}");
+        *entry = None;
+        self.free.insert(slot);
+    }
+
+    /// Returns the contents of a slot, or `None` if free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    pub fn get(&self, slot: u64) -> Option<SlotInfo> {
+        self.slots[slot as usize]
+    }
+
+    /// Returns the occupied slots in the readahead window
+    /// `[start, start + window)`, clamped to capacity, in slot order.
+    /// This is the cluster a fault-time swap readahead would read.
+    pub fn window(&self, start: u64, window: u64) -> Vec<(u64, SlotInfo)> {
+        let end = (start + window).min(self.capacity());
+        (start..end)
+            .filter_map(|s| self.slots[s as usize].map(|info| (s, info)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(gfn: u64) -> SlotInfo {
+        SlotInfo { vm: VmId::new(0), gfn: Gfn::new(gfn), label: ContentLabel::ZERO }
+    }
+
+    #[test]
+    fn fresh_area_allocates_sequentially() {
+        let mut swap = SwapArea::new(8);
+        let slots: Vec<u64> = (0..5).map(|g| swap.alloc(info(g)).unwrap()).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+        assert_eq!(swap.used(), 5);
+    }
+
+    #[test]
+    fn cursor_skips_holes_then_wraps() {
+        let mut swap = SwapArea::new(4);
+        for g in 0..4 {
+            swap.alloc(info(g)).unwrap();
+        }
+        swap.free(1);
+        swap.free(2);
+        // Cursor is at 4 (past the end): wrap to the lowest free slot.
+        assert_eq!(swap.alloc(info(10)), Some(1));
+        // Cursor now at 2: continue forward.
+        assert_eq!(swap.alloc(info(11)), Some(2));
+        assert_eq!(swap.alloc(info(12)), None);
+    }
+
+    #[test]
+    fn fragmentation_scatters_sequential_content() {
+        // Fill, free every other slot, re-allocate: the new "file-order"
+        // stream lands in scattered slots — the decay mechanism.
+        let mut swap = SwapArea::new(8);
+        for g in 0..8 {
+            swap.alloc(info(g)).unwrap();
+        }
+        for s in [0, 2, 4, 6] {
+            swap.free(s);
+        }
+        let new_slots: Vec<u64> = (100..104).map(|g| swap.alloc(info(g)).unwrap()).collect();
+        assert_eq!(new_slots, vec![0, 2, 4, 6], "re-allocation plugs holes out of order");
+    }
+
+    #[test]
+    fn window_returns_occupied_cluster() {
+        let mut swap = SwapArea::new(8);
+        for g in 0..4 {
+            swap.alloc(info(g)).unwrap();
+        }
+        swap.free(2);
+        let w = swap.window(1, 4);
+        let slots: Vec<u64> = w.iter().map(|(s, _)| *s).collect();
+        assert_eq!(slots, vec![1, 3]);
+        // Window clamps at capacity.
+        assert_eq!(swap.window(7, 10).len(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut swap = SwapArea::new(4);
+        let a = swap.alloc(info(0)).unwrap();
+        let _b = swap.alloc(info(1)).unwrap();
+        swap.free(a);
+        assert_eq!(swap.used(), 1);
+        assert_eq!(swap.high_water(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-free")]
+    fn double_free_panics() {
+        let mut swap = SwapArea::new(1);
+        let s = swap.alloc(info(0)).unwrap();
+        swap.free(s);
+        swap.free(s);
+    }
+}

@@ -1,0 +1,313 @@
+//! A MOM-style dynamic balloon manager.
+//!
+//! The Memory Overcommitment Manager is a host daemon that periodically
+//! samples host and guest statistics and adjusts balloon targets. Two
+//! properties matter for reproducing the paper:
+//!
+//! 1. **It works at steady state** — given time, it moves memory to the
+//!    guests that need it, making ballooning beat uncooperative swapping
+//!    (Figure 3).
+//! 2. **It reacts with lag** — targets move at a bounded rate once per
+//!    sampling interval, so a guest whose demand spikes keeps paying for
+//!    host swapping (or guest thrashing) until the manager catches up
+//!    (Figures 4 and 14).
+
+use sim_core::{SimDuration, SimTime};
+use vswap_mem::VmId;
+
+/// Tuning knobs of the balloon manager.
+#[derive(Debug, Clone)]
+pub struct BalloonPolicy {
+    /// Sampling interval between adjustment rounds.
+    pub interval: SimDuration,
+    /// Host free-memory fraction below which the manager inflates.
+    pub host_pressure_low: f64,
+    /// Host free-memory fraction above which the manager deflates.
+    pub host_free_high: f64,
+    /// Guest free-memory fraction below which a guest is "under pressure"
+    /// and its balloon deflates even when the host is tight.
+    pub guest_pressure_free: f64,
+    /// Largest per-round target change, as a fraction of guest memory.
+    pub step_fraction: f64,
+    /// Hard ceiling on a balloon, as a fraction of guest memory (VMware
+    /// caps at 65%, §2.2).
+    pub max_fraction: f64,
+}
+
+impl Default for BalloonPolicy {
+    fn default() -> Self {
+        BalloonPolicy {
+            interval: SimDuration::from_secs(1),
+            host_pressure_low: 0.20,
+            host_free_high: 0.30,
+            guest_pressure_free: 0.05,
+            step_fraction: 0.05,
+            max_fraction: 0.65,
+        }
+    }
+}
+
+/// The statistics the manager samples from one VM each round.
+#[derive(Debug, Clone, Copy)]
+pub struct VmTelemetry {
+    /// The VM being sampled.
+    pub vm: VmId,
+    /// Guest-perceived memory size in pages.
+    pub guest_total_pages: u64,
+    /// Pages on the guest free list.
+    pub guest_free_pages: u64,
+    /// Current balloon size in pages.
+    pub balloon_pages: u64,
+    /// Guest swap-outs since the previous sample (a thrashing signal).
+    pub recent_guest_swap_outs: u64,
+}
+
+/// A balloon-target adjustment for one VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalloonTarget {
+    /// The VM whose balloon should move.
+    pub vm: VmId,
+    /// The new target size in pages.
+    pub target_pages: u64,
+}
+
+/// The manager itself. Call [`BalloonManager::poll`] with the current time
+/// and fresh telemetry; it returns adjustments only when a full sampling
+/// interval has elapsed.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{SimDuration, SimTime};
+/// use vswap_hypervisor::{BalloonManager, BalloonPolicy, VmTelemetry};
+/// use vswap_mem::VmId;
+///
+/// let mut mom = BalloonManager::new(BalloonPolicy::default());
+/// let telemetry = [VmTelemetry {
+///     vm: VmId::new(0),
+///     guest_total_pages: 131_072,
+///     guest_free_pages: 100_000,
+///     balloon_pages: 0,
+///     recent_guest_swap_outs: 0,
+/// }];
+/// // Host memory very tight: the idle guest's balloon must start growing.
+/// let targets = mom.poll(SimTime::from_nanos(2_000_000_000), 0.05, &telemetry);
+/// assert_eq!(targets.len(), 1);
+/// assert!(targets[0].target_pages > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BalloonManager {
+    policy: BalloonPolicy,
+    last_round: Option<SimTime>,
+}
+
+impl BalloonManager {
+    /// Creates a manager with the given policy.
+    pub fn new(policy: BalloonPolicy) -> Self {
+        BalloonManager { policy, last_round: None }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.policy.interval
+    }
+
+    /// Runs one sampling round if the interval has elapsed since the last
+    /// one. `host_free_fraction` is the host's free-frame ratio. Returns
+    /// the target changes to apply (empty when it is not yet time, or
+    /// nothing needs to move).
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        host_free_fraction: f64,
+        telemetry: &[VmTelemetry],
+    ) -> Vec<BalloonTarget> {
+        match self.last_round {
+            Some(last) if now.saturating_since(last) < self.policy.interval => return Vec::new(),
+            _ => self.last_round = Some(now),
+        }
+
+        let mut out = Vec::new();
+        for t in telemetry {
+            let step = ((t.guest_total_pages as f64) * self.policy.step_fraction) as u64;
+            let max = ((t.guest_total_pages as f64) * self.policy.max_fraction) as u64;
+            let guest_free_frac = t.guest_free_pages as f64 / t.guest_total_pages as f64;
+            let guest_pressed = guest_free_frac < self.policy.guest_pressure_free
+                || t.recent_guest_swap_outs > 0;
+
+            let target = if guest_pressed && t.balloon_pages > 0 {
+                // The guest needs its memory back; give it up at a
+                // bounded rate even if the host is tight.
+                t.balloon_pages.saturating_sub(step)
+            } else if host_free_fraction < self.policy.host_pressure_low && !guest_pressed {
+                // Host is tight and this guest has slack: squeeze it.
+                (t.balloon_pages + step).min(max)
+            } else if host_free_fraction > self.policy.host_free_high && t.balloon_pages > 0 {
+                // Host has plenty: relax.
+                t.balloon_pages.saturating_sub(step)
+            } else {
+                t.balloon_pages
+            };
+
+            if target != t.balloon_pages {
+                out.push(BalloonTarget { vm: t.vm, target_pages: target });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry(vm: u32, free: u64, balloon: u64, swaps: u64) -> VmTelemetry {
+        VmTelemetry {
+            vm: VmId::new(vm),
+            guest_total_pages: 100_000,
+            guest_free_pages: free,
+            balloon_pages: balloon,
+            recent_guest_swap_outs: swaps,
+        }
+    }
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn respects_sampling_interval() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        let t = [telemetry(0, 80_000, 0, 0)];
+        assert!(!mom.poll(at(1), 0.05, &t).is_empty());
+        // 200 ms later: not yet time.
+        let early = at(1) + SimDuration::from_millis(200);
+        assert!(mom.poll(early, 0.05, &t).is_empty());
+        assert!(!mom.poll(at(3), 0.05, &t).is_empty());
+    }
+
+    #[test]
+    fn inflates_idle_guest_under_host_pressure() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        let out = mom.poll(at(1), 0.10, &[telemetry(0, 80_000, 0, 0)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].target_pages, 5_000, "one bounded step");
+    }
+
+    #[test]
+    fn inflation_is_rate_limited_and_capped() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        let mut balloon = 0;
+        for round in 1..100 {
+            let out = mom.poll(at(round), 0.05, &[telemetry(0, 80_000, balloon, 0)]);
+            if let Some(t) = out.first() {
+                assert!(t.target_pages <= balloon + 5_000, "steps are bounded");
+                balloon = t.target_pages;
+            }
+        }
+        assert_eq!(balloon, 65_000, "capped at 65% of guest memory");
+    }
+
+    #[test]
+    fn deflates_pressured_guest_even_when_host_is_tight() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        // Guest is swapping: its balloon must shrink despite host pressure.
+        let out = mom.poll(at(1), 0.05, &[telemetry(0, 1_000, 30_000, 500)]);
+        assert_eq!(out, vec![BalloonTarget { vm: VmId::new(0), target_pages: 25_000 }]);
+    }
+
+    #[test]
+    fn deflates_when_host_has_plenty() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        let out = mom.poll(at(1), 0.50, &[telemetry(0, 50_000, 10_000, 0)]);
+        assert_eq!(out, vec![BalloonTarget { vm: VmId::new(0), target_pages: 5_000 }]);
+    }
+
+    #[test]
+    fn steady_state_emits_nothing() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        // Host comfortable, guest comfortable, no balloon: no change.
+        let out = mom.poll(at(1), 0.25, &[telemetry(0, 50_000, 0, 0)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reaction_lag_takes_many_rounds() {
+        // The Figure 14 phenomenon in miniature: a guest that suddenly
+        // needs its 40k ballooned pages back gets them ~5k per second.
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        let mut balloon = 40_000u64;
+        let mut rounds = 0;
+        for round in 1..60 {
+            let out = mom.poll(at(round), 0.05, &[telemetry(0, 500, balloon, 100)]);
+            if let Some(t) = out.first() {
+                balloon = t.target_pages;
+            }
+            rounds = round;
+            if balloon == 0 {
+                break;
+            }
+        }
+        assert_eq!(balloon, 0);
+        assert!(rounds >= 8, "full deflation must take several seconds, took {rounds}");
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn first_poll_always_runs() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        // Even at t=0 the first round executes (no prior round).
+        let out = mom.poll(
+            SimTime::ZERO,
+            0.05,
+            &[VmTelemetry {
+                vm: VmId::new(0),
+                guest_total_pages: 1000,
+                guest_free_pages: 900,
+                balloon_pages: 0,
+                recent_guest_swap_outs: 0,
+            }],
+        );
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn empty_telemetry_is_fine() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        assert!(mom.poll(SimTime::from_nanos(1), 0.01, &[]).is_empty());
+    }
+
+    #[test]
+    fn balloon_never_exceeds_cap_even_from_above() {
+        let mut mom = BalloonManager::new(BalloonPolicy::default());
+        // A balloon somehow above the cap (e.g. policy change) must not
+        // grow further under pressure.
+        let out = mom.poll(
+            SimTime::from_nanos(1),
+            0.05,
+            &[VmTelemetry {
+                vm: VmId::new(0),
+                guest_total_pages: 100_000,
+                guest_free_pages: 90_000,
+                balloon_pages: 70_000, // above the 65% cap
+                recent_guest_swap_outs: 0,
+            }],
+        );
+        // Target clamps to the cap (i.e. shrinks toward it).
+        assert_eq!(out.len(), 1);
+        assert!(out[0].target_pages <= 65_000);
+    }
+
+    #[test]
+    fn interval_accessor_reports_policy() {
+        let mom = BalloonManager::new(BalloonPolicy {
+            interval: SimDuration::from_millis(250),
+            ..BalloonPolicy::default()
+        });
+        assert_eq!(mom.interval(), SimDuration::from_millis(250));
+    }
+}

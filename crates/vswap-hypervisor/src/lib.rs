@@ -1,0 +1,31 @@
+//! Hypervisor-level components of the VSwapper reproduction.
+//!
+//! * [`vm`] — per-VM specifications: how much memory the guest believes it
+//!   has vs. what the host actually grants it, VCPU count, and the
+//!   asynchronous-page-fault capability that lets multi-VCPU Linux guests
+//!   overlap host swap-ins with computation (§5.1, pbzip2),
+//! * [`balloon`] — a [MOM]-style dynamic balloon manager: a host daemon
+//!   that samples host and guest memory statistics every interval and
+//!   inflates/deflates balloons at a bounded rate. Its *reaction lag* is
+//!   the phenomenon behind Figure 4 and Figure 14: "ballooning is
+//!   insufficiently responsive" under changing load.
+//!
+//! [MOM]: https://www.ibm.com/developerworks/library/l-overcommit-kvm-resources/
+//!
+//! # Examples
+//!
+//! ```
+//! use vswap_hypervisor::VmSpec;
+//! use vswap_mem::MemBytes;
+//!
+//! let spec = VmSpec::linux("guest0", MemBytes::from_mb(512), MemBytes::from_mb(100));
+//! assert_eq!(spec.balloon_target_pages(), (512 - 100) * 256);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod balloon;
+pub mod vm;
+
+pub use balloon::{BalloonManager, BalloonPolicy, VmTelemetry};
+pub use vm::VmSpec;

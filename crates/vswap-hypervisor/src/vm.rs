@@ -1,0 +1,123 @@
+//! Per-VM configuration.
+
+use vswap_guestos::GuestSpec;
+use vswap_mem::MemBytes;
+
+/// Configuration of one virtual machine.
+///
+/// The central tension of the paper lives in the gap between
+/// [`VmSpec::guest`]`.memory` (what the guest believes) and
+/// [`VmSpec::actual_memory`] (the host-enforced cgroup limit): the smaller
+/// the latter, the more uncooperative swapping the host must do — unless a
+/// balloon communicates the difference to the guest.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_hypervisor::VmSpec;
+/// use vswap_mem::MemBytes;
+///
+/// let spec = VmSpec::linux("vm", MemBytes::from_mb(512), MemBytes::from_mb(128))
+///     .with_vcpus(2);
+/// assert_eq!(spec.vcpus, 2);
+/// assert!(spec.async_page_faults);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmSpec {
+    /// Human-readable VM name for reports.
+    pub name: String,
+    /// The guest OS profile and perceived sizes.
+    pub guest: GuestSpec,
+    /// Host-enforced memory limit (cgroup), possibly much smaller than
+    /// `guest.memory`.
+    pub actual_memory: MemBytes,
+    /// Virtual CPU count.
+    pub vcpus: u32,
+    /// Whether the guest supports KVM asynchronous page faults, letting it
+    /// overlap host swap-in latency with other runnable threads when it
+    /// has more than one VCPU.
+    pub async_page_faults: bool,
+}
+
+impl VmSpec {
+    /// A Linux guest believing it has `memory` while actually granted
+    /// `actual` by the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actual` exceeds `memory`.
+    pub fn linux(name: &str, memory: MemBytes, actual: MemBytes) -> Self {
+        assert!(actual <= memory, "actual allocation cannot exceed perceived memory");
+        VmSpec {
+            name: name.to_owned(),
+            guest: GuestSpec { memory, ..GuestSpec::linux_default() },
+            actual_memory: actual,
+            vcpus: 1,
+            async_page_faults: true,
+        }
+    }
+
+    /// A Windows guest (§5.4): partially unaligned disk I/O, no
+    /// asynchronous page faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actual` exceeds `memory`.
+    pub fn windows(name: &str, memory: MemBytes, actual: MemBytes) -> Self {
+        assert!(actual <= memory, "actual allocation cannot exceed perceived memory");
+        VmSpec {
+            name: name.to_owned(),
+            guest: GuestSpec { memory, ..GuestSpec::windows_default() },
+            actual_memory: actual,
+            vcpus: 1,
+            async_page_faults: false,
+        }
+    }
+
+    /// Sets the VCPU count (builder style).
+    #[must_use]
+    pub fn with_vcpus(mut self, vcpus: u32) -> Self {
+        assert!(vcpus >= 1, "at least one VCPU required");
+        self.vcpus = vcpus;
+        self
+    }
+
+    /// Overrides the guest profile (builder style).
+    #[must_use]
+    pub fn with_guest(mut self, guest: GuestSpec) -> Self {
+        self.guest = guest;
+        self
+    }
+
+    /// The balloon inflation (in pages) that communicates the
+    /// perceived-vs-actual gap to the guest in static balloon
+    /// configurations.
+    pub fn balloon_target_pages(&self) -> u64 {
+        self.guest.memory.pages() - self.actual_memory.pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_spec_gap_is_balloon_target() {
+        let spec = VmSpec::linux("a", MemBytes::from_mb(512), MemBytes::from_mb(192));
+        assert_eq!(spec.balloon_target_pages(), MemBytes::from_mb(320).pages());
+        assert_eq!(spec.guest.memory, MemBytes::from_mb(512));
+    }
+
+    #[test]
+    fn windows_spec_has_unaligned_io_and_no_apf() {
+        let spec = VmSpec::windows("w", MemBytes::from_gb(2), MemBytes::from_gb(1));
+        assert!(spec.guest.unaligned_io_fraction > 0.0);
+        assert!(!spec.async_page_faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn actual_above_memory_panics() {
+        let _ = VmSpec::linux("a", MemBytes::from_mb(128), MemBytes::from_mb(512));
+    }
+}

@@ -1,0 +1,205 @@
+//! Page-number newtypes and size conversions.
+//!
+//! All memory in the simulation is page-granular (4 KiB), so addresses are
+//! page numbers, not byte addresses. Distinct newtypes keep guest-virtual,
+//! guest-physical, and VM identities from being mixed up — exactly the
+//! confusion (GVA vs GPA vs HPA) that Figure 1 of the paper untangles.
+
+use std::fmt;
+
+/// Bytes per page, fixed at 4 KiB as in the paper's x86 testbed.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Converts a page count to bytes.
+pub const fn pages_to_bytes(pages: u64) -> u64 {
+    pages * PAGE_BYTES
+}
+
+/// Converts a page count to mebibytes (rounding down).
+pub const fn pages_to_mb(pages: u64) -> u64 {
+    pages_to_bytes(pages) / (1024 * 1024)
+}
+
+/// A memory size expressed in bytes, constructible from human units.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_mem::MemBytes;
+///
+/// assert_eq!(MemBytes::from_mb(1).pages(), 256);
+/// assert_eq!(MemBytes::from_gb(1), MemBytes::from_mb(1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MemBytes(u64);
+
+impl MemBytes {
+    /// Creates a size from raw bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        MemBytes(bytes)
+    }
+
+    /// Creates a size from mebibytes.
+    pub const fn from_mb(mb: u64) -> Self {
+        MemBytes(mb * 1024 * 1024)
+    }
+
+    /// Creates a size from gibibytes.
+    pub const fn from_gb(gb: u64) -> Self {
+        MemBytes(gb * 1024 * 1024 * 1024)
+    }
+
+    /// Returns the size in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the size in whole 4 KiB pages (rounding down).
+    pub const fn pages(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Returns the size in whole mebibytes (rounding down).
+    pub const fn mb(self) -> u64 {
+        self.0 / (1024 * 1024)
+    }
+}
+
+impl fmt::Display for MemBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 * 1024 && self.0.is_multiple_of(1024 * 1024 * 1024) {
+            write!(f, "{}GiB", self.0 / (1024 * 1024 * 1024))
+        } else if self.0 >= 1024 * 1024 {
+            write!(f, "{}MiB", self.0 / (1024 * 1024))
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+macro_rules! page_number_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates the page number.
+            pub const fn new(n: u64) -> Self {
+                $name(n)
+            }
+
+            /// Returns the raw page number.
+            pub const fn get(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw page number as a `usize` index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the page number `delta` pages later.
+            pub const fn offset(self, delta: u64) -> Self {
+                $name(self.0 + delta)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(n: u64) -> Self {
+                $name(n)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+page_number_newtype! {
+    /// A guest frame number: an index into a VM's guest-physical address
+    /// space ("GPA" page in the paper's terminology).
+    Gfn
+}
+
+page_number_newtype! {
+    /// A guest virtual page number: an index into a guest process's virtual
+    /// address space ("GVA" page).
+    Vpn
+}
+
+/// Identifies one virtual machine on the host.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_mem::VmId;
+///
+/// let vm = VmId::new(3);
+/// assert_eq!(vm.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VmId(u32);
+
+impl VmId {
+    /// Creates a VM identifier.
+    pub const fn new(id: u32) -> Self {
+        VmId(id)
+    }
+
+    /// Returns the raw identifier.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_conversions() {
+        assert_eq!(MemBytes::from_mb(512).pages(), 131_072);
+        assert_eq!(MemBytes::from_gb(2).mb(), 2048);
+        assert_eq!(pages_to_bytes(2), 8192);
+        assert_eq!(pages_to_mb(256), 1);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(MemBytes::from_gb(2).to_string(), "2GiB");
+        assert_eq!(MemBytes::from_mb(512).to_string(), "512MiB");
+        assert_eq!(MemBytes::from_bytes(100).to_string(), "100B");
+    }
+
+    #[test]
+    fn newtypes_are_distinct_and_ordered() {
+        let a = Gfn::new(1);
+        let b = Gfn::new(2);
+        assert!(a < b);
+        assert_eq!(a.offset(1), b);
+        assert_eq!(Vpn::new(5).index(), 5);
+        assert_eq!(Gfn::from(9).get(), 9);
+    }
+
+    #[test]
+    fn vmid_roundtrip() {
+        assert_eq!(VmId::new(7).get(), 7);
+        assert_eq!(VmId::new(7).index(), 7);
+        assert_eq!(VmId::new(7).to_string(), "vm7");
+    }
+}

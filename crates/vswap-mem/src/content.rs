@@ -1,0 +1,124 @@
+//! Opaque content labels that flow with page data through the stack.
+//!
+//! The simulation does not store real bytes; instead every distinct piece of
+//! page-sized content gets a unique [`ContentLabel`]. Labels travel with the
+//! data: disk-image pages, host swap slots, host frames, and Preventer write
+//! buffers all carry one. When the guest finally reads a page, the label is
+//! checked against what the guest *should* observe — turning the Mapper's
+//! data-consistency obligations (§4.1 "Data Consistency") into a machine-
+//! checked invariant instead of a hope.
+
+use std::fmt;
+
+/// Identifies one immutable page-sized piece of content.
+///
+/// Two pages hold equal content if and only if their labels are equal. A
+/// write produces a fresh label (content is immutable once labelled).
+///
+/// # Examples
+///
+/// ```
+/// use vswap_mem::{ContentLabel, LabelGen};
+///
+/// let mut labels = LabelGen::new();
+/// let a = labels.fresh();
+/// let b = labels.fresh();
+/// assert_ne!(a, b);
+/// assert_eq!(ContentLabel::ZERO, ContentLabel::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentLabel(u64);
+
+impl ContentLabel {
+    /// The label of the all-zeroes page (fresh anonymous memory).
+    pub const ZERO: ContentLabel = ContentLabel(0);
+
+    /// Returns the raw label value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// True for the all-zeroes page label.
+    pub const fn is_zero_page(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for ContentLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero_page() {
+            write!(f, "content<zero>")
+        } else {
+            write!(f, "content<{}>", self.0)
+        }
+    }
+}
+
+impl Default for ContentLabel {
+    fn default() -> Self {
+        ContentLabel::ZERO
+    }
+}
+
+/// Produces fresh, never-before-seen [`ContentLabel`]s.
+#[derive(Debug, Clone)]
+pub struct LabelGen {
+    next: u64,
+}
+
+impl LabelGen {
+    /// Creates a generator whose first fresh label is `1` (label `0` is
+    /// reserved for the zero page).
+    pub fn new() -> Self {
+        LabelGen { next: 1 }
+    }
+
+    /// Returns a label no other call has returned.
+    pub fn fresh(&mut self) -> ContentLabel {
+        let label = ContentLabel(self.next);
+        self.next += 1;
+        label
+    }
+
+    /// Number of labels handed out so far.
+    pub fn issued(&self) -> u64 {
+        self.next - 1
+    }
+}
+
+impl Default for LabelGen {
+    fn default() -> Self {
+        LabelGen::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut g = LabelGen::new();
+        let labels: Vec<ContentLabel> = (0..100).map(|_| g.fresh()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(g.issued(), 100);
+    }
+
+    #[test]
+    fn zero_page_is_reserved() {
+        let mut g = LabelGen::new();
+        assert!(ContentLabel::ZERO.is_zero_page());
+        assert!(!g.fresh().is_zero_page());
+        assert_eq!(ContentLabel::default(), ContentLabel::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut g = LabelGen::new();
+        assert_eq!(ContentLabel::ZERO.to_string(), "content<zero>");
+        assert_eq!(g.fresh().to_string(), "content<1>");
+    }
+}

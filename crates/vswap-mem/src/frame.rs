@@ -1,0 +1,320 @@
+//! The host physical frame table.
+//!
+//! Every 4 KiB of host DRAM is a frame with an owner, usage bits, and a
+//! content label. The host reclaim algorithm (in `vswap-hostos`) walks this
+//! table; the Mapper changes how frames are *classified* (named vs
+//! anonymous), which is the crux of the "false page anonymity" pathology.
+
+use crate::addr::{Gfn, VmId};
+use crate::content::ContentLabel;
+use std::fmt;
+
+/// Identifies one host physical frame.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_mem::FrameId;
+///
+/// let f = FrameId::new(42);
+/// assert_eq!(f.index(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u32);
+
+impl FrameId {
+    /// Creates a frame identifier.
+    pub const fn new(id: u32) -> Self {
+        FrameId(id)
+    }
+
+    /// Returns the raw identifier.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the identifier as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+/// Who a host frame currently belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameOwner {
+    /// Unallocated.
+    Free,
+    /// Backs a guest-physical page of a VM. Classified *anonymous* by the
+    /// baseline host; the Mapper may re-classify it as named.
+    Guest {
+        /// Owning VM.
+        vm: VmId,
+        /// Guest frame number the frame backs.
+        gfn: Gfn,
+    },
+    /// Holds a disk-image block in the host page cache (Mapper-managed
+    /// named page that currently has no guest mapping, mid-transition).
+    PageCache {
+        /// Owning VM (whose disk image the block belongs to).
+        vm: VmId,
+        /// Page index inside that VM's disk image.
+        image_page: u64,
+    },
+    /// Part of the hosted hypervisor's executable (QEMU code): the only
+    /// *named* memory in a baseline guest address space, and therefore the
+    /// host's preferred reclaim victim — the "false page anonymity" twist.
+    HypervisorCode {
+        /// VM whose QEMU process the code page belongs to.
+        vm: VmId,
+        /// Code page index within the hypervisor image.
+        page: u64,
+    },
+    /// A False Reads Preventer emulation buffer.
+    WriteBuffer {
+        /// VM whose write is being emulated.
+        vm: VmId,
+        /// Guest frame number being emulated.
+        gfn: Gfn,
+    },
+}
+
+impl FrameOwner {
+    /// True if the frame is *named* (file-backed) from the host kernel's
+    /// point of view, i.e. can be reclaimed by discarding.
+    pub fn is_named(self) -> bool {
+        matches!(self, FrameOwner::PageCache { .. } | FrameOwner::HypervisorCode { .. })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    owner: FrameOwner,
+    accessed: bool,
+    dirty: bool,
+    label: ContentLabel,
+}
+
+/// Host DRAM: a fixed-size table of frames with a free list.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_mem::{FrameOwner, Gfn, HostFrameTable, VmId};
+///
+/// let mut table = HostFrameTable::new(4);
+/// let f = table.alloc(FrameOwner::Guest { vm: VmId::new(0), gfn: Gfn::new(0) }).unwrap();
+/// table.set_dirty(f, true);
+/// assert!(table.dirty(f));
+/// table.free(f);
+/// assert_eq!(table.owner(f), FrameOwner::Free);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostFrameTable {
+    frames: Vec<Frame>,
+    free: Vec<u32>,
+}
+
+impl HostFrameTable {
+    /// Creates a table of `total` free frames.
+    pub fn new(total: u64) -> Self {
+        let frames = vec![
+            Frame {
+                owner: FrameOwner::Free,
+                accessed: false,
+                dirty: false,
+                label: ContentLabel::ZERO,
+            };
+            total as usize
+        ];
+        // Pop from the back; lowest frame numbers are handed out first.
+        let free = (0..total as u32).rev().collect();
+        HostFrameTable { frames, free }
+    }
+
+    /// Total number of frames (free + allocated).
+    pub fn total_frames(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Number of currently free frames.
+    pub fn free_frames(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Allocates a frame for `owner`, or `None` if DRAM is exhausted.
+    /// The new frame's usage bits are clear and its content is the zero
+    /// page.
+    pub fn alloc(&mut self, owner: FrameOwner) -> Option<FrameId> {
+        debug_assert!(!matches!(owner, FrameOwner::Free), "cannot alloc a Free frame");
+        let id = self.free.pop()?;
+        let frame = &mut self.frames[id as usize];
+        frame.owner = owner;
+        frame.accessed = false;
+        frame.dirty = false;
+        frame.label = ContentLabel::ZERO;
+        Some(FrameId(id))
+    }
+
+    /// Releases a frame back to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is already free.
+    pub fn free(&mut self, id: FrameId) {
+        let frame = &mut self.frames[id.index()];
+        assert!(
+            !matches!(frame.owner, FrameOwner::Free),
+            "double free of {id}"
+        );
+        frame.owner = FrameOwner::Free;
+        frame.accessed = false;
+        frame.dirty = false;
+        frame.label = ContentLabel::ZERO;
+        self.free.push(id.get());
+    }
+
+    /// Returns the frame's owner.
+    pub fn owner(&self, id: FrameId) -> FrameOwner {
+        self.frames[id.index()].owner
+    }
+
+    /// Re-labels the frame's owner (e.g. a page-cache frame becomes a guest
+    /// frame when the Mapper maps it into the VM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free or the new owner is `Free` (use
+    /// [`HostFrameTable::free`]).
+    pub fn set_owner(&mut self, id: FrameId, owner: FrameOwner) {
+        assert!(!matches!(owner, FrameOwner::Free), "use free() to release frames");
+        let frame = &mut self.frames[id.index()];
+        assert!(!matches!(frame.owner, FrameOwner::Free), "cannot retag a free frame");
+        frame.owner = owner;
+    }
+
+    /// Returns the frame's accessed (referenced) bit.
+    pub fn accessed(&self, id: FrameId) -> bool {
+        self.frames[id.index()].accessed
+    }
+
+    /// Sets or clears the accessed bit.
+    pub fn set_accessed(&mut self, id: FrameId, accessed: bool) {
+        self.frames[id.index()].accessed = accessed;
+    }
+
+    /// Returns the frame's dirty bit.
+    pub fn dirty(&self, id: FrameId) -> bool {
+        self.frames[id.index()].dirty
+    }
+
+    /// Sets or clears the dirty bit.
+    pub fn set_dirty(&mut self, id: FrameId, dirty: bool) {
+        self.frames[id.index()].dirty = dirty;
+    }
+
+    /// Returns the frame's content label.
+    pub fn label(&self, id: FrameId) -> ContentLabel {
+        self.frames[id.index()].label
+    }
+
+    /// Replaces the frame's content label (the frame was written or filled
+    /// from disk).
+    pub fn set_label(&mut self, id: FrameId, label: ContentLabel) {
+        self.frames[id.index()].label = label;
+    }
+
+    /// Iterates over all allocated frames as `(id, owner)`.
+    pub fn iter_allocated(&self) -> impl Iterator<Item = (FrameId, FrameOwner)> + '_ {
+        self.frames.iter().enumerate().filter_map(|(i, f)| {
+            if matches!(f.owner, FrameOwner::Free) {
+                None
+            } else {
+                Some((FrameId(i as u32), f.owner))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guest_owner(gfn: u64) -> FrameOwner {
+        FrameOwner::Guest { vm: VmId::new(0), gfn: Gfn::new(gfn) }
+    }
+
+    #[test]
+    fn alloc_until_exhaustion() {
+        let mut t = HostFrameTable::new(3);
+        assert!(t.alloc(guest_owner(0)).is_some());
+        assert!(t.alloc(guest_owner(1)).is_some());
+        assert!(t.alloc(guest_owner(2)).is_some());
+        assert!(t.alloc(guest_owner(3)).is_none());
+        assert_eq!(t.free_frames(), 0);
+    }
+
+    #[test]
+    fn low_frames_first() {
+        let mut t = HostFrameTable::new(4);
+        let f = t.alloc(guest_owner(0)).unwrap();
+        assert_eq!(f.get(), 0);
+    }
+
+    #[test]
+    fn free_recycles() {
+        let mut t = HostFrameTable::new(1);
+        let f = t.alloc(guest_owner(0)).unwrap();
+        t.set_dirty(f, true);
+        t.set_accessed(f, true);
+        t.free(f);
+        let g = t.alloc(guest_owner(1)).unwrap();
+        assert_eq!(f, g);
+        assert!(!t.dirty(g), "recycled frame must have clear bits");
+        assert!(!t.accessed(g));
+        assert_eq!(t.label(g), ContentLabel::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut t = HostFrameTable::new(1);
+        let f = t.alloc(guest_owner(0)).unwrap();
+        t.free(f);
+        t.free(f);
+    }
+
+    #[test]
+    fn owner_classification() {
+        let vm = VmId::new(0);
+        assert!(!FrameOwner::Guest { vm, gfn: Gfn::new(0) }.is_named());
+        assert!(FrameOwner::PageCache { vm, image_page: 0 }.is_named());
+        assert!(FrameOwner::HypervisorCode { vm, page: 0 }.is_named());
+        assert!(!FrameOwner::WriteBuffer { vm, gfn: Gfn::new(0) }.is_named());
+        assert!(!FrameOwner::Free.is_named());
+    }
+
+    #[test]
+    fn retagging_owner() {
+        let mut t = HostFrameTable::new(1);
+        let vm = VmId::new(0);
+        let f = t.alloc(FrameOwner::PageCache { vm, image_page: 9 }).unwrap();
+        t.set_owner(f, FrameOwner::Guest { vm, gfn: Gfn::new(3) });
+        assert_eq!(t.owner(f), FrameOwner::Guest { vm, gfn: Gfn::new(3) });
+    }
+
+    #[test]
+    fn iter_allocated_skips_free() {
+        let mut t = HostFrameTable::new(3);
+        let a = t.alloc(guest_owner(0)).unwrap();
+        let b = t.alloc(guest_owner(1)).unwrap();
+        t.free(a);
+        let allocated: Vec<FrameId> = t.iter_allocated().map(|(id, _)| id).collect();
+        assert_eq!(allocated, vec![b]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Guest aging: make a fresh guest look like one that has been up for a
+//! while.
+//!
+//! The paper's iterated-Sysbench setup describes a guest "believing it
+//! has 512 MB whereas in fact it is allocated only 100 MB *and all the
+//! rest has been reclaimed by the host*" — i.e. the guest had touched
+//! essentially its whole physical memory before the measurement began.
+//! [`AgeGuest`] reproduces that state: it streams a scratch file sized to
+//! the guest's memory through the page cache (cycling every frame through
+//! use) and then drops the cache, leaving the free list full of frames
+//! whose *host-side* state is swapped-out or discarded.
+
+use sim_core::DeterministicRng;
+use vswap_guestos::{FileId, GuestCtx, GuestError, GuestProgram, StepOutcome};
+
+/// Pages processed per scheduler step (one aging "episode").
+const CHUNK_PAGES: u64 = 256;
+
+/// Streams a guest-memory-sized scratch file through the cache — in a
+/// shuffled chunk order, because real uptime touches memory in no
+/// particular order — then drops caches. See the module docs.
+#[derive(Debug)]
+pub struct AgeGuest {
+    scratch: Option<FileId>,
+    chunks: Vec<u64>,
+    next: usize,
+    rng: DeterministicRng,
+}
+
+impl AgeGuest {
+    /// Creates the aging pass.
+    pub fn new() -> Self {
+        AgeGuest { scratch: None, chunks: Vec::new(), next: 0, rng: DeterministicRng::seed_from(0xa9e) }
+    }
+}
+
+impl Default for AgeGuest {
+    fn default() -> Self {
+        AgeGuest::new()
+    }
+}
+
+impl GuestProgram for AgeGuest {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        let scratch = match self.scratch {
+            Some(f) => f,
+            None => {
+                // Size the scratch to guest memory: enough to cycle every
+                // frame at least once.
+                let pages = ctx.kernel().spec().memory.pages();
+                let f = ctx.create_file(pages)?;
+                self.scratch = Some(f);
+                self.chunks = (0..pages / CHUNK_PAGES).map(|c| c * CHUNK_PAGES).collect();
+                self.rng.shuffle(&mut self.chunks);
+                f
+            }
+        };
+        let Some(&start) = self.chunks.get(self.next) else {
+            ctx.drop_caches();
+            return Ok(StepOutcome::Done);
+        };
+        self.next += 1;
+        ctx.read_file(scratch, start, CHUNK_PAGES)?;
+        Ok(StepOutcome::Running)
+    }
+
+    fn name(&self) -> &str {
+        "age-guest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vswap_core::{Machine, MachineConfig, SwapPolicy};
+    use vswap_guestos::GuestSpec;
+    use vswap_hostos::HostSpec;
+    use vswap_hypervisor::VmSpec;
+    use vswap_mem::MemBytes;
+
+    #[test]
+    fn aging_leaves_cache_empty_and_free_list_full() {
+        let host = HostSpec {
+            dram: MemBytes::from_mb(64),
+            disk_pages: MemBytes::from_mb(512).pages(),
+            swap_pages: MemBytes::from_mb(64).pages(),
+            hypervisor_code_pages: 16,
+            ..HostSpec::paper_testbed()
+        };
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(host)).unwrap();
+        let spec = VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
+            GuestSpec {
+                memory: MemBytes::from_mb(32),
+                disk: MemBytes::from_mb(256),
+                swap: MemBytes::from_mb(32),
+                kernel_pages: MemBytes::from_mb(2).pages(),
+                boot_file_pages: MemBytes::from_mb(4).pages(),
+                boot_anon_pages: MemBytes::from_mb(2).pages(),
+                ..GuestSpec::linux_default()
+            },
+        );
+        let vm = m.add_vm(spec).unwrap();
+        m.launch(vm, Box::new(AgeGuest::new()));
+        let report = m.run();
+        assert!(report.vm(vm).completed());
+        assert_eq!(m.guest(vm).cache_pages(), 0, "cache dropped");
+        // Nearly every non-kernel frame went through the cache.
+        let spec_pages = MemBytes::from_mb(32).pages();
+        assert!(m.guest(vm).free_pages() > spec_pages * 8 / 10);
+        m.host().audit().unwrap();
+    }
+}

@@ -1,0 +1,183 @@
+//! The false-reads microbenchmark (§3.1, Figure 10): fork a process that
+//! allocates and sequentially accesses a block of anonymous memory.
+//!
+//! Every page the new process touches must first be zeroed by the guest
+//! kernel — a full-page overwrite of a recycled frame the host may have
+//! swapped out, i.e. exactly one potential false swap read per page.
+
+use sim_core::SimDuration;
+use vswap_guestos::{GuestCtx, GuestError, GuestProgram, ProcId, StepOutcome};
+use vswap_mem::Vpn;
+
+/// Pages processed per scheduler step.
+const CHUNK_PAGES: u64 = 64;
+
+/// Per-page CPU cost of the access loop.
+const TOUCH_CPU_PER_PAGE: SimDuration = SimDuration::from_micros(2);
+
+/// How the stream accesses each page after allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Read each page once (zero-fill then load).
+    Read,
+    /// Store to part of each page.
+    Write,
+    /// Overwrite each page wholesale (memset-style).
+    Overwrite,
+}
+
+/// Fork + allocate + sequentially access `pages` pages of anonymous
+/// memory.
+#[derive(Debug)]
+pub struct AllocStream {
+    pages: u64,
+    mode: AccessMode,
+    proc: Option<(ProcId, Vpn)>,
+    pos: u64,
+}
+
+impl AllocStream {
+    /// Streams over `pages` fresh anonymous pages in the given mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(pages: u64, mode: AccessMode) -> Self {
+        assert!(pages > 0, "stream must do work");
+        AllocStream { pages, mode, proc: None, pos: 0 }
+    }
+}
+
+impl GuestProgram for AllocStream {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        let (proc, base) = match self.proc {
+            Some(p) => p,
+            None => {
+                let proc = ctx.spawn_process();
+                let base = ctx.alloc_anon(proc, self.pages)?;
+                self.proc = Some((proc, base));
+                (proc, base)
+            }
+        };
+        let count = CHUNK_PAGES.min(self.pages - self.pos);
+        for i in 0..count {
+            let vpn = base.offset(self.pos + i);
+            match self.mode {
+                AccessMode::Read => ctx.touch_anon(proc, vpn, false)?,
+                AccessMode::Write => ctx.touch_anon(proc, vpn, true)?,
+                AccessMode::Overwrite => ctx.overwrite_anon(proc, vpn)?,
+            }
+            ctx.compute(TOUCH_CPU_PER_PAGE);
+        }
+        self.pos += count;
+        if self.pos == self.pages {
+            Ok(StepOutcome::Done)
+        } else {
+            Ok(StepOutcome::Running)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "alloc-stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::SharedFile;
+    use crate::sysbench::SysbenchPrepare;
+    use vswap_core::{Machine, MachineConfig, SwapPolicy};
+    use vswap_guestos::GuestSpec;
+    use vswap_hostos::HostSpec;
+    use vswap_hypervisor::VmSpec;
+    use vswap_mem::MemBytes;
+
+    /// Fills the guest cache with file pages so the allocation stream
+    /// recycles frames the host had to evict, then streams.
+    fn run(policy: SwapPolicy) -> vswap_core::RunReport {
+        let host = HostSpec {
+            dram: MemBytes::from_mb(64),
+            disk_pages: MemBytes::from_mb(512).pages(),
+            swap_pages: MemBytes::from_mb(64).pages(),
+            hypervisor_code_pages: 16,
+            ..HostSpec::paper_testbed()
+        };
+        let mut m = Machine::new(MachineConfig::preset(policy).with_host(host)).unwrap();
+        let spec = VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
+            GuestSpec {
+                memory: MemBytes::from_mb(32),
+                disk: MemBytes::from_mb(256),
+                swap: MemBytes::from_mb(32),
+                kernel_pages: MemBytes::from_mb(2).pages(),
+                boot_file_pages: MemBytes::from_mb(4).pages(),
+                boot_anon_pages: MemBytes::from_mb(2).pages(),
+                ..GuestSpec::linux_default()
+            },
+        );
+        let vm = m.add_vm(spec).unwrap();
+        let shared = SharedFile::new();
+        m.launch(vm, Box::new(SysbenchPrepare::new(MemBytes::from_mb(26).pages(), shared)));
+        let _ = m.run();
+        m.launch(vm, Box::new(AllocStream::new(MemBytes::from_mb(10).pages(), AccessMode::Write)));
+        let report = m.run();
+        m.host().audit().unwrap();
+        report
+    }
+
+    #[test]
+    fn baseline_suffers_false_reads_where_preventer_does_not() {
+        let base = run(SwapPolicy::Baseline);
+        let vswap = run(SwapPolicy::Vswapper);
+        assert!(base.workloads.iter().all(|w| w.killed.is_none()));
+        assert!(
+            base.host.get("false_swap_reads") > 0,
+            "baseline must incur false reads on recycled frames"
+        );
+        assert_eq!(vswap.host.get("false_swap_reads"), 0, "the Preventer eliminates them");
+        assert!(vswap.preventer.get("preventer_remaps") > 0);
+        // The runtime gap follows the disk traffic gap.
+        let base_rt = base.workloads.last().unwrap().runtime_secs();
+        let vswap_rt = vswap.workloads.last().unwrap().runtime_secs();
+        assert!(
+            vswap_rt < base_rt,
+            "vswapper stream ({vswap_rt:.3}s) must beat baseline ({base_rt:.3}s)"
+        );
+    }
+
+    #[test]
+    fn overwrite_mode_is_remapped_wholesale() {
+        let host = HostSpec {
+            dram: MemBytes::from_mb(64),
+            disk_pages: MemBytes::from_mb(512).pages(),
+            swap_pages: MemBytes::from_mb(64).pages(),
+            hypervisor_code_pages: 16,
+            ..HostSpec::paper_testbed()
+        };
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Vswapper).with_host(host)).unwrap();
+        let spec = VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
+            GuestSpec {
+                memory: MemBytes::from_mb(32),
+                disk: MemBytes::from_mb(256),
+                swap: MemBytes::from_mb(32),
+                kernel_pages: MemBytes::from_mb(2).pages(),
+                boot_file_pages: MemBytes::from_mb(4).pages(),
+                boot_anon_pages: MemBytes::from_mb(2).pages(),
+                ..GuestSpec::linux_default()
+            },
+        );
+        let vm = m.add_vm(spec).unwrap();
+        let shared = SharedFile::new();
+        m.launch(vm, Box::new(SysbenchPrepare::new(MemBytes::from_mb(26).pages(), shared)));
+        let _ = m.run();
+        m.launch(
+            vm,
+            Box::new(AllocStream::new(MemBytes::from_mb(10).pages(), AccessMode::Overwrite)),
+        );
+        let report = m.run();
+        assert!(report.preventer.get("preventer_remaps") > 0);
+        assert_eq!(report.host.get("false_swap_reads"), 0);
+        m.host().audit().unwrap();
+    }
+}

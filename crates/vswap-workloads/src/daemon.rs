@@ -1,0 +1,167 @@
+//! A background daemon: the low-grade ambient activity of a real guest
+//! OS (cron, journald, sshd, monitoring agents).
+//!
+//! Benchmarks in the paper ran inside full Ubuntu guests; the ambient
+//! processes matter because their allocations interleave with the
+//! benchmark's in every reclaim and swap-slot stream, compounding the
+//! scatter behind *decayed swap sequentiality*.
+
+use sim_core::{DeterministicRng, SimDuration};
+use vswap_guestos::{FileId, GuestCtx, GuestError, GuestProgram, ProcId, StepOutcome};
+use vswap_mem::{MemBytes, Vpn};
+
+/// Tuning of the daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Total ticks before the daemon exits.
+    pub ticks: u64,
+    /// Pause between ticks (daemons are mostly idle).
+    pub interval: SimDuration,
+    /// Size of the daemon's file (logs, databases) in pages.
+    pub file_pages: u64,
+    /// Size of the daemon's anonymous arena in pages.
+    pub anon_pages: u64,
+    /// Random file pages read per tick.
+    pub reads_per_tick: u64,
+    /// File pages appended (written) per tick.
+    pub writes_per_tick: u64,
+    /// Random anonymous pages touched per tick.
+    pub touches_per_tick: u64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            ticks: 1000,
+            interval: SimDuration::from_millis(100),
+            file_pages: MemBytes::from_mb(32).pages(),
+            anon_pages: MemBytes::from_mb(8).pages(),
+            reads_per_tick: 4,
+            writes_per_tick: 1,
+            touches_per_tick: 2,
+            seed: 0xdae,
+        }
+    }
+}
+
+/// The daemon workload. See the module docs.
+#[derive(Debug)]
+pub struct Daemon {
+    cfg: DaemonConfig,
+    file: Option<FileId>,
+    proc: Option<(ProcId, Vpn)>,
+    tick: u64,
+    rng: DeterministicRng,
+}
+
+impl Daemon {
+    /// Creates the daemon with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size in the config is zero.
+    pub fn new(cfg: DaemonConfig) -> Self {
+        assert!(cfg.ticks > 0 && cfg.file_pages > 0 && cfg.anon_pages > 0);
+        let rng = DeterministicRng::seed_from(cfg.seed);
+        Daemon { cfg, file: None, proc: None, tick: 0, rng }
+    }
+}
+
+impl GuestProgram for Daemon {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        let (file, proc, base) = match (self.file, self.proc) {
+            (Some(f), Some((p, b))) => (f, p, b),
+            _ => {
+                let f = ctx.create_file(self.cfg.file_pages)?;
+                let p = ctx.spawn_process();
+                let b = ctx.alloc_anon(p, self.cfg.anon_pages)?;
+                self.file = Some(f);
+                self.proc = Some((p, b));
+                return Ok(StepOutcome::Running);
+            }
+        };
+        for _ in 0..self.cfg.reads_per_tick {
+            let page = self.rng.below(self.cfg.file_pages);
+            ctx.read_file(file, page, 1)?;
+        }
+        for _ in 0..self.cfg.writes_per_tick {
+            let page = self.rng.below(self.cfg.file_pages);
+            ctx.write_file(file, page, 1)?;
+        }
+        for _ in 0..self.cfg.touches_per_tick {
+            let vpn = self.rng.below(self.cfg.anon_pages);
+            ctx.touch_anon(proc, base.offset(vpn), self.rng.chance(0.5))?;
+        }
+        // Daemons sleep between ticks.
+        ctx.compute(self.cfg.interval);
+        self.tick += 1;
+        if self.tick >= self.cfg.ticks {
+            Ok(StepOutcome::Done)
+        } else {
+            Ok(StepOutcome::Running)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "daemon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::SharedFile;
+    use crate::sysbench::{SysbenchPrepare, SysbenchRead};
+    use vswap_core::{Machine, MachineConfig, SwapPolicy};
+    use vswap_guestos::GuestSpec;
+    use vswap_hostos::HostSpec;
+    use vswap_hypervisor::VmSpec;
+
+    #[test]
+    fn daemon_and_benchmark_time_share_a_guest() {
+        let host = HostSpec {
+            dram: MemBytes::from_mb(64),
+            disk_pages: MemBytes::from_mb(512).pages(),
+            swap_pages: MemBytes::from_mb(64).pages(),
+            hypervisor_code_pages: 16,
+            ..HostSpec::paper_testbed()
+        };
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(host)).unwrap();
+        let vm = m
+            .add_vm(
+                VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
+                    GuestSpec {
+                        memory: MemBytes::from_mb(32),
+                        disk: MemBytes::from_mb(256),
+                        swap: MemBytes::from_mb(32),
+                        kernel_pages: MemBytes::from_mb(2).pages(),
+                        boot_file_pages: MemBytes::from_mb(4).pages(),
+                        boot_anon_pages: MemBytes::from_mb(2).pages(),
+                        ..GuestSpec::linux_default()
+                    },
+                ),
+            )
+            .unwrap();
+        let shared = SharedFile::new();
+        m.launch(vm, Box::new(SysbenchPrepare::new(MemBytes::from_mb(12).pages(), shared.clone())));
+        m.run();
+        let daemon = Daemon::new(DaemonConfig {
+            ticks: 40,
+            file_pages: MemBytes::from_mb(4).pages(),
+            anon_pages: MemBytes::from_mb(1).pages(),
+            ..DaemonConfig::default()
+        });
+        m.launch(vm, Box::new(daemon));
+        m.launch(vm, Box::new(SysbenchRead::new(shared)));
+        // Drive until the benchmark (not necessarily the daemon) retires.
+        let before = m.completed_workloads(vm);
+        while m.completed_workloads(vm) < before + 2 && m.step() {}
+        let report = m.report();
+        assert!(report.vm_history(vm).any(|w| w.workload == "daemon"));
+        assert!(report.vm_history(vm).any(|w| w.workload == "sysbench-seqrd"));
+        m.host().audit().unwrap();
+    }
+}

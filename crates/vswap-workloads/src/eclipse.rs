@@ -1,0 +1,285 @@
+//! The DaCapo Eclipse workload (Figures 13 and 15): a JVM-hosted IDE.
+//!
+//! The paper singles Java out as "an LRU-related pathological case": the
+//! garbage collector periodically sweeps the *entire* heap, so when the
+//! physical allocation is smaller than the JVM working set, every sweep
+//! cycles the whole heap through memory. Between sweeps the workload
+//! touches scattered heap pages and reads workspace files.
+
+use sim_core::{DeterministicRng, SimDuration};
+use vswap_guestos::{FileId, GuestCtx, GuestError, GuestProgram, ProcId, StepOutcome};
+use vswap_mem::{MemBytes, Vpn};
+
+/// Tuning of the Eclipse analogue.
+#[derive(Debug, Clone)]
+pub struct EclipseConfig {
+    /// Garbage-collected heap in pages (the paper ran OpenJDK with a
+    /// 128 MB heap) — the region full GC sweeps.
+    pub heap_pages: u64,
+    /// The JVM's non-heap resident set in pages: metaspace, JIT code
+    /// caches, mapped jars. Touched at startup and sporadically after —
+    /// cold enough for the host to page, unlike the swept heap.
+    pub static_pages: u64,
+    /// Random static (non-heap) pages touched per work unit.
+    pub static_touches_per_unit: u64,
+    /// Workspace files read during the run, in pages.
+    pub workspace_pages: u64,
+    /// Work units to execute.
+    pub units: u64,
+    /// Scattered heap pages touched per unit.
+    pub touches_per_unit: u64,
+    /// Workspace pages read per unit.
+    pub reads_per_unit: u64,
+    /// Workspace pages written (saved) per unit — the dirty cache pages
+    /// the Mapper must *not* track (Figure 15).
+    pub writes_per_unit: u64,
+    /// A full-heap GC sweep runs every this many units.
+    pub gc_interval: u64,
+    /// Heap pages swept per GC step (bounds step size).
+    pub gc_chunk: u64,
+    /// CPU time per work unit.
+    pub cpu_per_unit: SimDuration,
+    /// Deterministic seed for the scattered touches.
+    pub seed: u64,
+}
+
+impl Default for EclipseConfig {
+    fn default() -> Self {
+        EclipseConfig {
+            heap_pages: MemBytes::from_mb(128).pages(),
+            static_pages: MemBytes::from_mb(232).pages(),
+            static_touches_per_unit: 6,
+            workspace_pages: MemBytes::from_mb(64).pages(),
+            units: 600,
+            touches_per_unit: 192,
+            reads_per_unit: 8,
+            writes_per_unit: 2,
+            gc_interval: 30,
+            gc_chunk: 2048,
+            cpu_per_unit: SimDuration::from_millis(180),
+            seed: 0x0ec1_195e,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Setup,
+    /// Allocating (and thereby zeroing) the heap, one chunk at a time.
+    HeapWarmup { pos: u64 },
+    Work,
+    GcSweep { pos: u64 },
+}
+
+/// The Eclipse analogue. See the module docs.
+#[derive(Debug)]
+pub struct Eclipse {
+    cfg: EclipseConfig,
+    phase: Phase,
+    workspace: Option<FileId>,
+    jvm: Option<(ProcId, Vpn)>,
+    statics: Option<Vpn>,
+    unit: u64,
+    ws_cursor: u64,
+    rng: DeterministicRng,
+}
+
+impl Eclipse {
+    /// Creates the workload with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size in the config is zero.
+    pub fn new(cfg: EclipseConfig) -> Self {
+        assert!(cfg.heap_pages > 0 && cfg.units > 0 && cfg.gc_interval > 0 && cfg.gc_chunk > 0);
+        let rng = DeterministicRng::seed_from(cfg.seed);
+        Eclipse {
+            cfg,
+            phase: Phase::Setup,
+            workspace: None,
+            jvm: None,
+            statics: None,
+            unit: 0,
+            ws_cursor: 0,
+            rng,
+        }
+    }
+
+    /// The workload at the paper's scale.
+    pub fn paper_default() -> Self {
+        Eclipse::new(EclipseConfig::default())
+    }
+}
+
+impl GuestProgram for Eclipse {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        match self.phase {
+            Phase::Setup => {
+                let ws = ctx.create_file(self.cfg.workspace_pages)?;
+                let jvm = ctx.spawn_process();
+                let heap = ctx.alloc_anon(jvm, self.cfg.heap_pages)?;
+                let statics = ctx.alloc_anon(jvm, self.cfg.static_pages.max(1))?;
+                self.workspace = Some(ws);
+                self.jvm = Some((jvm, heap));
+                self.statics = Some(statics);
+                self.phase = Phase::HeapWarmup { pos: 0 };
+                Ok(StepOutcome::Running)
+            }
+            Phase::HeapWarmup { pos } => {
+                // JVM startup: materialize heap then statics (metaspace,
+                // JIT output, mapped jars) — the memory-demand spike.
+                let (jvm, heap) = self.jvm.expect("setup ran");
+                let statics = self.statics.expect("setup ran");
+                let total = self.cfg.heap_pages + self.cfg.static_pages;
+                let count = self.cfg.gc_chunk.min(total - pos);
+                for i in 0..count {
+                    let off = pos + i;
+                    if off < self.cfg.heap_pages {
+                        ctx.touch_anon(jvm, heap.offset(off), true)?;
+                    } else {
+                        ctx.touch_anon(jvm, statics.offset(off - self.cfg.heap_pages), true)?;
+                    }
+                }
+                let next = pos + count;
+                if next == total {
+                    self.phase = Phase::Work;
+                } else {
+                    self.phase = Phase::HeapWarmup { pos: next };
+                }
+                Ok(StepOutcome::Running)
+            }
+            Phase::Work => {
+                let (jvm, heap) = self.jvm.expect("setup ran");
+                let statics = self.statics.expect("setup ran");
+                let ws = self.workspace.expect("setup ran");
+                for i in 0..self.cfg.touches_per_unit {
+                    let page = self.rng.below(self.cfg.heap_pages);
+                    ctx.touch_anon(jvm, heap.offset(page), i % 3 == 0)?;
+                }
+                for _ in 0..self.cfg.static_touches_per_unit.min(self.cfg.static_pages) {
+                    let page = self.rng.below(self.cfg.static_pages.max(1));
+                    ctx.touch_anon(jvm, statics.offset(page), false)?;
+                }
+                let n = self.cfg.reads_per_unit.min(self.cfg.workspace_pages - self.ws_cursor);
+                ctx.read_file(ws, self.ws_cursor, n)?;
+                let w = self.cfg.writes_per_unit.min(n);
+                if w > 0 {
+                    ctx.write_file(ws, self.ws_cursor, w)?;
+                }
+                self.ws_cursor = (self.ws_cursor + n) % self.cfg.workspace_pages;
+                ctx.compute(self.cfg.cpu_per_unit);
+                self.unit += 1;
+                if self.unit == self.cfg.units {
+                    Ok(StepOutcome::Done)
+                } else if self.unit.is_multiple_of(self.cfg.gc_interval) {
+                    self.phase = Phase::GcSweep { pos: 0 };
+                    Ok(StepOutcome::Running)
+                } else {
+                    Ok(StepOutcome::Running)
+                }
+            }
+            Phase::GcSweep { pos } => {
+                // The collector walks the whole heap — the LRU killer.
+                let (jvm, heap) = self.jvm.expect("setup ran");
+                let count = self.cfg.gc_chunk.min(self.cfg.heap_pages - pos);
+                for i in 0..count {
+                    ctx.touch_anon(jvm, heap.offset(pos + i), false)?;
+                }
+                ctx.compute(SimDuration::from_micros(1) * count);
+                let next = pos + count;
+                if next == self.cfg.heap_pages {
+                    self.phase = Phase::Work;
+                } else {
+                    self.phase = Phase::GcSweep { pos: next };
+                }
+                Ok(StepOutcome::Running)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "eclipse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vswap_core::{Machine, MachineConfig, SwapPolicy};
+    use vswap_guestos::GuestSpec;
+    use vswap_hostos::HostSpec;
+    use vswap_hypervisor::VmSpec;
+
+    fn small_cfg() -> EclipseConfig {
+        EclipseConfig {
+            heap_pages: MemBytes::from_mb(8).pages(),
+            static_pages: MemBytes::from_mb(12).pages(),
+            static_touches_per_unit: 2,
+            workspace_pages: MemBytes::from_mb(8).pages(),
+            units: 40,
+            touches_per_unit: 96,
+            reads_per_unit: 4,
+            writes_per_unit: 1,
+            gc_interval: 10,
+            gc_chunk: 512,
+            cpu_per_unit: SimDuration::from_millis(20),
+            seed: 7,
+        }
+    }
+
+    fn run(policy: SwapPolicy, actual_mb: u64) -> vswap_core::RunReport {
+        let host = HostSpec {
+            dram: MemBytes::from_mb(96),
+            disk_pages: MemBytes::from_mb(512).pages(),
+            swap_pages: MemBytes::from_mb(96).pages(),
+            hypervisor_code_pages: 16,
+            ..HostSpec::paper_testbed()
+        };
+        let mut m = Machine::new(MachineConfig::preset(policy).with_host(host)).unwrap();
+        let spec = VmSpec::linux("g", MemBytes::from_mb(48), MemBytes::from_mb(actual_mb))
+            .with_guest(GuestSpec {
+                memory: MemBytes::from_mb(48),
+                disk: MemBytes::from_mb(256),
+                swap: MemBytes::from_mb(48),
+                kernel_pages: MemBytes::from_mb(2).pages(),
+                boot_file_pages: MemBytes::from_mb(4).pages(),
+                boot_anon_pages: MemBytes::from_mb(2).pages(),
+                ..GuestSpec::linux_default()
+            });
+        let vm = m.add_vm(spec).unwrap();
+        m.launch(vm, Box::new(Eclipse::new(small_cfg())));
+        let report = m.run();
+        m.host().audit().unwrap();
+        report
+    }
+
+    #[test]
+    fn completes_with_plentiful_memory() {
+        let report = run(SwapPolicy::Baseline, 48);
+        assert_eq!(report.kill_count(), 0);
+    }
+
+    #[test]
+    fn uncooperative_swapping_never_kills_the_jvm() {
+        // Baseline/vswapper squeeze the guest without its knowledge: slow,
+        // but alive (Figure 13: those lines have every point).
+        for policy in [SwapPolicy::Baseline, SwapPolicy::MapperOnly, SwapPolicy::Vswapper] {
+            let report = run(policy, 10);
+            assert_eq!(report.kill_count(), 0, "{policy} must not kill eclipse");
+        }
+    }
+
+    #[test]
+    fn deep_balloon_squeeze_kills_the_jvm() {
+        // The balloon squeezes below the JVM working set: Eclipse dies
+        // (Figure 13: the balloon line stops below 448 MB).
+        let report = run(SwapPolicy::BalloonBaseline, 10);
+        assert!(report.kill_count() > 0, "over-ballooning must kill eclipse");
+    }
+
+    #[test]
+    fn balloon_survives_mild_squeeze() {
+        let report = run(SwapPolicy::BalloonBaseline, 36);
+        assert_eq!(report.kill_count(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic analogues of the paper's evaluation workloads.
+//!
+//! The paper's experiments run real applications (Sysbench, pbzip2,
+//! Kernbench, DaCapo Eclipse, Metis MapReduce). What the memory system
+//! sees of those applications is an *access pattern*: how much file data
+//! is scanned and how sequentially, how much anonymous memory is hot vs.
+//! streamed, how much page zeroing process churn causes. Each module here
+//! reproduces one workload's pattern, calibrated to the paper's setup:
+//!
+//! * [`sysbench`] — sequential file reads through the guest page cache
+//!   (Figures 3 and 9, Table 2, and the Windows experiments of §5.4);
+//! * [`alloctouch`] — fork + allocate + sequentially access anonymous
+//!   memory (the false-reads microbenchmark, Figure 10);
+//! * [`pbzip2`] — parallel block compression: streaming file input,
+//!   a hot dictionary working set, compressed output (Figures 5 and 11);
+//! * [`kernbench`] — a compile farm: many small source reads, short-lived
+//!   processes whose address spaces are zeroed at birth (Figure 12);
+//! * [`eclipse`] — a JVM-like heap with periodic full-heap GC sweeps, the
+//!   LRU-pathological case (Figures 13 and 15);
+//! * [`mapreduce`] — the Metis word-count run: large input scan plus a
+//!   big randomly-touched in-memory table (Figures 4 and 14).
+//!
+//! All workloads implement [`GuestProgram`](vswap_guestos::GuestProgram)
+//! and are deterministic given their seed.
+
+#![warn(missing_docs)]
+
+pub mod aging;
+pub mod alloctouch;
+pub mod daemon;
+pub mod eclipse;
+pub mod kernbench;
+pub mod mapreduce;
+pub mod pbzip2;
+pub mod shared;
+pub mod sysbench;
+
+pub use aging::AgeGuest;
+pub use alloctouch::AllocStream;
+pub use daemon::{Daemon, DaemonConfig};
+pub use eclipse::Eclipse;
+pub use kernbench::Kernbench;
+pub use mapreduce::MapReduce;
+pub use pbzip2::Pbzip2;
+pub use shared::SharedFile;
+pub use sysbench::{SysbenchPrepare, SysbenchRead};

@@ -1,0 +1,321 @@
+//! The Metis MapReduce word-count workload (Figures 4 and 14).
+//!
+//! What the memory system sees: a sequential scan of a large input file
+//! (map phase) interleaved with writes to a large, randomly indexed
+//! in-memory hash table that *grows as keys are inserted*; then a
+//! sequential sweep of the whole table (reduce phase) and a small output.
+//! Memory demand therefore ramps up over the run — the "changing load"
+//! that makes life hard for balloon managers (§2.3).
+
+use sim_core::{DeterministicRng, SimDuration};
+use vswap_guestos::{FileId, GuestCtx, GuestError, GuestProgram, ProcId, StepOutcome};
+use vswap_mem::{MemBytes, Vpn};
+
+/// Tuning of the MapReduce analogue.
+#[derive(Debug, Clone)]
+pub struct MapReduceConfig {
+    /// Input file size in pages (the paper's word-count input is 300 MB).
+    pub input_pages: u64,
+    /// Final hash-table size in pages (Metis holds ~1 GB of tables).
+    pub table_pages: u64,
+    /// Input pages consumed per map step.
+    pub chunk_pages: u64,
+    /// Random table insertions (page writes) per map step.
+    pub inserts_per_chunk: u64,
+    /// Fixed intermediate-buffer footprint (Metis key arrays, reused by
+    /// the allocator across splits); a slice is re-touched every chunk.
+    pub scratch_pages: u64,
+    /// Scratch pages re-touched per map step.
+    pub scratch_touches_per_chunk: u64,
+    /// Output file size in pages.
+    pub output_pages: u64,
+    /// Map CPU time per input page.
+    pub map_cpu_per_page: SimDuration,
+    /// Reduce CPU time per table page.
+    pub reduce_cpu_per_page: SimDuration,
+    /// Table pages swept per reduce step.
+    pub reduce_chunk: u64,
+    /// Deterministic seed for the insert pattern.
+    pub seed: u64,
+}
+
+impl Default for MapReduceConfig {
+    fn default() -> Self {
+        MapReduceConfig {
+            input_pages: MemBytes::from_mb(300).pages(),
+            table_pages: MemBytes::from_mb(560).pages(),
+            chunk_pages: 64,
+            inserts_per_chunk: 192,
+            scratch_pages: MemBytes::from_mb(96).pages(),
+            scratch_touches_per_chunk: 128,
+            output_pages: MemBytes::from_mb(16).pages(),
+            map_cpu_per_page: SimDuration::from_micros(350),
+            reduce_cpu_per_page: SimDuration::from_micros(25),
+            reduce_chunk: 2048,
+            seed: 0x3a9,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Setup,
+    /// First-touching the hash-table arrays (Metis allocates them up
+    /// front — the demand spike that catches balloon managers flat).
+    Warmup { pos: u64 },
+    Map,
+    Reduce { pos: u64 },
+    Output { pos: u64 },
+}
+
+/// The MapReduce analogue. See the module docs.
+#[derive(Debug)]
+pub struct MapReduce {
+    cfg: MapReduceConfig,
+    phase: Phase,
+    input: Option<FileId>,
+    output: Option<FileId>,
+    proc: Option<(ProcId, Vpn)>,
+    scratch: Option<Vpn>,
+    in_pos: u64,
+    scratch_cursor: u64,
+    rng: DeterministicRng,
+}
+
+impl MapReduce {
+    /// Creates the workload with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size in the config is zero.
+    pub fn new(cfg: MapReduceConfig) -> Self {
+        assert!(cfg.input_pages > 0 && cfg.table_pages > 0 && cfg.chunk_pages > 0);
+        assert!(cfg.output_pages > 0 && cfg.reduce_chunk > 0);
+        let rng = DeterministicRng::seed_from(cfg.seed);
+        MapReduce {
+            cfg,
+            phase: Phase::Setup,
+            input: None,
+            output: None,
+            proc: None,
+            scratch: None,
+            in_pos: 0,
+            scratch_cursor: 0,
+            rng,
+        }
+    }
+
+    /// The workload at the paper's scale, seeded per guest.
+    pub fn paper_default(seed: u64) -> Self {
+        MapReduce::new(MapReduceConfig { seed, ..MapReduceConfig::default() })
+    }
+}
+
+impl GuestProgram for MapReduce {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        match self.phase {
+            Phase::Setup => {
+                let input = ctx.create_file(self.cfg.input_pages)?;
+                let output = ctx.create_file(self.cfg.output_pages)?;
+                let proc = ctx.spawn_process();
+                let table = ctx.alloc_anon(proc, self.cfg.table_pages)?;
+                let scratch = ctx.alloc_anon(proc, self.cfg.scratch_pages.max(1))?;
+                self.input = Some(input);
+                self.output = Some(output);
+                self.proc = Some((proc, table));
+                self.scratch = Some(scratch);
+                self.phase = Phase::Warmup { pos: 0 };
+                Ok(StepOutcome::Running)
+            }
+            Phase::Warmup { pos } => {
+                // Metis zeroes its table arrays at start: the memory
+                // demand arrives as a spike, not a ramp.
+                let (proc, table) = self.proc.expect("setup ran");
+                let count = 2048.min(self.cfg.table_pages - pos);
+                for i in 0..count {
+                    ctx.touch_anon(proc, table.offset(pos + i), true)?;
+                }
+                let next = pos + count;
+                self.phase = if next == self.cfg.table_pages {
+                    Phase::Map
+                } else {
+                    Phase::Warmup { pos: next }
+                };
+                Ok(StepOutcome::Running)
+            }
+            Phase::Map => {
+                let input = self.input.expect("setup ran");
+                let (proc, table) = self.proc.expect("setup ran");
+
+                let count = self.cfg.chunk_pages.min(self.cfg.input_pages - self.in_pos);
+                ctx.read_file(input, self.in_pos, count)?;
+                self.in_pos += count;
+
+                // Insertions hash across the whole table.
+                for _ in 0..self.cfg.inserts_per_chunk {
+                    let page = self.rng.below(self.cfg.table_pages);
+                    ctx.touch_anon(proc, table.offset(page), true)?;
+                }
+
+                // Intermediate buffers are reused in place (malloc), so
+                // they are simply part of the hot working set.
+                if self.cfg.scratch_pages > 0 {
+                    let scratch = self.scratch.expect("setup ran");
+                    for i in 0..self.cfg.scratch_touches_per_chunk {
+                        let page = (self.scratch_cursor + i) % self.cfg.scratch_pages;
+                        ctx.overwrite_anon(proc, scratch.offset(page))?;
+                    }
+                    self.scratch_cursor = (self.scratch_cursor
+                        + self.cfg.scratch_touches_per_chunk)
+                        % self.cfg.scratch_pages.max(1);
+                }
+                ctx.compute(self.cfg.map_cpu_per_page * count);
+
+                if self.in_pos == self.cfg.input_pages {
+                    self.phase = Phase::Reduce { pos: 0 };
+                }
+                Ok(StepOutcome::Running)
+            }
+            Phase::Reduce { pos } => {
+                // One full sweep over the table to aggregate.
+                let (proc, table) = self.proc.expect("setup ran");
+                let len = self.cfg.table_pages;
+                let count = self.cfg.reduce_chunk.min(len.saturating_sub(pos));
+                for i in 0..count {
+                    ctx.touch_anon(proc, table.offset(pos + i), false)?;
+                }
+                ctx.compute(self.cfg.reduce_cpu_per_page * count.max(1));
+                let next = pos + count;
+                if count == 0 || next >= len {
+                    self.phase = Phase::Output { pos: 0 };
+                } else {
+                    self.phase = Phase::Reduce { pos: next };
+                }
+                Ok(StepOutcome::Running)
+            }
+            Phase::Output { pos } => {
+                let output = self.output.expect("setup ran");
+                let count = 64.min(self.cfg.output_pages - pos);
+                ctx.write_file(output, pos, count)?;
+                let next = pos + count;
+                if next == self.cfg.output_pages {
+                    ctx.sync();
+                    Ok(StepOutcome::Done)
+                } else {
+                    self.phase = Phase::Output { pos: next };
+                    Ok(StepOutcome::Running)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "mapreduce-wordcount"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{SimDuration as D, SimTime};
+    use vswap_core::{Machine, MachineConfig, SwapPolicy};
+    use vswap_guestos::GuestSpec;
+    use vswap_hostos::HostSpec;
+    use vswap_hypervisor::{BalloonPolicy, VmSpec};
+
+    fn small_cfg(seed: u64) -> MapReduceConfig {
+        MapReduceConfig {
+            input_pages: MemBytes::from_mb(8).pages(),
+            table_pages: MemBytes::from_mb(16).pages(),
+            chunk_pages: 32,
+            inserts_per_chunk: 96,
+            scratch_pages: MemBytes::from_mb(2).pages(),
+            scratch_touches_per_chunk: 32,
+            output_pages: MemBytes::from_mb(1).pages(),
+            map_cpu_per_page: D::from_micros(200),
+            reduce_cpu_per_page: D::from_micros(20),
+            reduce_chunk: 512,
+            seed,
+        }
+    }
+
+    fn guest_spec(name: &str) -> VmSpec {
+        VmSpec::linux(name, MemBytes::from_mb(48), MemBytes::from_mb(48))
+            .with_vcpus(2)
+            .with_guest(GuestSpec {
+                memory: MemBytes::from_mb(48),
+                disk: MemBytes::from_mb(256),
+                swap: MemBytes::from_mb(48),
+                kernel_pages: MemBytes::from_mb(2).pages(),
+                boot_file_pages: MemBytes::from_mb(4).pages(),
+                boot_anon_pages: MemBytes::from_mb(2).pages(),
+                ..GuestSpec::linux_default()
+            })
+    }
+
+    /// Three phased guests on a host that holds only two of them.
+    fn run_phased(policy: SwapPolicy, auto_balloon: bool) -> vswap_core::RunReport {
+        let host = HostSpec {
+            dram: MemBytes::from_mb(72),
+            disk_pages: MemBytes::from_gb(1).pages(),
+            swap_pages: MemBytes::from_mb(128).pages(),
+            hypervisor_code_pages: 16,
+            ..HostSpec::paper_testbed()
+        };
+        let mut cfg = MachineConfig::preset(policy).with_host(host);
+        if auto_balloon {
+            // Sample fast so the manager visibly acts within the short
+            // test run (the paper-scale benches use the default 1 s).
+            cfg = cfg.with_auto_balloon(BalloonPolicy {
+                interval: D::from_millis(250),
+                ..BalloonPolicy::default()
+            });
+        }
+        let mut m = Machine::new(cfg).unwrap();
+        for i in 0..3u32 {
+            let vm = m.add_vm(guest_spec(&format!("g{i}"))).unwrap();
+            m.launch_at(
+                vm,
+                Box::new(MapReduce::new(small_cfg(i as u64))),
+                SimTime::ZERO + D::from_secs(2 * u64::from(i)),
+            );
+        }
+        let report = m.run();
+        m.host().audit().unwrap();
+        report
+    }
+
+    #[test]
+    fn phased_guests_all_complete() {
+        let report = run_phased(SwapPolicy::Baseline, false);
+        assert_eq!(report.workloads.len(), 3);
+        assert_eq!(report.kill_count(), 0);
+        assert!(report.mean_runtime_secs().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn vswapper_beats_baseline_under_overcommit() {
+        let base = run_phased(SwapPolicy::Baseline, false).mean_runtime_secs().unwrap();
+        let vswap = run_phased(SwapPolicy::Vswapper, false).mean_runtime_secs().unwrap();
+        assert!(
+            vswap < base,
+            "vswapper mean ({vswap:.2}s) must beat baseline mean ({base:.2}s)"
+        );
+    }
+
+    #[test]
+    fn auto_ballooning_runs_and_adjusts() {
+        let report = run_phased(SwapPolicy::BalloonVswapper, true);
+        assert_eq!(report.workloads.len(), 3);
+        // Host pressure must have made the manager inflate some balloon.
+        assert!(
+            report
+                .workloads
+                .iter()
+                .any(|w| w.guest_stats.get("guest_balloon_pages") > 0)
+                || report.kill_count() > 0,
+            "dynamic ballooning must visibly act"
+        );
+    }
+}
+

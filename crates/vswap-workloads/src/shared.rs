@@ -1,0 +1,78 @@
+//! A file handle shared between workload launches on the same VM.
+//!
+//! Iterated experiments (e.g. Sysbench, Figure 9) run one workload per
+//! iteration on the same guest, all touching the same file. Programs are
+//! moved into the machine when launched, so the file identity is passed
+//! through a small shared cell.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use vswap_guestos::FileId;
+
+/// A shared, late-bound guest file identity.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_workloads::SharedFile;
+///
+/// let shared = SharedFile::new();
+/// assert!(shared.get().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedFile {
+    inner: Rc<Cell<Option<FileId>>>,
+}
+
+impl SharedFile {
+    /// Creates an unbound handle.
+    pub fn new() -> Self {
+        SharedFile::default()
+    }
+
+    /// Binds the handle to a file (once created by a prepare phase).
+    pub fn set(&self, file: FileId) {
+        self.inner.set(Some(file));
+    }
+
+    /// The bound file, if any.
+    pub fn get(&self) -> Option<FileId> {
+        self.inner.get()
+    }
+
+    /// The bound file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no prepare phase bound the handle yet.
+    pub fn expect_bound(&self) -> FileId {
+        self.get().expect("file not yet bound; run the prepare workload first")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_binding() {
+        let a = SharedFile::new();
+        let b = a.clone();
+        assert!(b.get().is_none());
+        // FileId has no public constructor; bind through a guest.
+        let mut guest = vswap_guestos::GuestKernel::new(
+            vswap_guestos::GuestSpec::small_test(),
+            1,
+        );
+        let f = guest.create_file(4).unwrap();
+        a.set(f);
+        assert_eq!(b.get(), Some(f));
+        assert_eq!(b.expect_bound(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet bound")]
+    fn unbound_expect_panics() {
+        SharedFile::new().expect_bound();
+    }
+}

@@ -1,0 +1,78 @@
+//! Watching a MOM-style balloon manager chase a demand spike (§2.3:
+//! "ballooning takes time").
+//!
+//! ```text
+//! cargo run --release -p vswap-bench --example balloon_dynamics
+//! ```
+//!
+//! Two guests share a small host. Guest A idles (its balloon inflates);
+//! then guest B's MapReduce job spikes the demand. The timeline shows
+//! the balloons and host free memory adjusting round by round — the
+//! reaction lag that VSwapper papers over.
+
+use sim_core::{SimDuration, SimTime};
+use vswap_core::{Machine, MachineConfig, SwapPolicy};
+use vswap_guestos::GuestSpec;
+use vswap_hostos::HostSpec;
+use vswap_hypervisor::{BalloonPolicy, VmSpec};
+use vswap_mem::MemBytes;
+use vswap_workloads::mapreduce::{MapReduce, MapReduceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let host = HostSpec {
+        dram: MemBytes::from_mb(1536),
+        disk_pages: MemBytes::from_gb(32).pages(),
+        swap_pages: MemBytes::from_gb(4).pages(),
+        ..HostSpec::paper_testbed()
+    };
+    let cfg = MachineConfig::preset(SwapPolicy::BalloonVswapper)
+        .with_host(host)
+        .with_auto_balloon(BalloonPolicy::default());
+    let mut machine = Machine::new(cfg)?;
+
+    let guest_spec = |name: &str| {
+        VmSpec::linux(name, MemBytes::from_gb(1), MemBytes::from_gb(1)).with_guest(GuestSpec {
+            memory: MemBytes::from_gb(1),
+            disk: MemBytes::from_gb(8),
+            swap: MemBytes::from_mb(512),
+            ..GuestSpec::linux_default()
+        })
+    };
+    let idle = machine.add_vm(guest_spec("idle"))?;
+    let busy = machine.add_vm(guest_spec("busy"))?;
+
+    // The idle guest slowly reads files; the busy one spikes at t=5s.
+    machine.launch(idle, Box::new(vswap_core::workload_api::FileScan::new(
+        MemBytes::from_mb(700).pages(),
+        1,
+    )));
+    machine.launch_at(
+        busy,
+        Box::new(MapReduce::new(MapReduceConfig {
+            input_pages: MemBytes::from_mb(100).pages(),
+            table_pages: MemBytes::from_mb(500).pages(),
+            seed: 7,
+            ..MapReduceConfig::default()
+        })),
+        SimTime::ZERO + SimDuration::from_secs(5),
+    );
+
+    println!("t [s]   host free [MB]   idle balloon [MB]   busy balloon [MB]");
+    println!("----------------------------------------------------------------");
+    let mut next_sample = SimTime::ZERO;
+    while machine.step() {
+        if machine.now() >= next_sample {
+            println!(
+                "{:>5.1}   {:>14}   {:>17}   {:>17}",
+                machine.now().as_secs_f64(),
+                machine.host().free_frames() * 4096 / (1024 * 1024),
+                machine.guest(idle).balloon_pages() * 4096 / (1024 * 1024),
+                machine.guest(busy).balloon_pages() * 4096 / (1024 * 1024),
+            );
+            next_sample = machine.now() + SimDuration::from_secs(2);
+        }
+    }
+    let report = machine.report();
+    println!("\njobs finished: {}, killed: {}", report.workloads.len(), report.kill_count());
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Consolidation: how many guests can one host pack before performance
+//! collapses — the economic question that motivates memory
+//! overcommitment (§1 of the paper).
+//!
+//! ```text
+//! cargo run --release -p vswap-bench --example consolidation
+//! ```
+//!
+//! A 3 GB host takes on 1–7 guests, each running a MapReduce job with a
+//! ~1 GB footprint, phased two seconds apart. The table shows the mean
+//! job completion time per packing level under baseline uncooperative
+//! swapping and under VSwapper: the efficient swapper moves the
+//! "performance cliff" several guests to the right.
+
+use sim_core::{SimDuration, SimTime};
+use vswap_core::{Machine, MachineConfig, SwapPolicy};
+use vswap_guestos::GuestSpec;
+use vswap_hostos::HostSpec;
+use vswap_hypervisor::VmSpec;
+use vswap_mem::MemBytes;
+use vswap_workloads::mapreduce::{MapReduce, MapReduceConfig};
+
+fn guest(name: &str) -> VmSpec {
+    let memory = MemBytes::from_gb(2);
+    VmSpec::linux(name, memory, memory).with_vcpus(2).with_guest(GuestSpec {
+        memory,
+        disk: MemBytes::from_gb(8),
+        swap: MemBytes::from_gb(1),
+        ..GuestSpec::linux_default()
+    })
+}
+
+fn job(seed: u64) -> MapReduceConfig {
+    MapReduceConfig {
+        input_pages: MemBytes::from_mb(150).pages(),
+        table_pages: MemBytes::from_mb(400).pages(),
+        seed,
+        ..MapReduceConfig::default()
+    }
+}
+
+fn mean_runtime(policy: SwapPolicy, guests: u32) -> Result<f64, Box<dyn std::error::Error>> {
+    let host = HostSpec {
+        dram: MemBytes::from_gb(3),
+        disk_pages: MemBytes::from_gb(128).pages(),
+        swap_pages: MemBytes::from_gb(8).pages(),
+        ..HostSpec::paper_testbed()
+    };
+    let mut machine = Machine::new(MachineConfig::preset(policy).with_host(host))?;
+    for i in 0..guests {
+        let vm = machine.add_vm(guest(&format!("guest{i}")))?;
+        machine.launch_at(
+            vm,
+            Box::new(MapReduce::new(job(u64::from(i)))),
+            SimTime::ZERO + SimDuration::from_secs(2 * u64::from(i)),
+        );
+    }
+    let report = machine.run();
+    Ok(report.mean_runtime_secs().unwrap_or(f64::NAN))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("guests   baseline [s]   vswapper [s]   vswapper advantage");
+    println!("----------------------------------------------------------");
+    for guests in 1..=7 {
+        let base = mean_runtime(SwapPolicy::Baseline, guests)?;
+        let vswap = mean_runtime(SwapPolicy::Vswapper, guests)?;
+        println!("{guests:>6}   {base:>12.1}   {vswap:>12.1}   {:>8.2}x", base / vswap);
+    }
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Full-machine data-consistency tests: random workloads driven through
+//! the complete stack (guest kernel → VSwapper → host kernel → disk)
+//! must never observe wrong content under any policy.
+//!
+//! These tests lean on two enforcement layers: the guest kernel's
+//! `debug_assert!`s compare every read's content label against its
+//! bookkeeping (active in test builds), and `HostKernel::audit` checks
+//! the cross-structure invariants after every run.
+
+use proptest::prelude::*;
+use sim_core::SimDuration;
+use vswap_core::{Machine, MachineConfig, SwapPolicy};
+use vswap_guestos::{FileId, GuestCtx, GuestError, GuestProgram, GuestSpec, ProcId, StepOutcome};
+use vswap_hostos::HostSpec;
+use vswap_hypervisor::VmSpec;
+use vswap_mem::{MemBytes, Vpn};
+
+/// One scripted guest action.
+#[derive(Debug, Clone)]
+enum Action {
+    Read { offset: u64, count: u64 },
+    Write { offset: u64, count: u64 },
+    Touch { vpn: u64, write: bool },
+    Overwrite { vpn: u64 },
+    Free { vpn: u64, count: u64 },
+    Sync,
+    DropCaches,
+    Compute,
+}
+
+const FILE_PAGES: u64 = 192;
+const ANON_PAGES: u64 = 256;
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        ((0..FILE_PAGES), (1..24u64)).prop_map(|(offset, count)| Action::Read { offset, count }),
+        ((0..FILE_PAGES), (1..24u64)).prop_map(|(offset, count)| Action::Write { offset, count }),
+        ((0..ANON_PAGES), any::<bool>()).prop_map(|(vpn, write)| Action::Touch { vpn, write }),
+        (0..ANON_PAGES).prop_map(|vpn| Action::Overwrite { vpn }),
+        ((0..ANON_PAGES), (1..24u64)).prop_map(|(vpn, count)| Action::Free { vpn, count }),
+        Just(Action::Sync),
+        Just(Action::DropCaches),
+        Just(Action::Compute),
+    ]
+}
+
+/// Replays a scripted action list inside a guest.
+struct Scripted {
+    actions: Vec<Action>,
+    pos: usize,
+    file: Option<FileId>,
+    proc: Option<(ProcId, Vpn)>,
+}
+
+impl Scripted {
+    fn new(actions: Vec<Action>) -> Self {
+        Scripted { actions, pos: 0, file: None, proc: None }
+    }
+}
+
+impl GuestProgram for Scripted {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        let (file, proc, base) = match (self.file, self.proc) {
+            (Some(f), Some((p, b))) => (f, p, b),
+            _ => {
+                let f = ctx.create_file(FILE_PAGES)?;
+                let p = ctx.spawn_process();
+                let b = ctx.alloc_anon(p, ANON_PAGES)?;
+                self.file = Some(f);
+                self.proc = Some((p, b));
+                return Ok(StepOutcome::Running);
+            }
+        };
+        let Some(op) = self.actions.get(self.pos).cloned() else {
+            return Ok(StepOutcome::Done);
+        };
+        self.pos += 1;
+        match op {
+            Action::Read { offset, count } => {
+                let count = count.min(FILE_PAGES - offset);
+                ctx.read_file(file, offset, count)?;
+            }
+            Action::Write { offset, count } => {
+                let count = count.min(FILE_PAGES - offset);
+                ctx.write_file(file, offset, count)?;
+            }
+            Action::Touch { vpn, write } => ctx.touch_anon(proc, base.offset(vpn), write)?,
+            Action::Overwrite { vpn } => ctx.overwrite_anon(proc, base.offset(vpn))?,
+            Action::Free { vpn, count } => {
+                ctx.free_anon(proc, base.offset(vpn), count.min(ANON_PAGES - vpn))?
+            }
+            Action::Sync => ctx.sync(),
+            Action::DropCaches => ctx.drop_caches(),
+            Action::Compute => ctx.compute(SimDuration::from_micros(700)),
+        }
+        Ok(StepOutcome::Running)
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+fn run_script(policy: SwapPolicy, actions: Vec<Action>) -> Result<(), TestCaseError> {
+    let host = HostSpec {
+        dram: MemBytes::from_mb(8),
+        disk_pages: MemBytes::from_mb(128).pages(),
+        swap_pages: MemBytes::from_mb(32).pages(),
+        hypervisor_code_pages: 8,
+        ..HostSpec::paper_testbed()
+    };
+    let mut m = Machine::new(MachineConfig::preset(policy).with_host(host))
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    // A guest squeezed to a quarter of its believed memory: the policy's
+    // machinery is constantly exercised.
+    let spec = VmSpec::linux("guest", MemBytes::from_mb(4), MemBytes::from_mb(1)).with_guest(
+        GuestSpec {
+            memory: MemBytes::from_mb(4),
+            disk: MemBytes::from_mb(32),
+            swap: MemBytes::from_mb(4),
+            kernel_pages: 16,
+            boot_file_pages: 64,
+            boot_anon_pages: 32,
+            ..GuestSpec::linux_default()
+        },
+    );
+    let vm = m.add_vm(spec).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    m.launch(vm, Box::new(Scripted::new(actions)));
+    let report = m.run();
+    // OOM kills are legitimate under the balloon policies; content
+    // corruption (a panicking debug_assert) or a failed audit is not.
+    prop_assert!(report.workloads.len() == 1);
+    m.host().audit().map_err(TestCaseError::fail)?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn baseline_preserves_content(actions in prop::collection::vec(action(), 1..150)) {
+        run_script(SwapPolicy::Baseline, actions)?;
+    }
+
+    #[test]
+    fn mapper_only_preserves_content(actions in prop::collection::vec(action(), 1..150)) {
+        run_script(SwapPolicy::MapperOnly, actions)?;
+    }
+
+    #[test]
+    fn vswapper_preserves_content(actions in prop::collection::vec(action(), 1..150)) {
+        run_script(SwapPolicy::Vswapper, actions)?;
+    }
+
+    #[test]
+    fn balloon_vswapper_preserves_content(actions in prop::collection::vec(action(), 1..150)) {
+        run_script(SwapPolicy::BalloonVswapper, actions)?;
+    }
+}
+
+/// A fixed long mixed script on every policy — a deterministic heavy
+/// regression companion to the proptest cases above.
+#[test]
+fn long_mixed_script_on_every_policy() {
+    let mut actions = Vec::new();
+    for i in 0..400u64 {
+        actions.push(match i % 8 {
+            0 => Action::Read { offset: (i * 7) % FILE_PAGES, count: 12 },
+            1 => Action::Touch { vpn: (i * 13) % ANON_PAGES, write: true },
+            2 => Action::Write { offset: (i * 11) % FILE_PAGES, count: 6 },
+            3 => Action::Overwrite { vpn: (i * 3) % ANON_PAGES },
+            4 => Action::Touch { vpn: (i * 29) % ANON_PAGES, write: false },
+            5 => Action::Free { vpn: (i * 17) % ANON_PAGES, count: 4 },
+            6 => Action::Read { offset: (i * 23) % FILE_PAGES, count: 20 },
+            _ => Action::DropCaches,
+        });
+    }
+    for policy in SwapPolicy::ALL {
+        run_script(policy, actions.clone()).unwrap_or_else(|e| panic!("{policy}: {e}"));
+    }
+}

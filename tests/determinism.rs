@@ -1,0 +1,162 @@
+//! Determinism tests: every workload, run twice with the same seeds,
+//! must produce bit-identical reports. This is what makes the
+//! experiment suite reproducible and the simulation debuggable.
+
+use vswap_core::{Machine, MachineConfig, RunReport, SwapPolicy};
+use vswap_guestos::{GuestProgram, GuestSpec};
+use vswap_hostos::HostSpec;
+use vswap_hypervisor::VmSpec;
+use vswap_mem::MemBytes;
+use vswap_workloads::daemon::{Daemon, DaemonConfig};
+use vswap_workloads::eclipse::{Eclipse, EclipseConfig};
+use vswap_workloads::kernbench::{Kernbench, KernbenchConfig};
+use vswap_workloads::mapreduce::{MapReduce, MapReduceConfig};
+use vswap_workloads::pbzip2::{Pbzip2, Pbzip2Config};
+use sim_core::SimDuration;
+
+fn host() -> HostSpec {
+    HostSpec {
+        dram: MemBytes::from_mb(96),
+        disk_pages: MemBytes::from_mb(768).pages(),
+        swap_pages: MemBytes::from_mb(96).pages(),
+        hypervisor_code_pages: 16,
+        ..HostSpec::paper_testbed()
+    }
+}
+
+fn vm_spec() -> VmSpec {
+    VmSpec::linux("g", MemBytes::from_mb(48), MemBytes::from_mb(16)).with_guest(GuestSpec {
+        memory: MemBytes::from_mb(48),
+        disk: MemBytes::from_mb(256),
+        swap: MemBytes::from_mb(48),
+        kernel_pages: MemBytes::from_mb(2).pages(),
+        boot_file_pages: MemBytes::from_mb(4).pages(),
+        boot_anon_pages: MemBytes::from_mb(2).pages(),
+        ..GuestSpec::linux_default()
+    })
+}
+
+fn run_once(policy: SwapPolicy, make: &dyn Fn() -> Box<dyn GuestProgram>) -> RunReport {
+    let mut m = Machine::new(MachineConfig::preset(policy).with_host(host())).expect("machine");
+    let vm = m.add_vm(vm_spec()).expect("vm");
+    m.launch(vm, make());
+    let report = m.run();
+    m.host().audit().expect("invariants");
+    report
+}
+
+fn assert_deterministic(policy: SwapPolicy, make: &dyn Fn() -> Box<dyn GuestProgram>) {
+    let a = run_once(policy, make);
+    let b = run_once(policy, make);
+    assert_eq!(a.host, b.host, "{policy}: host counters must be identical");
+    assert_eq!(a.disk, b.disk, "{policy}: disk counters must be identical");
+    assert_eq!(a.preventer, b.preventer, "{policy}: preventer counters must be identical");
+    let ra: Vec<String> =
+        a.workloads.iter().map(|w| format!("{:?}/{:?}", w.started, w.finished)).collect();
+    let rb: Vec<String> =
+        b.workloads.iter().map(|w| format!("{:?}/{:?}", w.started, w.finished)).collect();
+    assert_eq!(ra, rb, "{policy}: timings must be identical");
+}
+
+#[test]
+fn pbzip2_is_deterministic() {
+    let make = || -> Box<dyn GuestProgram> {
+        Box::new(Pbzip2::new(Pbzip2Config {
+            source_pages: MemBytes::from_mb(12).pages(),
+            output_pages: MemBytes::from_mb(3).pages(),
+            hot_pages: MemBytes::from_mb(4).pages(),
+            ..Pbzip2Config::default()
+        }))
+    };
+    for policy in [SwapPolicy::Baseline, SwapPolicy::Vswapper] {
+        assert_deterministic(policy, &make);
+    }
+}
+
+#[test]
+fn kernbench_is_deterministic() {
+    let make = || -> Box<dyn GuestProgram> {
+        Box::new(Kernbench::new(KernbenchConfig {
+            jobs: 40,
+            source_pages: MemBytes::from_mb(10).pages(),
+            read_pages_per_job: 16,
+            anon_pages_per_job: 64,
+            output_pages_per_job: 2,
+            cpu_per_job: SimDuration::from_millis(10),
+        }))
+    };
+    assert_deterministic(SwapPolicy::Vswapper, &make);
+}
+
+#[test]
+fn eclipse_is_deterministic() {
+    let make = || -> Box<dyn GuestProgram> {
+        Box::new(Eclipse::new(EclipseConfig {
+            heap_pages: MemBytes::from_mb(6).pages(),
+            static_pages: MemBytes::from_mb(6).pages(),
+            static_touches_per_unit: 2,
+            workspace_pages: MemBytes::from_mb(4).pages(),
+            units: 20,
+            touches_per_unit: 64,
+            reads_per_unit: 4,
+            writes_per_unit: 1,
+            gc_interval: 8,
+            gc_chunk: 512,
+            cpu_per_unit: SimDuration::from_millis(10),
+            seed: 11,
+        }))
+    };
+    assert_deterministic(SwapPolicy::Baseline, &make);
+}
+
+#[test]
+fn mapreduce_is_deterministic() {
+    let make = || -> Box<dyn GuestProgram> {
+        Box::new(MapReduce::new(MapReduceConfig {
+            input_pages: MemBytes::from_mb(6).pages(),
+            table_pages: MemBytes::from_mb(10).pages(),
+            output_pages: MemBytes::from_mb(1).pages(),
+            scratch_pages: MemBytes::from_mb(2).pages(),
+            seed: 3,
+            ..MapReduceConfig::default()
+        }))
+    };
+    assert_deterministic(SwapPolicy::MapperOnly, &make);
+}
+
+#[test]
+fn daemon_plus_benchmark_is_deterministic() {
+    // Two concurrent workloads time-sharing one VM must interleave
+    // identically across runs.
+    let run = || {
+        let mut m = Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(host()))
+            .expect("machine");
+        let vm = m.add_vm(vm_spec()).expect("vm");
+        m.launch(
+            vm,
+            Box::new(Daemon::new(DaemonConfig {
+                ticks: 30,
+                file_pages: MemBytes::from_mb(4).pages(),
+                anon_pages: MemBytes::from_mb(1).pages(),
+                ..DaemonConfig::default()
+            })),
+        );
+        m.launch(
+            vm,
+            Box::new(Pbzip2::new(Pbzip2Config {
+                source_pages: MemBytes::from_mb(8).pages(),
+                output_pages: MemBytes::from_mb(2).pages(),
+                hot_pages: MemBytes::from_mb(2).pages(),
+                ..Pbzip2Config::default()
+            })),
+        );
+        let report = m.run();
+        m.host().audit().expect("invariants");
+        report
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.host, b.host);
+    assert_eq!(a.disk, b.disk);
+    assert_eq!(a.workloads.len(), b.workloads.len());
+}

@@ -1,0 +1,633 @@
+//! Property-based tests over the core data structures and the kernel
+//! models: arbitrary operation sequences must preserve every structural
+//! invariant.
+
+use proptest::prelude::*;
+use sim_core::{DeterministicRng, SimTime};
+use std::collections::VecDeque;
+use vswap_guestos::{GuestKernel, GuestSpec, MockHardware};
+use vswap_hostos::{HostKernel, HostSpec, SlotInfo, SwapArea, VmMmConfig};
+use vswap_mem::{ContentLabel, Gfn, IndexList, MemBytes, VmId};
+
+// ----------------------------------------------------------------------
+// IndexList vs a reference deque
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    PushBack(usize),
+    PushFront(usize),
+    PopFront,
+    Remove(usize),
+    MoveToBack(usize),
+}
+
+fn list_op() -> impl Strategy<Value = ListOp> {
+    prop_oneof![
+        (0..64usize).prop_map(ListOp::PushBack),
+        (0..64usize).prop_map(ListOp::PushFront),
+        Just(ListOp::PopFront),
+        (0..64usize).prop_map(ListOp::Remove),
+        (0..64usize).prop_map(ListOp::MoveToBack),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn index_list_matches_reference_deque(ops in prop::collection::vec(list_op(), 1..200)) {
+        let mut list = IndexList::with_capacity(64);
+        let mut reference: VecDeque<usize> = VecDeque::new();
+        for op in ops {
+            match op {
+                ListOp::PushBack(i) => {
+                    if !reference.contains(&i) {
+                        list.push_back(i);
+                        reference.push_back(i);
+                    }
+                }
+                ListOp::PushFront(i) => {
+                    if !reference.contains(&i) {
+                        list.push_front(i);
+                        reference.push_front(i);
+                    }
+                }
+                ListOp::PopFront => {
+                    prop_assert_eq!(list.pop_front(), reference.pop_front());
+                }
+                ListOp::Remove(i) => {
+                    let was_there = reference.contains(&i);
+                    prop_assert_eq!(list.remove(i), was_there);
+                    reference.retain(|&x| x != i);
+                }
+                ListOp::MoveToBack(i) => {
+                    list.move_to_back(i);
+                    reference.retain(|&x| x != i);
+                    reference.push_back(i);
+                }
+            }
+            prop_assert_eq!(list.len(), reference.len());
+            prop_assert_eq!(list.front(), reference.front().copied());
+        }
+        let collected: Vec<usize> = list.iter().collect();
+        let expected: Vec<usize> = reference.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+    }
+}
+
+// ----------------------------------------------------------------------
+// SwapArea invariants under arbitrary alloc/free
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SwapOp {
+    Alloc(u64),
+    AllocScattered(u64),
+    FreeNth(usize),
+}
+
+fn swap_op() -> impl Strategy<Value = SwapOp> {
+    prop_oneof![
+        (0..1000u64).prop_map(SwapOp::Alloc),
+        (0..1000u64).prop_map(SwapOp::AllocScattered),
+        (0..64usize).prop_map(SwapOp::FreeNth),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn swap_area_never_double_allocates(ops in prop::collection::vec(swap_op(), 1..300)) {
+        let capacity = 48;
+        let mut swap = SwapArea::new(capacity);
+        let mut rng = DeterministicRng::seed_from(7);
+        let mut held: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                SwapOp::Alloc(g) | SwapOp::AllocScattered(g) => {
+                    let info = SlotInfo {
+                        vm: VmId::new(0),
+                        gfn: Gfn::new(g),
+                        label: ContentLabel::ZERO,
+                    };
+                    let got = match op {
+                        SwapOp::Alloc(_) => swap.alloc(info),
+                        _ => swap.alloc_scattered(info, &mut rng, 4),
+                    };
+                    match got {
+                        Some(slot) => {
+                            prop_assert!(!held.contains(&slot), "slot {} double-allocated", slot);
+                            prop_assert_eq!(swap.get(slot), Some(info));
+                            held.push(slot);
+                        }
+                        None => prop_assert_eq!(held.len() as u64, capacity, "None only when full"),
+                    }
+                }
+                SwapOp::FreeNth(n) => {
+                    if !held.is_empty() {
+                        let slot = held.remove(n % held.len());
+                        swap.free(slot);
+                        prop_assert_eq!(swap.get(slot), None);
+                    }
+                }
+            }
+            prop_assert_eq!(swap.used(), held.len() as u64);
+            prop_assert!(swap.high_water() >= swap.used());
+        }
+        // Every held slot is distinct and occupied.
+        for &slot in &held {
+            prop_assert!(swap.get(slot).is_some());
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Guest kernel: arbitrary op sequences keep the audit green
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GuestOp {
+    ReadFile { offset: u64, count: u64 },
+    WriteFile { offset: u64, count: u64 },
+    TouchAnon { vpn: u64, write: bool },
+    OverwriteAnon { vpn: u64 },
+    FreeAnon { vpn: u64, count: u64 },
+    Balloon { target: u64 },
+    Sync,
+    DropCaches,
+}
+
+fn guest_op() -> impl Strategy<Value = GuestOp> {
+    prop_oneof![
+        ((0..192u64), (1..16u64)).prop_map(|(offset, count)| GuestOp::ReadFile { offset, count }),
+        ((0..192u64), (1..16u64)).prop_map(|(offset, count)| GuestOp::WriteFile { offset, count }),
+        ((0..256u64), any::<bool>()).prop_map(|(vpn, write)| GuestOp::TouchAnon { vpn, write }),
+        (0..256u64).prop_map(|vpn| GuestOp::OverwriteAnon { vpn }),
+        ((0..256u64), (1..16u64)).prop_map(|(vpn, count)| GuestOp::FreeAnon { vpn, count }),
+        (0..96u64).prop_map(|target| GuestOp::Balloon { target }),
+        Just(GuestOp::Sync),
+        Just(GuestOp::DropCaches),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn guest_kernel_invariants_hold(ops in prop::collection::vec(guest_op(), 1..120), seed in 0..u64::MAX) {
+        let spec = GuestSpec {
+            memory: MemBytes::from_bytes(256 * 4096),
+            disk: MemBytes::from_bytes(4096 * 4096),
+            swap: MemBytes::from_bytes(512 * 4096),
+            kernel_pages: 16,
+            boot_file_pages: 0,
+            boot_anon_pages: 0,
+            ..GuestSpec::small_test()
+        };
+        let mut guest = GuestKernel::new(spec, seed);
+        let mut hw = MockHardware::new(4096);
+        let file = guest.create_file(208).unwrap();
+        let proc = guest.spawn_process();
+        let base = guest.alloc_anon(proc, 272).unwrap();
+        for op in ops {
+            // Ops may legitimately fail (OOM-killed process); what must
+            // never break is the audit below.
+            let _ = match op {
+                GuestOp::ReadFile { offset, count } => {
+                    guest.read_file(&mut hw, file, offset, count.min(208 - offset)).map(|_| ())
+                }
+                GuestOp::WriteFile { offset, count } => {
+                    guest.write_file(&mut hw, file, offset, count.min(208 - offset)).map(|_| ())
+                }
+                GuestOp::TouchAnon { vpn, write } => {
+                    guest.touch_anon(&mut hw, proc, base.offset(vpn), write).map(|_| ())
+                }
+                GuestOp::OverwriteAnon { vpn } => {
+                    guest.overwrite_anon(&mut hw, proc, base.offset(vpn)).map(|_| ())
+                }
+                GuestOp::FreeAnon { vpn, count } => {
+                    guest.free_anon(proc, base.offset(vpn), count.min(272 - vpn))
+                }
+                GuestOp::Balloon { target } => {
+                    guest.balloon_set_target(&mut hw, target).map(|_| ())
+                }
+                GuestOp::Sync => {
+                    guest.sync(&mut hw);
+                    Ok(())
+                }
+                GuestOp::DropCaches => {
+                    guest.drop_caches(&mut hw);
+                    Ok(())
+                }
+            };
+            guest.audit().map_err(TestCaseError::fail)?;
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Host kernel: arbitrary access sequences keep the audit green and
+// content intact
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum HostOp {
+    Access { gfn: u64, write: bool },
+    Overwrite { gfn: u64 },
+    DiskRead { page: u64, gfn: u64 },
+    DiskWrite { gfn: u64, page: u64 },
+    BalloonRelease { gfn: u64 },
+}
+
+fn host_op() -> impl Strategy<Value = HostOp> {
+    prop_oneof![
+        ((0..192u64), any::<bool>()).prop_map(|(gfn, write)| HostOp::Access { gfn, write }),
+        (0..192u64).prop_map(|gfn| HostOp::Overwrite { gfn }),
+        ((0..512u64), (0..192u64)).prop_map(|(page, gfn)| HostOp::DiskRead { page, gfn }),
+        ((0..192u64), (0..512u64)).prop_map(|(gfn, page)| HostOp::DiskWrite { gfn, page }),
+        (0..192u64).prop_map(|gfn| HostOp::BalloonRelease { gfn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn host_kernel_invariants_hold(
+        ops in prop::collection::vec(host_op(), 1..150),
+        mapper in any::<bool>(),
+    ) {
+        let spec = HostSpec {
+            dram: MemBytes::from_bytes(256 * 4096),
+            disk_pages: 4096,
+            swap_pages: 1024,
+            hypervisor_code_pages: 4,
+            ..HostSpec::paper_testbed()
+        };
+        let mut host = HostKernel::new(spec).unwrap();
+        let vm = host
+            .create_vm(VmMmConfig {
+                gfn_count: 192,
+                image_pages: 512,
+                mem_limit_pages: 64,
+                mapper_enabled: mapper,
+            })
+            .unwrap();
+        // Shadow content model: what the guest must observe per gfn.
+        let mut expected: Vec<Option<ContentLabel>> = vec![None; 192];
+        let t = SimTime::ZERO;
+        for op in ops {
+            match op {
+                HostOp::Access { gfn, write } => {
+                    let out = host.guest_access(t, vm, Gfn::new(gfn), write);
+                    match (write, expected[gfn as usize]) {
+                        (true, _) => expected[gfn as usize] = Some(out.label),
+                        (false, Some(label)) => prop_assert_eq!(out.label, label, "gfn {} content", gfn),
+                        (false, None) => expected[gfn as usize] = Some(out.label),
+                    }
+                }
+                HostOp::Overwrite { gfn } => {
+                    let label = host.fresh_label();
+                    let out = host.overwrite_page(t, vm, Gfn::new(gfn), label);
+                    prop_assert_eq!(out.label, label);
+                    expected[gfn as usize] = Some(label);
+                }
+                HostOp::DiskRead { page, gfn } => {
+                    if mapper {
+                        host.virt_disk_read_mapped(t, vm, page, &[Gfn::new(gfn)]);
+                        // A re-read of the same block into a new page
+                        // dissolves the old page's discarded mapping; its
+                        // content degrades to the zero page (the guest
+                        // would never read a frame it dropped without
+                        // overwriting it first). Stop expecting it.
+                        let label = host.image_label(vm, page);
+                        for (other, slot) in expected.iter_mut().enumerate() {
+                            if other as u64 != gfn && *slot == Some(label) {
+                                *slot = None;
+                            }
+                        }
+                    } else {
+                        host.virt_disk_read(t, vm, page, &[Gfn::new(gfn)]);
+                    }
+                    expected[gfn as usize] = Some(host.image_label(vm, page));
+                }
+                HostOp::DiskWrite { gfn, page } => {
+                    host.virt_disk_write(t, vm, &[Gfn::new(gfn)], page, true);
+                    let label = host.resident_label(vm, Gfn::new(gfn)).unwrap();
+                    prop_assert_eq!(host.image_label(vm, page), label);
+                    expected[gfn as usize] = Some(label);
+                }
+                HostOp::BalloonRelease { gfn } => {
+                    host.balloon_release(vm, Gfn::new(gfn));
+                    expected[gfn as usize] = None; // pinned away; zero on reuse
+                }
+            }
+            host.audit().map_err(TestCaseError::fail)?;
+        }
+        // Every expectation must still hold after the dust settles.
+        for (gfn, label) in expected.iter().enumerate() {
+            if let Some(label) = label {
+                let out = host.guest_access(t, vm, Gfn::new(gfn as u64), false);
+                prop_assert_eq!(out.label, *label, "final content of gfn {}", gfn);
+            }
+        }
+        host.audit().map_err(TestCaseError::fail)?;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Disk model: latency sanity under arbitrary request streams
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DiskOp {
+    Read { sector: u64, pages: u64 },
+    Write { sector: u64, pages: u64 },
+    Writeback { sector: u64, pages: u64 },
+}
+
+fn disk_op() -> impl Strategy<Value = DiskOp> {
+    let addr = 0..(1u64 << 22);
+    let len = 1..64u64;
+    prop_oneof![
+        (addr.clone(), len.clone()).prop_map(|(sector, pages)| DiskOp::Read { sector, pages }),
+        (addr.clone(), len.clone()).prop_map(|(sector, pages)| DiskOp::Write { sector, pages }),
+        (addr, len).prop_map(|(sector, pages)| DiskOp::Writeback { sector, pages }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn disk_model_is_monotonic_and_consistent(ops in prop::collection::vec(disk_op(), 1..200)) {
+        use vswap_disk::{DiskModel, DiskSpec, IoKind, IoTag, SectorRange};
+        let mut disk = DiskModel::new(DiskSpec::hdd_7200());
+        let mut now = SimTime::ZERO;
+        let mut last_busy = SimTime::ZERO;
+        for op in ops {
+            let io = match op {
+                DiskOp::Read { sector, pages } => disk.submit(
+                    now,
+                    IoKind::Read,
+                    SectorRange::new(sector, pages * 8),
+                    IoTag::GuestImage,
+                ),
+                DiskOp::Write { sector, pages } => disk.submit(
+                    now,
+                    IoKind::Write,
+                    SectorRange::new(sector, pages * 8),
+                    IoTag::HostSwap,
+                ),
+                DiskOp::Writeback { sector, pages } => disk.submit_writeback(
+                    now,
+                    SectorRange::new(sector, pages * 8),
+                    IoTag::HostSwap,
+                ),
+            };
+            // Completions are causal and the device only moves forward.
+            prop_assert!(io.started >= now);
+            prop_assert!(io.finished > io.started);
+            prop_assert!(disk.busy_until() >= last_busy);
+            prop_assert_eq!(disk.busy_until(), io.finished);
+            last_busy = disk.busy_until();
+            // Time flows: next submission happens at or after this one.
+            now = now.max(io.started);
+        }
+        let s = disk.stats();
+        prop_assert_eq!(s.ops, s.sequential_ops + s.seeks);
+        prop_assert_eq!(s.ops, s.read_ops + s.write_ops);
+        prop_assert!(s.swap_sectors_read <= s.sectors_read);
+        prop_assert!(s.swap_sectors_written <= s.sectors_written);
+        prop_assert!(s.swap_read_seeks <= s.swap_read_ops);
+    }
+}
+
+// ----------------------------------------------------------------------
+// False Reads Preventer: arbitrary interleavings never corrupt content
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PreventOp {
+    PartialWrite(u64),
+    FullOverwrite(u64),
+    GuestRead(u64),
+    HostFlush(u64),
+    Expire(u64),
+    Cancel(u64),
+}
+
+fn prevent_op() -> impl Strategy<Value = PreventOp> {
+    prop_oneof![
+        (0..96u64).prop_map(PreventOp::PartialWrite),
+        (0..96u64).prop_map(PreventOp::FullOverwrite),
+        (0..96u64).prop_map(PreventOp::GuestRead),
+        (0..96u64).prop_map(PreventOp::HostFlush),
+        (0..4_000_000u64).prop_map(PreventOp::Expire),
+        (0..96u64).prop_map(PreventOp::Cancel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn preventer_preserves_content_under_any_interleaving(
+        ops in prop::collection::vec(prevent_op(), 1..120),
+    ) {
+        use vswap_core::{FalseReadsPreventer, PreventerConfig};
+        let spec = HostSpec {
+            dram: MemBytes::from_bytes(256 * 4096),
+            disk_pages: 4096,
+            swap_pages: 1024,
+            hypervisor_code_pages: 4,
+            ..HostSpec::paper_testbed()
+        };
+        let mut host = HostKernel::new(spec).unwrap();
+        let vm = host
+            .create_vm(VmMmConfig {
+                gfn_count: 96,
+                image_pages: 512,
+                mem_limit_pages: 48,
+                mapper_enabled: false,
+            })
+            .unwrap();
+        // Swap half the pages out so interception has targets.
+        for g in 0..96 {
+            host.guest_access(SimTime::ZERO, vm, Gfn::new(g), true);
+        }
+        let mut preventer = FalseReadsPreventer::new(PreventerConfig {
+            max_pages: 8,
+            ..PreventerConfig::default()
+        });
+        // Shadow: the content each gfn must finally show.
+        let mut expected: Vec<ContentLabel> = (0..96)
+            .map(|g| host.page_signature(vm, Gfn::new(g)).expect("written above"))
+            .collect();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += sim_core::SimDuration::from_micros(50);
+            match op {
+                PreventOp::PartialWrite(g) => {
+                    let gfn = Gfn::new(g);
+                    if preventer.is_emulating(vm, gfn) || preventer.should_intercept(&host, vm, gfn) {
+                        let (label, _) = preventer.on_partial_write(&mut host, now, vm, gfn);
+                        expected[g as usize] = label;
+                    } else {
+                        let out = host.guest_access(now, vm, gfn, true);
+                        expected[g as usize] = out.label;
+                    }
+                }
+                PreventOp::FullOverwrite(g) => {
+                    let gfn = Gfn::new(g);
+                    let label = host.fresh_label();
+                    if preventer.is_emulating(vm, gfn) || preventer.should_intercept(&host, vm, gfn) {
+                        preventer.on_full_overwrite(&mut host, now, vm, gfn, label);
+                    } else {
+                        host.overwrite_page(now, vm, gfn, label);
+                    }
+                    expected[g as usize] = label;
+                }
+                PreventOp::GuestRead(g) => {
+                    let gfn = Gfn::new(g);
+                    preventer.on_guest_read(&mut host, now, vm, gfn);
+                    let out = host.guest_access(now, vm, gfn, false);
+                    prop_assert_eq!(out.label, expected[g as usize], "read of gfn {}", g);
+                }
+                PreventOp::HostFlush(g) => {
+                    preventer.flush_for_host_access(&mut host, now, vm, Gfn::new(g));
+                }
+                PreventOp::Expire(advance) => {
+                    now += sim_core::SimDuration::from_micros(advance);
+                    preventer.expire(&mut host, now);
+                }
+                PreventOp::Cancel(g) => {
+                    let gfn = Gfn::new(g);
+                    if preventer.is_emulating(vm, gfn) {
+                        preventer.cancel(&mut host, vm, gfn);
+                        // The page reverts to its pre-emulation backing
+                        // content; re-read the truth.
+                        expected[g as usize] = host
+                            .page_signature(vm, gfn)
+                            .unwrap_or(ContentLabel::ZERO);
+                    }
+                }
+            }
+            prop_assert!(preventer.active() <= 8, "capacity cap respected");
+            host.audit().map_err(TestCaseError::fail)?;
+        }
+        // Drain the table and verify every page's final content.
+        preventer.flush_all(&mut host, now);
+        for g in 0..96u64 {
+            let out = host.guest_access(now, vm, Gfn::new(g), false);
+            prop_assert_eq!(out.label, expected[g as usize], "final content of gfn {}", g);
+        }
+        host.audit().map_err(TestCaseError::fail)?;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Balloon manager: bounded steps and caps under arbitrary telemetry
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn balloon_targets_are_bounded_and_capped(
+        rounds in prop::collection::vec(
+            ((0u64..200_000), (0u64..70_000), (0u64..500), (0u32..100)),
+            1..60,
+        ),
+    ) {
+        use vswap_hypervisor::{BalloonManager, BalloonPolicy, VmTelemetry};
+        let policy = BalloonPolicy::default();
+        let step = (100_000.0 * policy.step_fraction) as u64;
+        let cap = (100_000.0 * policy.max_fraction) as u64;
+        let mut mom = BalloonManager::new(policy);
+        let mut t = SimTime::ZERO;
+        for (free, balloon, swaps, free_pct) in rounds {
+            t += sim_core::SimDuration::from_secs(2);
+            let balloon = balloon.min(cap); // a real machine never exceeds it
+            let telemetry = [VmTelemetry {
+                vm: VmId::new(0),
+                guest_total_pages: 100_000,
+                guest_free_pages: free.min(100_000),
+                balloon_pages: balloon,
+                recent_guest_swap_outs: swaps,
+            }];
+            for target in mom.poll(t, f64::from(free_pct) / 100.0, &telemetry) {
+                prop_assert!(target.target_pages <= cap, "cap respected");
+                let moved = target.target_pages.abs_diff(balloon);
+                prop_assert!(moved <= step, "step bound respected: moved {}", moved);
+                prop_assert_ne!(target.target_pages, balloon, "no no-op targets emitted");
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// ListArena: shared-links lists vs reference deques
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ArenaOp {
+    Push { list: bool, idx: usize },
+    Pop { list: bool },
+    Remove { idx: usize },
+    MoveBack { idx: usize },
+}
+
+fn arena_op() -> impl Strategy<Value = ArenaOp> {
+    prop_oneof![
+        (any::<bool>(), 0..48usize).prop_map(|(list, idx)| ArenaOp::Push { list, idx }),
+        any::<bool>().prop_map(|list| ArenaOp::Pop { list }),
+        (0..48usize).prop_map(|idx| ArenaOp::Remove { idx }),
+        (0..48usize).prop_map(|idx| ArenaOp::MoveBack { idx }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn arena_lists_match_reference_deques(ops in prop::collection::vec(arena_op(), 1..250)) {
+        use vswap_mem::{ListArena, ListHead};
+        let mut arena = ListArena::with_capacity(48);
+        let mut heads = [ListHead::new(), ListHead::new()];
+        let mut refs: [VecDeque<usize>; 2] = [VecDeque::new(), VecDeque::new()];
+        // Which list each element is on, if any.
+        let mut on: Vec<Option<usize>> = vec![None; 48];
+        for op in ops {
+            match op {
+                ArenaOp::Push { list, idx } => {
+                    let l = usize::from(list);
+                    if on[idx].is_none() {
+                        arena.push_back(&mut heads[l], idx);
+                        refs[l].push_back(idx);
+                        on[idx] = Some(l);
+                    }
+                }
+                ArenaOp::Pop { list } => {
+                    let l = usize::from(list);
+                    let got = arena.pop_front(&mut heads[l]);
+                    let expect = refs[l].pop_front();
+                    prop_assert_eq!(got, expect);
+                    if let Some(idx) = got {
+                        on[idx] = None;
+                    }
+                }
+                ArenaOp::Remove { idx } => {
+                    if let Some(l) = on[idx] {
+                        prop_assert!(arena.remove(&mut heads[l], idx));
+                        refs[l].retain(|&x| x != idx);
+                        on[idx] = None;
+                    }
+                }
+                ArenaOp::MoveBack { idx } => {
+                    if let Some(l) = on[idx] {
+                        arena.move_to_back(&mut heads[l], idx);
+                        refs[l].retain(|&x| x != idx);
+                        refs[l].push_back(idx);
+                    }
+                }
+            }
+            for l in 0..2 {
+                prop_assert_eq!(heads[l].len(), refs[l].len());
+                prop_assert_eq!(heads[l].front(), refs[l].front().copied());
+                let got: Vec<usize> = arena.iter(&heads[l]).collect();
+                let expect: Vec<usize> = refs[l].iter().copied().collect();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+}
