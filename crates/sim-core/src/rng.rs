@@ -1,7 +1,8 @@
 //! Deterministic, seedable randomness for reproducible experiments.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ implementation seeded
+//! through SplitMix64, so simulations carry no external dependencies and
+//! produce identical streams on every platform.
 
 /// A deterministic random source used by workloads and placement policies.
 ///
@@ -22,13 +23,25 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        DeterministicRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut s = seed;
+        let state =
+            [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        DeterministicRng { state }
     }
 
     /// Derives an independent child generator; the parent advances by one
@@ -38,9 +51,18 @@ impl DeterministicRng {
         DeterministicRng::seed_from(seed)
     }
 
-    /// Draws the next 64 random bits.
+    /// Draws the next 64 random bits (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Draws a uniformly distributed value in `[0, bound)`.
@@ -50,7 +72,15 @@ impl DeterministicRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire-style rejection keeps the distribution exactly uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let wide = u128::from(x) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
     }
 
     /// Draws a uniformly distributed `usize` index in `[0, len)`.
@@ -60,24 +90,30 @@ impl DeterministicRng {
     /// Panics if `len` is zero.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "len must be positive");
-        self.inner.gen_range(0..len)
+        self.below(len as u64) as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        if p >= 1.0 {
+            // unit_f64 never reaches 1.0, so force certainty explicitly
+            // (and still consume a draw for stream stability).
+            let _ = self.next_u64();
+            return true;
+        }
+        self.unit_f64() < p
     }
 
     /// Draws a uniformly distributed `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -125,6 +161,27 @@ mod tests {
         // Out-of-range probabilities are clamped rather than panicking.
         assert!(rng.chance(2.0));
         assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range() {
+        let mut rng = DeterministicRng::seed_from(9);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = DeterministicRng::seed_from(13);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from uniform");
+        }
     }
 
     #[test]

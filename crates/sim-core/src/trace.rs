@@ -6,7 +6,7 @@
 //! oldest events are dropped.
 
 use crate::time::SimTime;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One sampled point: an instant, a series label, and a value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +36,7 @@ pub struct Trace {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    dropped_by_series: BTreeMap<&'static str, u64>,
 }
 
 impl Trace {
@@ -46,14 +47,21 @@ impl Trace {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
-        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            dropped_by_series: BTreeMap::new(),
+        }
     }
 
     /// Appends a sample, evicting the oldest event if the trace is full.
     pub fn record(&mut self, at: SimTime, series: &'static str, value: i64) {
         if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.dropped += 1;
+            if let Some(evicted) = self.events.pop_front() {
+                self.dropped += 1;
+                *self.dropped_by_series.entry(evicted.series).or_insert(0) += 1;
+            }
         }
         self.events.push_back(TraceEvent { at, series, value });
     }
@@ -71,6 +79,21 @@ impl Trace {
     /// Number of events evicted because the trace was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Number of events of one series evicted because the trace was full.
+    ///
+    /// Eviction is global (oldest-first regardless of series), so a noisy
+    /// series can push out a quiet one; this makes the victim visible
+    /// where the global [`dropped`](Trace::dropped) count cannot.
+    pub fn dropped_for(&self, series: &str) -> u64 {
+        self.dropped_by_series.get(series).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(series, evicted-count)` pairs for every series that
+    /// has lost at least one event.
+    pub fn dropped_by_series(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.dropped_by_series.iter().map(|(&s, &n)| (s, n))
     }
 
     /// Iterates over all retained events in chronological order.
@@ -114,6 +137,27 @@ mod tests {
         let values: Vec<i64> = t.iter().map(|e| e.value).collect();
         assert_eq!(values, vec![2, 3]);
         assert_eq!(t.dropped(), 1);
+        assert_eq!(t.dropped_for("s"), 1);
+    }
+
+    #[test]
+    fn per_series_drops_expose_the_evicted_victim() {
+        let mut t = Trace::with_capacity(4);
+        // One early sample of a quiet series...
+        t.record(SimTime::from_nanos(0), "quiet", 42);
+        // ...then a noisy series floods the buffer and evicts it.
+        for i in 0..8 {
+            t.record(SimTime::from_nanos(1 + i), "noisy", i as i64);
+        }
+        assert_eq!(t.series("quiet").count(), 0, "the quiet series was evicted");
+        assert_eq!(t.dropped(), 5);
+        // The global count alone cannot say *what* was lost; the
+        // per-series counts can.
+        assert_eq!(t.dropped_for("quiet"), 1);
+        assert_eq!(t.dropped_for("noisy"), 4);
+        assert_eq!(t.dropped_for("never-recorded"), 0);
+        let all: Vec<(&str, u64)> = t.dropped_by_series().collect();
+        assert_eq!(all, vec![("noisy", 4), ("quiet", 1)]);
     }
 
     #[test]

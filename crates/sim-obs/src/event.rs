@@ -1,0 +1,408 @@
+//! The structured event taxonomy: every observable action in the
+//! simulation stack, stamped with simulated time, the VM involved, and a
+//! causal sequence number.
+
+use sim_core::{SimDuration, SimTime};
+
+/// Direction of a disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDir {
+    /// A read from the device.
+    Read,
+    /// A write to the device.
+    Write,
+}
+
+impl IoDir {
+    /// Lower-case label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoDir::Read => "read",
+            IoDir::Write => "write",
+        }
+    }
+}
+
+/// Which on-disk region a request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoClass {
+    /// The guest's virtual-disk image.
+    GuestImage,
+    /// The host swap area.
+    HostSwap,
+}
+
+impl IoClass {
+    /// Lower-case label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoClass::GuestImage => "image",
+            IoClass::HostSwap => "swap",
+        }
+    }
+}
+
+/// Why a Preventer write-emulation buffer was merged back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// The buffer aged out.
+    Timeout,
+    /// The table was full and the oldest buffer was evicted.
+    Capacity,
+    /// The guest read the emulated page.
+    GuestRead,
+    /// The host needed the page (swap-out, migration, ...).
+    HostAccess,
+}
+
+impl FlushCause {
+    /// Lower-case label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushCause::Timeout => "timeout",
+            FlushCause::Capacity => "capacity",
+            FlushCause::GuestRead => "guest_read",
+            FlushCause::HostAccess => "host_access",
+        }
+    }
+}
+
+/// One observable action somewhere in the stack.
+///
+/// Page numbers are raw `u64` guest frame numbers and VM identities are
+/// raw `u32`s so this crate sits below the memory substrate and every
+/// layer can emit events without dependency cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A guest access faulted in the host (EPT violation).
+    PageFault {
+        /// Faulting guest frame.
+        gfn: u64,
+        /// True for write accesses.
+        write: bool,
+        /// True if servicing required disk I/O (major fault).
+        major: bool,
+    },
+    /// The host swapped a page out to its swap area.
+    SwapOut {
+        /// Evicted guest frame.
+        gfn: u64,
+    },
+    /// The host read a page back from its swap area.
+    SwapIn {
+        /// Faulting guest frame.
+        gfn: u64,
+        /// Additional pages brought in by swap readahead.
+        readahead: u64,
+    },
+    /// A Mapper-named page was discarded instead of swapped out.
+    NamedDiscard {
+        /// Discarded guest frame.
+        gfn: u64,
+    },
+    /// A Mapper-named page was refetched from the guest image.
+    NamedRefault {
+        /// Refaulting guest frame.
+        gfn: u64,
+        /// Additional pages brought in by image readahead.
+        readahead: u64,
+    },
+    /// The Mapper associated a guest page with a disk-image block.
+    MapperName {
+        /// Named guest frame.
+        gfn: u64,
+        /// Backing image page.
+        image_page: u64,
+    },
+    /// The Mapper broke a page↔block association.
+    MapperUnname {
+        /// Unnamed guest frame.
+        gfn: u64,
+    },
+    /// The Preventer opened a write-emulation buffer for a page.
+    PreventerOpen {
+        /// Emulated guest frame.
+        gfn: u64,
+    },
+    /// The Preventer merged a buffer back (after a swap-in or remap).
+    PreventerFlush {
+        /// Emulated guest frame.
+        gfn: u64,
+        /// Why the merge happened.
+        cause: FlushCause,
+    },
+    /// The Preventer dropped a buffer without any disk read — a false
+    /// read prevented outright.
+    PreventerDiscard {
+        /// Emulated guest frame.
+        gfn: u64,
+    },
+    /// A guest balloon grew by `pages`.
+    BalloonInflate {
+        /// Pages newly pinned.
+        pages: u64,
+    },
+    /// A guest balloon shrank by `pages`.
+    BalloonDeflate {
+        /// Pages released back to the guest.
+        pages: u64,
+    },
+    /// The balloon manager posted a new target for a VM.
+    BalloonTarget {
+        /// Requested balloon size in pages.
+        target_pages: u64,
+    },
+    /// A disk request was issued.
+    DiskIssue {
+        /// Transfer direction.
+        dir: IoDir,
+        /// Targeted region.
+        class: IoClass,
+        /// First sector.
+        sector: u64,
+        /// Transfer length in sectors.
+        sectors: u64,
+    },
+    /// A disk request completed.
+    DiskComplete {
+        /// Transfer direction.
+        dir: IoDir,
+        /// Targeted region.
+        class: IoClass,
+        /// First sector.
+        sector: u64,
+        /// Transfer length in sectors.
+        sectors: u64,
+        /// Queueing plus service time.
+        latency: SimDuration,
+        /// True if the request continued the previous one sequentially.
+        sequential: bool,
+    },
+    /// A host reclaim pass scanned page lists.
+    ReclaimScan {
+        /// Frames examined.
+        scanned: u64,
+        /// Frames freed.
+        reclaimed: u64,
+    },
+    /// The guest swapped anonymous pages to its own swap partition.
+    GuestSwapOut {
+        /// Pages written out.
+        pages: u64,
+    },
+    /// The guest swapped anonymous pages back in.
+    GuestSwapIn {
+        /// Pages read back.
+        pages: u64,
+    },
+    /// A workload began executing on a VM.
+    WorkloadStarted {
+        /// Workload name.
+        name: String,
+    },
+    /// A workload finished (or was killed).
+    WorkloadFinished {
+        /// Total simulated runtime.
+        runtime: SimDuration,
+        /// True if the guest OOM killer terminated it.
+        killed: bool,
+    },
+    /// One pre-copy round of a live migration completed.
+    MigrationRound {
+        /// Round number (0-based).
+        round: u32,
+        /// Pages copied this round.
+        copied: u64,
+    },
+}
+
+/// The fieldless discriminant of an [`Event`], for histograms and export
+/// routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// See [`Event::PageFault`].
+    PageFault,
+    /// See [`Event::SwapOut`].
+    SwapOut,
+    /// See [`Event::SwapIn`].
+    SwapIn,
+    /// See [`Event::NamedDiscard`].
+    NamedDiscard,
+    /// See [`Event::NamedRefault`].
+    NamedRefault,
+    /// See [`Event::MapperName`].
+    MapperName,
+    /// See [`Event::MapperUnname`].
+    MapperUnname,
+    /// See [`Event::PreventerOpen`].
+    PreventerOpen,
+    /// See [`Event::PreventerFlush`].
+    PreventerFlush,
+    /// See [`Event::PreventerDiscard`].
+    PreventerDiscard,
+    /// See [`Event::BalloonInflate`].
+    BalloonInflate,
+    /// See [`Event::BalloonDeflate`].
+    BalloonDeflate,
+    /// See [`Event::BalloonTarget`].
+    BalloonTarget,
+    /// See [`Event::DiskIssue`].
+    DiskIssue,
+    /// See [`Event::DiskComplete`].
+    DiskComplete,
+    /// See [`Event::ReclaimScan`].
+    ReclaimScan,
+    /// See [`Event::GuestSwapOut`].
+    GuestSwapOut,
+    /// See [`Event::GuestSwapIn`].
+    GuestSwapIn,
+    /// See [`Event::WorkloadStarted`].
+    WorkloadStarted,
+    /// See [`Event::WorkloadFinished`].
+    WorkloadFinished,
+    /// See [`Event::MigrationRound`].
+    MigrationRound,
+}
+
+impl Event {
+    /// Returns the event's fieldless discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::PageFault { .. } => EventKind::PageFault,
+            Event::SwapOut { .. } => EventKind::SwapOut,
+            Event::SwapIn { .. } => EventKind::SwapIn,
+            Event::NamedDiscard { .. } => EventKind::NamedDiscard,
+            Event::NamedRefault { .. } => EventKind::NamedRefault,
+            Event::MapperName { .. } => EventKind::MapperName,
+            Event::MapperUnname { .. } => EventKind::MapperUnname,
+            Event::PreventerOpen { .. } => EventKind::PreventerOpen,
+            Event::PreventerFlush { .. } => EventKind::PreventerFlush,
+            Event::PreventerDiscard { .. } => EventKind::PreventerDiscard,
+            Event::BalloonInflate { .. } => EventKind::BalloonInflate,
+            Event::BalloonDeflate { .. } => EventKind::BalloonDeflate,
+            Event::BalloonTarget { .. } => EventKind::BalloonTarget,
+            Event::DiskIssue { .. } => EventKind::DiskIssue,
+            Event::DiskComplete { .. } => EventKind::DiskComplete,
+            Event::ReclaimScan { .. } => EventKind::ReclaimScan,
+            Event::GuestSwapOut { .. } => EventKind::GuestSwapOut,
+            Event::GuestSwapIn { .. } => EventKind::GuestSwapIn,
+            Event::WorkloadStarted { .. } => EventKind::WorkloadStarted,
+            Event::WorkloadFinished { .. } => EventKind::WorkloadFinished,
+            Event::MigrationRound { .. } => EventKind::MigrationRound,
+        }
+    }
+}
+
+impl EventKind {
+    /// Every kind, in export order.
+    pub const ALL: [EventKind; 21] = [
+        EventKind::PageFault,
+        EventKind::SwapOut,
+        EventKind::SwapIn,
+        EventKind::NamedDiscard,
+        EventKind::NamedRefault,
+        EventKind::MapperName,
+        EventKind::MapperUnname,
+        EventKind::PreventerOpen,
+        EventKind::PreventerFlush,
+        EventKind::PreventerDiscard,
+        EventKind::BalloonInflate,
+        EventKind::BalloonDeflate,
+        EventKind::BalloonTarget,
+        EventKind::DiskIssue,
+        EventKind::DiskComplete,
+        EventKind::ReclaimScan,
+        EventKind::GuestSwapOut,
+        EventKind::GuestSwapIn,
+        EventKind::WorkloadStarted,
+        EventKind::WorkloadFinished,
+        EventKind::MigrationRound,
+    ];
+
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PageFault => "page_fault",
+            EventKind::SwapOut => "swap_out",
+            EventKind::SwapIn => "swap_in",
+            EventKind::NamedDiscard => "named_discard",
+            EventKind::NamedRefault => "named_refault",
+            EventKind::MapperName => "mapper_name",
+            EventKind::MapperUnname => "mapper_unname",
+            EventKind::PreventerOpen => "preventer_open",
+            EventKind::PreventerFlush => "preventer_flush",
+            EventKind::PreventerDiscard => "preventer_discard",
+            EventKind::BalloonInflate => "balloon_inflate",
+            EventKind::BalloonDeflate => "balloon_deflate",
+            EventKind::BalloonTarget => "balloon_target",
+            EventKind::DiskIssue => "disk_issue",
+            EventKind::DiskComplete => "disk_complete",
+            EventKind::ReclaimScan => "reclaim_scan",
+            EventKind::GuestSwapOut => "guest_swap_out",
+            EventKind::GuestSwapIn => "guest_swap_in",
+            EventKind::WorkloadStarted => "workload_started",
+            EventKind::WorkloadFinished => "workload_finished",
+            EventKind::MigrationRound => "migration_round",
+        }
+    }
+
+    /// The component (Chrome trace "thread") the kind belongs to.
+    pub fn component(self) -> &'static str {
+        match self {
+            EventKind::PageFault
+            | EventKind::SwapOut
+            | EventKind::SwapIn
+            | EventKind::ReclaimScan => "host-mm",
+            EventKind::NamedDiscard
+            | EventKind::NamedRefault
+            | EventKind::MapperName
+            | EventKind::MapperUnname => "mapper",
+            EventKind::PreventerOpen | EventKind::PreventerFlush | EventKind::PreventerDiscard => {
+                "preventer"
+            }
+            EventKind::BalloonInflate | EventKind::BalloonDeflate | EventKind::BalloonTarget => {
+                "balloon"
+            }
+            EventKind::DiskIssue | EventKind::DiskComplete => "disk",
+            EventKind::GuestSwapOut | EventKind::GuestSwapIn => "guest",
+            EventKind::WorkloadStarted
+            | EventKind::WorkloadFinished
+            | EventKind::MigrationRound => "machine",
+        }
+    }
+}
+
+/// An [`Event`] plus its stamps: causal sequence number, simulated time,
+/// and the VM it concerns (if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotone per-log sequence number (causal order).
+    pub seq: u64,
+    /// When the event happened on the simulated timeline.
+    pub at: SimTime,
+    /// The VM involved, or `None` for host-global events.
+    pub vm: Option<u32>,
+    /// The event itself.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            EventKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        assert_eq!(Event::SwapOut { gfn: 3 }.kind(), EventKind::SwapOut);
+        assert_eq!(
+            Event::PreventerFlush { gfn: 1, cause: FlushCause::Timeout }.kind().component(),
+            "preventer"
+        );
+    }
+}

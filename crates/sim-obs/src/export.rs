@@ -1,0 +1,305 @@
+//! Export sinks: JSON-Lines and Chrome `trace_event` (Perfetto-loadable).
+//!
+//! * [`to_jsonl`] writes one self-describing JSON object per line, in
+//!   causal order — easy to grep and to diff (the determinism tests
+//!   compare these byte-for-byte).
+//! * [`to_chrome_trace`] writes the Trace Event Format understood by
+//!   Perfetto and `chrome://tracing`: VMs appear as processes, components
+//!   (mapper, preventer, disk, ...) as named threads, latency-carrying
+//!   events as complete (`"X"`) slices and everything else as instants.
+
+use crate::event::{Event, EventKind, EventRecord};
+use crate::json::JsonWriter;
+use crate::log::EventLog;
+
+/// Supported on-disk trace encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line.
+    Jsonl,
+    /// Chrome `trace_event` JSON (open in Perfetto).
+    Chrome,
+}
+
+impl TraceFormat {
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Chrome => "chrome",
+        }
+    }
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "chrome" => Ok(TraceFormat::Chrome),
+            other => Err(format!("unknown trace format '{other}' (expected jsonl or chrome)")),
+        }
+    }
+}
+
+/// Renders the log in the requested format.
+pub fn render(log: &EventLog, format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Jsonl => to_jsonl(log),
+        TraceFormat::Chrome => to_chrome_trace(log),
+    }
+}
+
+/// Writes the event's variant-specific fields into the current object.
+fn event_fields(w: &mut JsonWriter, event: &Event) {
+    match event {
+        Event::PageFault { gfn, write, major } => {
+            w.field_u64("gfn", *gfn);
+            w.field_bool("write", *write);
+            w.field_bool("major", *major);
+        }
+        Event::SwapOut { gfn }
+        | Event::NamedDiscard { gfn }
+        | Event::MapperUnname { gfn }
+        | Event::PreventerOpen { gfn }
+        | Event::PreventerDiscard { gfn } => {
+            w.field_u64("gfn", *gfn);
+        }
+        Event::SwapIn { gfn, readahead } | Event::NamedRefault { gfn, readahead } => {
+            w.field_u64("gfn", *gfn);
+            w.field_u64("readahead", *readahead);
+        }
+        Event::MapperName { gfn, image_page } => {
+            w.field_u64("gfn", *gfn);
+            w.field_u64("image_page", *image_page);
+        }
+        Event::PreventerFlush { gfn, cause } => {
+            w.field_u64("gfn", *gfn);
+            w.field_str("cause", cause.label());
+        }
+        Event::BalloonInflate { pages } | Event::BalloonDeflate { pages } => {
+            w.field_u64("pages", *pages);
+        }
+        Event::BalloonTarget { target_pages } => {
+            w.field_u64("target_pages", *target_pages);
+        }
+        Event::DiskIssue { dir, class, sector, sectors } => {
+            w.field_str("dir", dir.label());
+            w.field_str("class", class.label());
+            w.field_u64("sector", *sector);
+            w.field_u64("sectors", *sectors);
+        }
+        Event::DiskComplete { dir, class, sector, sectors, latency, sequential } => {
+            w.field_str("dir", dir.label());
+            w.field_str("class", class.label());
+            w.field_u64("sector", *sector);
+            w.field_u64("sectors", *sectors);
+            w.field_u64("latency_ns", latency.as_nanos());
+            w.field_bool("sequential", *sequential);
+        }
+        Event::ReclaimScan { scanned, reclaimed } => {
+            w.field_u64("scanned", *scanned);
+            w.field_u64("reclaimed", *reclaimed);
+        }
+        Event::GuestSwapOut { pages } | Event::GuestSwapIn { pages } => {
+            w.field_u64("pages", *pages);
+        }
+        Event::WorkloadStarted { name } => {
+            w.field_str("name", name);
+        }
+        Event::WorkloadFinished { runtime, killed } => {
+            w.field_u64("runtime_ns", runtime.as_nanos());
+            w.field_bool("killed", *killed);
+        }
+        Event::MigrationRound { round, copied } => {
+            w.field_u64("round", u64::from(*round));
+            w.field_u64("copied", *copied);
+        }
+    }
+}
+
+/// Renders the log as JSON Lines: one record per line, causal order.
+pub fn to_jsonl(log: &EventLog) -> String {
+    let mut out = String::new();
+    log.for_each(|record| {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("seq", record.seq);
+        w.field_u64("ns", record.at.as_nanos());
+        match record.vm {
+            Some(vm) => w.field_u64("vm", u64::from(vm)),
+            None => {
+                w.key("vm");
+                w.value_null();
+            }
+        }
+        w.field_str("kind", record.event.kind().name());
+        event_fields(&mut w, &record.event);
+        w.end_object();
+        out.push_str(&w.finish());
+        out.push('\n');
+    });
+    out
+}
+
+/// Chrome trace process id: 0 is the host, VM `n` maps to `n + 1`.
+fn chrome_pid(record: &EventRecord) -> u64 {
+    record.vm.map_or(0, |vm| u64::from(vm) + 1)
+}
+
+/// Chrome trace thread id: a stable small integer per component.
+fn chrome_tid(kind: EventKind) -> u64 {
+    match kind.component() {
+        "machine" => 0,
+        "host-mm" => 1,
+        "mapper" => 2,
+        "preventer" => 3,
+        "balloon" => 4,
+        "disk" => 5,
+        _ => 6, // "guest"
+    }
+}
+
+fn metadata_event(w: &mut JsonWriter, name: &str, pid: u64, tid: u64, value: &str) {
+    w.begin_object();
+    w.field_str("name", name);
+    w.field_str("ph", "M");
+    w.field_u64("pid", pid);
+    w.field_u64("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field_str("name", value);
+    w.end_object();
+    w.end_object();
+}
+
+/// Renders the log in Chrome `trace_event` JSON (the "JSON object
+/// format": `{"traceEvents": [...]}`), loadable in Perfetto.
+pub fn to_chrome_trace(log: &EventLog) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+
+    // Process/thread naming metadata for every (pid, tid) in the log.
+    let mut seen: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
+    log.for_each(|record| {
+        let pid = chrome_pid(record);
+        let tid = chrome_tid(record.event.kind());
+        if seen.insert((pid, tid)) {
+            if seen.iter().filter(|(p, _)| *p == pid).count() == 1 {
+                let pname = if pid == 0 { "host".to_string() } else { format!("vm{}", pid - 1) };
+                metadata_event(&mut w, "process_name", pid, tid, &pname);
+            }
+            metadata_event(&mut w, "thread_name", pid, tid, record.event.kind().component());
+        }
+    });
+
+    log.for_each(|record| {
+        let pid = chrome_pid(record);
+        let tid = chrome_tid(record.event.kind());
+        let end_us = record.at.as_nanos() as f64 / 1e3;
+        // Latency-carrying events become complete slices; the stamp is
+        // the completion instant, so the slice starts `dur` earlier.
+        let duration = match &record.event {
+            Event::DiskComplete { latency, .. } => Some(*latency),
+            Event::WorkloadFinished { runtime, .. } => Some(*runtime),
+            _ => None,
+        };
+        w.begin_object();
+        w.field_str("name", record.event.kind().name());
+        w.field_str("cat", record.event.kind().component());
+        match duration {
+            Some(d) => {
+                let dur_us = d.as_nanos() as f64 / 1e3;
+                w.field_str("ph", "X");
+                w.field_f64("ts", end_us - dur_us);
+                w.field_f64("dur", dur_us);
+            }
+            None => {
+                w.field_str("ph", "i");
+                w.field_str("s", "t");
+                w.field_f64("ts", end_us);
+            }
+        }
+        w.field_u64("pid", pid);
+        w.field_u64("tid", tid);
+        w.key("args");
+        w.begin_object();
+        w.field_u64("seq", record.seq);
+        event_fields(&mut w, &record.event);
+        w.end_object();
+        w.end_object();
+    });
+
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FlushCause, IoClass, IoDir};
+    use sim_core::{SimDuration, SimTime};
+
+    fn sample_log() -> EventLog {
+        let log = EventLog::bounded(64);
+        log.emit(
+            SimTime::from_nanos(1_000),
+            Some(0),
+            Event::PageFault { gfn: 5, write: true, major: true },
+        );
+        log.emit(SimTime::from_nanos(2_000), Some(0), Event::MapperName { gfn: 5, image_page: 99 });
+        log.emit(
+            SimTime::from_nanos(3_000),
+            Some(0),
+            Event::PreventerFlush { gfn: 5, cause: FlushCause::GuestRead },
+        );
+        log.emit(
+            SimTime::from_nanos(9_000),
+            None,
+            Event::DiskComplete {
+                dir: IoDir::Read,
+                class: IoClass::HostSwap,
+                sector: 100,
+                sectors: 8,
+                latency: SimDuration::from_micros(4),
+                sequential: false,
+            },
+        );
+        log
+    }
+
+    #[test]
+    fn jsonl_is_one_record_per_line() {
+        let text = to_jsonl(&sample_log());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(r#""kind":"page_fault""#));
+        assert!(lines[0].contains(r#""vm":0"#));
+        assert!(lines[3].contains(r#""vm":null"#));
+        assert!(lines[3].contains(r#""latency_ns":4000"#));
+    }
+
+    #[test]
+    fn chrome_trace_has_slices_and_instants() {
+        let text = to_chrome_trace(&sample_log());
+        assert!(text.starts_with(r#"{"traceEvents":["#));
+        assert!(text.ends_with("]}"));
+        assert!(text.contains(r#""ph":"X""#), "disk completion becomes a slice");
+        assert!(text.contains(r#""ph":"i""#), "faults become instants");
+        assert!(text.contains(r#""ph":"M""#), "metadata names processes/threads");
+        assert!(text.contains(r#""dur":4"#));
+        // Slice starts at completion minus latency: 9us - 4us = 5us.
+        assert!(text.contains(r#""ts":5"#));
+    }
+
+    #[test]
+    fn format_parses() {
+        assert_eq!("jsonl".parse::<TraceFormat>().unwrap(), TraceFormat::Jsonl);
+        assert_eq!("chrome".parse::<TraceFormat>().unwrap(), TraceFormat::Chrome);
+        assert!("xml".parse::<TraceFormat>().is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! A tiny dependency-free JSON writer.
+//!
+//! Shared by the trace export sinks and by `RunReport` serialization in
+//! `vswap-core`, so the whole workspace emits JSON through one
+//! implementation instead of ad-hoc string pasting.
+
+/// An append-only JSON emitter with correct escaping and comma handling.
+///
+/// # Examples
+///
+/// ```
+/// use sim_obs::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.value_str("pbzip2");
+/// w.key("runs");
+/// w.value_u64(3);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"pbzip2","runs":3}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    needs_comma: Vec<bool>,
+    pending_value: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn before_item(&mut self) {
+        if self.pending_value {
+            self.pending_value = false;
+            return;
+        }
+        if let Some(needs) = self.needs_comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+        }
+    }
+
+    /// Opens a `{`.
+    pub fn begin_object(&mut self) {
+        self.before_item();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost `{`.
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens a `[`.
+    pub fn begin_array(&mut self) {
+        self.before_item();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost `[`.
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub fn key(&mut self, key: &str) {
+        self.before_item();
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+        self.pending_value = true;
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, value: &str) {
+        self.before_item();
+        escape_into(&mut self.out, value);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, value: u64) {
+        self.before_item();
+        let _ = std::fmt::Write::write_fmt(&mut self.out, format_args!("{value}"));
+    }
+
+    /// Writes a signed integer value.
+    pub fn value_i64(&mut self, value: i64) {
+        self.before_item();
+        let _ = std::fmt::Write::write_fmt(&mut self.out, format_args!("{value}"));
+    }
+
+    /// Writes a floating-point value (non-finite values become `0`).
+    pub fn value_f64(&mut self, value: f64) {
+        self.before_item();
+        if value.is_finite() {
+            let _ = std::fmt::Write::write_fmt(&mut self.out, format_args!("{value}"));
+        } else {
+            self.out.push('0');
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, value: bool) {
+        self.before_item();
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Writes `null`.
+    pub fn value_null(&mut self) {
+        self.before_item();
+        self.out.push_str("null");
+    }
+
+    /// Shorthand: `"key":"value"` inside the current object.
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.value_str(value);
+    }
+
+    /// Shorthand: `"key":value` for an unsigned integer.
+    pub fn field_u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.value_u64(value);
+    }
+
+    /// Shorthand: `"key":value` for a float.
+    pub fn field_f64(&mut self, key: &str, value: f64) {
+        self.key(key);
+        self.value_f64(value);
+    }
+
+    /// Shorthand: `"key":value` for a boolean.
+    pub fn field_bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.value_bool(value);
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("list");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_u64(2);
+        w.begin_object();
+        w.field_str("k", "v");
+        w.end_object();
+        w.end_array();
+        w.field_bool("ok", true);
+        w.key("none");
+        w.value_null();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"list":[1,2,{"k":"v"}],"ok":true,"none":null}"#);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut w = JsonWriter::new();
+        w.value_str("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.value_f64(1.5);
+        w.value_f64(f64::NAN);
+        w.value_i64(-3);
+        w.end_array();
+        assert_eq!(w.finish(), "[1.5,0,-3]");
+    }
+}

@@ -1,0 +1,55 @@
+//! # `sim-obs` — the observability layer of the VSwapper reproduction
+//!
+//! The paper's analysis lives or dies on *attribution*: knowing which
+//! mechanism (uncooperative swap, the Mapper, the Preventer, ballooning)
+//! caused which disk traffic and which stall. This crate provides the
+//! instruments for that attribution, shared by every layer of the stack:
+//!
+//! * [`event`] / [`log`] — a **structured event log**: a typed [`Event`]
+//!   taxonomy (page faults, swap-in/out, Mapper name/unname, Preventer
+//!   buffer open/flush/discard, balloon inflate/deflate, disk request
+//!   issue/complete, reclaim scans, ...), each record stamped with
+//!   [`sim_core::SimTime`], the VM involved, and a causal sequence
+//!   number, held in a bounded ring buffer behind the cheaply cloneable
+//!   [`EventLog`] handle. A *disabled* log (the default) reduces every
+//!   emission site to a single branch and never constructs the event, so
+//!   instrumentation is free when no sink is attached.
+//! * [`registry`] — a **hierarchical metrics registry**
+//!   ([`MetricsRegistry`]): named, component-scoped counters, gauges, and
+//!   histograms, with periodic gauge sampling into the existing
+//!   [`sim_core::Trace`] and a `scope/name` flattening for reports.
+//! * [`profile`] — a **simulated-time profiler** ([`Profiler`]): each
+//!   VM's runtime attributed to CPU execution, disk wait, fault handling,
+//!   or migration stall; the categories always sum to the VM's reported
+//!   runtime and render as a breakdown table.
+//! * [`export`] — **sinks**: JSON-Lines ([`export::to_jsonl`]) and Chrome
+//!   `trace_event` JSON ([`export::to_chrome_trace`], loadable in
+//!   Perfetto or `chrome://tracing`), both built on the shared
+//!   dependency-free [`json`] writer.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::SimTime;
+//! use sim_obs::{export, Event, EventLog};
+//!
+//! let log = EventLog::bounded(1024);
+//! log.emit(SimTime::from_nanos(3_000), Some(0), Event::SwapOut { gfn: 17 });
+//! let jsonl = export::to_jsonl(&log);
+//! assert!(jsonl.contains(r#""kind":"swap_out""#));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod log;
+pub mod profile;
+pub mod registry;
+
+pub use event::{Event, EventKind, EventRecord, FlushCause, IoClass, IoDir};
+pub use export::TraceFormat;
+pub use log::EventLog;
+pub use profile::{Profiler, TimeCategory};
+pub use registry::MetricsRegistry;

@@ -1,0 +1,180 @@
+//! The simulated-time profiler: attributes each VM's runtime to what the
+//! virtual CPU was actually doing.
+//!
+//! The machine charges every scheduling quantum to exactly one of the
+//! [`TimeCategory`]s, so a VM's rows always sum to its reported runtime;
+//! [`Profiler::breakdown_table`] renders the result as a table.
+
+use sim_core::SimDuration;
+use std::collections::BTreeMap;
+
+/// Where a slice of a VM's simulated runtime went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimeCategory {
+    /// Computing, plus memory accesses served without blocking.
+    Cpu,
+    /// Waiting for virtual-disk requests.
+    DiskWait,
+    /// Stalled on page faults (after multi-vCPU overlap credit).
+    FaultHandling,
+    /// Paused or throttled by live migration.
+    MigrationStall,
+}
+
+impl TimeCategory {
+    /// Every category, in display order.
+    pub const ALL: [TimeCategory; 4] = [
+        TimeCategory::Cpu,
+        TimeCategory::DiskWait,
+        TimeCategory::FaultHandling,
+        TimeCategory::MigrationStall,
+    ];
+
+    /// Human-readable row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeCategory::Cpu => "cpu",
+            TimeCategory::DiskWait => "disk wait",
+            TimeCategory::FaultHandling => "fault handling",
+            TimeCategory::MigrationStall => "migration stall",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TimeCategory::Cpu => 0,
+            TimeCategory::DiskWait => 1,
+            TimeCategory::FaultHandling => 2,
+            TimeCategory::MigrationStall => 3,
+        }
+    }
+}
+
+/// Per-VM accumulated time, split by [`TimeCategory`].
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::SimDuration;
+/// use sim_obs::{Profiler, TimeCategory};
+///
+/// let mut p = Profiler::new();
+/// p.add(0, TimeCategory::Cpu, SimDuration::from_millis(7));
+/// p.add(0, TimeCategory::DiskWait, SimDuration::from_millis(3));
+/// assert_eq!(p.total(0), SimDuration::from_millis(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    per_vm: BTreeMap<u32, [SimDuration; 4]>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Charges `amount` of VM `vm`'s time to `category`.
+    pub fn add(&mut self, vm: u32, category: TimeCategory, amount: SimDuration) {
+        if amount.is_zero() {
+            return;
+        }
+        let row = self.per_vm.entry(vm).or_default();
+        row[category.index()] = row[category.index()] + amount;
+    }
+
+    /// Time VM `vm` spent in `category`.
+    pub fn category(&self, vm: u32, category: TimeCategory) -> SimDuration {
+        self.per_vm.get(&vm).map_or(SimDuration::ZERO, |row| row[category.index()])
+    }
+
+    /// Sum of all categories for VM `vm` — equals the VM's attributed
+    /// runtime.
+    pub fn total(&self, vm: u32) -> SimDuration {
+        self.per_vm.get(&vm).map_or(SimDuration::ZERO, |row| row.iter().copied().sum())
+    }
+
+    /// VMs that have any attributed time, in id order.
+    pub fn vms(&self) -> impl Iterator<Item = u32> + '_ {
+        self.per_vm.keys().copied()
+    }
+
+    /// True when no time has been attributed at all.
+    pub fn is_empty(&self) -> bool {
+        self.per_vm.is_empty()
+    }
+
+    /// Renders the per-VM breakdown as an aligned text table with one row
+    /// per category and a totals row.
+    pub fn breakdown_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<4} {:<16} {:>14} {:>7}", "vm", "category", "time", "share");
+        for (&vm, row) in &self.per_vm {
+            let total: SimDuration = row.iter().copied().sum();
+            for category in TimeCategory::ALL {
+                let t = row[category.index()];
+                let share = if total.is_zero() {
+                    0.0
+                } else {
+                    100.0 * t.as_secs_f64() / total.as_secs_f64()
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<4} {:<16} {:>14} {:>6.1}%",
+                    vm,
+                    category.label(),
+                    t.to_string(),
+                    share
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{:<4} {:<16} {:>14} {:>6.1}%",
+                vm,
+                "total",
+                total.to_string(),
+                100.0
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_sum_to_total() {
+        let mut p = Profiler::new();
+        p.add(1, TimeCategory::Cpu, SimDuration::from_nanos(5));
+        p.add(1, TimeCategory::FaultHandling, SimDuration::from_nanos(7));
+        p.add(1, TimeCategory::MigrationStall, SimDuration::from_nanos(2));
+        assert_eq!(p.total(1), SimDuration::from_nanos(14));
+        assert_eq!(p.category(1, TimeCategory::FaultHandling), SimDuration::from_nanos(7));
+        assert_eq!(p.category(1, TimeCategory::DiskWait), SimDuration::ZERO);
+        assert_eq!(p.total(2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_charges_do_not_create_rows() {
+        let mut p = Profiler::new();
+        p.add(0, TimeCategory::Cpu, SimDuration::ZERO);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let mut p = Profiler::new();
+        p.add(0, TimeCategory::Cpu, SimDuration::from_secs(3));
+        p.add(0, TimeCategory::DiskWait, SimDuration::from_secs(1));
+        let table = p.breakdown_table();
+        for category in TimeCategory::ALL {
+            assert!(table.contains(category.label()), "missing row {}", category.label());
+        }
+        assert!(table.contains("total"));
+        assert!(table.contains("75.0%"));
+        assert!(table.contains("25.0%"));
+    }
+}

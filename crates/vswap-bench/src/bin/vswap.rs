@@ -12,6 +12,7 @@
 //! machine-readable one.
 
 use sim_core::{SimDuration, SimTime};
+use sim_obs::{export, TraceFormat};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use vswap_core::{
@@ -33,21 +34,25 @@ vswap — drive the VSwapper simulation
 
 USAGE:
   vswap run [OPTIONS]        run a workload and report
+  vswap trace [OPTIONS]      run a workload and summarize its event trace
   vswap migrate [OPTIONS]    live-migrate a warmed guest and report
   vswap pathology [OPTIONS]  run the five-pathology demonstration
   vswap list                 list workloads and policies
 
-OPTIONS (run / migrate / pathology):
+OPTIONS (run / trace / migrate / pathology):
   --workload <NAME>   sysbench | pbzip2 | kernbench | eclipse | mapreduce | alloc
-                      (default sysbench; `run` only)
+                      (default sysbench; `run`/`trace` only)
   --policy <NAME>     baseline | balloon | mapper | vswapper | balloon+vswapper
                       (default vswapper)
   --mem <MB>          guest-perceived memory (default 512)
-  --actual <MB>       host-granted memory   (default mem)
-  --guests <N>        number of phased guests (default 1; `run` only)
+  --actual <MB>       host-granted memory   (default mem/4, the paper's
+                      pressured regime; pass --actual <mem> for no pressure)
+  --guests <N>        number of phased guests (default 1; `run`/`trace` only)
   --gap-secs <S>      phase gap between guest starts (default 10)
   --auto-balloon      use the MOM dynamic manager instead of a static balloon
   --seed <N>          simulation seed (default 0x5eedcafe)
+  --trace-out <PATH>  write the structured event trace to PATH
+  --trace-format <F>  jsonl | chrome (default jsonl; chrome loads in Perfetto)
   --json              machine-readable output
 ";
 
@@ -61,6 +66,8 @@ struct Options {
     gap_secs: u64,
     auto_balloon: bool,
     seed: Option<u64>,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
     json: bool,
 }
 
@@ -75,6 +82,8 @@ impl Default for Options {
             gap_secs: 10,
             auto_balloon: false,
             seed: None,
+            trace_out: None,
+            trace_format: TraceFormat::Jsonl,
             json: false,
         }
     }
@@ -95,23 +104,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--workload" => opts.workload = value("--workload")?,
             "--policy" => opts.policy = parse_policy(&value("--policy")?)?,
-            "--mem" => {
-                opts.mem_mb =
-                    value("--mem")?.parse().map_err(|e| format!("--mem: {e}"))?
-            }
+            "--mem" => opts.mem_mb = value("--mem")?.parse().map_err(|e| format!("--mem: {e}"))?,
             "--actual" => {
-                opts.actual_mb =
-                    value("--actual")?.parse().map_err(|e| format!("--actual: {e}"))?
+                opts.actual_mb = value("--actual")?.parse().map_err(|e| format!("--actual: {e}"))?
             }
             "--guests" => {
-                opts.guests =
-                    value("--guests")?.parse().map_err(|e| format!("--guests: {e}"))?
+                opts.guests = value("--guests")?.parse().map_err(|e| format!("--guests: {e}"))?
             }
             "--gap-secs" => {
                 opts.gap_secs =
@@ -119,15 +122,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--auto-balloon" => opts.auto_balloon = true,
             "--seed" => {
-                opts.seed =
-                    Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+                opts.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--trace-format" => {
+                opts.trace_format =
+                    value("--trace-format")?.parse().map_err(|e| format!("--trace-format: {e}"))?
             }
             "--json" => opts.json = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     if opts.actual_mb == 0 {
-        opts.actual_mb = opts.mem_mb;
+        // The paper's experiments all run guests under memory pressure;
+        // an unpressured default would make every demo a no-op.
+        opts.actual_mb = (opts.mem_mb / 4).max(1);
     }
     if opts.actual_mb > opts.mem_mb {
         return Err("--actual cannot exceed --mem".to_owned());
@@ -159,8 +168,8 @@ fn build_machine(opts: &Options) -> Result<Machine, String> {
         cfg = cfg.with_auto_balloon(BalloonPolicy::default());
     }
     // Size the disk to hold every guest's image.
-    cfg.host.disk_pages = cfg.host.swap_pages
-        + u64::from(opts.guests + 1) * MemBytes::from_gb(21).pages();
+    cfg.host.disk_pages =
+        cfg.host.swap_pages + u64::from(opts.guests + 1) * MemBytes::from_gb(21).pages();
     Machine::new(cfg).map_err(|e| e.to_string())
 }
 
@@ -172,34 +181,15 @@ fn guest_spec(opts: &Options, name: &str) -> VmSpec {
         })
 }
 
-fn report_json(report: &RunReport) -> String {
-    let mut out = String::from("{\n  \"workloads\": [\n");
-    for (i, w) in report.workloads.iter().enumerate() {
-        let comma = if i + 1 < report.workloads.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"vm\": \"{}\", \"workload\": \"{}\", \"runtime_secs\": {}, \"killed\": {}}}{}",
-            w.name,
-            w.workload,
-            if w.runtime_secs().is_nan() { "null".to_owned() } else { format!("{:.6}", w.runtime_secs()) },
-            w.killed.is_some(),
-            comma,
-        );
-    }
-    out.push_str("  ],\n  \"host\": {\n");
-    let host: Vec<(&str, u64)> = report.host.iter().collect();
-    for (i, (k, v)) in host.iter().enumerate() {
-        let comma = if i + 1 < host.len() { "," } else { "" };
-        let _ = writeln!(out, "    \"{k}\": {v}{comma}");
-    }
-    out.push_str("  },\n  \"disk\": {\n");
-    let disk: Vec<(&str, u64)> = report.disk.iter().collect();
-    for (i, (k, v)) in disk.iter().enumerate() {
-        let comma = if i + 1 < disk.len() { "," } else { "" };
-        let _ = writeln!(out, "    \"{k}\": {v}{comma}");
-    }
-    out.push_str("  }\n}\n");
-    out
+/// Ring-buffer capacity when an event trace is requested: ample for the
+/// paper-scale workloads while bounding memory.
+const EVENT_CAPACITY: usize = 1 << 20;
+
+/// Renders the machine's event log to `--trace-out`, if requested.
+fn write_trace(m: &Machine, opts: &Options) -> Result<(), String> {
+    let Some(path) = &opts.trace_out else { return Ok(()) };
+    let rendered = export::render(m.event_log(), opts.trace_format);
+    std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))
 }
 
 /// Prepares, ages and warms a sysbench guest; returns the file handle.
@@ -212,8 +202,14 @@ fn sysbench_setup(m: &mut Machine, vm: VmHandle) -> SharedFile {
     file
 }
 
-fn cmd_run(opts: &Options) -> Result<String, String> {
+/// Builds the machine, runs the configured workloads, and audits the
+/// host. `attach_events` turns on structured tracing before anything
+/// executes, so boot-time events are captured too.
+fn run_workloads(opts: &Options, attach_events: bool) -> Result<(Machine, RunReport), String> {
     let mut m = build_machine(opts)?;
+    if attach_events {
+        m.attach_event_log(EVENT_CAPACITY);
+    }
     let mut vms = Vec::new();
     for i in 0..opts.guests {
         let vm = m.add_vm(guest_spec(opts, &format!("guest{i}"))).map_err(|e| e.to_string())?;
@@ -230,7 +226,33 @@ fn cmd_run(opts: &Options) -> Result<String, String> {
     }
     let report = m.run();
     m.host().audit().map_err(|e| format!("invariant violation: {e}"))?;
-    Ok(if opts.json { report_json(&report) } else { report.to_string() })
+    Ok((m, report))
+}
+
+fn cmd_run(opts: &Options) -> Result<String, String> {
+    let (m, report) = run_workloads(opts, opts.trace_out.is_some())?;
+    write_trace(&m, opts)?;
+    Ok(if opts.json { report.to_json() } else { report.to_string() })
+}
+
+fn cmd_trace(opts: &Options) -> Result<String, String> {
+    let (m, _report) = run_workloads(opts, true)?;
+    write_trace(&m, opts)?;
+    let log = m.event_log();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "events: {} emitted, {} buffered, {} dropped",
+        log.emitted(),
+        log.len(),
+        log.dropped()
+    );
+    for (kind, count) in log.kind_histogram() {
+        let _ = writeln!(out, "  {kind:<24} {count}");
+    }
+    out.push('\n');
+    out.push_str(&m.profiler().breakdown_table());
+    Ok(out)
 }
 
 fn cmd_migrate(opts: &Options) -> Result<String, String> {
@@ -302,9 +324,10 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "list" => Ok(cmd_list()),
-        "run" | "migrate" | "pathology" => match parse_options(rest) {
+        "run" | "trace" | "migrate" | "pathology" => match parse_options(rest) {
             Ok(opts) => match cmd.as_str() {
                 "run" => cmd_run(&opts),
+                "trace" => cmd_trace(&opts),
                 "migrate" => cmd_migrate(&opts),
                 _ => cmd_pathology(&opts),
             },
@@ -344,14 +367,28 @@ mod tests {
         assert_eq!(o.workload, "sysbench");
         assert_eq!(o.policy, SwapPolicy::Vswapper);
         assert_eq!(o.mem_mb, 512);
-        assert_eq!(o.actual_mb, 512, "actual defaults to mem");
+        assert_eq!(o.actual_mb, 128, "actual defaults to mem/4 (pressured)");
     }
 
     #[test]
     fn full_option_set_parses() {
         let o = opts(&[
-            "--workload", "pbzip2", "--policy", "balloon", "--mem", "1024", "--actual", "256",
-            "--guests", "4", "--gap-secs", "5", "--auto-balloon", "--seed", "7", "--json",
+            "--workload",
+            "pbzip2",
+            "--policy",
+            "balloon",
+            "--mem",
+            "1024",
+            "--actual",
+            "256",
+            "--guests",
+            "4",
+            "--gap-secs",
+            "5",
+            "--auto-balloon",
+            "--seed",
+            "7",
+            "--json",
         ])
         .unwrap();
         assert_eq!(o.workload, "pbzip2");
@@ -396,5 +433,27 @@ mod tests {
         assert!(out.contains("\"workloads\""));
         assert!(out.contains("\"runtime_secs\""));
         assert!(out.contains("\"host\""));
+        assert!(out.contains("\"metrics\""));
+        assert!(out.contains("\"profile\""));
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = opts(&["--trace-out", "/tmp/t.jsonl", "--trace-format", "chrome"]).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(o.trace_format, TraceFormat::Chrome);
+        assert!(opts(&["--trace-format", "xml"]).is_err());
+        assert!(opts(&["--trace-out"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn trace_subcommand_reports_histogram_and_profile() {
+        let mut o = Options { mem_mb: 64, actual_mb: 32, ..Options::default() };
+        o.workload = "alloc".to_owned();
+        let out = cmd_trace(&o).unwrap();
+        assert!(out.contains("events:"), "{out}");
+        assert!(out.contains("page_fault"), "fault events must appear: {out}");
+        assert!(out.contains("cpu"), "profiler table must appear: {out}");
+        assert!(out.contains("total"));
     }
 }

@@ -24,18 +24,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let file_pages = MemBytes::from_mb(scale.mb(200)).pages();
     for (policy, &(label, paper)) in FOUR_CONFIGS.iter().zip(PAPER_SECONDS.iter()) {
         let mut m = machine(*policy, host(scale));
-        let vm = m
-            .add_vm(linux_vm(scale, "guest", 512, 100))
-            .expect("experiment VM fits");
+        let vm = m.add_vm(linux_vm(scale, "guest", 512, 100)).expect("experiment VM fits");
         let shared = prepare_and_age(&mut m, vm, file_pages);
         m.launch(vm, Box::new(SysbenchRead::new(shared)));
         let report = m.run();
         debug_assert_eq!(label, policy.label());
-        table.push(vec![
-            policy.label().into(),
-            report.vm(vm).runtime_secs().into(),
-            paper.into(),
-        ]);
+        table.push(vec![policy.label().into(), report.vm(vm).runtime_secs().into(), paper.into()]);
     }
     vec![table]
 }

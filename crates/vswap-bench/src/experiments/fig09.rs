@@ -133,11 +133,7 @@ mod tests {
         let total: u64 = s.sectors_written.iter().sum();
         // File pages are discarded, never swapped; the residue is the
         // handful of anonymous kernel-text pages the Mapper cannot name.
-        assert!(
-            total < 64,
-            "the Mapper discards instead of swapping: {:?}",
-            s.sectors_written
-        );
+        assert!(total < 64, "the Mapper discards instead of swapping: {:?}", s.sectors_written);
         let b = run_config(Scale::Smoke, SwapPolicy::Baseline, 1);
         assert!(b.sectors_written[0] > total * 100, "baseline writes dwarf the residue");
     }

@@ -74,10 +74,7 @@ mod tests {
         let (base_rt, base_ops, bk, _) = run_config(Scale::Smoke, SwapPolicy::Baseline);
         let (vswap_rt, vswap_ops, vk, vr) = run_config(Scale::Smoke, SwapPolicy::Vswapper);
         assert!(!bk && !vk);
-        assert!(
-            vswap_rt < base_rt,
-            "vswapper ({vswap_rt:.2}s) must beat baseline ({base_rt:.2}s)"
-        );
+        assert!(vswap_rt < base_rt, "vswapper ({vswap_rt:.2}s) must beat baseline ({base_rt:.2}s)");
         assert!(vswap_ops < base_ops, "runtime follows disk ops");
         assert_eq!(vr.host.get("false_swap_reads"), 0);
     }

@@ -79,9 +79,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     ];
     let points: Vec<(SwapPolicy, Vec<PbzipPoint>)> = SWEEP_CONFIGS
         .iter()
-        .map(|&policy| {
-            (policy, SWEEP_MB.iter().map(|&mb| run_point(scale, policy, mb)).collect())
-        })
+        .map(|&policy| (policy, SWEEP_MB.iter().map(|&mb| run_point(scale, policy, mb)).collect()))
         .collect();
 
     let mut tables = Vec::new();

@@ -65,8 +65,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let cols: Vec<String> = std::iter::once("config".to_owned())
         .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
         .collect();
-    let mut runtime =
-        Table::new("Figure 12a: Kernbench runtime [minutes]", cols.iter().map(String::as_str).collect());
+    let mut runtime = Table::new(
+        "Figure 12a: Kernbench runtime [minutes]",
+        cols.iter().map(String::as_str).collect(),
+    );
     let mut remaps = Table::new(
         "Figure 12b: Preventer remaps (false reads eliminated) [count]",
         cols.iter().map(String::as_str).collect(),

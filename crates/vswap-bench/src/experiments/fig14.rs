@@ -40,9 +40,8 @@ pub fn run_point(scale: Scale, policy: SwapPolicy, guests: u32) -> (f64, RunRepo
     // must hold every guest's private 20 GB image (§5.2: "each guest
     // virtual disk is private").
     let mut host = host_with_dram(scale, 8 * 1024);
-    host.disk_pages = host.swap_pages
-        + u64::from(guests + 1)
-            * MemBytes::from_mb(scale.mb(21 * 1024)).pages();
+    host.disk_pages =
+        host.swap_pages + u64::from(guests + 1) * MemBytes::from_mb(scale.mb(21 * 1024)).pages();
     let mut cfg = MachineConfig::preset(policy).with_host(host);
     if policy.ballooning() {
         // Dynamic conditions use the MOM manager, not a static balloon.
@@ -54,10 +53,7 @@ pub fn run_point(scale: Scale, policy: SwapPolicy, guests: u32) -> (f64, RunRepo
         let mem = MemBytes::from_mb(scale.mb(2048));
         let spec = linux_vm(scale, &format!("guest{i}"), 2048, 2048)
             .with_vcpus(2)
-            .with_guest(GuestSpec {
-                memory: mem,
-                ..linux_vm(scale, "template", 2048, 2048).guest
-            });
+            .with_guest(GuestSpec { memory: mem, ..linux_vm(scale, "template", 2048, 2048).guest });
         let vm = m.add_vm(spec).expect("fits on disk");
         m.launch_at(
             vm,
@@ -110,9 +106,6 @@ mod tests {
         let (base, _) = run_point(Scale::Smoke, SwapPolicy::Baseline, 5);
         let (vswap, _) = run_point(Scale::Smoke, SwapPolicy::Vswapper, 5);
         assert!(base > solo, "overcommit must cost something: {base:.1} vs {solo:.1}");
-        assert!(
-            vswap < base,
-            "vswapper mean ({vswap:.1}s) must beat baseline mean ({base:.1}s)"
-        );
+        assert!(vswap < base, "vswapper mean ({vswap:.1}s) must beat baseline mean ({base:.1}s)");
     }
 }

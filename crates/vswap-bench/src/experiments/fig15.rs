@@ -19,9 +19,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         Scale::Paper => SimDuration::from_secs(5),
         Scale::Smoke => SimDuration::from_millis(200),
     };
-    let cfg = MachineConfig::preset(SwapPolicy::Vswapper)
-        .with_host(host(scale))
-        .with_sampling(interval);
+    let cfg =
+        MachineConfig::preset(SwapPolicy::Vswapper).with_host(host(scale)).with_sampling(interval);
     let mut m = Machine::new(cfg).expect("valid host");
     let vm = m.add_vm(linux_vm(scale, "guest", 512, 512)).expect("fits");
     m.launch(vm, Box::new(Eclipse::new(workload(scale))));

@@ -26,9 +26,21 @@ pub type ExperimentRunner = fn(Scale) -> Vec<Table>;
 /// Every experiment in the suite as `(id, title, runner)`.
 pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentRunner)> {
     vec![
-        ("fig03", "Figure 3: sequential read of a 200MB file (best case for ballooning)", experiments::fig03::run),
-        ("fig04", "Figure 4: ten phased MapReduce guests (dynamic conditions)", experiments::fig04::run),
-        ("fig05", "Figure 5: pbzip2 runtime vs actual memory (over-ballooning)", experiments::fig05::run),
+        (
+            "fig03",
+            "Figure 3: sequential read of a 200MB file (best case for ballooning)",
+            experiments::fig03::run,
+        ),
+        (
+            "fig04",
+            "Figure 4: ten phased MapReduce guests (dynamic conditions)",
+            experiments::fig04::run,
+        ),
+        (
+            "fig05",
+            "Figure 5: pbzip2 runtime vs actual memory (over-ballooning)",
+            experiments::fig05::run,
+        ),
         ("fig09", "Figure 9: iterated Sysbench — pathology anatomy", experiments::fig09::run),
         ("fig10", "Figure 10: false-reads microbenchmark", experiments::fig10::run),
         ("fig11", "Figure 11: pbzip2 I/O and reclaim-scan counters", experiments::fig11::run),
@@ -40,7 +52,15 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentRunner)> 
         ("tab02", "Table 2: foreign-hypervisor profile, balloon on/off", experiments::tab02::run),
         ("tab03", "Section 5.3: overheads when memory is plentiful", experiments::tab03::run),
         ("tab04", "Section 5.4: Windows guests", experiments::tab04::run),
-        ("tab05", "Section 7 (implemented): VSwapper-enhanced live migration", experiments::tab05::run),
-        ("ablate", "Ablations: preventer caps, readahead, reclaim preference, SSD", experiments::ablation::run),
+        (
+            "tab05",
+            "Section 7 (implemented): VSwapper-enhanced live migration",
+            experiments::tab05::run,
+        ),
+        (
+            "ablate",
+            "Ablations: preventer caps, readahead, reclaim preference, SSD",
+            experiments::ablation::run,
+        ),
     ]
 }

@@ -113,10 +113,7 @@ impl Table {
     /// for assertions in tests.
     pub fn cell(&self, row_key: &str, column: &str) -> Option<&Cell> {
         let col = self.columns.iter().position(|c| c == column)?;
-        let row = self
-            .rows
-            .iter()
-            .find(|r| matches!(&r[0], Cell::Text(s) if s == row_key))?;
+        let row = self.rows.iter().find(|r| matches!(&r[0], Cell::Text(s) if s == row_key))?;
         row.get(col)
     }
 
@@ -134,11 +131,8 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "## {}", self.title)?;
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|c| c.to_string()).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

@@ -10,6 +10,7 @@ use crate::mapper::SwapMapper;
 use crate::preventer::FalseReadsPreventer;
 use crate::report::{RunReport, VmReport};
 use sim_core::{Clock, DeterministicRng, SimDuration, SimTime, Trace};
+use sim_obs::{Event, EventLog, MetricsRegistry, Profiler, TimeCategory};
 use std::error::Error;
 use std::fmt;
 use vswap_guestos::{
@@ -88,10 +89,7 @@ impl VmEntry {
     /// The earliest instant any of this VM's workloads can run, or
     /// `None` if nothing is scheduled.
     fn next_runnable_at(&self) -> Option<SimTime> {
-        self.slots
-            .iter()
-            .map(|s| self.ready_at.max(s.launch_at))
-            .min()
+        self.slots.iter().map(|s| self.ready_at.max(s.launch_at)).min()
     }
 
     /// Picks the next slot to run, round-robin among those whose launch
@@ -109,11 +107,7 @@ impl VmEntry {
             }
         }
         // None launched yet: take the earliest.
-        self.slots
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.launch_at)
-            .map(|(i, _)| i)
+        self.slots.iter().enumerate().min_by_key(|(_, s)| s.launch_at).map(|(i, _)| i)
     }
 }
 
@@ -129,6 +123,13 @@ pub struct Machine {
     rng: DeterministicRng,
     trace: Trace,
     next_sample: SimTime,
+    /// Structured event sink shared with every component; disabled (and
+    /// therefore free) unless [`Machine::attach_event_log`] was called.
+    events: EventLog,
+    /// Per-VM simulated-time attribution (CPU / disk / faults / migration).
+    profiler: Profiler,
+    /// Hierarchical gauges and counters, sampled into the trace.
+    metrics: MetricsRegistry,
 }
 
 impl fmt::Debug for Machine {
@@ -162,8 +163,45 @@ impl Machine {
             rng: DeterministicRng::seed_from(cfg.seed),
             trace: Trace::default(),
             next_sample: SimTime::ZERO,
+            events: EventLog::disabled(),
+            profiler: Profiler::new(),
+            metrics: MetricsRegistry::new(),
             cfg,
         })
+    }
+
+    /// Attaches a bounded structured event log to the machine and every
+    /// component beneath it (host memory manager, disk, Mapper,
+    /// Preventer, balloon manager). Returns a handle sharing the same
+    /// buffer, which export sinks read after the run. Without this call
+    /// the instrumented hot paths stay free of observable cost.
+    pub fn attach_event_log(&mut self, capacity: usize) -> EventLog {
+        let events = EventLog::bounded(capacity);
+        self.host.set_event_log(events.clone());
+        self.mapper.set_event_log(events.clone());
+        self.preventer.set_event_log(events.clone());
+        if let Some(manager) = &mut self.balloon_manager {
+            manager.set_event_log(events.clone());
+        }
+        self.events = events.clone();
+        events
+    }
+
+    /// The attached event log (disabled until
+    /// [`Machine::attach_event_log`] is called).
+    pub fn event_log(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The per-VM simulated-time profile accumulated so far. Each VM's
+    /// category rows sum to the runtime its workloads were charged.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The metrics registry holding the periodically sampled gauges.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Adds (and boots) a VM. With [`Ballooning::Static`], the balloon is
@@ -194,9 +232,11 @@ impl Machine {
             host: &mut self.host,
             mapper: &mut self.mapper,
             preventer: &mut self.preventer,
+            events: &self.events,
             vm: id,
             now,
             stall: SimDuration::ZERO,
+            disk_wait: SimDuration::ZERO,
         };
         let mut boot_cost = guest.boot(&mut bus).map_err(MachineError::Boot)?;
         if matches!(self.cfg.ballooning, Ballooning::Static) {
@@ -205,6 +245,22 @@ impl Machine {
                 .map_err(MachineError::Balloon)?;
         }
         let ready_at = now + boot_cost;
+
+        // Every VM registers its initial balloon target (zero under
+        // non-ballooning policies), so traces always carry the balloon
+        // component's state.
+        let initial_target = match self.cfg.ballooning {
+            Ballooning::Static => spec.balloon_target_pages(),
+            _ => 0,
+        };
+        self.events.emit_with(now, Some(id.get()), || Event::BalloonTarget {
+            target_pages: initial_target,
+        });
+        let inflated = guest.balloon_pages();
+        if inflated > 0 {
+            self.events
+                .emit_with(ready_at, Some(id.get()), || Event::BalloonInflate { pages: inflated });
+        }
 
         self.vms.push(VmEntry {
             id,
@@ -329,41 +385,67 @@ impl Machine {
         let entry = &mut self.vms[idx];
         let Some(slot_idx) = entry.pick_slot(now) else { return true };
         let slot = &mut entry.slots[slot_idx];
-        slot.started.get_or_insert(now);
+        if slot.started.is_none() {
+            slot.started = Some(now);
+            self.events.emit_with(now, Some(entry.id.get()), || Event::WorkloadStarted {
+                name: slot.program.name().to_owned(),
+            });
+        }
 
         let mut bus = MachineBus {
             host: &mut self.host,
             mapper: &mut self.mapper,
             preventer: &mut self.preventer,
+            events: &self.events,
             vm: entry.id,
             now,
             stall: SimDuration::ZERO,
+            disk_wait: SimDuration::ZERO,
         };
         let mut ctx = GuestCtx::new(&mut entry.guest, &mut bus);
         let result = slot.program.step(&mut ctx);
         let elapsed = ctx.elapsed();
         let stall = bus.stall;
+        let disk_wait = bus.disk_wait;
         slot.steps += 1;
 
         // Asynchronous page faults let multi-VCPU guests overlap host
         // swap-in stalls with other runnable threads (§5.1).
-        let effective = effective_elapsed(
-            elapsed,
-            stall,
-            entry.spec.vcpus,
-            entry.spec.async_page_faults,
-        );
+        let effective =
+            effective_elapsed(elapsed, stall, entry.spec.vcpus, entry.spec.async_page_faults);
         entry.ready_at = now + effective;
+
+        // Attribute the step. CPU is the un-stalled remainder, disk waits
+        // are charged in full, and whatever `effective` still contains is
+        // the post-overlap fault stall — the three sum to `effective`, so
+        // a VM's profile rows always sum to its attributed runtime.
+        let cpu = elapsed.saturating_sub(stall).saturating_sub(disk_wait);
+        let fault = effective.saturating_sub(cpu).saturating_sub(disk_wait);
+        self.profiler.add(entry.id.get(), TimeCategory::Cpu, cpu);
+        self.profiler.add(entry.id.get(), TimeCategory::DiskWait, disk_wait);
+        self.profiler.add(entry.id.get(), TimeCategory::FaultHandling, fault);
 
         match result {
             Ok(StepOutcome::Running) => {}
             Ok(StepOutcome::Done) => {
-                entry.slots[slot_idx].finished = Some(entry.ready_at);
+                let slot = &mut entry.slots[slot_idx];
+                slot.finished = Some(entry.ready_at);
+                let runtime =
+                    entry.ready_at.saturating_since(slot.started.unwrap_or(entry.ready_at));
+                self.events.emit_with(entry.ready_at, Some(entry.id.get()), || {
+                    Event::WorkloadFinished { runtime, killed: false }
+                });
                 Self::retire(entry, &self.host, slot_idx);
             }
             Err(e) => {
-                entry.slots[slot_idx].killed = Some(e);
-                entry.slots[slot_idx].finished = Some(entry.ready_at);
+                let slot = &mut entry.slots[slot_idx];
+                slot.killed = Some(e);
+                slot.finished = Some(entry.ready_at);
+                let runtime =
+                    entry.ready_at.saturating_since(slot.started.unwrap_or(entry.ready_at));
+                self.events.emit_with(entry.ready_at, Some(entry.id.get()), || {
+                    Event::WorkloadFinished { runtime, killed: true }
+                });
                 Self::retire(entry, &self.host, slot_idx);
             }
         }
@@ -400,6 +482,11 @@ impl Machine {
         for entry in &self.vms {
             vms.extend(entry.history.iter().cloned());
         }
+        let mut metrics = self.metrics.clone();
+        metrics.absorb_stat_set("host", &self.host.stats().to_stat_set());
+        metrics.absorb_stat_set("disk", &disk_stat_set(self.host.disk_stats()));
+        metrics.absorb_stat_set("mapper", &self.mapper.stats().to_stat_set());
+        metrics.absorb_stat_set("preventer", &self.preventer.stats().to_stat_set());
         RunReport::new(
             self.clock.now(),
             vms,
@@ -408,15 +495,22 @@ impl Machine {
             self.mapper.stats().to_stat_set(),
             self.preventer.stats().to_stat_set(),
             self.trace.clone(),
+            metrics.flatten(),
+            self.profiler.clone(),
         )
+    }
+
+    /// Charges externally imposed downtime (a live-migration pause) to
+    /// the VM's simulated-time profile, keeping its attribution complete.
+    pub fn note_migration_stall(&mut self, vm: VmId, duration: SimDuration) {
+        self.profiler.add(vm.get(), TimeCategory::MigrationStall, duration);
     }
 
     /// Applies one balloon-manager round if dynamic ballooning is on.
     fn poll_balloon_manager(&mut self) {
         let Some(manager) = self.balloon_manager.as_mut() else { return };
         let now = self.clock.now();
-        let free_frac =
-            self.host.free_frames() as f64 / self.cfg.host.dram.pages().max(1) as f64;
+        let free_frac = self.host.free_frames() as f64 / self.cfg.host.dram.pages().max(1) as f64;
         let telemetry: Vec<VmTelemetry> = self
             .vms
             .iter()
@@ -443,25 +537,44 @@ impl Machine {
                 .position(|e| e.id == target.vm)
                 .expect("manager only sees known VMs");
             let entry = &mut self.vms[idx];
+            let balloon_before = entry.guest.balloon_pages();
             let mut bus = MachineBus {
                 host: &mut self.host,
                 mapper: &mut self.mapper,
                 preventer: &mut self.preventer,
+                events: &self.events,
                 vm: entry.id,
                 now,
                 stall: SimDuration::ZERO,
+                disk_wait: SimDuration::ZERO,
             };
             match entry.guest.balloon_set_target(&mut bus, target.target_pages) {
-                Ok(cost) => entry.ready_at = entry.ready_at.max(now + cost),
+                Ok(cost) => {
+                    entry.ready_at = entry.ready_at.max(now + cost);
+                    let balloon_after = entry.guest.balloon_pages();
+                    if balloon_after > balloon_before {
+                        self.events.emit_with(now, Some(entry.id.get()), || {
+                            Event::BalloonInflate { pages: balloon_after - balloon_before }
+                        });
+                    } else if balloon_after < balloon_before {
+                        self.events.emit_with(now, Some(entry.id.get()), || {
+                            Event::BalloonDeflate { pages: balloon_before - balloon_after }
+                        });
+                    }
+                }
                 Err(e) => {
                     // Over-ballooning killed a workload process; retire
                     // every slot whose process is gone (the OOM killer
                     // targets the largest, i.e. the active workload).
-                    while let Some(i) =
-                        entry.slots.iter().position(|s| s.launch_at <= now)
-                    {
+                    while let Some(i) = entry.slots.iter().position(|s| s.launch_at <= now) {
                         entry.slots[i].killed = Some(e.clone());
                         entry.slots[i].finished = Some(now);
+                        let runtime = entry.slots[i]
+                            .started
+                            .map_or(SimDuration::ZERO, |s| now.saturating_since(s));
+                        self.events.emit_with(now, Some(entry.id.get()), || {
+                            Event::WorkloadFinished { runtime, killed: true }
+                        });
                         Self::retire(entry, &self.host, i);
                     }
                 }
@@ -475,22 +588,24 @@ impl Machine {
         let now = self.clock.now();
         while now >= self.next_sample {
             for e in &self.vms {
-                self.trace.record(
-                    self.next_sample,
+                let scope = format!("vm{}", e.id.get());
+                self.metrics.gauge_set(
+                    &scope,
                     "guest_page_cache_pages",
                     e.guest.cache_pages() as i64,
                 );
-                self.trace.record(
-                    self.next_sample,
+                self.metrics.gauge_set(
+                    &scope,
                     "guest_page_cache_clean_pages",
                     e.guest.cache_clean_pages() as i64,
                 );
-                self.trace.record(
-                    self.next_sample,
+                self.metrics.gauge_set(
+                    &scope,
                     "mapper_tracked_pages",
                     self.host.origin_len(e.id) as i64,
                 );
             }
+            self.metrics.sample_gauges_into(&mut self.trace, self.next_sample);
             self.next_sample += interval;
         }
     }
@@ -550,10 +665,14 @@ struct MachineBus<'a> {
     host: &'a mut HostKernel,
     mapper: &'a mut SwapMapper,
     preventer: &'a mut FalseReadsPreventer,
+    events: &'a EventLog,
     vm: VmId,
     now: SimTime,
     /// Fault-stall time accumulated this step (for async-PF overlap).
     stall: SimDuration,
+    /// Virtual-disk wait time accumulated this step (profiled apart from
+    /// fault stalls: disk waits get no async-PF overlap credit).
+    disk_wait: SimDuration,
 }
 
 impl MachineBus<'_> {
@@ -562,6 +681,22 @@ impl MachineBus<'_> {
         if is_stall {
             self.stall += d;
         }
+    }
+
+    fn charge_disk(&mut self, d: SimDuration) {
+        self.now += d;
+        self.disk_wait += d;
+    }
+
+    /// Preventer flush + Mapper routing cost of one virtual-disk write.
+    fn disk_write_cost(&mut self, gfns: &[Gfn], image_page: u64, aligned: bool) -> SimDuration {
+        let mut cost = self.preventer.expire(self.host, self.now);
+        for &gfn in gfns {
+            cost += self.preventer.flush_for_host_access(self.host, self.now + cost, self.vm, gfn);
+        }
+        cost +=
+            self.mapper.disk_write(self.host, self.now + cost, self.vm, gfns, image_page, aligned);
+        cost
     }
 }
 
@@ -599,13 +734,8 @@ impl VirtualHardware for MachineBus<'_> {
             || (!self.host.is_present(self.vm, gfn)
                 && self.preventer.should_intercept(self.host, self.vm, gfn))
         {
-            cost += self.preventer.on_full_overwrite(
-                self.host,
-                self.now + cost,
-                self.vm,
-                gfn,
-                label,
-            );
+            cost +=
+                self.preventer.on_full_overwrite(self.host, self.now + cost, self.vm, gfn, label);
             self.charge(cost, true);
             return AccessResult { latency: cost, label };
         }
@@ -618,49 +748,30 @@ impl VirtualHardware for MachineBus<'_> {
     fn disk_read(&mut self, image_page: u64, gfns: &[Gfn], aligned: bool) -> SimDuration {
         let mut cost = self.preventer.expire(self.host, self.now);
         for &gfn in gfns {
-            cost += self.preventer.flush_for_host_access(
-                self.host,
-                self.now + cost,
-                self.vm,
-                gfn,
-            );
+            cost += self.preventer.flush_for_host_access(self.host, self.now + cost, self.vm, gfn);
         }
-        cost += self.mapper.disk_read(
-            self.host,
-            self.now + cost,
-            self.vm,
-            image_page,
-            gfns,
-            aligned,
-        );
-        self.charge(cost, false);
+        cost +=
+            self.mapper.disk_read(self.host, self.now + cost, self.vm, image_page, gfns, aligned);
+        self.charge_disk(cost);
         cost
     }
 
     fn disk_write(&mut self, gfns: &[Gfn], image_page: u64, aligned: bool) -> SimDuration {
-        let mut cost = self.preventer.expire(self.host, self.now);
-        for &gfn in gfns {
-            cost += self.preventer.flush_for_host_access(
-                self.host,
-                self.now + cost,
-                self.vm,
-                gfn,
-            );
-        }
-        cost += self.mapper.disk_write(
-            self.host,
-            self.now + cost,
-            self.vm,
-            gfns,
-            image_page,
-            aligned,
-        );
+        let cost = self.disk_write_cost(gfns, image_page, aligned);
+        self.charge_disk(cost);
+        cost
+    }
+
+    fn disk_write_behind(&mut self, gfns: &[Gfn], image_page: u64, aligned: bool) -> SimDuration {
+        // The device is busy for `cost` but no guest thread blocks, so
+        // the time advances without booking profiler disk-wait.
+        let cost = self.disk_write_cost(gfns, image_page, aligned);
         self.charge(cost, false);
         cost
     }
 
     fn balloon_release(&mut self, gfn: Gfn) {
-        self.preventer.cancel(self.host, self.vm, gfn);
+        self.preventer.cancel(self.host, self.now, self.vm, gfn);
         self.host.balloon_release(self.vm, gfn);
     }
 
@@ -670,6 +781,10 @@ impl VirtualHardware for MachineBus<'_> {
 
     fn fresh_label(&mut self) -> ContentLabel {
         self.host.fresh_label()
+    }
+
+    fn observe(&mut self, event: Event) {
+        self.events.emit(self.now, Some(self.vm.get()), event);
     }
 }
 
@@ -810,10 +925,9 @@ mod machine_tests {
 
     #[test]
     fn static_balloon_is_applied_at_boot() {
-        let mut m = Machine::new(
-            MachineConfig::preset(SwapPolicy::BalloonBaseline).with_host(tiny_host()),
-        )
-        .unwrap();
+        let mut m =
+            Machine::new(MachineConfig::preset(SwapPolicy::BalloonBaseline).with_host(tiny_host()))
+                .unwrap();
         let vm = m.add_vm(tiny_vm("g", 16, 8)).unwrap();
         assert_eq!(
             m.guest(vm).balloon_pages(),

@@ -11,6 +11,7 @@
 //! unaligned fallbacks for the Windows experiments of §5.4).
 
 use sim_core::{SimDuration, SimTime, StatSet};
+use sim_obs::{Event, EventLog};
 use vswap_hostos::HostKernel;
 use vswap_mem::{Gfn, VmId};
 
@@ -57,13 +58,21 @@ impl MapperStats {
 pub struct SwapMapper {
     enabled: bool,
     stats: MapperStats,
+    /// Structured event sink; disabled (free) unless attached.
+    events: EventLog,
 }
 
 impl SwapMapper {
     /// Creates a Mapper; `enabled = false` produces a pass-through that
     /// always takes the baseline path.
     pub fn new(enabled: bool) -> Self {
-        SwapMapper { enabled, stats: MapperStats::default() }
+        SwapMapper { enabled, stats: MapperStats::default(), events: EventLog::disabled() }
+    }
+
+    /// Attaches a structured event log; page↔block associations made on
+    /// the mmap path then emit [`Event::MapperName`] records.
+    pub fn set_event_log(&mut self, events: EventLog) {
+        self.events = events;
     }
 
     /// True if the Mapper is interposing on virtual-disk I/O.
@@ -95,7 +104,14 @@ impl SwapMapper {
     ) -> SimDuration {
         let latency = if self.enabled && aligned {
             self.stats.mapped_reads += 1;
-            host.virt_disk_read_mapped(now, vm, image_page, gfns)
+            let latency = host.virt_disk_read_mapped(now, vm, image_page, gfns);
+            for (i, g) in gfns.iter().enumerate() {
+                self.events.emit_with(now, Some(vm.get()), || Event::MapperName {
+                    gfn: g.get(),
+                    image_page: image_page + i as u64,
+                });
+            }
+            latency
         } else {
             if self.enabled {
                 self.stats.unaligned_fallbacks += 1;
@@ -126,14 +142,21 @@ impl SwapMapper {
             }
         }
         let latency = host.virt_disk_write(now, vm, gfns, image_page, aligned);
+        if self.enabled && aligned {
+            for (i, g) in gfns.iter().enumerate() {
+                self.events.emit_with(now, Some(vm.get()), || Event::MapperName {
+                    gfn: g.get(),
+                    image_page: image_page + i as u64,
+                });
+            }
+        }
         self.note_tracking(host, vm);
         latency
     }
 
     fn note_tracking(&mut self, host: &HostKernel, vm: VmId) {
         if self.enabled {
-            self.stats.tracked_high_water =
-                self.stats.tracked_high_water.max(host.origin_len(vm));
+            self.stats.tracked_high_water = self.stats.tracked_high_water.max(host.origin_len(vm));
         }
     }
 }

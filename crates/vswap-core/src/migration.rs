@@ -27,6 +27,7 @@
 
 use crate::machine::{Machine, VmHandle};
 use sim_core::SimDuration;
+use sim_obs::Event;
 use vswap_hostos::PageResidency;
 use vswap_mem::{ContentLabel, Gfn};
 
@@ -172,9 +173,8 @@ impl LiveMigration {
                         rr.swap_readbacks += 1;
                         rr.content_pages += 1;
                         rr.bytes_sent += 4096 + self.cfg.net.per_page_overhead_bytes;
-                        io_cost += machine
-                            .host_mut()
-                            .migration_read_swapped(now + io_cost, vm_id, gfn);
+                        io_cost +=
+                            machine.host_mut().migration_read_swapped(now + io_cost, vm_id, gfn);
                     }
                 }
                 sent[gfn.index()] = Some(sig);
@@ -185,7 +185,15 @@ impl LiveMigration {
 
             report.total_time += rr.duration;
 
+            machine.event_log().emit_with(now, Some(vm_id.get()), || Event::MigrationRound {
+                round,
+                copied: rr.content_pages + rr.reference_pages,
+            });
+
             if final_round {
+                // The stop-and-copy round pauses the guest; attribute the
+                // downtime in the VM's simulated-time profile.
+                machine.note_migration_stall(vm_id, rr.duration);
                 report.downtime = rr.duration;
                 report.rounds.push(rr);
                 break;

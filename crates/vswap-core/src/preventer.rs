@@ -15,6 +15,7 @@
 //!   with the buffered bytes.
 
 use sim_core::{SimDuration, SimTime, StatSet};
+use sim_obs::{Event, EventLog, FlushCause};
 use vswap_hostos::HostKernel;
 use vswap_mem::{Backing, ContentLabel, FrameId, Gfn, VmId};
 
@@ -115,12 +116,25 @@ pub struct FalseReadsPreventer {
     cfg: PreventerConfig,
     emus: Vec<Emulation>,
     stats: PreventerStats,
+    /// Structured event sink; disabled (free) unless attached.
+    events: EventLog,
 }
 
 impl FalseReadsPreventer {
     /// Creates an idle Preventer.
     pub fn new(cfg: PreventerConfig) -> Self {
-        FalseReadsPreventer { cfg, emus: Vec::new(), stats: PreventerStats::default() }
+        FalseReadsPreventer {
+            cfg,
+            emus: Vec::new(),
+            stats: PreventerStats::default(),
+            events: EventLog::disabled(),
+        }
+    }
+
+    /// Attaches a structured event log; buffer lifecycle transitions then
+    /// emit open/flush/discard events.
+    pub fn set_event_log(&mut self, events: EventLog) {
+        self.events = events;
     }
 
     /// The configuration in force.
@@ -159,10 +173,8 @@ impl FalseReadsPreventer {
     /// model, approximating the paper's asynchronous read).
     pub fn expire(&mut self, host: &mut HostKernel, now: SimTime) -> SimDuration {
         let mut cost = SimDuration::ZERO;
-        while let Some(pos) = self
-            .emus
-            .iter()
-            .position(|e| now.saturating_since(e.first_write) >= self.cfg.timeout)
+        while let Some(pos) =
+            self.emus.iter().position(|e| now.saturating_since(e.first_write) >= self.cfg.timeout)
         {
             let emu = self.emus.swap_remove(pos);
             cost += self.merge(host, now + cost, emu, MergeCause::Timeout);
@@ -199,6 +211,7 @@ impl FalseReadsPreventer {
         let label = host.fresh_label();
         self.emus.push(Emulation { vm, gfn, frame, first_write: now, label });
         self.stats.buffers_opened += 1;
+        self.events.emit_with(now, Some(vm.get()), || Event::PreventerOpen { gfn: gfn.get() });
         (label, cost)
     }
 
@@ -234,6 +247,7 @@ impl FalseReadsPreventer {
         host.promote_buffer_frame(vm, gfn, frame, label);
         self.stats.buffers_opened += 1;
         self.stats.remaps += 1;
+        self.events.emit_with(now, Some(vm.get()), || Event::PreventerOpen { gfn: gfn.get() });
         cost
     }
 
@@ -273,11 +287,13 @@ impl FalseReadsPreventer {
 
     /// The page under an emulation was released (balloon inflation):
     /// cancel and drop the buffer.
-    pub fn cancel(&mut self, host: &mut HostKernel, vm: VmId, gfn: Gfn) {
+    pub fn cancel(&mut self, host: &mut HostKernel, now: SimTime, vm: VmId, gfn: Gfn) {
         if let Some(pos) = self.emus.iter().position(|e| e.vm == vm && e.gfn == gfn) {
             let emu = self.emus.swap_remove(pos);
             host.drop_buffer_frame(vm, emu.frame);
             self.stats.cancelled += 1;
+            self.events
+                .emit_with(now, Some(vm.get()), || Event::PreventerDiscard { gfn: gfn.get() });
         }
     }
 
@@ -332,6 +348,15 @@ impl FalseReadsPreventer {
             MergeCause::GuestRead => self.stats.read_merges += 1,
             MergeCause::HostAccess => {}
         }
+        self.events.emit_with(now, Some(emu.vm.get()), || Event::PreventerFlush {
+            gfn: emu.gfn.get(),
+            cause: match cause {
+                MergeCause::Timeout => FlushCause::Timeout,
+                MergeCause::Capacity => FlushCause::Capacity,
+                MergeCause::GuestRead => FlushCause::GuestRead,
+                MergeCause::HostAccess => FlushCause::HostAccess,
+            },
+        });
         cost
     }
 
@@ -472,7 +497,7 @@ mod tests {
         let mut p = FalseReadsPreventer::new(PreventerConfig::default());
         let gfn = Gfn::new(0);
         p.on_partial_write(&mut host, SimTime::ZERO, vm, gfn);
-        p.cancel(&mut host, vm, gfn);
+        p.cancel(&mut host, SimTime::ZERO, vm, gfn);
         assert_eq!(p.active(), 0);
         assert!(!host.is_present(vm, gfn), "page stays swapped out");
         assert_eq!(p.stats().cancelled, 1);

@@ -1,6 +1,8 @@
 //! Per-run measurement reports.
 
 use sim_core::{SimDuration, SimTime, StatSet, Trace};
+use sim_obs::json::JsonWriter;
+use sim_obs::{Profiler, TimeCategory};
 use vswap_mem::VmId;
 
 /// The record of one completed (or killed) workload on one VM.
@@ -65,6 +67,11 @@ pub struct RunReport {
     pub preventer: StatSet,
     /// Sampled time series (Figure 15), if sampling was enabled.
     pub trace: Trace,
+    /// Every metric of the run, flattened to `scope/name` keys.
+    pub metrics: StatSet,
+    /// Per-VM simulated-time attribution; each VM's category rows sum to
+    /// its attributed runtime.
+    pub profile: Profiler,
 }
 
 impl RunReport {
@@ -77,8 +84,10 @@ impl RunReport {
         mapper: StatSet,
         preventer: StatSet,
         trace: Trace,
+        metrics: StatSet,
+        profile: Profiler,
     ) -> Self {
-        RunReport { ended_at, workloads, host, disk, mapper, preventer, trace }
+        RunReport { ended_at, workloads, host, disk, mapper, preventer, trace, metrics, profile }
     }
 
     /// The most recent workload record for a VM.
@@ -87,11 +96,7 @@ impl RunReport {
     ///
     /// Panics if the VM ran no workload.
     pub fn vm(&self, vm: crate::VmHandle) -> &VmReport {
-        self.workloads
-            .iter()
-            .rev()
-            .find(|r| r.vm == vm.vm_id())
-            .expect("VM ran no workload")
+        self.workloads.iter().rev().find(|r| r.vm == vm.vm_id()).expect("VM ran no workload")
     }
 
     /// All records for a VM, oldest first.
@@ -121,6 +126,72 @@ impl RunReport {
     pub fn kill_count(&self) -> usize {
         self.workloads.iter().filter(|r| r.killed.is_some()).count()
     }
+
+    /// Serializes the whole report as one JSON object, through the
+    /// workspace's shared [`JsonWriter`] (so every tool emits JSON the
+    /// same way).
+    pub fn to_json(&self) -> String {
+        fn stat_object(w: &mut JsonWriter, key: &str, stats: &StatSet) {
+            w.key(key);
+            w.begin_object();
+            for (name, value) in stats.iter() {
+                w.field_u64(name, value);
+            }
+            w.end_object();
+        }
+
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("ended_at_ns", self.ended_at.as_nanos());
+        w.key("workloads");
+        w.begin_array();
+        for r in &self.workloads {
+            w.begin_object();
+            w.field_str("vm", &r.name);
+            w.field_str("workload", &r.workload);
+            w.key("runtime_secs");
+            match r.runtime() {
+                Some(d) => w.value_f64(d.as_secs_f64()),
+                None => w.value_null(),
+            }
+            w.field_bool("killed", r.killed.is_some());
+            w.field_u64("steps", r.steps);
+            w.field_u64("resident_pages", r.resident_pages);
+            w.end_object();
+        }
+        w.end_array();
+        stat_object(&mut w, "host", &self.host);
+        stat_object(&mut w, "disk", &self.disk);
+        stat_object(&mut w, "mapper", &self.mapper);
+        stat_object(&mut w, "preventer", &self.preventer);
+        stat_object(&mut w, "metrics", &self.metrics);
+        w.key("profile");
+        w.begin_array();
+        for vm in self.profile.vms() {
+            w.begin_object();
+            w.field_u64("vm", u64::from(vm));
+            w.field_u64("cpu_ns", self.profile.category(vm, TimeCategory::Cpu).as_nanos());
+            w.field_u64(
+                "disk_wait_ns",
+                self.profile.category(vm, TimeCategory::DiskWait).as_nanos(),
+            );
+            w.field_u64(
+                "fault_handling_ns",
+                self.profile.category(vm, TimeCategory::FaultHandling).as_nanos(),
+            );
+            w.field_u64(
+                "migration_stall_ns",
+                self.profile.category(vm, TimeCategory::MigrationStall).as_nanos(),
+            );
+            w.field_u64("total_ns", self.profile.total(vm).as_nanos());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
 }
 
 impl std::fmt::Display for RunReport {
@@ -131,11 +202,7 @@ impl std::fmt::Display for RunReport {
                 Some(reason) => format!("KILLED ({reason})"),
                 None => format!("{:.2}s", w.runtime_secs()),
             };
-            writeln!(
-                f,
-                "  {:<12} {:<20} {:>12}  ({} steps)",
-                w.name, w.workload, status, w.steps
-            )?;
+            writeln!(f, "  {:<12} {:<20} {:>12}  ({} steps)", w.name, w.workload, status, w.steps)?;
         }
         let interesting = [
             "swap_outs",
@@ -195,6 +262,8 @@ mod tests {
             StatSet::new(),
             StatSet::new(),
             Trace::default(),
+            StatSet::new(),
+            Profiler::new(),
         );
         let s = report.to_string();
         assert!(s.contains("vm0"));
@@ -218,9 +287,42 @@ mod tests {
             StatSet::new(),
             StatSet::new(),
             Trace::default(),
+            StatSet::new(),
+            Profiler::new(),
         );
         let mean = report.mean_runtime_secs().unwrap();
         assert!((mean - 3.0).abs() < 1e-9);
         assert_eq!(report.kill_count(), 1);
+    }
+
+    #[test]
+    fn json_serialization_is_complete_and_escaped() {
+        let mut host = StatSet::new();
+        host.set("swap_outs", 7);
+        let mut profile = Profiler::new();
+        profile.add(0, TimeCategory::Cpu, SimDuration::from_nanos(30));
+        profile.add(0, TimeCategory::DiskWait, SimDuration::from_nanos(12));
+        let mut killed = record(1, 0, Some(1_000), true);
+        killed.workload = "alloc \"big\"".to_owned();
+        let report = RunReport::new(
+            SimTime::from_nanos(5_000),
+            vec![record(0, 0, Some(2_000), false), killed],
+            host,
+            StatSet::new(),
+            StatSet::new(),
+            StatSet::new(),
+            Trace::default(),
+            StatSet::new(),
+            profile,
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"ended_at_ns\":5000"));
+        assert!(json.contains("\"workloads\":["));
+        assert!(json.contains("\"swap_outs\":7"));
+        assert!(json.contains("\"killed\":true"));
+        assert!(json.contains("\\\"big\\\""), "strings must be escaped: {json}");
+        assert!(json.contains("\"cpu_ns\":30"));
+        assert!(json.contains("\"total_ns\":42"));
+        assert!(json.ends_with("}\n"));
     }
 }

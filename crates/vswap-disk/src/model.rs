@@ -3,6 +3,23 @@
 use crate::geometry::SectorRange;
 use crate::spec::DiskSpec;
 use sim_core::{SimDuration, SimTime};
+use sim_obs::{Event, EventLog, IoClass, IoDir};
+
+/// Maps the request direction onto the event taxonomy.
+fn io_dir(kind: IoKind) -> IoDir {
+    match kind {
+        IoKind::Read => IoDir::Read,
+        IoKind::Write => IoDir::Write,
+    }
+}
+
+/// Maps the request issuer onto the event taxonomy.
+fn io_class(tag: IoTag) -> IoClass {
+    match tag {
+        IoTag::GuestImage => IoClass::GuestImage,
+        IoTag::HostSwap => IoClass::HostSwap,
+    }
+}
 
 /// Whether a request reads or writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -97,12 +114,26 @@ pub struct DiskModel {
     /// The instant the device becomes idle.
     busy_until: SimTime,
     stats: DiskStats,
+    /// Structured event sink; disabled (free) unless attached.
+    events: EventLog,
 }
 
 impl DiskModel {
     /// Creates an idle device with the given timing parameters.
     pub fn new(spec: DiskSpec) -> Self {
-        DiskModel { spec, head: None, busy_until: SimTime::ZERO, stats: DiskStats::default() }
+        DiskModel {
+            spec,
+            head: None,
+            busy_until: SimTime::ZERO,
+            stats: DiskStats::default(),
+            events: EventLog::disabled(),
+        }
+    }
+
+    /// Attaches a structured event log; every request then emits
+    /// issue/complete events.
+    pub fn set_event_log(&mut self, events: EventLog) {
+        self.events = events;
     }
 
     /// Returns the timing parameters.
@@ -135,6 +166,12 @@ impl DiskModel {
         range: SectorRange,
         tag: IoTag,
     ) -> CompletedIo {
+        self.events.emit_with(now, None, || Event::DiskIssue {
+            dir: io_dir(kind),
+            class: io_class(tag),
+            sector: range.start(),
+            sectors: range.len(),
+        });
         let started = now.max(self.busy_until);
         let gap = match self.head {
             None => Some(u64::MAX),
@@ -177,6 +214,14 @@ impl DiskModel {
             }
         }
 
+        self.events.emit_with(finished, None, || Event::DiskComplete {
+            dir: io_dir(kind),
+            class: io_class(tag),
+            sector: range.start(),
+            sectors: range.len(),
+            latency: finished - now,
+            sequential,
+        });
         CompletedIo { started, finished, latency: finished - now, sequential }
     }
 
@@ -185,7 +230,18 @@ impl DiskModel {
     /// disturb the head position the foreground read stream depends on.
     /// The returned completion reflects device occupancy, not a latency
     /// any caller should wait for.
-    pub fn submit_writeback(&mut self, now: SimTime, range: SectorRange, tag: IoTag) -> CompletedIo {
+    pub fn submit_writeback(
+        &mut self,
+        now: SimTime,
+        range: SectorRange,
+        tag: IoTag,
+    ) -> CompletedIo {
+        self.events.emit_with(now, None, || Event::DiskIssue {
+            dir: IoDir::Write,
+            class: io_class(tag),
+            sector: range.start(),
+            sectors: range.len(),
+        });
         let started = now.max(self.busy_until);
         let service = self.spec.request_latency(None, range.len());
         let finished = started + service;
@@ -199,6 +255,14 @@ impl DiskModel {
             self.stats.swap_write_ops += 1;
             self.stats.swap_sectors_written += range.len();
         }
+        self.events.emit_with(finished, None, || Event::DiskComplete {
+            dir: IoDir::Write,
+            class: io_class(tag),
+            sector: range.start(),
+            sectors: range.len(),
+            latency: finished - now,
+            sequential: true,
+        });
         CompletedIo { started, finished, latency: finished - now, sequential: true }
     }
 
@@ -305,8 +369,7 @@ mod tests {
     #[test]
     fn batch_merges_contiguous_pages() {
         let mut d = disk();
-        let ranges: Vec<SectorRange> =
-            (0..4).map(|p| SectorRange::for_page(0, p)).collect();
+        let ranges: Vec<SectorRange> = (0..4).map(|p| SectorRange::for_page(0, p)).collect();
         let io = d.submit_batch(SimTime::ZERO, IoKind::Read, &ranges, IoTag::GuestImage);
         // One merged request: one op, one seek.
         assert_eq!(d.stats().ops, 1);

@@ -142,10 +142,7 @@ mod tests {
         let spec = DiskSpec::hdd_7200();
         let one = spec.request_latency(None, 1);
         let many = spec.request_latency(None, 100);
-        assert_eq!(
-            (many - one).as_nanos(),
-            spec.sector_transfer.as_nanos() * 99
-        );
+        assert_eq!((many - one).as_nanos(), spec.sector_transfer.as_nanos() * 99);
     }
 
     #[test]

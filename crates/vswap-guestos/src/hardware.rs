@@ -46,6 +46,13 @@ pub trait VirtualHardware {
     /// `image_page`.
     fn disk_write(&mut self, gfns: &[Gfn], image_page: u64, aligned: bool) -> SimDuration;
 
+    /// Virtual-disk write the guest does *not* wait on (write-behind
+    /// eviction, asynchronous swap-out): the device works, but no thread
+    /// blocks, so the platform must not book the cost as disk-wait time.
+    fn disk_write_behind(&mut self, gfns: &[Gfn], image_page: u64, aligned: bool) -> SimDuration {
+        self.disk_write(gfns, image_page, aligned)
+    }
+
     /// The balloon driver pinned `gfn` and donates it to the host.
     fn balloon_release(&mut self, gfn: Gfn);
 
@@ -54,6 +61,13 @@ pub trait VirtualHardware {
 
     /// Draws a fresh content label for data the guest is about to create.
     fn fresh_label(&mut self) -> ContentLabel;
+
+    /// Reports a guest-kernel observability event. The platform stamps it
+    /// with the current simulated time and VM identity; the default
+    /// implementation discards it, so mocks and tests are unaffected.
+    fn observe(&mut self, event: sim_obs::Event) {
+        let _ = event;
+    }
 }
 
 /// An idealized machine for guest-kernel unit tests: infinite memory (no

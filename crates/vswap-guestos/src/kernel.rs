@@ -508,12 +508,7 @@ impl GuestKernel {
     /// # Errors
     ///
     /// Returns [`GuestError::ProcessKilled`] if the process is dead.
-    pub fn free_anon(
-        &mut self,
-        proc: ProcId,
-        vpn: Vpn,
-        count: u64,
-    ) -> Result<(), GuestError> {
+    pub fn free_anon(&mut self, proc: ProcId, vpn: Vpn, count: u64) -> Result<(), GuestError> {
         self.check_alive(proc)?;
         for i in 0..count {
             let v = vpn.offset(i);
@@ -646,7 +641,7 @@ impl GuestKernel {
         let image_page = self.cache_by_gfn[&gfn];
         let entry = self.cache[&image_page];
         if entry.dirty {
-            hw.disk_write(&[gfn], image_page, true);
+            hw.disk_write_behind(&[gfn], image_page, true);
             self.stats.writebacks += 1;
             self.clear_dirty(image_page);
         } else {
@@ -675,8 +670,9 @@ impl GuestKernel {
         let Some(slot) = self.swap.alloc(GuestSlotInfo { proc, vpn, label }) else {
             return false;
         };
-        hw.disk_write(&[gfn], self.swap.image_page(slot), true);
+        hw.disk_write_behind(&[gfn], self.swap.image_page(slot), true);
         self.stats.guest_swap_outs += 1;
+        hw.observe(sim_obs::Event::GuestSwapOut { pages: 1 });
         self.processes[proc.index()].pages[vpn.index()] = AnonPage::Swapped { slot, label };
         self.anon_lru.remove(idx);
         self.note_balloon_pressure();
@@ -710,6 +706,7 @@ impl GuestKernel {
         slot: u64,
     ) -> Result<SimDuration, GuestError> {
         let mut elapsed = SimDuration::ZERO;
+        let mut loaded = 0;
         let window = self.swap.window(slot, self.spec.swap_readahead);
         for (s, info) in window {
             if self.swap.get(s) != Some(info) {
@@ -729,9 +726,13 @@ impl GuestKernel {
             self.install_anon_page(gfn, info.proc, info.vpn, info.label);
             self.swap.free(s);
             self.stats.guest_swap_ins += 1;
+            loaded += 1;
             if s != slot {
                 self.stats.guest_swap_readahead += 1;
             }
+        }
+        if loaded > 0 {
+            hw.observe(sim_obs::Event::GuestSwapIn { pages: loaded });
         }
         Ok(elapsed)
     }
@@ -1050,9 +1051,7 @@ mod tests {
         // Find a guest-swapped page and overwrite it wholesale.
         let victim = (0..300)
             .map(|i| base.offset(i))
-            .find(|v| {
-                matches!(g.processes[p.index()].pages[v.index()], AnonPage::Swapped { .. })
-            })
+            .find(|v| matches!(g.processes[p.index()].pages[v.index()], AnonPage::Swapped { .. }))
             .expect("something guest-swapped");
         g.overwrite_anon(&mut hw, p, victim).unwrap();
         assert_eq!(g.stats().guest_swap_ins, swap_ins, "old content must not be read");

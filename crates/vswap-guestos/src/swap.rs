@@ -104,9 +104,7 @@ impl GuestSwap {
     /// readahead.
     pub fn window(&self, start: u64, window: u64) -> Vec<(u64, GuestSlotInfo)> {
         let end = (start + window).min(self.capacity());
-        (start..end)
-            .filter_map(|s| self.slots[s as usize].map(|i| (s, i)))
-            .collect()
+        (start..end).filter_map(|s| self.slots[s as usize].map(|i| (s, i))).collect()
     }
 }
 

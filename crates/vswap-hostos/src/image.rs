@@ -34,10 +34,7 @@ impl ImageStore {
     /// Creates an image of `pages` pages, each with distinct initial
     /// content drawn from `gen` (a freshly formatted image with data).
     pub fn new(pages: u64, gen: &mut LabelGen) -> Self {
-        ImageStore {
-            labels: (0..pages).map(|_| gen.fresh()).collect(),
-            writes: 0,
-        }
+        ImageStore { labels: (0..pages).map(|_| gen.fresh()).collect(), writes: 0 }
     }
 
     /// Size of the image in pages.

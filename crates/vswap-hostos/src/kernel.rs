@@ -10,6 +10,7 @@ use crate::spec::HostSpec;
 use crate::stats::HostStats;
 use crate::swaparea::{SlotInfo, SwapArea};
 use sim_core::{DeterministicRng, SimDuration, SimTime};
+use sim_obs::{Event, EventLog};
 use std::error::Error;
 use std::fmt;
 use vswap_disk::{DiskLayout, DiskModel, DiskRegion, IoKind, IoTag};
@@ -165,6 +166,8 @@ pub struct HostKernel {
     stats: HostStats,
     /// Internal randomness for proportional reclaim-list selection.
     rng: DeterministicRng,
+    /// Structured event sink; disabled (free) unless attached.
+    events: EventLog,
 }
 
 impl HostKernel {
@@ -176,12 +179,9 @@ impl HostKernel {
     /// the disk.
     pub fn new(spec: HostSpec) -> Result<Self, HostError> {
         let mut layout = DiskLayout::new(spec.disk_pages);
-        let swap_region = layout
-            .alloc_region("host-swap", spec.swap_pages)
-            .map_err(|_| HostError::DiskFull {
-                requested: spec.swap_pages,
-                available: spec.disk_pages,
-            })?;
+        let swap_region = layout.alloc_region("host-swap", spec.swap_pages).map_err(|_| {
+            HostError::DiskFull { requested: spec.swap_pages, available: spec.disk_pages }
+        })?;
         let dram_pages = spec.dram.pages();
         Ok(HostKernel {
             frames: HostFrameTable::new(dram_pages),
@@ -197,8 +197,16 @@ impl HostKernel {
             labels: LabelGen::new(),
             stats: HostStats::new(),
             rng: DeterministicRng::seed_from(0x4051_beef),
+            events: EventLog::disabled(),
             spec,
         })
+    }
+
+    /// Attaches a structured event log. The host forwards a clone to its
+    /// disk model so the whole host-side stack shares one causal stream.
+    pub fn set_event_log(&mut self, events: EventLog) {
+        self.disk.set_event_log(events.clone());
+        self.events = events;
     }
 
     /// Registers a VM with the host, carving its disk-image and hypervisor
@@ -211,12 +219,12 @@ impl HostKernel {
     /// or [`HostError::InsufficientDram`] if DRAM cannot hold the
     /// hypervisor code pages.
     pub fn create_vm(&mut self, cfg: VmMmConfig) -> Result<VmId, HostError> {
-        let image_region = self
-            .layout
-            .alloc_region("guest-image", cfg.image_pages)
-            .map_err(|_| HostError::DiskFull {
-                requested: cfg.image_pages,
-                available: self.layout.free_pages(),
+        let image_region =
+            self.layout.alloc_region("guest-image", cfg.image_pages).map_err(|_| {
+                HostError::DiskFull {
+                    requested: cfg.image_pages,
+                    available: self.layout.free_pages(),
+                }
             })?;
         let hv_binary_region = self
             .layout
@@ -425,6 +433,13 @@ impl HostKernel {
             let major = self.fault_in(&mut t, vm, gfn, FaultCause::Guest);
             (true, major)
         };
+        if faulted {
+            self.events.emit_with(now, Some(vm.get()), || Event::PageFault {
+                gfn: gfn.get(),
+                write,
+                major,
+            });
+        }
         let frame = self.vms[vm.index()].ept.translate(gfn).expect("faulted in");
         self.frames.set_accessed(frame, true);
         self.prefetched[frame.index()] = false;
@@ -459,6 +474,13 @@ impl HostKernel {
             }
             (true, major)
         };
+        if faulted {
+            self.events.emit_with(now, Some(vm.get()), || Event::PageFault {
+                gfn: gfn.get(),
+                write: true,
+                major,
+            });
+        }
         let frame = self.vms[vm.index()].ept.translate(gfn).expect("faulted in");
         self.frames.set_accessed(frame, true);
         self.guest_write_present(&mut t, vm, gfn, frame, Some(label));
@@ -482,6 +504,7 @@ impl HostKernel {
             self.stats.cow_breaks += 1;
             *t += self.spec.cow_break_overhead;
             self.list_move(vm, frame, false);
+            self.events.emit_with(*t, Some(vm.get()), || Event::MapperUnname { gfn: gfn.get() });
         }
         let label = label.unwrap_or_else(|| self.labels.fresh());
         self.frames.set_label(frame, label);
@@ -519,10 +542,8 @@ impl HostKernel {
         // Fault in destination buffers (the stale-read pathology).
         for &gfn in dest_gfns {
             if self.vms[vm.index()].ept.translate(gfn).is_none() {
-                let swapped = matches!(
-                    self.vms[vm.index()].ept.backing(gfn),
-                    Some(Backing::SwapSlot(_))
-                );
+                let swapped =
+                    matches!(self.vms[vm.index()].ept.backing(gfn), Some(Backing::SwapSlot(_)));
                 self.fault_in(&mut t, vm, gfn, FaultCause::HostIo);
                 if swapped {
                     self.stats.stale_swap_reads += 1;
@@ -600,12 +621,12 @@ impl HostKernel {
             let frame = match self.vms[vm.index()].ept.translate(gfn) {
                 Some(frame) => frame,
                 None => {
-                    if let Some(Backing::SwapSlot(slot)) = self.vms[vm.index()].ept.backing(gfn)
-                    {
+                    if let Some(Backing::SwapSlot(slot)) = self.vms[vm.index()].ept.backing(gfn) {
                         self.swap.free(slot);
                     }
                     self.vms[vm.index()].ept.set_backing(gfn, Backing::None);
-                    let frame = self.alloc_frame(&mut t, vm, FrameOwner::Guest { vm, gfn })
+                    let frame = self
+                        .alloc_frame(&mut t, vm, FrameOwner::Guest { vm, gfn })
                         .expect("reclaim guarantees progress");
                     self.vms[vm.index()].ept.map(gfn, frame);
                     self.list_push(vm, frame, false);
@@ -725,7 +746,6 @@ impl HostKernel {
         }
     }
 
-
     // ------------------------------------------------------------------
     // Ballooning support
     // ------------------------------------------------------------------
@@ -807,7 +827,13 @@ impl HostKernel {
     /// # Panics
     ///
     /// Panics if the page is present.
-    pub fn promote_buffer_frame(&mut self, vm: VmId, gfn: Gfn, frame: FrameId, label: ContentLabel) {
+    pub fn promote_buffer_frame(
+        &mut self,
+        vm: VmId,
+        gfn: Gfn,
+        frame: FrameId,
+        label: ContentLabel,
+    ) {
         assert!(self.vms[vm.index()].ept.translate(gfn).is_none(), "page became present");
         if let Some(Backing::SwapSlot(slot)) = self.vms[vm.index()].ept.backing(gfn) {
             self.swap.free(slot);
@@ -907,6 +933,10 @@ impl HostKernel {
         let span = self.swap_region.page_span(first, last - first + 1);
         let io = self.disk.submit(*t, IoKind::Read, span, IoTag::HostSwap);
         *t = io.finished;
+        self.events.emit_with(*t, Some(vm.get()), || Event::SwapIn {
+            gfn: gfn.get(),
+            readahead: targets.len() as u64 - 1,
+        });
 
         for (s, info, frame) in targets {
             self.frames.set_label(frame, info.label);
@@ -941,9 +971,7 @@ impl HostKernel {
         let mut cluster: Vec<(u64, Gfn)> = Vec::new();
         for p in page..end {
             match self.vms[vm.index()].origin.gfn_for_page(p) {
-                Some(g)
-                    if self.vms[vm.index()].ept.backing(g) == Some(Backing::ImagePage(p)) =>
-                {
+                Some(g) if self.vms[vm.index()].ept.backing(g) == Some(Backing::ImagePage(p)) => {
                     cluster.push((p, g));
                 }
                 _ if p == page => unreachable!("faulting page must qualify"),
@@ -963,6 +991,10 @@ impl HostKernel {
         let range = self.vms[vm.index()].image_region.page_span(page, count);
         let io = self.disk.submit(*t, IoKind::Read, range, IoTag::GuestImage);
         *t = io.finished;
+        self.events.emit_with(*t, Some(vm.get()), || Event::NamedRefault {
+            gfn: gfn.get(),
+            readahead: count - 1,
+        });
 
         for (p, g, frame) in targets {
             let label = self.vms[vm.index()].image.label(p);
@@ -1040,9 +1072,10 @@ impl HostKernel {
                 break;
             }
             let victim_vm = if over_limit { vm } else { self.most_charged_vm() };
-            let want =
-                self.spec.reclaim_batch.max(self.vms[vm.index()].charged + 1
-                    - self.vms[vm.index()].mem_limit.min(self.vms[vm.index()].charged));
+            let want = self.spec.reclaim_batch.max(
+                self.vms[vm.index()].charged + 1
+                    - self.vms[vm.index()].mem_limit.min(self.vms[vm.index()].charged),
+            );
             self.reclaim_vm(t, victim_vm, want);
         }
         let frame = self.frames.alloc(owner)?;
@@ -1067,13 +1100,20 @@ impl HostKernel {
     /// Anonymity" explains why kernels are built this way).
     fn reclaim_vm(&mut self, t: &mut SimTime, vm: VmId, want: u64) {
         self.stats.reclaim_runs += 1;
+        let scanned_before = self.stats.pages_scanned;
+        let mut reclaimed = 0;
         for _ in 0..want {
             let Some((frame, named)) = self.select_victim(t, vm) else {
                 break;
             };
             self.list_remove_class(vm, frame, named);
             self.evict_frame(t, vm, frame);
+            reclaimed += 1;
         }
+        self.events.emit_with(*t, Some(vm.get()), || Event::ReclaimScan {
+            scanned: self.stats.pages_scanned - scanned_before,
+            reclaimed,
+        });
     }
 
     /// How much reclaim favors named (file-backed) pages over anonymous
@@ -1157,11 +1197,12 @@ impl HostKernel {
                 debug_assert_eq!(owner_vm, vm);
                 let origin_page = self.vms[vm.index()].origin.page_for_gfn(gfn);
                 let mapper = self.vms[vm.index()].mapper_enabled;
-                if let (true, Some(page), false) = (mapper, origin_page, self.frames.dirty(frame))
-                {
+                if let (true, Some(page), false) = (mapper, origin_page, self.frames.dirty(frame)) {
                     // Named page: drop it; the image still has the bytes.
                     self.vms[vm.index()].ept.unmap(gfn, Backing::ImagePage(page));
                     self.stats.named_discards += 1;
+                    self.events
+                        .emit_with(*t, Some(vm.get()), || Event::NamedDiscard { gfn: gfn.get() });
                 } else {
                     // Uncooperative swap-out. The hardware offers no dirty
                     // bit for guest pages, so the content is written even
@@ -1180,6 +1221,7 @@ impl HostKernel {
                     // silent swap writes).
                     self.disk.submit_writeback(*t, range, IoTag::HostSwap);
                     self.stats.swap_outs += 1;
+                    self.events.emit_with(*t, Some(vm.get()), || Event::SwapOut { gfn: gfn.get() });
                     if origin_page.is_some() && !self.frames.dirty(frame) {
                         self.stats.silent_swap_writes += 1;
                     }
@@ -1288,9 +1330,9 @@ impl HostKernel {
                 - self
                     .frames
                     .iter_allocated()
-                    .filter(|(_, o)| {
-                        matches!(o, FrameOwner::WriteBuffer { vm, .. } if vm.index() == i)
-                    })
+                    .filter(
+                        |(_, o)| matches!(o, FrameOwner::WriteBuffer { vm, .. } if vm.index() == i),
+                    )
                     .count();
             if listed != expect {
                 return Err(format!("vm{i} lru size {listed} != listed frames {expect}"));
@@ -1832,10 +1874,7 @@ mod protection_tests {
             }
         }
         for g in 0..16 {
-            assert!(
-                host.is_present(vm, Gfn::new(g)),
-                "protected gfn {g} must never be evicted"
-            );
+            assert!(host.is_present(vm, Gfn::new(g)), "protected gfn {g} must never be evicted");
         }
         host.audit().unwrap();
     }

@@ -146,9 +146,7 @@ impl SwapArea {
     /// This is the cluster a fault-time swap readahead would read.
     pub fn window(&self, start: u64, window: u64) -> Vec<(u64, SlotInfo)> {
         let end = (start + window).min(self.capacity());
-        (start..end)
-            .filter_map(|s| self.slots[s as usize].map(|info| (s, info)))
-            .collect()
+        (start..end).filter_map(|s| self.slots[s as usize].map(|info| (s, info))).collect()
     }
 }
 

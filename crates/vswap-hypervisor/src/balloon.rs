@@ -13,6 +13,7 @@
 //!    (Figures 4 and 14).
 
 use sim_core::{SimDuration, SimTime};
+use sim_obs::{Event, EventLog};
 use vswap_mem::VmId;
 
 /// Tuning knobs of the balloon manager.
@@ -99,12 +100,20 @@ pub struct BalloonTarget {
 pub struct BalloonManager {
     policy: BalloonPolicy,
     last_round: Option<SimTime>,
+    /// Structured event sink; disabled (free) unless attached.
+    events: EventLog,
 }
 
 impl BalloonManager {
     /// Creates a manager with the given policy.
     pub fn new(policy: BalloonPolicy) -> Self {
-        BalloonManager { policy, last_round: None }
+        BalloonManager { policy, last_round: None, events: EventLog::disabled() }
+    }
+
+    /// Attaches a structured event log; target decisions then emit
+    /// [`Event::BalloonTarget`] records.
+    pub fn set_event_log(&mut self, events: EventLog) {
+        self.events = events;
     }
 
     /// The sampling interval.
@@ -132,8 +141,8 @@ impl BalloonManager {
             let step = ((t.guest_total_pages as f64) * self.policy.step_fraction) as u64;
             let max = ((t.guest_total_pages as f64) * self.policy.max_fraction) as u64;
             let guest_free_frac = t.guest_free_pages as f64 / t.guest_total_pages as f64;
-            let guest_pressed = guest_free_frac < self.policy.guest_pressure_free
-                || t.recent_guest_swap_outs > 0;
+            let guest_pressed =
+                guest_free_frac < self.policy.guest_pressure_free || t.recent_guest_swap_outs > 0;
 
             let target = if guest_pressed && t.balloon_pages > 0 {
                 // The guest needs its memory back; give it up at a
@@ -150,6 +159,9 @@ impl BalloonManager {
             };
 
             if target != t.balloon_pages {
+                self.events.emit_with(now, Some(t.vm.get()), || Event::BalloonTarget {
+                    target_pages: target,
+                });
                 out.push(BalloonTarget { vm: t.vm, target_pages: target });
             }
         }

@@ -168,10 +168,7 @@ impl HostFrameTable {
     /// Panics if the frame is already free.
     pub fn free(&mut self, id: FrameId) {
         let frame = &mut self.frames[id.index()];
-        assert!(
-            !matches!(frame.owner, FrameOwner::Free),
-            "double free of {id}"
-        );
+        assert!(!matches!(frame.owner, FrameOwner::Free), "double free of {id}");
         frame.owner = FrameOwner::Free;
         frame.accessed = false;
         frame.dirty = false;

@@ -39,7 +39,7 @@ pub mod ept;
 pub mod frame;
 pub mod ilist;
 
-pub use addr::{pages_to_bytes, pages_to_mb, Gfn, MemBytes, Vpn, VmId};
+pub use addr::{pages_to_bytes, pages_to_mb, Gfn, MemBytes, VmId, Vpn};
 pub use content::{ContentLabel, LabelGen};
 pub use ept::{Backing, Ept, EptEntry};
 pub use frame::{FrameId, FrameOwner, HostFrameTable};

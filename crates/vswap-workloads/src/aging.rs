@@ -30,7 +30,12 @@ pub struct AgeGuest {
 impl AgeGuest {
     /// Creates the aging pass.
     pub fn new() -> Self {
-        AgeGuest { scratch: None, chunks: Vec::new(), next: 0, rng: DeterministicRng::seed_from(0xa9e) }
+        AgeGuest {
+            scratch: None,
+            chunks: Vec::new(),
+            next: 0,
+            rng: DeterministicRng::seed_from(0xa9e),
+        }
     }
 }
 
@@ -89,8 +94,8 @@ mod tests {
         };
         let mut m =
             Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(host)).unwrap();
-        let spec = VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
-            GuestSpec {
+        let spec =
+            VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(GuestSpec {
                 memory: MemBytes::from_mb(32),
                 disk: MemBytes::from_mb(256),
                 swap: MemBytes::from_mb(32),
@@ -98,8 +103,7 @@ mod tests {
                 boot_file_pages: MemBytes::from_mb(4).pages(),
                 boot_anon_pages: MemBytes::from_mb(2).pages(),
                 ..GuestSpec::linux_default()
-            },
-        );
+            });
         let vm = m.add_vm(spec).unwrap();
         m.launch(vm, Box::new(AgeGuest::new()));
         let report = m.run();

@@ -104,8 +104,8 @@ mod tests {
             ..HostSpec::paper_testbed()
         };
         let mut m = Machine::new(MachineConfig::preset(policy).with_host(host)).unwrap();
-        let spec = VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
-            GuestSpec {
+        let spec =
+            VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(GuestSpec {
                 memory: MemBytes::from_mb(32),
                 disk: MemBytes::from_mb(256),
                 swap: MemBytes::from_mb(32),
@@ -113,8 +113,7 @@ mod tests {
                 boot_file_pages: MemBytes::from_mb(4).pages(),
                 boot_anon_pages: MemBytes::from_mb(2).pages(),
                 ..GuestSpec::linux_default()
-            },
-        );
+            });
         let vm = m.add_vm(spec).unwrap();
         let shared = SharedFile::new();
         m.launch(vm, Box::new(SysbenchPrepare::new(MemBytes::from_mb(26).pages(), shared)));
@@ -156,8 +155,8 @@ mod tests {
         };
         let mut m =
             Machine::new(MachineConfig::preset(SwapPolicy::Vswapper).with_host(host)).unwrap();
-        let spec = VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
-            GuestSpec {
+        let spec =
+            VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(GuestSpec {
                 memory: MemBytes::from_mb(32),
                 disk: MemBytes::from_mb(256),
                 swap: MemBytes::from_mb(32),
@@ -165,8 +164,7 @@ mod tests {
                 boot_file_pages: MemBytes::from_mb(4).pages(),
                 boot_anon_pages: MemBytes::from_mb(2).pages(),
                 ..GuestSpec::linux_default()
-            },
-        );
+            });
         let vm = m.add_vm(spec).unwrap();
         let shared = SharedFile::new();
         m.launch(vm, Box::new(SysbenchPrepare::new(MemBytes::from_mb(26).pages(), shared)));

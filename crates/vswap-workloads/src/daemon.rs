@@ -131,19 +131,17 @@ mod tests {
         let mut m =
             Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(host)).unwrap();
         let vm = m
-            .add_vm(
-                VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
-                    GuestSpec {
-                        memory: MemBytes::from_mb(32),
-                        disk: MemBytes::from_mb(256),
-                        swap: MemBytes::from_mb(32),
-                        kernel_pages: MemBytes::from_mb(2).pages(),
-                        boot_file_pages: MemBytes::from_mb(4).pages(),
-                        boot_anon_pages: MemBytes::from_mb(2).pages(),
-                        ..GuestSpec::linux_default()
-                    },
-                ),
-            )
+            .add_vm(VmSpec::linux("g", MemBytes::from_mb(32), MemBytes::from_mb(8)).with_guest(
+                GuestSpec {
+                    memory: MemBytes::from_mb(32),
+                    disk: MemBytes::from_mb(256),
+                    swap: MemBytes::from_mb(32),
+                    kernel_pages: MemBytes::from_mb(2).pages(),
+                    boot_file_pages: MemBytes::from_mb(4).pages(),
+                    boot_anon_pages: MemBytes::from_mb(2).pages(),
+                    ..GuestSpec::linux_default()
+                },
+            ))
             .unwrap();
         let shared = SharedFile::new();
         m.launch(vm, Box::new(SysbenchPrepare::new(MemBytes::from_mb(12).pages(), shared.clone())));

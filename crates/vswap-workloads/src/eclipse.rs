@@ -66,9 +66,13 @@ impl Default for EclipseConfig {
 enum Phase {
     Setup,
     /// Allocating (and thereby zeroing) the heap, one chunk at a time.
-    HeapWarmup { pos: u64 },
+    HeapWarmup {
+        pos: u64,
+    },
     Work,
-    GcSweep { pos: u64 },
+    GcSweep {
+        pos: u64,
+    },
 }
 
 /// The Eclipse analogue. See the module docs.

@@ -197,6 +197,9 @@ mod tests {
         // moderate squeeze; at minimum the ordering must hold.
         let base = run(SwapPolicy::Baseline, 6).workloads.last().unwrap().runtime_secs();
         let vswap = run(SwapPolicy::Vswapper, 6).workloads.last().unwrap().runtime_secs();
-        assert!(vswap <= base * 1.02, "vswapper ({vswap:.2}s) must not lose to baseline ({base:.2}s)");
+        assert!(
+            vswap <= base * 1.02,
+            "vswapper ({vswap:.2}s) must not lose to baseline ({base:.2}s)"
+        );
     }
 }

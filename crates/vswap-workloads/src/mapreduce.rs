@@ -62,10 +62,16 @@ enum Phase {
     Setup,
     /// First-touching the hash-table arrays (Metis allocates them up
     /// front — the demand spike that catches balloon managers flat).
-    Warmup { pos: u64 },
+    Warmup {
+        pos: u64,
+    },
     Map,
-    Reduce { pos: u64 },
-    Output { pos: u64 },
+    Reduce {
+        pos: u64,
+    },
+    Output {
+        pos: u64,
+    },
 }
 
 /// The MapReduce analogue. See the module docs.
@@ -240,9 +246,8 @@ mod tests {
     }
 
     fn guest_spec(name: &str) -> VmSpec {
-        VmSpec::linux(name, MemBytes::from_mb(48), MemBytes::from_mb(48))
-            .with_vcpus(2)
-            .with_guest(GuestSpec {
+        VmSpec::linux(name, MemBytes::from_mb(48), MemBytes::from_mb(48)).with_vcpus(2).with_guest(
+            GuestSpec {
                 memory: MemBytes::from_mb(48),
                 disk: MemBytes::from_mb(256),
                 swap: MemBytes::from_mb(48),
@@ -250,7 +255,8 @@ mod tests {
                 boot_file_pages: MemBytes::from_mb(4).pages(),
                 boot_anon_pages: MemBytes::from_mb(2).pages(),
                 ..GuestSpec::linux_default()
-            })
+            },
+        )
     }
 
     /// Three phased guests on a host that holds only two of them.
@@ -297,10 +303,7 @@ mod tests {
     fn vswapper_beats_baseline_under_overcommit() {
         let base = run_phased(SwapPolicy::Baseline, false).mean_runtime_secs().unwrap();
         let vswap = run_phased(SwapPolicy::Vswapper, false).mean_runtime_secs().unwrap();
-        assert!(
-            vswap < base,
-            "vswapper mean ({vswap:.2}s) must beat baseline mean ({base:.2}s)"
-        );
+        assert!(vswap < base, "vswapper mean ({vswap:.2}s) must beat baseline mean ({base:.2}s)");
     }
 
     #[test]
@@ -309,13 +312,9 @@ mod tests {
         assert_eq!(report.workloads.len(), 3);
         // Host pressure must have made the manager inflate some balloon.
         assert!(
-            report
-                .workloads
-                .iter()
-                .any(|w| w.guest_stats.get("guest_balloon_pages") > 0)
+            report.workloads.iter().any(|w| w.guest_stats.get("guest_balloon_pages") > 0)
                 || report.kill_count() > 0,
             "dynamic ballooning must visibly act"
         );
     }
 }
-

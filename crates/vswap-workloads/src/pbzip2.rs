@@ -124,8 +124,7 @@ impl GuestProgram for Pbzip2 {
                 ctx.compute(self.cfg.compress_cpu_per_page * count);
 
                 // Emit compressed output at one quarter the input rate.
-                let out_target =
-                    (self.src_pos * self.cfg.output_pages) / self.cfg.source_pages;
+                let out_target = (self.src_pos * self.cfg.output_pages) / self.cfg.source_pages;
                 if out_target > self.out_pos {
                     let n = out_target - self.out_pos;
                     ctx.write_file(output, self.out_pos, n)?;

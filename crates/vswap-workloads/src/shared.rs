@@ -60,10 +60,7 @@ mod tests {
         let b = a.clone();
         assert!(b.get().is_none());
         // FileId has no public constructor; bind through a guest.
-        let mut guest = vswap_guestos::GuestKernel::new(
-            vswap_guestos::GuestSpec::small_test(),
-            1,
-        );
+        let mut guest = vswap_guestos::GuestKernel::new(vswap_guestos::GuestSpec::small_test(), 1);
         let f = guest.create_file(4).unwrap();
         a.set(f);
         assert_eq!(b.get(), Some(f));

@@ -42,10 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let busy = machine.add_vm(guest_spec("busy"))?;
 
     // The idle guest slowly reads files; the busy one spikes at t=5s.
-    machine.launch(idle, Box::new(vswap_core::workload_api::FileScan::new(
-        MemBytes::from_mb(700).pages(),
-        1,
-    )));
+    machine.launch(
+        idle,
+        Box::new(vswap_core::workload_api::FileScan::new(MemBytes::from_mb(700).pages(), 1)),
+    );
     machine.launch_at(
         busy,
         Box::new(MapReduce::new(MapReduceConfig {

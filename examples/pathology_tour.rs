@@ -30,10 +30,8 @@ fn demonstrate(policy: SwapPolicy) -> Result<PathologyBreakdown, Box<dyn std::er
         machine.launch(vm, Box::new(SysbenchRead::new(file.clone())));
         machine.run();
     }
-    machine.launch(
-        vm,
-        Box::new(AllocStream::new(MemBytes::from_mb(200).pages(), AccessMode::Write)),
-    );
+    machine
+        .launch(vm, Box::new(AllocStream::new(MemBytes::from_mb(200).pages(), AccessMode::Write)));
     let report = machine.run();
     Ok(PathologyBreakdown::from_stats(&report.host, &report.disk))
 }
@@ -47,10 +45,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vswapper = demonstrate(SwapPolicy::Vswapper)?;
     println!("{vswapper}");
 
-    println!(
-        "\nPathology events eliminated: {} -> {}",
-        baseline.total(),
-        vswapper.total()
-    );
+    println!("\nPathology events eliminated: {} -> {}", baseline.total(), vswapper.total());
     Ok(())
 }

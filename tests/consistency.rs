@@ -113,8 +113,8 @@ fn run_script(policy: SwapPolicy, actions: Vec<Action>) -> Result<(), TestCaseEr
         .map_err(|e| TestCaseError::fail(e.to_string()))?;
     // A guest squeezed to a quarter of its believed memory: the policy's
     // machinery is constantly exercised.
-    let spec = VmSpec::linux("guest", MemBytes::from_mb(4), MemBytes::from_mb(1)).with_guest(
-        GuestSpec {
+    let spec =
+        VmSpec::linux("guest", MemBytes::from_mb(4), MemBytes::from_mb(1)).with_guest(GuestSpec {
             memory: MemBytes::from_mb(4),
             disk: MemBytes::from_mb(32),
             swap: MemBytes::from_mb(4),
@@ -122,8 +122,7 @@ fn run_script(policy: SwapPolicy, actions: Vec<Action>) -> Result<(), TestCaseEr
             boot_file_pages: 64,
             boot_anon_pages: 32,
             ..GuestSpec::linux_default()
-        },
-    );
+        });
     let vm = m.add_vm(spec).map_err(|e| TestCaseError::fail(e.to_string()))?;
     m.launch(vm, Box::new(Scripted::new(actions)));
     let report = m.run();

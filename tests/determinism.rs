@@ -2,6 +2,7 @@
 //! must produce bit-identical reports. This is what makes the
 //! experiment suite reproducible and the simulation debuggable.
 
+use sim_core::SimDuration;
 use vswap_core::{Machine, MachineConfig, RunReport, SwapPolicy};
 use vswap_guestos::{GuestProgram, GuestSpec};
 use vswap_hostos::HostSpec;
@@ -12,7 +13,6 @@ use vswap_workloads::eclipse::{Eclipse, EclipseConfig};
 use vswap_workloads::kernbench::{Kernbench, KernbenchConfig};
 use vswap_workloads::mapreduce::{MapReduce, MapReduceConfig};
 use vswap_workloads::pbzip2::{Pbzip2, Pbzip2Config};
-use sim_core::SimDuration;
 
 fn host() -> HostSpec {
     HostSpec {
@@ -122,6 +122,36 @@ fn mapreduce_is_deterministic() {
         }))
     };
     assert_deterministic(SwapPolicy::MapperOnly, &make);
+}
+
+#[test]
+fn telemetry_is_byte_identical_across_same_seed_runs() {
+    // The observability layer must not perturb determinism: two runs with
+    // the same seed produce byte-identical JSONL event streams and
+    // byte-identical serialized reports.
+    let run = || {
+        let mut m = Machine::new(MachineConfig::preset(SwapPolicy::Vswapper).with_host(host()))
+            .expect("machine");
+        let log = m.attach_event_log(1 << 18);
+        let vm = m.add_vm(vm_spec()).expect("vm");
+        m.launch(
+            vm,
+            Box::new(Pbzip2::new(Pbzip2Config {
+                source_pages: MemBytes::from_mb(12).pages(),
+                output_pages: MemBytes::from_mb(3).pages(),
+                hot_pages: MemBytes::from_mb(4).pages(),
+                ..Pbzip2Config::default()
+            })),
+        );
+        let report = m.run();
+        m.host().audit().expect("invariants");
+        (sim_obs::export::to_jsonl(&log), report.to_json())
+    };
+    let (jsonl_a, json_a) = run();
+    let (jsonl_b, json_b) = run();
+    assert!(!jsonl_a.is_empty(), "the run must emit events");
+    assert_eq!(jsonl_a, jsonl_b, "JSONL event streams must be byte-identical");
+    assert_eq!(json_a, json_b, "serialized reports must be byte-identical");
 }
 
 #[test]

@@ -37,8 +37,8 @@ fn small_vm(name: &str, mem_mb: u64, actual_mb: u64) -> VmSpec {
 
 /// The §3.1 demonstration protocol at test scale.
 fn demonstration(policy: SwapPolicy) -> (Machine, VmHandle, RunReport) {
-    let mut m = Machine::new(MachineConfig::preset(policy).with_host(small_host()))
-        .expect("valid machine");
+    let mut m =
+        Machine::new(MachineConfig::preset(policy).with_host(small_host())).expect("valid machine");
     let vm = m.add_vm(small_vm("guest", 32, 8)).expect("vm fits");
     let file = SharedFile::new();
     m.launch(vm, Box::new(SysbenchPrepare::new(MemBytes::from_mb(12).pages(), file.clone())));
@@ -113,12 +113,9 @@ fn runs_are_deterministic() {
 fn phased_multi_vm_with_dynamic_ballooning() {
     let mut host = small_host();
     host.disk_pages = MemBytes::from_gb(2).pages(); // three 256 MB images + slack
-    let cfg = MachineConfig::preset(SwapPolicy::BalloonVswapper)
-        .with_host(host)
-        .with_auto_balloon(BalloonPolicy {
-            interval: SimDuration::from_millis(250),
-            ..BalloonPolicy::default()
-        });
+    let cfg = MachineConfig::preset(SwapPolicy::BalloonVswapper).with_host(host).with_auto_balloon(
+        BalloonPolicy { interval: SimDuration::from_millis(250), ..BalloonPolicy::default() },
+    );
     let mut m = Machine::new(cfg).expect("valid machine");
     let mut vms = Vec::new();
     for i in 0..3u32 {

@@ -497,7 +497,7 @@ proptest! {
                 PreventOp::Cancel(g) => {
                     let gfn = Gfn::new(g);
                     if preventer.is_emulating(vm, gfn) {
-                        preventer.cancel(&mut host, vm, gfn);
+                        preventer.cancel(&mut host, now, vm, gfn);
                         // The page reverts to its pre-emulation backing
                         // content; re-read the truth.
                         expected[g as usize] = host
