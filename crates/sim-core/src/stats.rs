@@ -186,6 +186,30 @@ impl Histogram {
     pub fn max(&self) -> u64 {
         self.max
     }
+
+    /// The bucket upper bounds this histogram was created with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Absorbs another histogram's samples into this one.
+    ///
+    /// Used to combine per-task histograms into a suite-wide view after
+    /// parallel experiment execution; merging in a fixed task order keeps
+    /// the combined histogram bit-identical across schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match to merge");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A named snapshot of counters taken at the end of an experiment run.
@@ -319,6 +343,27 @@ mod tests {
         assert_eq!(h.max(), 1000);
         let mean = h.mean().unwrap();
         assert!((mean - (0. + 1. + 2. + 10. + 11. + 1000.) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::with_bounds(&[10, 100]);
+        let mut b = Histogram::with_bounds(&[10, 100]);
+        a.record(5);
+        a.record(50);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 500);
+        assert!((a.mean().unwrap() - (5. + 50. + 500.) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must match")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(&[10]);
+        a.merge(&Histogram::with_bounds(&[20]));
     }
 
     #[test]

@@ -24,6 +24,29 @@ struct Scope {
     histograms: BTreeMap<String, Histogram>,
 }
 
+impl Scope {
+    /// Counters sum, gauges take `other`'s level, histograms combine.
+    fn absorb(&mut self, other: &Scope) {
+        for (name, &value) in &other.counters {
+            if let Some(c) = self.counters.get_mut(name) {
+                *c = c.saturating_add(value);
+            } else {
+                self.counters.insert(name.clone(), value);
+            }
+        }
+        for (&name, &value) in &other.gauges {
+            self.gauges.insert(name, value);
+        }
+        for (name, h) in &other.histograms {
+            if let Some(existing) = self.histograms.get_mut(name) {
+                existing.merge(h);
+            } else {
+                self.histograms.insert(name.clone(), h.clone());
+            }
+        }
+    }
+}
+
 /// Named, component-scoped counters, gauges, and histograms.
 ///
 /// # Examples
@@ -128,6 +151,33 @@ impl MetricsRegistry {
         }
     }
 
+    /// Merges another registry into this one, scope by scope: counters
+    /// sum, gauges take the other registry's (latest) level, histograms
+    /// combine their samples.
+    ///
+    /// Merging is deterministic for a fixed merge order, which is how the
+    /// parallel experiment suite folds per-task sinks into one registry:
+    /// tasks are merged in task order, never in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared histogram was created with different bucket
+    /// bounds on the two sides.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (scope_name, theirs) in &other.scopes {
+            self.scope_mut(scope_name).absorb(theirs);
+        }
+    }
+
+    /// Copies every scope of `other` into this registry under
+    /// `prefix/scope` — the collision-free way to keep per-task metrics
+    /// distinguishable after a suite-wide merge.
+    pub fn absorb_namespaced(&mut self, prefix: &str, other: &MetricsRegistry) {
+        for (scope_name, theirs) in &other.scopes {
+            self.scope_mut(&format!("{prefix}/{scope_name}")).absorb(theirs);
+        }
+    }
+
     /// Renders the whole hierarchy as one flat [`StatSet`] with
     /// `scope/name` keys; histograms contribute `.count`, `.max`, and
     /// `.mean` (rounded) summary entries.
@@ -227,6 +277,38 @@ mod tests {
         assert_eq!(flat.get("disk/latency_us.max"), 100);
         let h = m.histogram("disk", "latency_us").unwrap();
         assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_combines_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("disk", "ops", 2);
+        a.gauge_set("host", "free", 10);
+        a.histogram_record("disk", "lat", &[10, 100], 5);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("disk", "ops", 3);
+        b.counter_add("host", "faults", 1);
+        b.gauge_set("host", "free", 7);
+        b.histogram_record("disk", "lat", &[10, 100], 500);
+        a.merge_from(&b);
+        assert_eq!(a.counter("disk", "ops"), 5);
+        assert_eq!(a.counter("host", "faults"), 1);
+        assert_eq!(a.gauge("host", "free"), Some(7), "gauges take the merged-in level");
+        let h = a.histogram("disk", "lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 500);
+    }
+
+    #[test]
+    fn namespaced_absorb_keeps_tasks_apart() {
+        let mut task = MetricsRegistry::new();
+        task.counter_add("host", "swap_ins", 4);
+        let mut suite = MetricsRegistry::new();
+        suite.absorb_namespaced("fig03/baseline", &task);
+        suite.absorb_namespaced("fig03/vswapper", &task);
+        assert_eq!(suite.counter("fig03/baseline/host", "swap_ins"), 4);
+        assert_eq!(suite.counter("fig03/vswapper/host", "swap_ins"), 4);
+        assert_eq!(suite.counter("host", "swap_ins"), 0);
     }
 
     #[test]

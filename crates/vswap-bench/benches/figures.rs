@@ -30,10 +30,13 @@ fn bench_experiments(c: &mut Criterion) {
     heavy.sample_size(10);
     heavy.bench_function("fig14_point_3_guests", |b| {
         b.iter(|| {
+            let mut ctx =
+                vswap_bench::TaskCtx::standalone(vswap_bench::suite::DEFAULT_SEED, "bench");
             black_box(vswap_bench::experiments::fig14::run_point(
                 Scale::Smoke,
                 vswap_core::SwapPolicy::Vswapper,
                 3,
+                &mut ctx,
             ))
         });
     });

@@ -1,37 +1,70 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run --release -p vswap-bench --bin figures            # everything
-//! cargo run --release -p vswap-bench --bin figures -- fig09   # one experiment
-//! cargo run --release -p vswap-bench --bin figures -- --smoke # reduced scale
+//! cargo run --release -p vswap-bench --bin figures              # everything
+//! cargo run --release -p vswap-bench --bin figures -- fig09     # one experiment
+//! cargo run --release -p vswap-bench --bin figures -- --smoke   # reduced scale
+//! cargo run --release -p vswap-bench --bin figures -- --jobs 4  # parallel
 //! ```
+//!
+//! Tables go to stdout and are bitwise identical for every `--jobs`
+//! value (including the default serial run); timing lines go to stderr
+//! so stdout can be diffed or redirected into the golden corpus.
 
-use std::time::Instant;
-use vswap_bench::{all_experiments, Scale};
+use vswap_bench::suite::{render_experiment, run_suite, SuiteOptions, DEFAULT_SEED};
+use vswap_bench::{suite_experiments, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--smoke") { Scale::Smoke } else { Scale::Paper };
-    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut scale = Scale::Paper;
+    // 0 = available parallelism; output is identical for every width.
+    let mut jobs = 0usize;
+    let mut seed = DEFAULT_SEED;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--jobs" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => jobs = n,
+                _ => die("--jobs needs a number (0 = all cores)"),
+            },
+            "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => seed = n,
+                _ => die("--seed needs a number"),
+            },
+            other if !other.starts_with("--") => wanted.push(other.to_owned()),
+            other => die(&format!("unknown option `{other}`")),
+        }
+    }
+    for id in &wanted {
+        if !suite_experiments().iter().any(|e| e.id == id) {
+            eprintln!("no experiment matched `{id}`; known ids:");
+            for e in suite_experiments() {
+                eprintln!("  {:8} {}", e.id, e.title);
+            }
+            std::process::exit(1);
+        }
+    }
 
-    let mut matched = 0;
-    for (id, title, runner) in all_experiments() {
-        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == id) {
-            continue;
-        }
-        matched += 1;
-        println!("# {title}  [{id}]");
-        let begin = Instant::now();
-        for table in runner(scale) {
-            println!("{table}");
-        }
-        println!("({id} regenerated in {:.1?} wall-clock)\n", begin.elapsed());
+    let opts = SuiteOptions::new(scale).with_jobs(jobs).with_seed(seed).with_only(wanted);
+    let result = run_suite(&opts);
+    for exp in &result.experiments {
+        print!("{}", render_experiment(exp.id, exp.title, &exp.tables));
+        eprintln!(
+            "({} regenerated in {:.1?} busy across {} units)",
+            exp.id, exp.busy, exp.unit_count
+        );
     }
-    if matched == 0 {
-        eprintln!("no experiment matched; known ids:");
-        for (id, title, _) in all_experiments() {
-            eprintln!("  {id:8} {title}");
-        }
-        std::process::exit(1);
-    }
+    eprintln!(
+        "suite: {} experiment(s) in {:.1?} wall-clock on {} worker(s)",
+        result.experiments.len(),
+        result.wall,
+        result.jobs
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }

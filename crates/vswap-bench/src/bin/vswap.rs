@@ -15,6 +15,7 @@ use sim_core::{SimDuration, SimTime};
 use sim_obs::{export, TraceFormat};
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use vswap_bench::{suite, Scale};
 use vswap_core::{
     LiveMigration, Machine, MachineConfig, MigrationConfig, PathologyBreakdown, RunReport,
     SwapPolicy, VmHandle,
@@ -33,11 +34,25 @@ const USAGE: &str = "\
 vswap — drive the VSwapper simulation
 
 USAGE:
-  vswap run [OPTIONS]        run a workload and report
-  vswap trace [OPTIONS]      run a workload and summarize its event trace
-  vswap migrate [OPTIONS]    live-migrate a warmed guest and report
-  vswap pathology [OPTIONS]  run the five-pathology demonstration
-  vswap list                 list workloads and policies
+  vswap run [OPTIONS]            run a workload and report
+  vswap trace [OPTIONS]          run a workload and summarize its event trace
+  vswap migrate [OPTIONS]        live-migrate a warmed guest and report
+  vswap pathology [OPTIONS]      run the five-pathology demonstration
+  vswap figures [SUITE] [ID..]   regenerate the paper's tables (stdout; timings on stderr)
+  vswap verify-tables [SUITE]    re-run the smoke suite and diff against the golden corpus
+  vswap list                     list workloads, policies, and experiments
+
+SUITE OPTIONS (figures / verify-tables):
+  --jobs <N>          worker threads (default 0 = all cores); output is
+                      bitwise identical for every worker count
+  --smoke             reduced ~16x scale (`figures` only; `verify-tables`
+                      is always smoke scale — that is what the corpus holds)
+  --seed <N>          suite root seed (`figures` only; the corpus is
+                      generated under the default seed)
+  --bless             (`verify-tables`) rewrite crates/vswap-bench/golden/
+                      from this run instead of diffing
+  --bench-out <PATH>  (`verify-tables`) write a serial-vs-parallel timing
+                      report as JSON
 
 OPTIONS (run / trace / migrate / pathology):
   --workload <NAME>   sysbench | pbzip2 | kernbench | eclipse | mapreduce | alloc
@@ -311,9 +326,157 @@ fn cmd_pathology(opts: &Options) -> Result<String, String> {
 }
 
 fn cmd_list() -> String {
-    "workloads: sysbench pbzip2 kernbench eclipse mapreduce alloc\n\
-     policies:  baseline balloon mapper vswapper balloon+vswapper\n"
-        .to_owned()
+    let mut out = "workloads: sysbench pbzip2 kernbench eclipse mapreduce alloc\n\
+     policies:  baseline balloon mapper vswapper balloon+vswapper\n\
+     experiments:\n"
+        .to_owned();
+    for e in vswap_bench::suite_experiments() {
+        let _ = writeln!(out, "       {:8} {}", e.id, e.title);
+    }
+    out
+}
+
+/// Arguments shared by the `figures` and `verify-tables` subcommands.
+#[derive(Debug, Clone)]
+struct SuiteArgs {
+    scale: Scale,
+    jobs: usize,
+    seed: u64,
+    ids: Vec<String>,
+    bless: bool,
+    bench_out: Option<String>,
+}
+
+fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
+    let mut parsed = SuiteArgs {
+        scale: Scale::Paper,
+        jobs: 0,
+        seed: suite::DEFAULT_SEED,
+        ids: Vec::new(),
+        bless: false,
+        bench_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--smoke" => parsed.scale = Scale::Smoke,
+            "--jobs" => {
+                parsed.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--seed" => {
+                parsed.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--bless" => parsed.bless = true,
+            "--bench-out" => parsed.bench_out = Some(value("--bench-out")?),
+            other if !other.starts_with("--") => parsed.ids.push(other.to_owned()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    for id in &parsed.ids {
+        if !vswap_bench::suite_experiments().iter().any(|e| e.id == id) {
+            return Err(format!("unknown experiment id `{id}`; see `vswap list`"));
+        }
+    }
+    Ok(parsed)
+}
+
+fn cmd_figures(a: &SuiteArgs) -> Result<String, String> {
+    let opts = suite::SuiteOptions::new(a.scale)
+        .with_jobs(a.jobs)
+        .with_seed(a.seed)
+        .with_only(a.ids.clone());
+    let result = suite::run_suite(&opts);
+    for exp in &result.experiments {
+        eprintln!(
+            "({} regenerated in {:.1?} busy across {} units)",
+            exp.id, exp.busy, exp.unit_count
+        );
+    }
+    eprintln!(
+        "suite: {} experiment(s) in {:.1?} wall-clock on {} worker(s)",
+        result.experiments.len(),
+        result.wall,
+        result.jobs
+    );
+    Ok(result.rendered())
+}
+
+/// Escapes nothing: experiment ids are `[a-z0-9]+` by construction.
+fn bench_json(serial: &suite::SuiteResult, parallel: &suite::SuiteResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"scale\": \"smoke\",");
+    let _ = writeln!(out, "  \"jobs\": {},", parallel.jobs);
+    let _ = writeln!(out, "  \"serial_wall_secs\": {:.6},", serial.wall.as_secs_f64());
+    let _ = writeln!(out, "  \"parallel_wall_secs\": {:.6},", parallel.wall.as_secs_f64());
+    let _ = writeln!(
+        out,
+        "  \"speedup\": {:.3},",
+        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9)
+    );
+    out.push_str("  \"experiments\": [\n");
+    for (i, (s, p)) in serial.experiments.iter().zip(&parallel.experiments).enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"units\": {}, \"serial_secs\": {:.6}, \"parallel_busy_secs\": {:.6}}}",
+            s.id,
+            p.unit_count,
+            s.busy.as_secs_f64(),
+            p.busy.as_secs_f64()
+        );
+        out.push_str(if i + 1 < serial.experiments.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn cmd_verify_tables(a: &SuiteArgs) -> Result<String, String> {
+    // The corpus is smoke-scale output under the default seed; scale and
+    // seed overrides would make every diff meaningless.
+    let base = suite::SuiteOptions::new(Scale::Smoke);
+    let serial = suite::run_suite(&base.clone().with_jobs(1));
+    let parallel = suite::run_suite(&base.with_jobs(a.jobs));
+    eprintln!(
+        "verify-tables: serial {:.1?}, {} worker(s) {:.1?}",
+        serial.wall, parallel.jobs, parallel.wall
+    );
+
+    // The determinism gate: the parallel run must be byte-identical to
+    // the serial reference — tables and merged metrics both.
+    if serial.rendered() != parallel.rendered() {
+        return Err("parallel tables diverged from the serial reference (determinism bug)".into());
+    }
+    if serial.metrics.to_string() != parallel.metrics.to_string() {
+        return Err("parallel metrics diverged from the serial reference (determinism bug)".into());
+    }
+
+    if let Some(path) = &a.bench_out {
+        std::fs::write(path, bench_json(&serial, &parallel))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("verify-tables: wrote timing report to {path}");
+    }
+
+    if a.bless {
+        let written = vswap_bench::golden::bless(&parallel.experiments)
+            .map_err(|e| format!("blessing golden corpus: {e}"))?;
+        return Ok(format!("blessed {} golden file(s)\n", written.len()));
+    }
+
+    let drifts = vswap_bench::golden::verify(&parallel.experiments);
+    if drifts.is_empty() {
+        Ok(format!(
+            "verify-tables: {} experiment(s) match the golden corpus\n",
+            parallel.experiments.len()
+        ))
+    } else {
+        let mut msg = format!("{} experiment(s) drifted from the golden corpus:\n", drifts.len());
+        for d in &drifts {
+            let _ = writeln!(msg, "{d}");
+        }
+        msg.push_str("if the change is intended, regenerate with `vswap verify-tables --bless`");
+        Err(msg)
+    }
 }
 
 fn main() -> ExitCode {
@@ -324,6 +487,16 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "list" => Ok(cmd_list()),
+        "figures" | "verify-tables" => match parse_suite_args(rest) {
+            Ok(suite_args) => {
+                if cmd == "figures" {
+                    cmd_figures(&suite_args)
+                } else {
+                    cmd_verify_tables(&suite_args)
+                }
+            }
+            Err(e) => Err(e),
+        },
         "run" | "trace" | "migrate" | "pathology" => match parse_options(rest) {
             Ok(opts) => match cmd.as_str() {
                 "run" => cmd_run(&opts),
@@ -435,6 +608,41 @@ mod tests {
         assert!(out.contains("\"host\""));
         assert!(out.contains("\"metrics\""));
         assert!(out.contains("\"profile\""));
+    }
+
+    #[test]
+    fn suite_args_parse() {
+        let owned: Vec<String> = [
+            "--smoke",
+            "--jobs",
+            "4",
+            "--seed",
+            "9",
+            "--bless",
+            "--bench-out",
+            "/tmp/b.json",
+            "fig03",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = parse_suite_args(&owned).unwrap();
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.seed, 9);
+        assert!(a.bless);
+        assert_eq!(a.bench_out.as_deref(), Some("/tmp/b.json"));
+        assert_eq!(a.ids, vec!["fig03".to_owned()]);
+
+        let defaults = parse_suite_args(&[]).unwrap();
+        assert_eq!(defaults.scale, Scale::Paper);
+        assert_eq!(defaults.jobs, 0, "0 = available parallelism");
+        assert_eq!(defaults.seed, suite::DEFAULT_SEED);
+
+        let bad: Vec<String> = vec!["not-an-experiment".to_owned()];
+        assert!(parse_suite_args(&bad).is_err());
+        let bad: Vec<String> = vec!["--jobs".to_owned()];
+        assert!(parse_suite_args(&bad).is_err(), "missing value");
     }
 
     #[test]

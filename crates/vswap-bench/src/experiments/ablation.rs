@@ -9,12 +9,13 @@
 //! * an SSD in place of the hard drive ("beneficial for systems that
 //!   employ SSDs", §5.1).
 
-use super::common::{host, linux_vm, machine, prepare_and_age};
+use super::common::{host, linux_vm, prepare_and_age};
 use super::fig11;
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::Table;
 use sim_core::SimDuration;
-use vswap_core::{Machine, MachineConfig, SwapPolicy};
+use vswap_core::{MachineConfig, SwapPolicy};
 use vswap_disk::DiskSpec;
 use vswap_hostos::HostSpec;
 use vswap_mem::MemBytes;
@@ -25,7 +26,7 @@ use vswap_workloads::SysbenchRead;
 /// host-swapped pages with *partial* writes, exercising the emulation
 /// buffers and their timeout/capacity merges — unlike pure page zeroing,
 /// which short-circuits to a remap).
-fn preventer_caps(scale: Scale) -> Table {
+fn preventer_caps(scale: Scale, ctx: &mut TaskCtx) -> Table {
     let mut table = Table::new(
         "Ablation: Preventer caps (paper default 32 pages / 1ms) — pbzip2 @ 192MB",
         vec!["max pages / timeout", "runtime [s]", "remaps", "merges", "timeouts"],
@@ -34,7 +35,7 @@ fn preventer_caps(scale: Scale) -> Table {
         let mut cfg = MachineConfig::preset(SwapPolicy::Vswapper).with_host(host(scale));
         cfg.preventer.max_pages = pages;
         cfg.preventer.timeout = SimDuration::from_micros(timeout_us);
-        let mut m = Machine::new(cfg).expect("valid host");
+        let mut m = ctx.instrumented("preventer-caps", cfg);
         let vm = m.add_vm(linux_vm(scale, "guest", 512, 192)).expect("fits");
         m.launch(vm, Box::new(Pbzip2::new(fig11::workload(scale))));
         let report = m.run();
@@ -51,14 +52,14 @@ fn preventer_caps(scale: Scale) -> Table {
 }
 
 /// Image-refault readahead sweep: the iterated-read steady state.
-fn image_readahead(scale: Scale) -> Table {
+fn image_readahead(scale: Scale, ctx: &mut TaskCtx) -> Table {
     let mut table = Table::new(
         "Ablation: Mapper image-refault readahead window — re-read of a cached file @ 100MB actual",
         vec!["window [pages]", "iteration runtime [s]", "named refaults"],
     );
     for window in [8u64, 32, 128] {
         let host_spec = HostSpec { image_readahead_pages: window, ..host(scale) };
-        let mut m = machine(SwapPolicy::Vswapper, host_spec);
+        let mut m = ctx.machine("image-readahead", SwapPolicy::Vswapper, host_spec);
         let vm = m.add_vm(linux_vm(scale, "guest", 512, 100)).expect("fits");
         let pages = MemBytes::from_mb(scale.mb(200)).pages();
         let shared = prepare_and_age(&mut m, vm, pages);
@@ -79,14 +80,14 @@ fn image_readahead(scale: Scale) -> Table {
 }
 
 /// Named-first reclaim preference on/off under the Mapper.
-fn reclaim_preference(scale: Scale) -> Table {
+fn reclaim_preference(scale: Scale, ctx: &mut TaskCtx) -> Table {
     let mut table = Table::new(
         "Ablation: reclaim's named-page preference — pbzip2 @ 256MB under the Mapper",
         vec!["preference", "runtime [s]", "swap outs", "named discards"],
     );
     for (label, prefers) in [("named first (Linux)", true), ("anonymous first", false)] {
         let host_spec = HostSpec { reclaim_prefers_named: prefers, ..host(scale) };
-        let mut m = machine(SwapPolicy::Vswapper, host_spec);
+        let mut m = ctx.machine("reclaim-preference", SwapPolicy::Vswapper, host_spec);
         let vm = m.add_vm(linux_vm(scale, "guest", 512, 256)).expect("fits");
         m.launch(vm, Box::new(Pbzip2::new(fig11::workload(scale))));
         let report = m.run();
@@ -102,7 +103,7 @@ fn reclaim_preference(scale: Scale) -> Table {
 }
 
 /// The HDD/SSD comparison at a pressured pbzip2 point.
-fn ssd(scale: Scale) -> Table {
+fn ssd(scale: Scale, ctx: &mut TaskCtx) -> Table {
     let mut table = Table::new(
         "Ablation: disk technology — pbzip2 @ 192MB (write elimination pays on SSDs too)",
         vec!["disk / config", "runtime [s]", "swap sectors written"],
@@ -110,7 +111,7 @@ fn ssd(scale: Scale) -> Table {
     for (disk_label, disk) in [("hdd", DiskSpec::hdd_7200()), ("ssd", DiskSpec::ssd())] {
         for policy in [SwapPolicy::Baseline, SwapPolicy::Vswapper] {
             let host_spec = HostSpec { disk, ..host(scale) };
-            let mut m = machine(policy, host_spec);
+            let mut m = ctx.machine("ssd", policy, host_spec);
             let vm = m.add_vm(linux_vm(scale, "guest", 512, 192)).expect("fits");
             m.launch(vm, Box::new(Pbzip2::new(fig11::workload(scale))));
             let report = m.run();
@@ -127,7 +128,7 @@ fn ssd(scale: Scale) -> Table {
 
 /// Page-type-aware paging (§7 future work): protect guest kernel pages
 /// from host eviction and measure the iterated-read benchmark.
-fn kernel_protection(scale: Scale) -> Table {
+fn kernel_protection(scale: Scale, ctx: &mut TaskCtx) -> Table {
     let mut table = Table::new(
         "Extension (§7): page-type-aware paging — iterated read @ 100MB actual, baseline host",
         vec!["kernel pages", "2nd-read runtime [s]", "guest major faults"],
@@ -137,7 +138,7 @@ fn kernel_protection(scale: Scale) -> Table {
         if protect {
             cfg = cfg.with_kernel_protection();
         }
-        let mut m = Machine::new(cfg).expect("valid host");
+        let mut m = ctx.instrumented("kernel-protection", cfg);
         let vm = m.add_vm(linux_vm(scale, "guest", 512, 100)).expect("fits");
         let pages = MemBytes::from_mb(scale.mb(200)).pages();
         let shared = prepare_and_age(&mut m, vm, pages);
@@ -161,7 +162,7 @@ fn kernel_protection(scale: Scale) -> Table {
 /// interleave into every reclaim stream — the compounding entropy the
 /// sterile single-process protocol lacks (see the Figure 9a deviation
 /// note in EXPERIMENTS.md).
-fn decay_with_daemon(scale: Scale) -> Table {
+fn decay_with_daemon(scale: Scale, ctx: &mut TaskCtx) -> Table {
     use vswap_workloads::daemon::{Daemon, DaemonConfig};
     let iterations = 6usize;
     let cols: Vec<String> = std::iter::once("guest activity".to_owned())
@@ -172,7 +173,7 @@ fn decay_with_daemon(scale: Scale) -> Table {
         cols.iter().map(String::as_str).collect(),
     );
     for (label, with_daemon) in [("benchmark only", false), ("benchmark + daemon", true)] {
-        let mut m = machine(SwapPolicy::Baseline, host(scale));
+        let mut m = ctx.machine("decay-daemon", SwapPolicy::Baseline, host(scale));
         let vm = m.add_vm(linux_vm(scale, "guest", 512, 100)).expect("fits");
         let pages = MemBytes::from_mb(scale.mb(200)).pages();
         let shared = prepare_and_age(&mut m, vm, pages);
@@ -206,16 +207,30 @@ fn decay_with_daemon(scale: Scale) -> Table {
     table
 }
 
+/// One unit per ablation sub-table: the six studies are independent
+/// machines and can run concurrently.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    type Study = fn(Scale, &mut TaskCtx) -> Table;
+    let studies: [(&str, Study); 6] = [
+        ("preventer-caps", preventer_caps as Study),
+        ("image-readahead", image_readahead as Study),
+        ("reclaim-preference", reclaim_preference as Study),
+        ("ssd", ssd as Study),
+        ("kernel-protection", kernel_protection as Study),
+        ("decay-daemon", decay_with_daemon as Study),
+    ];
+    let units = studies
+        .iter()
+        .map(|&(label, study)| {
+            Unit::new(label, move |ctx: &mut TaskCtx| UnitOut::Tables(vec![study(scale, ctx)]))
+        })
+        .collect();
+    ExperimentPlan::new(units, |outs| outs.into_iter().flat_map(UnitOut::into_tables).collect())
+}
+
 /// Runs all ablations at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    vec![
-        preventer_caps(scale),
-        image_readahead(scale),
-        reclaim_preference(scale),
-        ssd(scale),
-        kernel_protection(scale),
-        decay_with_daemon(scale),
-    ]
+    crate::suite::run_plan_serial("ablate", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]
@@ -233,7 +248,7 @@ mod tests {
 
     #[test]
     fn smoke_vswapper_still_wins_on_ssd() {
-        let t = ssd(Scale::Smoke);
+        let t = ssd(Scale::Smoke, &mut TaskCtx::standalone(crate::suite::DEFAULT_SEED, "ssd"));
         let base = t.value("ssd / baseline", "swap sectors written").unwrap();
         let vswap = t.value("ssd / vswapper", "swap sectors written").unwrap();
         assert!(vswap < base / 4.0, "write elimination must hold on SSDs: {vswap} vs {base}");

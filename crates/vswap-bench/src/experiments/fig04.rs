@@ -9,26 +9,45 @@
 use super::common::FOUR_CONFIGS;
 use super::fig14::run_point;
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::Table;
 
 /// Paper-reported mean runtimes for the four configurations.
 pub const PAPER_SECONDS: [(&str, f64); 4] =
     [("baseline", 153.0), ("balloon+base", 167.0), ("vswapper", 88.0), ("balloon+vswap", 97.0)];
 
-/// Runs the experiment at the given scale.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// One unit per configuration: each ten-guest consolidation run is an
+/// independent (and expensive) simulation.
+pub fn plan(scale: Scale) -> ExperimentPlan {
     let guests = match scale {
         Scale::Paper => 10,
         Scale::Smoke => 5,
     };
-    let mut table = Table::new(
-        "Figure 4: mean completion time of ten phased MapReduce guests [s]",
-        vec!["config", "measured [s]", "paper [s]"],
-    );
-    for (policy, &(label, paper)) in FOUR_CONFIGS.iter().zip(PAPER_SECONDS.iter()) {
-        debug_assert_eq!(label, policy.label());
-        let (mean, _) = run_point(scale, *policy, guests);
-        table.push(vec![policy.label().into(), mean.into(), paper.into()]);
-    }
-    vec![table]
+    let units = FOUR_CONFIGS
+        .iter()
+        .map(|&policy| {
+            Unit::new(policy.label(), move |ctx: &mut TaskCtx| {
+                let (mean, _) = run_point(scale, policy, guests, ctx);
+                UnitOut::Value(mean)
+            })
+        })
+        .collect();
+    ExperimentPlan::new(units, |outs| {
+        let mut table = Table::new(
+            "Figure 4: mean completion time of ten phased MapReduce guests [s]",
+            vec!["config", "measured [s]", "paper [s]"],
+        );
+        for ((policy, &(label, paper)), out) in
+            FOUR_CONFIGS.iter().zip(PAPER_SECONDS.iter()).zip(outs)
+        {
+            debug_assert_eq!(label, policy.label());
+            table.push(vec![policy.label().into(), out.into_value().into(), paper.into()]);
+        }
+        vec![table]
+    })
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Vec<Table> {
+    crate::suite::run_plan_serial("fig04", plan(scale), crate::suite::DEFAULT_SEED)
 }

@@ -10,8 +10,9 @@
 //! * (d) sectors written to the host swap area — silent swap writes,
 //!   roughly constant per iteration.
 
-use super::common::{host, linux_vm, machine, prepare_and_age};
+use super::common::{host, linux_vm, prepare_and_age};
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::Table;
 use vswap_core::{Machine, RunReport, SwapPolicy, VmHandle};
 use vswap_mem::MemBytes;
@@ -35,8 +36,13 @@ pub struct IterationSeries {
 }
 
 /// Runs the iterated experiment for one policy.
-pub fn run_config(scale: Scale, policy: SwapPolicy, iterations: u32) -> IterationSeries {
-    let mut m = machine(policy, host(scale));
+pub fn run_config(
+    scale: Scale,
+    policy: SwapPolicy,
+    iterations: u32,
+    ctx: &mut TaskCtx,
+) -> IterationSeries {
+    let mut m = ctx.machine("iterated-read", policy, host(scale));
     let vm = m.add_vm(linux_vm(scale, "guest", 512, 100)).expect("fits");
     let file_pages = MemBytes::from_mb(scale.mb(200)).pages();
     let shared = prepare_and_age(&mut m, vm, file_pages);
@@ -67,50 +73,76 @@ fn run_iteration(m: &mut Machine, vm: VmHandle, shared: &SharedFile) -> RunRepor
     m.run()
 }
 
+/// One unit per configuration: the eight iterations share one machine
+/// (the decay of swap sequentiality is the whole point), so a config is
+/// the smallest independent piece.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    let iterations = 8u32;
+    let units = CONFIGS
+        .iter()
+        .map(|&policy| {
+            Unit::new(policy.label(), move |ctx: &mut TaskCtx| {
+                let s = run_config(scale, policy, iterations, ctx);
+                let mut cells = Vec::new();
+                for i in 0..iterations as usize {
+                    cells.push(s.runtime_secs[i].into());
+                }
+                for i in 0..iterations as usize {
+                    cells.push(s.host_faults[i].into());
+                }
+                for i in 0..iterations as usize {
+                    cells.push(s.guest_faults[i].into());
+                }
+                for i in 0..iterations as usize {
+                    cells.push(s.sectors_written[i].into());
+                }
+                UnitOut::Cells(cells)
+            })
+        })
+        .collect();
+    ExperimentPlan::new(units, move |outs| {
+        let titles = [
+            "Figure 9a: runtime per iteration [s]",
+            "Figure 9b: host page faults per iteration (stale reads + false anonymity)",
+            "Figure 9c: guest page faults per iteration (decayed sequentiality)",
+            "Figure 9d: sectors written to host swap per iteration (silent writes)",
+        ];
+        let series: Vec<Vec<crate::table::Cell>> =
+            outs.into_iter().map(UnitOut::into_cells).collect();
+        let iters = iterations as usize;
+        let mut tables = Vec::new();
+        for (panel, title) in titles.into_iter().enumerate() {
+            let cols: Vec<String> = std::iter::once("config".to_owned())
+                .chain((1..=iters).map(|i| format!("iter {i}")))
+                .collect();
+            let mut table = Table::new(title, cols.iter().map(String::as_str).collect());
+            for (row, policy) in CONFIGS.iter().enumerate() {
+                let mut cells = vec![crate::table::Cell::from(policy.label())];
+                cells.extend(series[row][panel * iters..(panel + 1) * iters].iter().cloned());
+                table.push(cells);
+            }
+            tables.push(table);
+        }
+        tables
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let iterations = 8;
-    let series: Vec<(SwapPolicy, IterationSeries)> =
-        CONFIGS.iter().map(|&p| (p, run_config(scale, p, iterations))).collect();
-
-    let mut tables = Vec::new();
-    type Extract = fn(&IterationSeries, usize) -> crate::table::Cell;
-    let specs: [(&str, Extract); 4] = [
-        ("Figure 9a: runtime per iteration [s]", |s, i| s.runtime_secs[i].into()),
-        ("Figure 9b: host page faults per iteration (stale reads + false anonymity)", |s, i| {
-            s.host_faults[i].into()
-        }),
-        ("Figure 9c: guest page faults per iteration (decayed sequentiality)", |s, i| {
-            s.guest_faults[i].into()
-        }),
-        ("Figure 9d: sectors written to host swap per iteration (silent writes)", |s, i| {
-            s.sectors_written[i].into()
-        }),
-    ];
-    for (title, extract) in specs {
-        let cols: Vec<String> = std::iter::once("config".to_owned())
-            .chain((1..=iterations).map(|i| format!("iter {i}")))
-            .collect();
-        let mut table = Table::new(title, cols.iter().map(String::as_str).collect());
-        for (policy, s) in &series {
-            let mut row = vec![crate::table::Cell::from(policy.label())];
-            for i in 0..iterations as usize {
-                row.push(extract(s, i));
-            }
-            table.push(row);
-        }
-        tables.push(table);
-    }
-    tables
+    crate::suite::run_plan_serial("fig09", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ctx(label: &str) -> TaskCtx {
+        TaskCtx::standalone(crate::suite::DEFAULT_SEED, label)
+    }
+
     #[test]
     fn smoke_baseline_has_the_papers_signatures() {
-        let s = run_config(Scale::Smoke, SwapPolicy::Baseline, 4);
+        let s = run_config(Scale::Smoke, SwapPolicy::Baseline, 4, &mut ctx("base"));
         // Iteration 1 is dominated by stale reads (host faults), later
         // iterations by guest faults.
         assert!(
@@ -129,12 +161,12 @@ mod tests {
 
     #[test]
     fn smoke_vswapper_eliminates_swap_writes() {
-        let s = run_config(Scale::Smoke, SwapPolicy::Vswapper, 3);
+        let s = run_config(Scale::Smoke, SwapPolicy::Vswapper, 3, &mut ctx("vswap"));
         let total: u64 = s.sectors_written.iter().sum();
         // File pages are discarded, never swapped; the residue is the
         // handful of anonymous kernel-text pages the Mapper cannot name.
         assert!(total < 64, "the Mapper discards instead of swapping: {:?}", s.sectors_written);
-        let b = run_config(Scale::Smoke, SwapPolicy::Baseline, 1);
+        let b = run_config(Scale::Smoke, SwapPolicy::Baseline, 1, &mut ctx("base"));
         assert!(b.sectors_written[0] > total * 100, "baseline writes dwarf the residue");
     }
 }

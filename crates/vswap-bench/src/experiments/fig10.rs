@@ -9,8 +9,9 @@
 //! that "enabling the Preventer more than doubles the performance",
 //! tightly correlated with disk operations.
 
-use super::common::{host, linux_vm, machine, prepare_and_age};
+use super::common::{host, linux_vm, prepare_and_age};
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::{Cell, Table};
 use vswap_core::{RunReport, SwapPolicy};
 use vswap_mem::MemBytes;
@@ -27,8 +28,12 @@ pub const CONFIGS: [SwapPolicy; 4] = [
 
 /// Runs one configuration; returns (runtime seconds, disk ops during the
 /// microbenchmark, killed, report).
-pub fn run_config(scale: Scale, policy: SwapPolicy) -> (f64, u64, bool, RunReport) {
-    let mut m = machine(policy, host(scale));
+pub fn run_config(
+    scale: Scale,
+    policy: SwapPolicy,
+    ctx: &mut TaskCtx,
+) -> (f64, u64, bool, RunReport) {
+    let mut m = ctx.machine("false-reads", policy, host(scale));
     let vm = m.add_vm(linux_vm(scale, "guest", 512, 100)).expect("fits");
     let file_pages = MemBytes::from_mb(scale.mb(200)).pages();
     let shared = prepare_and_age(&mut m, vm, file_pages);
@@ -47,32 +52,54 @@ pub fn run_config(scale: Scale, policy: SwapPolicy) -> (f64, u64, bool, RunRepor
     (rt, ops, killed, report)
 }
 
+/// One unit per configuration bar.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    let units = CONFIGS
+        .iter()
+        .map(|&policy| {
+            Unit::new(policy.label(), move |ctx: &mut TaskCtx| {
+                let (rt, ops, killed, report) = run_config(scale, policy, ctx);
+                UnitOut::Cells(vec![
+                    if killed { Cell::Missing } else { rt.into() },
+                    if killed { Cell::Missing } else { Cell::Float(ops as f64 / 1000.0) },
+                    report.host.get("false_swap_reads").into(),
+                ])
+            })
+        })
+        .collect();
+    ExperimentPlan::new(units, |outs| {
+        let mut table = Table::new(
+            "Figure 10: alloc+touch 200MB after the file read — runtime and disk ops ('-' = killed)",
+            vec!["config", "runtime [s]", "disk ops [thousands]", "false swap reads"],
+        );
+        for (policy, out) in CONFIGS.iter().zip(outs) {
+            let mut row = vec![Cell::from(policy.label())];
+            row.extend(out.into_cells());
+            table.push(row);
+        }
+        vec![table]
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let mut table = Table::new(
-        "Figure 10: alloc+touch 200MB after the file read — runtime and disk ops ('-' = killed)",
-        vec!["config", "runtime [s]", "disk ops [thousands]", "false swap reads"],
-    );
-    for policy in CONFIGS {
-        let (rt, ops, killed, report) = run_config(scale, policy);
-        table.push(vec![
-            policy.label().into(),
-            if killed { Cell::Missing } else { rt.into() },
-            if killed { Cell::Missing } else { Cell::Float(ops as f64 / 1000.0) },
-            report.host.get("false_swap_reads").into(),
-        ]);
-    }
-    vec![table]
+    crate::suite::run_plan_serial("fig10", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ctx(label: &str) -> TaskCtx {
+        TaskCtx::standalone(crate::suite::DEFAULT_SEED, label)
+    }
+
     #[test]
     fn smoke_preventer_more_than_halves_mapper_only_runtime_gap() {
-        let (base_rt, base_ops, bk, _) = run_config(Scale::Smoke, SwapPolicy::Baseline);
-        let (vswap_rt, vswap_ops, vk, vr) = run_config(Scale::Smoke, SwapPolicy::Vswapper);
+        let (base_rt, base_ops, bk, _) =
+            run_config(Scale::Smoke, SwapPolicy::Baseline, &mut ctx("base"));
+        let (vswap_rt, vswap_ops, vk, vr) =
+            run_config(Scale::Smoke, SwapPolicy::Vswapper, &mut ctx("vswap"));
         assert!(!bk && !vk);
         assert!(vswap_rt < base_rt, "vswapper ({vswap_rt:.2}s) must beat baseline ({base_rt:.2}s)");
         assert!(vswap_ops < base_ops, "runtime follows disk ops");

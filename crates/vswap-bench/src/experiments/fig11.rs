@@ -10,8 +10,9 @@
 //! Figure 5 (the runtime panel of the same sweep, plus the
 //! over-ballooning kills) reuses [`run_point`].
 
-use super::common::{host, linux_vm, machine, SWEEP_CONFIGS};
+use super::common::{host, linux_vm, SWEEP_CONFIGS};
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::{Cell, Table};
 use vswap_core::{RunReport, SwapPolicy};
 use vswap_mem::MemBytes;
@@ -52,12 +53,18 @@ pub fn workload(scale: Scale) -> Pbzip2Config {
 }
 
 /// Runs one (policy, actual-MB) point of the sweep.
-pub fn run_point(scale: Scale, policy: SwapPolicy, actual_mb: u64) -> PbzipPoint {
-    let mut m = machine(policy, host(scale));
+pub fn run_point(
+    scale: Scale,
+    policy: SwapPolicy,
+    actual_mb: u64,
+    ctx: &mut TaskCtx,
+) -> PbzipPoint {
+    let mut m = ctx.machine("pbzip2", policy, host(scale));
     let vm = m.add_vm(linux_vm(scale, "guest", 512, actual_mb)).expect("fits");
     m.launch(vm, Box::new(Pbzip2::new(workload(scale))));
     let report = m.run();
     m.host().audit().expect("invariants hold");
+    ctx.absorb_report("pbzip2", &report);
     let r = report.vm(vm);
     PbzipPoint {
         runtime_secs: r.runtime_secs(),
@@ -69,45 +76,69 @@ pub fn run_point(scale: Scale, policy: SwapPolicy, actual_mb: u64) -> PbzipPoint
     }
 }
 
+/// One unit per `(policy, actual-MB)` sweep point; each point
+/// contributes one cell to each of the three panels.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    let mut units = Vec::new();
+    for &policy in SWEEP_CONFIGS.iter() {
+        for &mb in &SWEEP_MB {
+            units.push(Unit::new(
+                format!("{}/{mb}MB", policy.label()),
+                move |ctx: &mut TaskCtx| {
+                    let p = run_point(scale, policy, mb, ctx);
+                    let cell = |c: Cell| if p.killed { Cell::Missing } else { c };
+                    UnitOut::Cells(vec![
+                        cell(p.disk_ops.into()),
+                        cell(p.sectors_written.into()),
+                        cell(p.pages_scanned.into()),
+                    ])
+                },
+            ));
+        }
+    }
+    ExperimentPlan::new(units, |outs| {
+        let panels = [
+            "Figure 11a: disk operations [count]",
+            "Figure 11b: written sectors [count]",
+            "Figure 11c: pages scanned by reclaim [count]",
+        ];
+        let points: Vec<Vec<Cell>> = outs.into_iter().map(UnitOut::into_cells).collect();
+        let mut tables = Vec::new();
+        for (panel, title) in panels.into_iter().enumerate() {
+            let cols: Vec<String> = std::iter::once("config".to_owned())
+                .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
+                .collect();
+            let mut table = Table::new(title, cols.iter().map(String::as_str).collect());
+            for (row_index, policy) in SWEEP_CONFIGS.iter().enumerate() {
+                let mut row = vec![Cell::from(policy.label())];
+                for col in 0..SWEEP_MB.len() {
+                    row.push(points[row_index * SWEEP_MB.len() + col][panel].clone());
+                }
+                table.push(row);
+            }
+            tables.push(table);
+        }
+        tables
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    type Extract = fn(&PbzipPoint) -> Cell;
-    let panels: [(&str, Extract); 3] = [
-        ("Figure 11a: disk operations [count]", |p| p.disk_ops.into()),
-        ("Figure 11b: written sectors [count]", |p| p.sectors_written.into()),
-        ("Figure 11c: pages scanned by reclaim [count]", |p| p.pages_scanned.into()),
-    ];
-    let points: Vec<(SwapPolicy, Vec<PbzipPoint>)> = SWEEP_CONFIGS
-        .iter()
-        .map(|&policy| (policy, SWEEP_MB.iter().map(|&mb| run_point(scale, policy, mb)).collect()))
-        .collect();
-
-    let mut tables = Vec::new();
-    for (title, extract) in panels {
-        let cols: Vec<String> = std::iter::once("config".to_owned())
-            .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
-            .collect();
-        let mut table = Table::new(title, cols.iter().map(String::as_str).collect());
-        for (policy, series) in &points {
-            let mut row = vec![Cell::from(policy.label())];
-            for p in series {
-                row.push(if p.killed { Cell::Missing } else { extract(p) });
-            }
-            table.push(row);
-        }
-        tables.push(table);
-    }
-    tables
+    crate::suite::run_plan_serial("fig11", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ctx(label: &str) -> TaskCtx {
+        TaskCtx::standalone(crate::suite::DEFAULT_SEED, label)
+    }
+
     #[test]
     fn smoke_vswapper_eliminates_writes_under_pressure() {
-        let base = run_point(Scale::Smoke, SwapPolicy::Baseline, 192);
-        let vswap = run_point(Scale::Smoke, SwapPolicy::Vswapper, 192);
+        let base = run_point(Scale::Smoke, SwapPolicy::Baseline, 192, &mut ctx("base"));
+        let vswap = run_point(Scale::Smoke, SwapPolicy::Vswapper, 192, &mut ctx("vswap"));
         assert!(!base.killed && !vswap.killed);
         assert!(
             vswap.report.disk.get("disk_swap_sectors_written") * 4
@@ -119,8 +150,8 @@ mod tests {
 
     #[test]
     fn smoke_plentiful_memory_is_cheap_for_everyone() {
-        let base = run_point(Scale::Smoke, SwapPolicy::Baseline, 512);
-        let vswap = run_point(Scale::Smoke, SwapPolicy::Vswapper, 512);
+        let base = run_point(Scale::Smoke, SwapPolicy::Baseline, 512, &mut ctx("base512"));
+        let vswap = run_point(Scale::Smoke, SwapPolicy::Vswapper, 512, &mut ctx("vswap512"));
         assert!(!base.killed && !vswap.killed);
         // §5.3: VSwapper costs at most a few percent when memory is ample.
         assert!(

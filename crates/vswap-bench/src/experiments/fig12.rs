@@ -7,8 +7,9 @@
 //! * (b) Preventer remaps — up to 80 K false reads eliminated as
 //!   compiler processes zero their address spaces over recycled frames.
 
-use super::common::{host, linux_vm, machine};
+use super::common::{host, linux_vm};
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::{Cell, Table};
 use sim_core::SimDuration;
 use vswap_core::{RunReport, SwapPolicy};
@@ -49,8 +50,13 @@ pub fn workload(scale: Scale) -> KernbenchConfig {
 }
 
 /// Runs one (policy, actual-MB) point; returns (report, runtime, killed).
-pub fn run_point(scale: Scale, policy: SwapPolicy, actual_mb: u64) -> (RunReport, f64, bool) {
-    let mut m = machine(policy, host(scale));
+pub fn run_point(
+    scale: Scale,
+    policy: SwapPolicy,
+    actual_mb: u64,
+    ctx: &mut TaskCtx,
+) -> (RunReport, f64, bool) {
+    let mut m = ctx.machine("kernbench", policy, host(scale));
     let vm = m.add_vm(linux_vm(scale, "guest", 512, actual_mb)).expect("fits");
     m.launch(vm, Box::new(Kernbench::new(workload(scale))));
     let report = m.run();
@@ -60,42 +66,71 @@ pub fn run_point(scale: Scale, policy: SwapPolicy, actual_mb: u64) -> (RunReport
     (report, rt, killed)
 }
 
+/// One unit per `(policy, actual-MB)` point of the Kernbench sweep.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    let mut units = Vec::new();
+    for policy in CONFIGS {
+        for &mb in &SWEEP_MB {
+            units.push(Unit::new(
+                format!("{}/{mb}MB", policy.label()),
+                move |ctx: &mut TaskCtx| {
+                    let (report, rt, killed) = run_point(scale, policy, mb, ctx);
+                    UnitOut::Cells(vec![
+                        if killed { Cell::Missing } else { (rt / 60.0).into() },
+                        report.preventer.get("preventer_remaps").into(),
+                    ])
+                },
+            ));
+        }
+    }
+    ExperimentPlan::new(units, |outs| {
+        let cols: Vec<String> = std::iter::once("config".to_owned())
+            .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
+            .collect();
+        let mut runtime = Table::new(
+            "Figure 12a: Kernbench runtime [minutes]",
+            cols.iter().map(String::as_str).collect(),
+        );
+        let mut remaps = Table::new(
+            "Figure 12b: Preventer remaps (false reads eliminated) [count]",
+            cols.iter().map(String::as_str).collect(),
+        );
+        let mut outs = outs.into_iter();
+        for policy in CONFIGS {
+            let mut rt_row = vec![Cell::from(policy.label())];
+            let mut rm_row = vec![Cell::from(policy.label())];
+            for _ in &SWEEP_MB {
+                let cells = outs.next().expect("one output per unit").into_cells();
+                let [rt, rm]: [Cell; 2] = cells.try_into().expect("two cells per point");
+                rt_row.push(rt);
+                rm_row.push(rm);
+            }
+            runtime.push(rt_row);
+            remaps.push(rm_row);
+        }
+        vec![runtime, remaps]
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let cols: Vec<String> = std::iter::once("config".to_owned())
-        .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
-        .collect();
-    let mut runtime = Table::new(
-        "Figure 12a: Kernbench runtime [minutes]",
-        cols.iter().map(String::as_str).collect(),
-    );
-    let mut remaps = Table::new(
-        "Figure 12b: Preventer remaps (false reads eliminated) [count]",
-        cols.iter().map(String::as_str).collect(),
-    );
-    for policy in CONFIGS {
-        let mut rt_row = vec![Cell::from(policy.label())];
-        let mut rm_row = vec![Cell::from(policy.label())];
-        for &mb in &SWEEP_MB {
-            let (report, rt, killed) = run_point(scale, policy, mb);
-            rt_row.push(if killed { Cell::Missing } else { (rt / 60.0).into() });
-            rm_row.push(report.preventer.get("preventer_remaps").into());
-        }
-        runtime.push(rt_row);
-        remaps.push(rm_row);
-    }
-    vec![runtime, remaps]
+    crate::suite::run_plan_serial("fig12", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ctx(label: &str) -> TaskCtx {
+        TaskCtx::standalone(crate::suite::DEFAULT_SEED, label)
+    }
+
     #[test]
     fn smoke_everyone_survives_and_vswapper_tracks_balloon() {
-        let (_, base, bk) = run_point(Scale::Smoke, SwapPolicy::Baseline, 192);
-        let (vr, vs, vk) = run_point(Scale::Smoke, SwapPolicy::Vswapper, 192);
-        let (_, bal, lk) = run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 192);
+        let (_, base, bk) = run_point(Scale::Smoke, SwapPolicy::Baseline, 192, &mut ctx("base"));
+        let (vr, vs, vk) = run_point(Scale::Smoke, SwapPolicy::Vswapper, 192, &mut ctx("vswap"));
+        let (_, bal, lk) =
+            run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 192, &mut ctx("balloon"));
         assert!(!bk && !vk && !lk, "no kernbench kills (Figure 12 has no missing bars)");
         assert!(vs <= base * 1.02, "vswapper ({vs:.1}s) must not lose to baseline ({base:.1}s)");
         // Smoke scale exaggerates relative overheads (tiny guests, hot

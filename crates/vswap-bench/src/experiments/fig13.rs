@@ -7,8 +7,9 @@
 //! allocated memory is smaller than 448MB"; the uncooperative
 //! configurations never kill it.
 
-use super::common::{host, linux_vm, machine};
+use super::common::{host, linux_vm};
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::{Cell, Table};
 use sim_core::SimDuration;
 use vswap_core::{RunReport, SwapPolicy};
@@ -48,8 +49,13 @@ pub fn workload(scale: Scale) -> EclipseConfig {
 }
 
 /// Runs one (policy, actual-MB) point; returns (report, runtime, killed).
-pub fn run_point(scale: Scale, policy: SwapPolicy, actual_mb: u64) -> (RunReport, f64, bool) {
-    let mut m = machine(policy, host(scale));
+pub fn run_point(
+    scale: Scale,
+    policy: SwapPolicy,
+    actual_mb: u64,
+    ctx: &mut TaskCtx,
+) -> (RunReport, f64, bool) {
+    let mut m = ctx.machine("eclipse", policy, host(scale));
     let vm = m.add_vm(linux_vm(scale, "guest", 512, actual_mb)).expect("fits");
     m.launch(vm, Box::new(Eclipse::new(workload(scale))));
     let report = m.run();
@@ -59,42 +65,68 @@ pub fn run_point(scale: Scale, policy: SwapPolicy, actual_mb: u64) -> (RunReport
     (report, rt, killed)
 }
 
+/// One unit per `(policy, actual-MB)` point of the Eclipse sweep.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    let mut units = Vec::new();
+    for policy in CONFIGS {
+        for &mb in &SWEEP_MB {
+            units.push(Unit::new(
+                format!("{}/{mb}MB", policy.label()),
+                move |ctx: &mut TaskCtx| {
+                    let (_, rt, killed) = run_point(scale, policy, mb, ctx);
+                    UnitOut::Cells(vec![if killed { Cell::Missing } else { rt.into() }])
+                },
+            ));
+        }
+    }
+    ExperimentPlan::new(units, |outs| {
+        let cols: Vec<String> = std::iter::once("config".to_owned())
+            .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
+            .collect();
+        let mut table = Table::new(
+            "Figure 13: Eclipse runtime [s] vs actual guest memory ('-' = killed by guest OOM)",
+            cols.iter().map(String::as_str).collect(),
+        );
+        let mut outs = outs.into_iter();
+        for policy in CONFIGS {
+            let mut row = vec![Cell::from(policy.label())];
+            for _ in &SWEEP_MB {
+                let mut cells = outs.next().expect("one output per unit").into_cells();
+                row.push(cells.pop().expect("one cell per point"));
+            }
+            table.push(row);
+        }
+        vec![table]
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let cols: Vec<String> = std::iter::once("config".to_owned())
-        .chain(SWEEP_MB.iter().map(|mb| format!("{mb}MB")))
-        .collect();
-    let mut table = Table::new(
-        "Figure 13: Eclipse runtime [s] vs actual guest memory ('-' = killed by guest OOM)",
-        cols.iter().map(String::as_str).collect(),
-    );
-    for policy in CONFIGS {
-        let mut row = vec![Cell::from(policy.label())];
-        for &mb in &SWEEP_MB {
-            let (_, rt, killed) = run_point(scale, policy, mb);
-            row.push(if killed { Cell::Missing } else { rt.into() });
-        }
-        table.push(row);
-    }
-    vec![table]
+    crate::suite::run_plan_serial("fig13", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ctx(label: &str) -> TaskCtx {
+        TaskCtx::standalone(crate::suite::DEFAULT_SEED, label)
+    }
+
     #[test]
     fn smoke_balloon_kills_eclipse_below_the_heap_size() {
-        let (_, _, killed) = run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 320);
+        let (_, _, killed) =
+            run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 320, &mut ctx("deep"));
         assert!(killed, "deep over-ballooning must kill the JVM");
-        let (_, _, alive) = run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 512);
+        let (_, _, alive) =
+            run_point(Scale::Smoke, SwapPolicy::BalloonBaseline, 512, &mut ctx("fine"));
         assert!(!alive);
     }
 
     #[test]
     fn smoke_uncooperative_swapping_keeps_the_jvm_alive() {
         for policy in [SwapPolicy::Baseline, SwapPolicy::Vswapper] {
-            let (_, rt, killed) = run_point(Scale::Smoke, policy, 320);
+            let (_, rt, killed) = run_point(Scale::Smoke, policy, 320, &mut ctx(policy.label()));
             assert!(!killed, "{policy} must not kill eclipse");
             assert!(rt > 0.0);
         }

@@ -11,6 +11,7 @@
 
 use super::common::{host_with_dram, linux_vm, phase_gap, FOUR_CONFIGS};
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::{Cell, Table};
 use sim_core::SimTime;
 use vswap_core::{MachineConfig, RunReport, SwapPolicy};
@@ -34,8 +35,15 @@ pub fn workload(scale: Scale, seed: u64) -> MapReduceConfig {
 }
 
 /// Runs `guests` phased MapReduce guests under one policy; returns the
-/// mean completion time in seconds and the full report.
-pub fn run_point(scale: Scale, policy: SwapPolicy, guests: u32) -> (f64, RunReport) {
+/// mean completion time in seconds and the full report. Guest workload
+/// seeds split off the task's RNG stream, so every `(policy, guests)`
+/// point is reproducible independently of scheduling.
+pub fn run_point(
+    scale: Scale,
+    policy: SwapPolicy,
+    guests: u32,
+    ctx: &mut TaskCtx,
+) -> (f64, RunReport) {
     // 8 GB host; 2 GB guests with 2 VCPUs, per §5.2. The physical disk
     // must hold every guest's private 20 GB image (§5.2: "each guest
     // virtual disk is private").
@@ -47,7 +55,7 @@ pub fn run_point(scale: Scale, policy: SwapPolicy, guests: u32) -> (f64, RunRepo
         // Dynamic conditions use the MOM manager, not a static balloon.
         cfg = cfg.with_auto_balloon(BalloonPolicy::default());
     }
-    let mut m = vswap_core::Machine::new(cfg).expect("valid host");
+    let mut m = ctx.instrumented("consolidation", cfg);
     let gap = phase_gap(scale);
     for i in 0..guests {
         let mem = MemBytes::from_mb(scale.mb(2048));
@@ -57,12 +65,13 @@ pub fn run_point(scale: Scale, policy: SwapPolicy, guests: u32) -> (f64, RunRepo
         let vm = m.add_vm(spec).expect("fits on disk");
         m.launch_at(
             vm,
-            Box::new(MapReduce::new(workload(scale, u64::from(i)))),
+            Box::new(MapReduce::new(workload(scale, ctx.seed()))),
             SimTime::ZERO + gap * u64::from(i),
         );
     }
     let report = m.run();
     m.host().audit().expect("invariants hold");
+    ctx.absorb_report("consolidation", &report);
     let mean = report.mean_runtime_secs().unwrap_or(f64::NAN);
     (mean, report)
 }
@@ -75,36 +84,61 @@ pub fn guest_counts(scale: Scale) -> Vec<u32> {
     }
 }
 
+/// One unit per `(policy, guest count)` point: each multi-guest
+/// consolidation run is an independent simulation, and they dominate the
+/// suite's wall-clock — exactly what the worker pool should chew on.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    let counts = guest_counts(scale);
+    let mut units = Vec::new();
+    for policy in FOUR_CONFIGS {
+        for &n in &counts {
+            units.push(Unit::new(
+                format!("{}/{n}-guests", policy.label()),
+                move |ctx: &mut TaskCtx| {
+                    let (mean, _) = run_point(scale, policy, n, ctx);
+                    UnitOut::Value(mean)
+                },
+            ));
+        }
+    }
+    ExperimentPlan::new(units, move |outs| {
+        let cols: Vec<String> = std::iter::once("config".to_owned())
+            .chain(counts.iter().map(|n| format!("{n} guests")))
+            .collect();
+        let mut table = Table::new(
+            "Figure 14: mean MapReduce completion time [s], guests started 10s apart",
+            cols.iter().map(String::as_str).collect(),
+        );
+        let mut outs = outs.into_iter();
+        for policy in FOUR_CONFIGS {
+            let mut row = vec![Cell::from(policy.label())];
+            for _ in &counts {
+                row.push(outs.next().expect("one output per unit").into_value().into());
+            }
+            table.push(row);
+        }
+        vec![table]
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let counts = guest_counts(scale);
-    let cols: Vec<String> = std::iter::once("config".to_owned())
-        .chain(counts.iter().map(|n| format!("{n} guests")))
-        .collect();
-    let mut table = Table::new(
-        "Figure 14: mean MapReduce completion time [s], guests started 10s apart",
-        cols.iter().map(String::as_str).collect(),
-    );
-    for policy in FOUR_CONFIGS {
-        let mut row = vec![Cell::from(policy.label())];
-        for &n in &counts {
-            let (mean, _) = run_point(scale, policy, n);
-            row.push(mean.into());
-        }
-        table.push(row);
-    }
-    vec![table]
+    crate::suite::run_plan_serial("fig14", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ctx(label: &str) -> TaskCtx {
+        TaskCtx::standalone(crate::suite::DEFAULT_SEED, label)
+    }
+
     #[test]
     fn smoke_overcommit_slows_everyone_but_vswapper_least() {
-        let (solo, _) = run_point(Scale::Smoke, SwapPolicy::Baseline, 1);
-        let (base, _) = run_point(Scale::Smoke, SwapPolicy::Baseline, 5);
-        let (vswap, _) = run_point(Scale::Smoke, SwapPolicy::Vswapper, 5);
+        let (solo, _) = run_point(Scale::Smoke, SwapPolicy::Baseline, 1, &mut ctx("solo"));
+        let (base, _) = run_point(Scale::Smoke, SwapPolicy::Baseline, 5, &mut ctx("base"));
+        let (vswap, _) = run_point(Scale::Smoke, SwapPolicy::Vswapper, 5, &mut ctx("vswap"));
         assert!(base > solo, "overcommit must cost something: {base:.1} vs {solo:.1}");
         assert!(vswap < base, "vswapper mean ({vswap:.1}s) must beat baseline mean ({base:.1}s)");
     }

@@ -8,41 +8,51 @@
 use super::common::{host, linux_vm};
 use super::fig13::workload;
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx};
 use crate::table::Table;
 use sim_core::SimDuration;
-use vswap_core::{Machine, MachineConfig, SwapPolicy};
+use vswap_core::{MachineConfig, SwapPolicy};
 use vswap_workloads::Eclipse;
+
+/// A single-unit plan: one traced machine produces the whole time series.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    ExperimentPlan::whole("trace", move |ctx: &mut TaskCtx| {
+        let interval = match scale {
+            Scale::Paper => SimDuration::from_secs(5),
+            Scale::Smoke => SimDuration::from_millis(200),
+        };
+        let cfg = MachineConfig::preset(SwapPolicy::Vswapper)
+            .with_host(host(scale))
+            .with_sampling(interval);
+        let mut m = ctx.instrumented("trace", cfg);
+        let vm = m.add_vm(linux_vm(scale, "guest", 512, 512)).expect("fits");
+        m.launch(vm, Box::new(Eclipse::new(workload(scale))));
+        let report = m.run();
+        m.host().audit().expect("invariants hold");
+        ctx.absorb_report("trace", &report);
+
+        let mut table = Table::new(
+            "Figure 15: guest page cache vs Mapper-tracked pages over time [MB]",
+            vec!["t [s]", "page cache", "cache excl. dirty", "tracked by mapper"],
+        );
+        let cache: Vec<_> = report.trace.series("guest_page_cache_pages").collect();
+        let clean: Vec<_> = report.trace.series("guest_page_cache_clean_pages").collect();
+        let tracked: Vec<_> = report.trace.series("mapper_tracked_pages").collect();
+        for ((c, cl), tr) in cache.iter().zip(&clean).zip(&tracked) {
+            table.push(vec![
+                c.at.as_secs_f64().into(),
+                (c.value as f64 * 4096.0 / 1e6).into(),
+                (cl.value as f64 * 4096.0 / 1e6).into(),
+                (tr.value as f64 * 4096.0 / 1e6).into(),
+            ]);
+        }
+        vec![table]
+    })
+}
 
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let interval = match scale {
-        Scale::Paper => SimDuration::from_secs(5),
-        Scale::Smoke => SimDuration::from_millis(200),
-    };
-    let cfg =
-        MachineConfig::preset(SwapPolicy::Vswapper).with_host(host(scale)).with_sampling(interval);
-    let mut m = Machine::new(cfg).expect("valid host");
-    let vm = m.add_vm(linux_vm(scale, "guest", 512, 512)).expect("fits");
-    m.launch(vm, Box::new(Eclipse::new(workload(scale))));
-    let report = m.run();
-    m.host().audit().expect("invariants hold");
-
-    let mut table = Table::new(
-        "Figure 15: guest page cache vs Mapper-tracked pages over time [MB]",
-        vec!["t [s]", "page cache", "cache excl. dirty", "tracked by mapper"],
-    );
-    let cache: Vec<_> = report.trace.series("guest_page_cache_pages").collect();
-    let clean: Vec<_> = report.trace.series("guest_page_cache_clean_pages").collect();
-    let tracked: Vec<_> = report.trace.series("mapper_tracked_pages").collect();
-    for ((c, cl), tr) in cache.iter().zip(&clean).zip(&tracked) {
-        table.push(vec![
-            c.at.as_secs_f64().into(),
-            (c.value as f64 * 4096.0 / 1e6).into(),
-            (cl.value as f64 * 4096.0 / 1e6).into(),
-            (tr.value as f64 * 4096.0 / 1e6).into(),
-        ]);
-    }
-    vec![table]
+    crate::suite::run_plan_serial("fig15", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! `vswap-hostos`.
 
 use super::Scale;
+use crate::suite::ExperimentPlan;
 use crate::table::Table;
 
 /// Counts non-empty, non-comment-only lines (a rough SLOC figure).
@@ -17,8 +18,17 @@ fn sloc(src: &str) -> u64 {
         .count() as u64
 }
 
+/// A single-unit plan: counting lines needs no simulation and no RNG.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    ExperimentPlan::whole("sloc", move |_ctx| build(scale))
+}
+
 /// Runs the experiment (scale-independent).
-pub fn run(_scale: Scale) -> Vec<Table> {
+pub fn run(scale: Scale) -> Vec<Table> {
+    crate::suite::run_plan_serial("tab01", plan(scale), crate::suite::DEFAULT_SEED)
+}
+
+fn build(_scale: Scale) -> Vec<Table> {
     let mapper_user = sloc(include_str!("../../../vswap-core/src/mapper.rs"));
     let preventer_kernel = sloc(include_str!("../../../vswap-core/src/preventer.rs"));
     // Kernel-side mechanisms: the association table and the host-kernel

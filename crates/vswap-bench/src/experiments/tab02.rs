@@ -7,16 +7,24 @@
 //! 16,488 major faults. The paper adds that the same benchmark on KVM
 //! with VSwapper completed in 12 seconds.
 
-use super::common::{host_with_dram, linux_vm, machine, prepare_and_age};
+use super::common::{host_with_dram, linux_vm, prepare_and_age};
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::Table;
 use vswap_core::SwapPolicy;
 use vswap_mem::MemBytes;
 use vswap_workloads::SysbenchRead;
 
+/// The three rows of Table 2.
+const ROWS: [(&str, SwapPolicy); 3] = [
+    ("balloon enabled", SwapPolicy::BalloonBaseline),
+    ("balloon disabled", SwapPolicy::Baseline),
+    ("kvm + vswapper", SwapPolicy::Vswapper),
+];
+
 /// Runs one configuration of the foreign-hypervisor profile.
-fn run_config(scale: Scale, policy: SwapPolicy) -> (f64, u64, u64, u64) {
-    let mut m = machine(policy, host_with_dram(scale, 512));
+fn run_config(scale: Scale, policy: SwapPolicy, ctx: &mut TaskCtx) -> (f64, u64, u64, u64) {
+    let mut m = ctx.machine("foreign", policy, host_with_dram(scale, 512));
     let vm = m.add_vm(linux_vm(scale, "guest", 440, 350)).expect("fits");
     let file_pages = MemBytes::from_mb(scale.mb(1024)).pages();
     let shared = prepare_and_age(&mut m, vm, file_pages);
@@ -35,21 +43,34 @@ fn run_config(scale: Scale, policy: SwapPolicy) -> (f64, u64, u64, u64) {
     )
 }
 
+/// One unit per configuration row.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    let units = ROWS
+        .iter()
+        .map(|&(label, policy)| {
+            Unit::new(label, move |ctx: &mut TaskCtx| {
+                let (rt, r, w, f) = run_config(scale, policy, ctx);
+                UnitOut::Cells(vec![rt.into(), r.into(), w.into(), f.into()])
+            })
+        })
+        .collect();
+    ExperimentPlan::new(units, |outs| {
+        let mut table = Table::new(
+            "Table 2: 1GB sequential read, 440MB guest / 350MB reserved (paper: 25s ballooned, 78s not; KVM+vswapper 12s)",
+            vec!["config", "runtime [s]", "swap sectors read", "swap sectors written", "major faults"],
+        );
+        for (&(label, _), out) in ROWS.iter().zip(outs) {
+            let mut row = vec![label.into()];
+            row.extend(out.into_cells());
+            table.push(row);
+        }
+        vec![table]
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let mut table = Table::new(
-        "Table 2: 1GB sequential read, 440MB guest / 350MB reserved (paper: 25s ballooned, 78s not; KVM+vswapper 12s)",
-        vec!["config", "runtime [s]", "swap sectors read", "swap sectors written", "major faults"],
-    );
-    for (label, policy) in [
-        ("balloon enabled", SwapPolicy::BalloonBaseline),
-        ("balloon disabled", SwapPolicy::Baseline),
-        ("kvm + vswapper", SwapPolicy::Vswapper),
-    ] {
-        let (rt, r, w, f) = run_config(scale, policy);
-        table.push(vec![label.into(), rt.into(), r.into(), w.into(), f.into()]);
-    }
-    vec![table]
+    crate::suite::run_plan_serial("tab02", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]

@@ -5,9 +5,10 @@
 //! 14 MB (200-byte `vm_area_struct`s, ≤5% of guest memory worst case);
 //! and reclaim traversals up to double at low pressure (Figure 11c).
 
-use super::common::{host, linux_vm, machine};
+use super::common::{host, linux_vm};
 use super::fig11::workload;
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::Table;
 use vswap_core::SwapPolicy;
 use vswap_workloads::pbzip2::Pbzip2;
@@ -16,58 +17,73 @@ use vswap_workloads::pbzip2::Pbzip2;
 /// `i_mmap` bookkeeping).
 const BYTES_PER_TRACKED_PAGE: u64 = 200;
 
+/// Runs one pbzip2 machine at the given actual allocation; returns
+/// (runtime, mapper high water, pages scanned).
+fn run_one(scale: Scale, policy: SwapPolicy, actual_mb: u64, ctx: &mut TaskCtx) -> (f64, u64, u64) {
+    let mut m = ctx.machine("overheads", policy, host(scale));
+    let vm = m.add_vm(linux_vm(scale, "guest", 512, actual_mb)).expect("fits");
+    m.launch(vm, Box::new(Pbzip2::new(workload(scale))));
+    let report = m.run();
+    m.host().audit().expect("invariants hold");
+    ctx.absorb_report("overheads", &report);
+    (
+        report.vm(vm).runtime_secs(),
+        report.mapper.get("mapper_tracked_high_water"),
+        report.host.get("pages_scanned"),
+    )
+}
+
+/// Four units: (baseline, vswapper) × (full allocation, mild squeeze).
+/// Full allocation measures the no-pressure overhead; the squeeze makes
+/// reclaim actually run so the scan-doubling comparison is meaningful.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    let mut units = Vec::new();
+    for (tag, mb) in [("full", 512u64), ("squeeze", 448)] {
+        for policy in [SwapPolicy::Baseline, SwapPolicy::Vswapper] {
+            units.push(Unit::new(format!("{tag}/{}", policy.label()), move |ctx: &mut TaskCtx| {
+                let (rt, tracked, scanned) = run_one(scale, policy, mb, ctx);
+                UnitOut::Cells(vec![rt.into(), tracked.into(), scanned.into()])
+            }));
+        }
+    }
+    ExperimentPlan::new(units, |outs| {
+        let rows: Vec<Vec<crate::table::Cell>> =
+            outs.into_iter().map(UnitOut::into_cells).collect();
+        let get = |row: usize, col: usize| match rows[row][col] {
+            crate::table::Cell::Float(v) => v,
+            crate::table::Cell::Int(v) => v as f64,
+            _ => f64::NAN,
+        };
+        let mut table = Table::new(
+            "Section 5.3: overheads with plentiful memory (paper: <=3.5% slowdown, <=14MB metadata, <=2x scans)",
+            vec!["metric", "baseline", "vswapper", "paper bound"],
+        );
+        table.push(vec![
+            "pbzip2 runtime [s]".into(),
+            get(0, 0).into(),
+            get(1, 0).into(),
+            "≤ 1.035× baseline".into(),
+        ]);
+        let tracked = get(1, 1) as u64;
+        table.push(vec![
+            "mapper metadata [MB]".into(),
+            0u64.into(),
+            ((tracked * BYTES_PER_TRACKED_PAGE) / (1024 * 1024)).into(),
+            "≤ 14 MB observed".into(),
+        ]);
+        table.push(vec![
+            "pages scanned by reclaim (mild squeeze)".into(),
+            (get(2, 2) as u64).into(),
+            (get(3, 2) as u64).into(),
+            "≤ 2× baseline".into(),
+        ]);
+        vec![table]
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let mut rows = Vec::new();
-    for policy in [SwapPolicy::Baseline, SwapPolicy::Vswapper] {
-        // Full allocation: no host memory pressure at all.
-        let mut m = machine(policy, host(scale));
-        let vm = m.add_vm(linux_vm(scale, "guest", 512, 512)).expect("fits");
-        m.launch(vm, Box::new(Pbzip2::new(workload(scale))));
-        let report = m.run();
-        m.host().audit().expect("invariants hold");
-        rows.push((policy, report.vm(vm).runtime_secs(), report));
-    }
-    let (_, base_rt, ref base_report) = rows[0];
-    let (_, vswap_rt, ref vswap_report) = rows[1];
-    debug_assert!(!base_report.host.is_empty() && !vswap_report.host.is_empty());
-
-    // The scan-doubling comparison needs reclaim to actually run: use a
-    // mild squeeze (the paper observed it "when memory pressure is low").
-    let mut scans = Vec::new();
-    for policy in [SwapPolicy::Baseline, SwapPolicy::Vswapper] {
-        let mut m = machine(policy, host(scale));
-        let vm = m.add_vm(linux_vm(scale, "guest", 512, 448)).expect("fits");
-        m.launch(vm, Box::new(Pbzip2::new(workload(scale))));
-        let report = m.run();
-        m.host().audit().expect("invariants hold");
-        scans.push(report.host.get("pages_scanned"));
-    }
-
-    let mut table = Table::new(
-        "Section 5.3: overheads with plentiful memory (paper: <=3.5% slowdown, <=14MB metadata, <=2x scans)",
-        vec!["metric", "baseline", "vswapper", "paper bound"],
-    );
-    table.push(vec![
-        "pbzip2 runtime [s]".into(),
-        base_rt.into(),
-        vswap_rt.into(),
-        "≤ 1.035× baseline".into(),
-    ]);
-    let tracked = vswap_report.mapper.get("mapper_tracked_high_water");
-    table.push(vec![
-        "mapper metadata [MB]".into(),
-        0u64.into(),
-        ((tracked * BYTES_PER_TRACKED_PAGE) / (1024 * 1024)).into(),
-        "≤ 14 MB observed".into(),
-    ]);
-    table.push(vec![
-        "pages scanned by reclaim (mild squeeze)".into(),
-        scans[0].into(),
-        scans[1].into(),
-        "≤ 2× baseline".into(),
-    ]);
-    vec![table]
+    crate::suite::run_plan_serial("tab03", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]

@@ -10,8 +10,9 @@
 //! * Sysbench reading a 2 GB file at 1 GB actual: 302 s → 79 s,
 //! * bzip2 (the pbzip2 analogue) at 512 MB actual: 306 s → 149 s.
 
-use super::common::{host_with_dram, machine, prepare_and_age};
+use super::common::{host_with_dram, prepare_and_age};
 use super::Scale;
+use crate::suite::{ExperimentPlan, TaskCtx, Unit, UnitOut};
 use crate::table::Table;
 use vswap_core::SwapPolicy;
 use vswap_guestos::GuestSpec;
@@ -36,8 +37,8 @@ fn windows_vm(scale: Scale, actual_mb: u64) -> VmSpec {
 }
 
 /// Runs the Sysbench row: a 2 GB read at 1 GB actual.
-fn sysbench_row(scale: Scale, policy: SwapPolicy) -> f64 {
-    let mut m = machine(policy, host_with_dram(scale, 8 * 1024));
+fn sysbench_row(scale: Scale, policy: SwapPolicy, ctx: &mut TaskCtx) -> f64 {
+    let mut m = ctx.machine("windows-read", policy, host_with_dram(scale, 8 * 1024));
     let vm = m.add_vm(windows_vm(scale, 1024)).expect("fits");
     let shared = prepare_and_age(&mut m, vm, MemBytes::from_mb(scale.mb(2048)).pages());
     m.launch(vm, Box::new(SysbenchRead::new(shared)));
@@ -47,8 +48,8 @@ fn sysbench_row(scale: Scale, policy: SwapPolicy) -> f64 {
 }
 
 /// Runs the bzip2 row: compression at 512 MB actual.
-fn bzip2_row(scale: Scale, policy: SwapPolicy) -> f64 {
-    let mut m = machine(policy, host_with_dram(scale, 8 * 1024));
+fn bzip2_row(scale: Scale, policy: SwapPolicy, ctx: &mut TaskCtx) -> f64 {
+    let mut m = ctx.machine("windows-bzip2", policy, host_with_dram(scale, 8 * 1024));
     let vm = m.add_vm(windows_vm(scale, 512)).expect("fits");
     let cfg = match scale {
         Scale::Paper => Pbzip2Config::default(),
@@ -65,33 +66,48 @@ fn bzip2_row(scale: Scale, policy: SwapPolicy) -> f64 {
     report.vm(vm).runtime_secs()
 }
 
+/// One unit per `(workload, policy)` cell of the Windows table.
+pub fn plan(scale: Scale) -> ExperimentPlan {
+    type RowFn = fn(Scale, SwapPolicy, &mut TaskCtx) -> f64;
+    let rows: [(&str, RowFn); 2] =
+        [("sysbench", sysbench_row as RowFn), ("bzip2", bzip2_row as RowFn)];
+    let mut units = Vec::new();
+    for (tag, f) in rows {
+        for policy in [SwapPolicy::Baseline, SwapPolicy::Vswapper] {
+            units.push(Unit::new(format!("{tag}/{}", policy.label()), move |ctx: &mut TaskCtx| {
+                UnitOut::Value(f(scale, policy, ctx))
+            }));
+        }
+    }
+    ExperimentPlan::new(units, |outs| {
+        let vals: Vec<f64> = outs.into_iter().map(UnitOut::into_value).collect();
+        let mut table = Table::new(
+            "Section 5.4: Windows Server 2012 guest (paper: sysbench 302->79s, bzip2 306->149s)",
+            vec!["workload", "baseline [s]", "vswapper [s]"],
+        );
+        table.push(vec!["sysbench 2GB read @ 1GB actual".into(), vals[0].into(), vals[1].into()]);
+        table.push(vec!["bzip2 @ 512MB actual".into(), vals[2].into(), vals[3].into()]);
+        vec![table]
+    })
+}
+
 /// Runs the experiment at the given scale.
 pub fn run(scale: Scale) -> Vec<Table> {
-    let mut table = Table::new(
-        "Section 5.4: Windows Server 2012 guest (paper: sysbench 302->79s, bzip2 306->149s)",
-        vec!["workload", "baseline [s]", "vswapper [s]"],
-    );
-    table.push(vec![
-        "sysbench 2GB read @ 1GB actual".into(),
-        sysbench_row(scale, SwapPolicy::Baseline).into(),
-        sysbench_row(scale, SwapPolicy::Vswapper).into(),
-    ]);
-    table.push(vec![
-        "bzip2 @ 512MB actual".into(),
-        bzip2_row(scale, SwapPolicy::Baseline).into(),
-        bzip2_row(scale, SwapPolicy::Vswapper).into(),
-    ]);
-    vec![table]
+    crate::suite::run_plan_serial("tab04", plan(scale), crate::suite::DEFAULT_SEED)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ctx(label: &str) -> TaskCtx {
+        TaskCtx::standalone(crate::suite::DEFAULT_SEED, label)
+    }
+
     #[test]
     fn smoke_vswapper_helps_windows_guests_despite_unaligned_io() {
-        let base = sysbench_row(Scale::Smoke, SwapPolicy::Baseline);
-        let vswap = sysbench_row(Scale::Smoke, SwapPolicy::Vswapper);
+        let base = sysbench_row(Scale::Smoke, SwapPolicy::Baseline, &mut ctx("base"));
+        let vswap = sysbench_row(Scale::Smoke, SwapPolicy::Vswapper, &mut ctx("vswap"));
         assert!(
             vswap < base * 0.75,
             "vswapper ({vswap:.2}s) must clearly beat baseline ({base:.2}s) for Windows too"

@@ -15,52 +15,137 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod golden;
+pub mod suite;
 pub mod table;
 
 pub use experiments::Scale;
+pub use suite::{run_suite, ExperimentPlan, SuiteOptions, SuiteResult, TaskCtx};
 pub use table::Table;
 
 /// A function regenerating one experiment's tables at a given scale.
 pub type ExperimentRunner = fn(Scale) -> Vec<Table>;
 
+/// A function decomposing one experiment into parallel units.
+pub type ExperimentPlanFn = fn(Scale) -> ExperimentPlan;
+
+/// One experiment as the suite scheduler sees it.
+pub struct SuiteExperiment {
+    /// Stable id (`fig03`, ..., `ablate`) — CLI selector, RNG-stream and
+    /// golden-file name.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Decomposes the experiment into parallel units.
+    pub plan: ExperimentPlanFn,
+    /// Serial single-call form (identical output to the plan).
+    pub run: ExperimentRunner,
+}
+
+/// Every experiment in the suite, in the paper's order.
+pub fn suite_experiments() -> Vec<SuiteExperiment> {
+    use experiments::*;
+    vec![
+        SuiteExperiment {
+            id: "fig03",
+            title: "Figure 3: sequential read of a 200MB file (best case for ballooning)",
+            plan: fig03::plan,
+            run: fig03::run,
+        },
+        SuiteExperiment {
+            id: "fig04",
+            title: "Figure 4: ten phased MapReduce guests (dynamic conditions)",
+            plan: fig04::plan,
+            run: fig04::run,
+        },
+        SuiteExperiment {
+            id: "fig05",
+            title: "Figure 5: pbzip2 runtime vs actual memory (over-ballooning)",
+            plan: fig05::plan,
+            run: fig05::run,
+        },
+        SuiteExperiment {
+            id: "fig09",
+            title: "Figure 9: iterated Sysbench — pathology anatomy",
+            plan: fig09::plan,
+            run: fig09::run,
+        },
+        SuiteExperiment {
+            id: "fig10",
+            title: "Figure 10: false-reads microbenchmark",
+            plan: fig10::plan,
+            run: fig10::run,
+        },
+        SuiteExperiment {
+            id: "fig11",
+            title: "Figure 11: pbzip2 I/O and reclaim-scan counters",
+            plan: fig11::plan,
+            run: fig11::run,
+        },
+        SuiteExperiment {
+            id: "fig12",
+            title: "Figure 12: Kernbench runtime and Preventer remaps",
+            plan: fig12::plan,
+            run: fig12::run,
+        },
+        SuiteExperiment {
+            id: "fig13",
+            title: "Figure 13: DaCapo Eclipse runtime",
+            plan: fig13::plan,
+            run: fig13::run,
+        },
+        SuiteExperiment {
+            id: "fig14",
+            title: "Figure 14: MapReduce scaling, 1-10 phased guests",
+            plan: fig14::plan,
+            run: fig14::run,
+        },
+        SuiteExperiment {
+            id: "fig15",
+            title: "Figure 15: guest page cache vs Mapper-tracked pages",
+            plan: fig15::plan,
+            run: fig15::run,
+        },
+        SuiteExperiment {
+            id: "tab01",
+            title: "Table 1: lines of code of the VSwapper components",
+            plan: tab01::plan,
+            run: tab01::run,
+        },
+        SuiteExperiment {
+            id: "tab02",
+            title: "Table 2: foreign-hypervisor profile, balloon on/off",
+            plan: tab02::plan,
+            run: tab02::run,
+        },
+        SuiteExperiment {
+            id: "tab03",
+            title: "Section 5.3: overheads when memory is plentiful",
+            plan: tab03::plan,
+            run: tab03::run,
+        },
+        SuiteExperiment {
+            id: "tab04",
+            title: "Section 5.4: Windows guests",
+            plan: tab04::plan,
+            run: tab04::run,
+        },
+        SuiteExperiment {
+            id: "tab05",
+            title: "Section 7 (implemented): VSwapper-enhanced live migration",
+            plan: tab05::plan,
+            run: tab05::run,
+        },
+        SuiteExperiment {
+            id: "ablate",
+            title: "Ablations: preventer caps, readahead, reclaim preference, SSD",
+            plan: ablation::plan,
+            run: ablation::run,
+        },
+    ]
+}
+
 /// Every experiment in the suite as `(id, title, runner)`.
 pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentRunner)> {
-    vec![
-        (
-            "fig03",
-            "Figure 3: sequential read of a 200MB file (best case for ballooning)",
-            experiments::fig03::run,
-        ),
-        (
-            "fig04",
-            "Figure 4: ten phased MapReduce guests (dynamic conditions)",
-            experiments::fig04::run,
-        ),
-        (
-            "fig05",
-            "Figure 5: pbzip2 runtime vs actual memory (over-ballooning)",
-            experiments::fig05::run,
-        ),
-        ("fig09", "Figure 9: iterated Sysbench — pathology anatomy", experiments::fig09::run),
-        ("fig10", "Figure 10: false-reads microbenchmark", experiments::fig10::run),
-        ("fig11", "Figure 11: pbzip2 I/O and reclaim-scan counters", experiments::fig11::run),
-        ("fig12", "Figure 12: Kernbench runtime and Preventer remaps", experiments::fig12::run),
-        ("fig13", "Figure 13: DaCapo Eclipse runtime", experiments::fig13::run),
-        ("fig14", "Figure 14: MapReduce scaling, 1-10 phased guests", experiments::fig14::run),
-        ("fig15", "Figure 15: guest page cache vs Mapper-tracked pages", experiments::fig15::run),
-        ("tab01", "Table 1: lines of code of the VSwapper components", experiments::tab01::run),
-        ("tab02", "Table 2: foreign-hypervisor profile, balloon on/off", experiments::tab02::run),
-        ("tab03", "Section 5.3: overheads when memory is plentiful", experiments::tab03::run),
-        ("tab04", "Section 5.4: Windows guests", experiments::tab04::run),
-        (
-            "tab05",
-            "Section 7 (implemented): VSwapper-enhanced live migration",
-            experiments::tab05::run,
-        ),
-        (
-            "ablate",
-            "Ablations: preventer caps, readahead, reclaim preference, SSD",
-            experiments::ablation::run,
-        ),
-    ]
+    suite_experiments().into_iter().map(|e| (e.id, e.title, e.run)).collect()
 }

@@ -774,7 +774,7 @@ impl GuestKernel {
     /// hypervisors that kernels never page out their own text).
     fn kernel_text_touch(&mut self, hw: &mut dyn VirtualHardware) -> SimDuration {
         self.op_counter += 1;
-        if !self.op_counter.is_multiple_of(64) || self.spec.kernel_pages == 0 {
+        if self.op_counter % 64 != 0 || self.spec.kernel_pages == 0 {
             return SimDuration::ZERO;
         }
         // A quarter of the kernel is hot text.

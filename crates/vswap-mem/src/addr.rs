@@ -67,7 +67,7 @@ impl MemBytes {
 
 impl fmt::Display for MemBytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1024 * 1024 * 1024 && self.0.is_multiple_of(1024 * 1024 * 1024) {
+        if self.0 >= 1024 * 1024 * 1024 && self.0 % (1024 * 1024 * 1024) == 0 {
             write!(f, "{}GiB", self.0 / (1024 * 1024 * 1024))
         } else if self.0 >= 1024 * 1024 {
             write!(f, "{}MiB", self.0 / (1024 * 1024))

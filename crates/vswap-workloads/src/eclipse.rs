@@ -175,7 +175,7 @@ impl GuestProgram for Eclipse {
                 self.unit += 1;
                 if self.unit == self.cfg.units {
                     Ok(StepOutcome::Done)
-                } else if self.unit.is_multiple_of(self.cfg.gc_interval) {
+                } else if self.unit % self.cfg.gc_interval == 0 {
                     self.phase = Phase::GcSweep { pos: 0 };
                     Ok(StepOutcome::Running)
                 } else {
