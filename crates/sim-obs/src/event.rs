@@ -67,6 +67,32 @@ impl FlushCause {
     }
 }
 
+/// How an injected disk fault manifests (mirrors the fault plan's
+/// taxonomy without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTag {
+    /// A permanently bad sector (media error).
+    Latent,
+    /// A transient read/write failure.
+    Transient,
+    /// A request that exceeded its service deadline.
+    Timeout,
+    /// A multi-sector write that tore partway.
+    Torn,
+}
+
+impl FaultTag {
+    /// Lower-case label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultTag::Latent => "latent",
+            FaultTag::Transient => "transient",
+            FaultTag::Timeout => "timeout",
+            FaultTag::Torn => "torn",
+        }
+    }
+}
+
 /// One observable action somewhere in the stack.
 ///
 /// Page numbers are raw `u64` guest frame numbers and VM identities are
@@ -178,6 +204,33 @@ pub enum Event {
         /// True if the request continued the previous one sequentially.
         sequential: bool,
     },
+    /// The fault plan failed a disk request.
+    DiskFault {
+        /// Transfer direction.
+        dir: IoDir,
+        /// Targeted region.
+        class: IoClass,
+        /// First faulting sector.
+        sector: u64,
+        /// How the fault manifested.
+        fault: FaultTag,
+    },
+    /// The virtual-disk frontend is retrying a failed request after a
+    /// backoff in simulated time.
+    IoRetry {
+        /// Retry number (1 = first retry).
+        attempt: u32,
+        /// Backoff charged before the retry.
+        backoff: SimDuration,
+    },
+    /// A Mapper association was invalidated because its backing block
+    /// errored out; the page degrades to anonymous host swap.
+    MapperDegraded {
+        /// Affected guest frame.
+        gfn: u64,
+        /// The no-longer-trusted backing image page.
+        image_page: u64,
+    },
     /// A host reclaim pass scanned page lists.
     ReclaimScan {
         /// Frames examined.
@@ -250,6 +303,12 @@ pub enum EventKind {
     DiskIssue,
     /// See [`Event::DiskComplete`].
     DiskComplete,
+    /// See [`Event::DiskFault`].
+    DiskFault,
+    /// See [`Event::IoRetry`].
+    IoRetry,
+    /// See [`Event::MapperDegraded`].
+    MapperDegraded,
     /// See [`Event::ReclaimScan`].
     ReclaimScan,
     /// See [`Event::GuestSwapOut`].
@@ -283,6 +342,9 @@ impl Event {
             Event::BalloonTarget { .. } => EventKind::BalloonTarget,
             Event::DiskIssue { .. } => EventKind::DiskIssue,
             Event::DiskComplete { .. } => EventKind::DiskComplete,
+            Event::DiskFault { .. } => EventKind::DiskFault,
+            Event::IoRetry { .. } => EventKind::IoRetry,
+            Event::MapperDegraded { .. } => EventKind::MapperDegraded,
             Event::ReclaimScan { .. } => EventKind::ReclaimScan,
             Event::GuestSwapOut { .. } => EventKind::GuestSwapOut,
             Event::GuestSwapIn { .. } => EventKind::GuestSwapIn,
@@ -295,7 +357,7 @@ impl Event {
 
 impl EventKind {
     /// Every kind, in export order.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 24] = [
         EventKind::PageFault,
         EventKind::SwapOut,
         EventKind::SwapIn,
@@ -311,6 +373,9 @@ impl EventKind {
         EventKind::BalloonTarget,
         EventKind::DiskIssue,
         EventKind::DiskComplete,
+        EventKind::DiskFault,
+        EventKind::IoRetry,
+        EventKind::MapperDegraded,
         EventKind::ReclaimScan,
         EventKind::GuestSwapOut,
         EventKind::GuestSwapIn,
@@ -337,6 +402,9 @@ impl EventKind {
             EventKind::BalloonTarget => "balloon_target",
             EventKind::DiskIssue => "disk_issue",
             EventKind::DiskComplete => "disk_complete",
+            EventKind::DiskFault => "disk_fault",
+            EventKind::IoRetry => "io_retry",
+            EventKind::MapperDegraded => "mapper_degraded",
             EventKind::ReclaimScan => "reclaim_scan",
             EventKind::GuestSwapOut => "guest_swap_out",
             EventKind::GuestSwapIn => "guest_swap_in",
@@ -356,14 +424,18 @@ impl EventKind {
             EventKind::NamedDiscard
             | EventKind::NamedRefault
             | EventKind::MapperName
-            | EventKind::MapperUnname => "mapper",
+            | EventKind::MapperUnname
+            | EventKind::MapperDegraded => "mapper",
             EventKind::PreventerOpen | EventKind::PreventerFlush | EventKind::PreventerDiscard => {
                 "preventer"
             }
             EventKind::BalloonInflate | EventKind::BalloonDeflate | EventKind::BalloonTarget => {
                 "balloon"
             }
-            EventKind::DiskIssue | EventKind::DiskComplete => "disk",
+            EventKind::DiskIssue
+            | EventKind::DiskComplete
+            | EventKind::DiskFault
+            | EventKind::IoRetry => "disk",
             EventKind::GuestSwapOut | EventKind::GuestSwapIn => "guest",
             EventKind::WorkloadStarted
             | EventKind::WorkloadFinished

@@ -98,6 +98,20 @@ fn event_fields(w: &mut JsonWriter, event: &Event) {
             w.field_u64("latency_ns", latency.as_nanos());
             w.field_bool("sequential", *sequential);
         }
+        Event::DiskFault { dir, class, sector, fault } => {
+            w.field_str("dir", dir.label());
+            w.field_str("class", class.label());
+            w.field_u64("sector", *sector);
+            w.field_str("fault", fault.label());
+        }
+        Event::IoRetry { attempt, backoff } => {
+            w.field_u64("attempt", u64::from(*attempt));
+            w.field_u64("backoff_ns", backoff.as_nanos());
+        }
+        Event::MapperDegraded { gfn, image_page } => {
+            w.field_u64("gfn", *gfn);
+            w.field_u64("image_page", *image_page);
+        }
         Event::ReclaimScan { scanned, reclaimed } => {
             w.field_u64("scanned", *scanned);
             w.field_u64("reclaimed", *reclaimed);

@@ -48,7 +48,7 @@ pub mod log;
 pub mod profile;
 pub mod registry;
 
-pub use event::{Event, EventKind, EventRecord, FlushCause, IoClass, IoDir};
+pub use event::{Event, EventKind, EventRecord, FaultTag, FlushCause, IoClass, IoDir};
 pub use export::TraceFormat;
 pub use log::EventLog;
 pub use profile::{Profiler, TimeCategory};

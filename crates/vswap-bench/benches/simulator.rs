@@ -21,6 +21,7 @@ fn bench_disk(c: &mut Criterion) {
                 SectorRange::new(sector, 8),
                 IoTag::GuestImage,
             );
+            let io = io.expect("no fault plan installed");
             sector += 8;
             black_box(io)
         });
@@ -35,6 +36,7 @@ fn bench_disk(c: &mut Criterion) {
                 SectorRange::new(sector % (1 << 24), 8),
                 IoTag::HostSwap,
             );
+            let io = io.expect("no fault plan installed");
             sector = sector.wrapping_mul(6364136223846793005).wrapping_add(8);
             black_box(io)
         });

@@ -17,8 +17,8 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use vswap_bench::{suite, Scale};
 use vswap_core::{
-    LiveMigration, Machine, MachineConfig, MigrationConfig, PathologyBreakdown, RunReport,
-    SwapPolicy, VmHandle,
+    FaultProfile, LiveMigration, Machine, MachineConfig, MigrationConfig, PathologyBreakdown,
+    RunReport, SwapPolicy, VmHandle,
 };
 use vswap_guestos::{GuestProgram, GuestSpec};
 use vswap_hypervisor::{BalloonPolicy, VmSpec};
@@ -66,6 +66,10 @@ OPTIONS (run / trace / migrate / pathology):
   --gap-secs <S>      phase gap between guest starts (default 10)
   --auto-balloon      use the MOM dynamic manager instead of a static balloon
   --seed <N>          simulation seed (default 0x5eedcafe)
+  --fault-profile <P> none | transient | latent | timeouts | torn | storm
+                      (default none) — deterministic disk-fault injection
+  --fault-seed <N>    fault-plan seed (default: derived from --seed, so the
+                      same run always sees the same faults)
   --trace-out <PATH>  write the structured event trace to PATH
   --trace-format <F>  jsonl | chrome (default jsonl; chrome loads in Perfetto)
   --json              machine-readable output
@@ -81,6 +85,8 @@ struct Options {
     gap_secs: u64,
     auto_balloon: bool,
     seed: Option<u64>,
+    faults: FaultProfile,
+    fault_seed: Option<u64>,
     trace_out: Option<String>,
     trace_format: TraceFormat,
     json: bool,
@@ -97,6 +103,8 @@ impl Default for Options {
             gap_secs: 10,
             auto_balloon: false,
             seed: None,
+            faults: FaultProfile::None,
+            fault_seed: None,
             trace_out: None,
             trace_format: TraceFormat::Jsonl,
             json: false,
@@ -138,6 +146,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--auto-balloon" => opts.auto_balloon = true,
             "--seed" => {
                 opts.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--fault-profile" => {
+                opts.faults = value("--fault-profile")?
+                    .parse()
+                    .map_err(|e| format!("--fault-profile: {e}"))?
+            }
+            "--fault-seed" => {
+                opts.fault_seed =
+                    Some(value("--fault-seed")?.parse().map_err(|e| format!("--fault-seed: {e}"))?)
             }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--trace-format" => {
@@ -181,6 +198,10 @@ fn build_machine(opts: &Options) -> Result<Machine, String> {
     }
     if opts.auto_balloon && opts.policy.ballooning() {
         cfg = cfg.with_auto_balloon(BalloonPolicy::default());
+    }
+    cfg = cfg.with_faults(opts.faults);
+    if let Some(fault_seed) = opts.fault_seed {
+        cfg = cfg.with_fault_seed(fault_seed);
     }
     // Size the disk to hold every guest's image.
     cfg.host.disk_pages =
@@ -643,6 +664,40 @@ mod tests {
         assert!(parse_suite_args(&bad).is_err());
         let bad: Vec<String> = vec!["--jobs".to_owned()];
         assert!(parse_suite_args(&bad).is_err(), "missing value");
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let o = opts(&["--fault-profile", "storm", "--fault-seed", "41"]).unwrap();
+        assert_eq!(o.faults, FaultProfile::Storm);
+        assert_eq!(o.fault_seed, Some(41));
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.faults, FaultProfile::None, "faults are opt-in");
+        assert_eq!(o.fault_seed, None, "fault seed defaults to the run seed");
+        assert!(opts(&["--fault-profile", "hurricane"]).is_err());
+        assert!(opts(&["--fault-seed", "abc"]).is_err());
+        assert!(opts(&["--fault-profile"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn faulted_run_reports_injections() {
+        let mut o = Options {
+            mem_mb: 64,
+            actual_mb: 32,
+            faults: FaultProfile::Storm,
+            json: true,
+            ..Options::default()
+        };
+        o.workload = "alloc".to_owned();
+        let out = cmd_run(&o).unwrap();
+        assert!(out.contains("\"disk_injected_faults\""), "{out}");
+        let faults: u64 = out
+            .split("\"disk_injected_faults\":")
+            .nth(1)
+            .and_then(|s| s.trim_start().split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .expect("counter present");
+        assert!(faults > 0, "a storm at this scale must inject: {out}");
     }
 
     #[test]

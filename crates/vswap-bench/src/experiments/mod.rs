@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure, plus shared plumbing.
 
 pub mod ablation;
+pub mod chaos;
 pub mod common;
 pub mod fig03;
 pub mod fig04;

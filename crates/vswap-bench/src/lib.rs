@@ -142,6 +142,12 @@ pub fn suite_experiments() -> Vec<SuiteExperiment> {
             plan: ablation::plan,
             run: ablation::run,
         },
+        SuiteExperiment {
+            id: "chaos",
+            title: "Chaos: fault-profile sweep — slowdown and recovery counters",
+            plan: chaos::plan,
+            run: chaos::run,
+        },
     ]
 }
 

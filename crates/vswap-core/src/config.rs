@@ -2,6 +2,7 @@
 
 use crate::preventer::PreventerConfig;
 use sim_core::SimDuration;
+use vswap_disk::FaultProfile;
 use vswap_hostos::HostSpec;
 use vswap_hypervisor::BalloonPolicy;
 
@@ -108,6 +109,16 @@ pub struct MachineConfig {
     /// them. Off by default — the paper's evaluated system does not have
     /// it; the ablation benches switch it on.
     pub protect_guest_kernel: bool,
+    /// Deterministic disk-fault injection profile. The default is
+    /// [`FaultProfile::None`]: no plan is installed and every disk
+    /// request succeeds, byte-identically to a build without the fault
+    /// subsystem.
+    pub faults: FaultProfile,
+    /// Seed the fault schedule is forked from. `None` (the default)
+    /// derives it from [`MachineConfig::seed`], so a fixed machine seed
+    /// pins the fault schedule too; `Some` decouples the two, letting a
+    /// fault-seed sweep hold the workload constant.
+    pub fault_seed: Option<u64>,
 }
 
 impl MachineConfig {
@@ -125,6 +136,8 @@ impl MachineConfig {
             seed: 0x5eed_cafe,
             sample_interval: None,
             protect_guest_kernel: false,
+            faults: FaultProfile::None,
+            fault_seed: None,
         }
     }
 
@@ -165,6 +178,21 @@ impl MachineConfig {
         self.protect_guest_kernel = true;
         self
     }
+
+    /// Selects a disk-fault injection profile (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = profile;
+        self
+    }
+
+    /// Pins the fault schedule to its own seed, independent of the
+    /// machine seed (builder style).
+    #[must_use]
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +217,16 @@ mod tests {
         let labels: std::collections::BTreeSet<&str> =
             SwapPolicy::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn preset_injects_no_faults() {
+        let cfg = MachineConfig::preset(SwapPolicy::Vswapper);
+        assert_eq!(cfg.faults, FaultProfile::None);
+        assert!(cfg.fault_seed.is_none());
+        let chaotic = cfg.with_faults(FaultProfile::Storm).with_fault_seed(7);
+        assert_eq!(chaotic.faults, FaultProfile::Storm);
+        assert_eq!(chaotic.fault_seed, Some(7));
     }
 
     #[test]

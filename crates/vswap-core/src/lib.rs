@@ -61,3 +61,4 @@ pub use migration::{LiveMigration, MigrationConfig, MigrationReport, NetSpec};
 pub use pathology::{Pathology, PathologyBreakdown};
 pub use preventer::{FalseReadsPreventer, PreventerConfig, PreventerStats};
 pub use report::{RunReport, VmReport};
+pub use vswap_disk::{FaultConfig, FaultPlan, FaultProfile};

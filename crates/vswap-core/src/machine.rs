@@ -148,7 +148,20 @@ impl Machine {
     ///
     /// Returns [`MachineError::Host`] if the host spec is inconsistent.
     pub fn new(cfg: MachineConfig) -> Result<Self, MachineError> {
-        let host = HostKernel::new(cfg.host.clone())?;
+        let mut host = HostKernel::new(cfg.host.clone())?;
+        let fault_cfg = cfg.faults.config();
+        if !fault_cfg.is_noop() {
+            // The schedule is forked off the fault root by label, so it is
+            // a pure function of (seed, profile): independent of VM count,
+            // workload mix, and suite worker count. `from_rng` does not
+            // advance the root, so enabling faults perturbs no other draw.
+            let root = DeterministicRng::seed_from(cfg.fault_seed.unwrap_or(cfg.seed));
+            host.install_fault_plan(Some(vswap_disk::FaultPlan::from_rng(
+                fault_cfg,
+                &root,
+                "sim-fault/plan",
+            )));
+        }
         let balloon_manager = match &cfg.ballooning {
             Ballooning::Auto(policy) => Some(BalloonManager::new(policy.clone())),
             _ => None,
@@ -651,6 +664,10 @@ fn disk_stat_set(stats: &vswap_disk::DiskStats) -> sim_core::StatSet {
     s.set("disk_swap_read_seeks", stats.swap_read_seeks);
     s.set("disk_swap_write_ops", stats.swap_write_ops);
     s.set("disk_busy_ns", stats.busy.as_nanos());
+    s.set("disk_injected_faults", stats.injected_faults);
+    s.set("disk_io_retries", stats.io_retries);
+    s.set("disk_timed_out_requests", stats.timed_out_requests);
+    s.set("disk_torn_writes", stats.torn_writes);
     s
 }
 
@@ -946,6 +963,28 @@ mod machine_tests {
     }
 
     #[test]
+    fn fault_profile_installs_a_plan_only_when_asked() {
+        use vswap_disk::FaultProfile;
+        let quiet =
+            Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+                .unwrap();
+        assert!(quiet.host().fault_plan().is_none(), "the default injects nothing");
+
+        let cfg = MachineConfig::preset(SwapPolicy::Baseline)
+            .with_host(tiny_host())
+            .with_faults(FaultProfile::Storm);
+        let a = Machine::new(cfg.clone()).unwrap();
+        let b = Machine::new(cfg.clone()).unwrap();
+        assert_eq!(
+            a.host().fault_plan(),
+            b.host().fault_plan(),
+            "the schedule is a pure function of the seed"
+        );
+        let c = Machine::new(cfg.with_fault_seed(99)).unwrap();
+        assert_ne!(a.host().fault_plan(), c.host().fault_plan(), "fault_seed decouples it");
+    }
+
+    #[test]
     fn report_before_any_run_is_empty() {
         let m = Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
             .unwrap();
@@ -953,6 +992,26 @@ mod machine_tests {
         assert!(report.workloads.is_empty());
         assert!(report.mean_runtime_secs().is_none());
         assert_eq!(report.kill_count(), 0);
+    }
+
+    #[test]
+    fn report_exposes_fault_and_recovery_counters() {
+        let m = Machine::new(MachineConfig::preset(SwapPolicy::Baseline).with_host(tiny_host()))
+            .unwrap();
+        let json = m.report().to_json();
+        for key in [
+            "disk_injected_faults",
+            "disk_io_retries",
+            "disk_timed_out_requests",
+            "disk_torn_writes",
+            "io_retries",
+            "recovered_pages",
+            "degraded_pages",
+            "fault_invalidations",
+            "swap_slot_remaps",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":0")), "missing {key} in {json}");
+        }
     }
 
     #[test]

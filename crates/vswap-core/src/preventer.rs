@@ -505,6 +505,41 @@ mod tests {
     }
 
     #[test]
+    fn merge_disposes_buffer_even_when_the_backing_read_dies() {
+        use vswap_disk::{FaultConfig, FaultPlan};
+        let (mut host, vm) = swapped_setup();
+        // Every swap sector goes latent *after* the pages were swapped
+        // out: the physical read behind any merge now fails permanently.
+        let region = host.swap_disk_region();
+        host.install_fault_plan(Some(FaultPlan::new(
+            FaultConfig {
+                latent_rate: 1.0,
+                latent_window: Some((region.base(), region.base() + region.sectors())),
+                ..FaultConfig::default()
+            },
+            1,
+        )));
+        let mut p = FalseReadsPreventer::new(PreventerConfig::default());
+        let gfn = Gfn::new(0);
+        let (label, _) = p.on_partial_write(&mut host, SimTime::ZERO, vm, gfn);
+        let cost = p.on_guest_read(&mut host, SimTime::ZERO, vm, gfn);
+        assert!(cost.as_nanos() > 0, "the dead read still wastes device time");
+        assert_eq!(p.active(), 0, "the buffer was disposed, not leaked");
+        assert_eq!(host.resident_label(vm, gfn), Some(label), "buffered bytes win the merge");
+        assert!(host.stats().recovered_pages >= 1, "old content came from the slot record");
+        assert_eq!(p.stats().read_merges, 1);
+        host.audit().unwrap();
+
+        // A host-access flush over a dead slot disposes its buffer too.
+        let gfn2 = Gfn::new(1);
+        p.on_partial_write(&mut host, SimTime::ZERO, vm, gfn2);
+        p.flush_for_host_access(&mut host, SimTime::ZERO, vm, gfn2);
+        assert_eq!(p.active(), 0);
+        assert!(host.is_present(vm, gfn2));
+        host.audit().unwrap();
+    }
+
+    #[test]
     fn pages_with_no_disk_backing_are_not_intercepted() {
         let (host, vm) = swapped_setup();
         let p = FalseReadsPreventer::new(PreventerConfig::default());

@@ -22,23 +22,36 @@
 //! use vswap_disk::{DiskModel, DiskSpec, IoKind, IoTag, SectorRange};
 //!
 //! let mut disk = DiskModel::new(DiskSpec::hdd_7200());
-//! let io = disk.submit(
-//!     SimTime::ZERO,
-//!     IoKind::Read,
-//!     SectorRange::new(0, 8), // one 4 KiB page
-//!     IoTag::GuestImage,
-//! );
+//! let io = disk
+//!     .submit(
+//!         SimTime::ZERO,
+//!         IoKind::Read,
+//!         SectorRange::new(0, 8), // one 4 KiB page
+//!         IoTag::GuestImage,
+//!     )
+//!     .expect("no fault plan installed");
 //! assert!(io.latency.as_nanos() > 0);
 //! ```
+//!
+//! # Fault injection
+//!
+//! Install a deterministic [`FaultPlan`] (from the [`sim_fault`] crate,
+//! re-exported here) with [`DiskModel::set_fault_plan`] and every submit
+//! path becomes fallible with a typed [`IoError`]. With no plan installed
+//! — the default — no request ever fails and nothing is paid for the
+//! machinery.
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod geometry;
 pub mod layout;
 pub mod model;
 pub mod spec;
 
+pub use error::{IoError, IoErrorKind};
 pub use geometry::{SectorAddr, SectorRange, PAGE_SECTORS, PAGE_SIZE, SECTOR_SIZE};
 pub use layout::{DiskLayout, DiskRegion, LayoutError};
-pub use model::{CompletedIo, DiskModel, DiskStats, IoKind, IoTag};
+pub use model::{merge_ranges, CompletedIo, DiskModel, DiskStats, IoKind, IoTag};
+pub use sim_fault::{FaultConfig, FaultKind, FaultPlan, FaultProfile, InjectedFault};
 pub use spec::DiskSpec;

@@ -1,9 +1,11 @@
 //! The block device model: head tracking, queueing, and I/O accounting.
 
+use crate::error::{IoError, IoErrorKind};
 use crate::geometry::SectorRange;
 use crate::spec::DiskSpec;
 use sim_core::{SimDuration, SimTime};
-use sim_obs::{Event, EventLog, IoClass, IoDir};
+use sim_fault::{FaultKind, FaultPlan, InjectedFault};
+use sim_obs::{Event, EventLog, FaultTag, IoClass, IoDir};
 
 /// Maps the request direction onto the event taxonomy.
 fn io_dir(kind: IoKind) -> IoDir {
@@ -18,6 +20,16 @@ fn io_class(tag: IoTag) -> IoClass {
     match tag {
         IoTag::GuestImage => IoClass::GuestImage,
         IoTag::HostSwap => IoClass::HostSwap,
+    }
+}
+
+/// Maps the fault plan's taxonomy onto the event taxonomy.
+fn fault_tag(kind: FaultKind) -> FaultTag {
+    match kind {
+        FaultKind::Latent => FaultTag::Latent,
+        FaultKind::Transient => FaultTag::Transient,
+        FaultKind::Timeout => FaultTag::Timeout,
+        FaultKind::Torn => FaultTag::Torn,
     }
 }
 
@@ -85,6 +97,14 @@ pub struct DiskStats {
     pub swap_write_ops: u64,
     /// Total time the device spent busy.
     pub busy: SimDuration,
+    /// Requests failed by the fault plan (all kinds).
+    pub injected_faults: u64,
+    /// Requests resubmitted after a failure (`attempt > 0`).
+    pub io_retries: u64,
+    /// Requests aborted for exceeding their service deadline.
+    pub timed_out_requests: u64,
+    /// Multi-sector writes that tore partway.
+    pub torn_writes: u64,
 }
 
 /// A single shared block device.
@@ -101,8 +121,12 @@ pub struct DiskStats {
 /// use vswap_disk::{DiskModel, DiskSpec, IoKind, IoTag, SectorRange};
 ///
 /// let mut disk = DiskModel::new(DiskSpec::hdd_7200());
-/// let a = disk.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
-/// let b = disk.submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage);
+/// let a = disk
+///     .submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage)
+///     .expect("no fault plan installed");
+/// let b = disk
+///     .submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage)
+///     .expect("no fault plan installed");
 /// assert!(b.sequential);
 /// assert!(b.latency < a.latency);
 /// ```
@@ -116,6 +140,9 @@ pub struct DiskModel {
     stats: DiskStats,
     /// Structured event sink; disabled (free) unless attached.
     events: EventLog,
+    /// Deterministic fault schedule; `None` (the default) injects nothing
+    /// and costs nothing.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl DiskModel {
@@ -127,7 +154,18 @@ impl DiskModel {
             busy_until: SimTime::ZERO,
             stats: DiskStats::default(),
             events: EventLog::disabled(),
+            fault_plan: None,
         }
+    }
+
+    /// Installs (or clears) the deterministic fault schedule.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Attaches a structured event log; every request then emits
@@ -159,13 +197,39 @@ impl DiskModel {
     /// Submits a request at simulated instant `now` and returns its
     /// completion. Requests are serviced FIFO: if the device is busy the
     /// request waits.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the installed fault plan fails the request (never, when no
+    /// plan is installed). The failed attempt still occupies the device.
     pub fn submit(
         &mut self,
         now: SimTime,
         kind: IoKind,
         range: SectorRange,
         tag: IoTag,
-    ) -> CompletedIo {
+    ) -> Result<CompletedIo, IoError> {
+        self.submit_attempt(now, kind, range, tag, 0)
+    }
+
+    /// Like [`DiskModel::submit`], with an explicit attempt number: retry
+    /// loops pass 1, 2, ... so the fault plan can bound failure bursts
+    /// and the stats can count retries.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the installed fault plan fails this attempt.
+    pub fn submit_attempt(
+        &mut self,
+        now: SimTime,
+        kind: IoKind,
+        range: SectorRange,
+        tag: IoTag,
+        attempt: u32,
+    ) -> Result<CompletedIo, IoError> {
+        if attempt > 0 {
+            self.stats.io_retries += 1;
+        }
         self.events.emit_with(now, None, || Event::DiskIssue {
             dir: io_dir(kind),
             class: io_class(tag),
@@ -179,6 +243,9 @@ impl DiskModel {
             Some(end) => Some(end.abs_diff(range.start())),
         };
         let service = self.spec.request_latency(gap, range.len());
+        if let Some(fault) = self.decide_fault(kind, range, attempt) {
+            return Err(self.fail(now, started, service, kind, range, tag, fault, true));
+        }
         let finished = started + service;
 
         self.head = Some(range.end());
@@ -222,7 +289,68 @@ impl DiskModel {
             latency: finished - now,
             sequential,
         });
-        CompletedIo { started, finished, latency: finished - now, sequential }
+        Ok(CompletedIo { started, finished, latency: finished - now, sequential })
+    }
+
+    /// Asks the fault plan (if any) whether this attempt fails.
+    fn decide_fault(
+        &self,
+        kind: IoKind,
+        range: SectorRange,
+        attempt: u32,
+    ) -> Option<InjectedFault> {
+        self.fault_plan
+            .as_ref()
+            .and_then(|p| p.decide(kind == IoKind::Write, range.start(), range.len(), attempt))
+    }
+
+    /// Records a failed attempt: the device is occupied for the (possibly
+    /// inflated) service time, fault counters are bumped, a `DiskFault`
+    /// event fires, and the typed error is built. Successful-request
+    /// counters (`ops`, `sectors_*`, seek accounting) are untouched so the
+    /// model's invariants — and every fault-free golden — are preserved.
+    #[allow(clippy::too_many_arguments)]
+    fn fail(
+        &mut self,
+        now: SimTime,
+        started: SimTime,
+        service: SimDuration,
+        kind: IoKind,
+        range: SectorRange,
+        tag: IoTag,
+        fault: InjectedFault,
+        move_head: bool,
+    ) -> IoError {
+        // A timed-out request holds the device well past its nominal
+        // service time before the deadline aborts it.
+        let service = if fault.kind == FaultKind::Timeout { service * 4 } else { service };
+        let finished = started + service;
+        self.busy_until = finished;
+        self.stats.busy += service;
+        self.stats.injected_faults += 1;
+        let error_kind = match fault.kind {
+            FaultKind::Latent => IoErrorKind::Latent,
+            FaultKind::Transient => IoErrorKind::Transient,
+            FaultKind::Timeout => {
+                self.stats.timed_out_requests += 1;
+                IoErrorKind::Timeout
+            }
+            FaultKind::Torn => {
+                self.stats.torn_writes += 1;
+                IoErrorKind::Torn { written: fault.sector - range.start() }
+            }
+        };
+        if move_head {
+            // The head stopped where the transfer broke down.
+            self.head = Some(fault.sector);
+        }
+        self.events.emit_with(finished, None, || Event::DiskFault {
+            dir: io_dir(kind),
+            class: io_class(tag),
+            sector: fault.sector,
+            fault: fault_tag(fault.kind),
+        });
+        IoError { kind: error_kind, sector: fault.sector, wasted: finished - now }
     }
 
     /// Submits a *write-behind* request: the write is queued behind the
@@ -230,12 +358,35 @@ impl DiskModel {
     /// disturb the head position the foreground read stream depends on.
     /// The returned completion reflects device occupancy, not a latency
     /// any caller should wait for.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the installed fault plan fails the request.
     pub fn submit_writeback(
         &mut self,
         now: SimTime,
         range: SectorRange,
         tag: IoTag,
-    ) -> CompletedIo {
+    ) -> Result<CompletedIo, IoError> {
+        self.submit_writeback_attempt(now, range, tag, 0)
+    }
+
+    /// Like [`DiskModel::submit_writeback`], with an explicit attempt
+    /// number for retry loops.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the installed fault plan fails this attempt.
+    pub fn submit_writeback_attempt(
+        &mut self,
+        now: SimTime,
+        range: SectorRange,
+        tag: IoTag,
+        attempt: u32,
+    ) -> Result<CompletedIo, IoError> {
+        if attempt > 0 {
+            self.stats.io_retries += 1;
+        }
         self.events.emit_with(now, None, || Event::DiskIssue {
             dir: IoDir::Write,
             class: io_class(tag),
@@ -244,6 +395,11 @@ impl DiskModel {
         });
         let started = now.max(self.busy_until);
         let service = self.spec.request_latency(None, range.len());
+        if let Some(fault) = self.decide_fault(IoKind::Write, range, attempt) {
+            // Write-behind never disturbs the foreground head position,
+            // even when it fails.
+            return Err(self.fail(now, started, service, IoKind::Write, range, tag, fault, false));
+        }
         let finished = started + service;
         self.busy_until = finished;
         self.stats.ops += 1;
@@ -263,28 +419,36 @@ impl DiskModel {
             latency: finished - now,
             sequential: true,
         });
-        CompletedIo { started, finished, latency: finished - now, sequential: true }
+        Ok(CompletedIo { started, finished, latency: finished - now, sequential: true })
     }
 
     /// Submits a batch of ranges as one logical operation (e.g. a readahead
     /// window). Contiguous ranges are merged so a well-clustered batch pays
     /// a single positioning cost. Returns the completion of the whole batch.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ranges` is empty.
+    /// An empty batch is an [`IoErrorKind::EmptyBatch`] error. With a fault
+    /// plan installed, the batch fails at the first faulting merged range
+    /// (already-serviced earlier ranges keep their effects).
     pub fn submit_batch(
         &mut self,
         now: SimTime,
         kind: IoKind,
         ranges: &[SectorRange],
         tag: IoTag,
-    ) -> CompletedIo {
-        assert!(!ranges.is_empty(), "batch must contain at least one range");
+    ) -> Result<CompletedIo, IoError> {
+        if ranges.is_empty() {
+            return Err(IoError {
+                kind: IoErrorKind::EmptyBatch,
+                sector: 0,
+                wasted: SimDuration::ZERO,
+            });
+        }
         let merged = merge_ranges(ranges);
         let mut last: Option<CompletedIo> = None;
         for range in merged {
-            let completed = self.submit(now, kind, range, tag);
+            let completed = self.submit(now, kind, range, tag)?;
             last = Some(match last {
                 None => completed,
                 Some(prev) => CompletedIo {
@@ -295,12 +459,14 @@ impl DiskModel {
                 },
             });
         }
-        last.expect("batch was non-empty")
+        Ok(last.expect("batch was non-empty"))
     }
 }
 
 /// Sorts and merges overlapping/abutting ranges into maximal runs.
-pub(crate) fn merge_ranges(ranges: &[SectorRange]) -> Vec<SectorRange> {
+/// Public so fault-plan property tests can check that merging never
+/// changes which sectors fail.
+pub fn merge_ranges(ranges: &[SectorRange]) -> Vec<SectorRange> {
     let mut sorted: Vec<SectorRange> = ranges.to_vec();
     sorted.sort_by_key(|r| r.start());
     let mut out: Vec<SectorRange> = Vec::with_capacity(sorted.len());
@@ -320,15 +486,21 @@ pub(crate) fn merge_ranges(ranges: &[SectorRange]) -> Vec<SectorRange> {
 mod tests {
     use super::*;
     use crate::geometry::PAGE_SECTORS;
+    use sim_fault::FaultConfig;
 
     fn disk() -> DiskModel {
         DiskModel::new(DiskSpec::hdd_7200())
     }
 
+    fn ok(io: Result<CompletedIo, IoError>) -> CompletedIo {
+        io.expect("no faults expected")
+    }
+
     #[test]
     fn first_access_pays_full_seek() {
         let mut d = disk();
-        let io = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
+        let io =
+            ok(d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage));
         assert!(!io.sequential);
         assert_eq!(d.stats().seeks, 1);
     }
@@ -336,8 +508,9 @@ mod tests {
     #[test]
     fn contiguous_requests_stream() {
         let mut d = disk();
-        let a = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
-        let b = d.submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage);
+        let a =
+            ok(d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage));
+        let b = ok(d.submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage));
         assert!(b.sequential);
         assert!(b.latency < a.latency / 10);
     }
@@ -345,9 +518,11 @@ mod tests {
     #[test]
     fn queueing_delays_later_requests() {
         let mut d = disk();
-        let a = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
+        let a =
+            ok(d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage));
         // Submitted at t=0 but device busy until `a.finished`.
-        let b = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage);
+        let b =
+            ok(d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage));
         assert_eq!(b.started, a.finished);
         assert!(b.latency >= a.latency);
     }
@@ -355,9 +530,9 @@ mod tests {
     #[test]
     fn swap_tag_attributes_sectors() {
         let mut d = disk();
-        d.submit(SimTime::ZERO, IoKind::Write, SectorRange::new(0, 8), IoTag::HostSwap);
-        d.submit(SimTime::ZERO, IoKind::Write, SectorRange::new(100, 8), IoTag::GuestImage);
-        d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::HostSwap);
+        ok(d.submit(SimTime::ZERO, IoKind::Write, SectorRange::new(0, 8), IoTag::HostSwap));
+        ok(d.submit(SimTime::ZERO, IoKind::Write, SectorRange::new(100, 8), IoTag::GuestImage));
+        ok(d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::HostSwap));
         let s = d.stats();
         assert_eq!(s.swap_sectors_written, 8);
         assert_eq!(s.swap_sectors_read, 8);
@@ -370,7 +545,7 @@ mod tests {
     fn batch_merges_contiguous_pages() {
         let mut d = disk();
         let ranges: Vec<SectorRange> = (0..4).map(|p| SectorRange::for_page(0, p)).collect();
-        let io = d.submit_batch(SimTime::ZERO, IoKind::Read, &ranges, IoTag::GuestImage);
+        let io = ok(d.submit_batch(SimTime::ZERO, IoKind::Read, &ranges, IoTag::GuestImage));
         // One merged request: one op, one seek.
         assert_eq!(d.stats().ops, 1);
         assert_eq!(d.stats().sectors_read, 4 * PAGE_SECTORS);
@@ -385,7 +560,7 @@ mod tests {
             SectorRange::for_page(1 << 20, 0),
             SectorRange::for_page(1 << 24, 0),
         ];
-        d.submit_batch(SimTime::ZERO, IoKind::Read, &ranges, IoTag::HostSwap);
+        ok(d.submit_batch(SimTime::ZERO, IoKind::Read, &ranges, IoTag::HostSwap));
         assert_eq!(d.stats().ops, 3);
         assert_eq!(d.stats().seeks, 3);
     }
@@ -403,16 +578,146 @@ mod tests {
     #[test]
     fn reset_stats_keeps_head() {
         let mut d = disk();
-        let a = d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage);
+        let a =
+            ok(d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage));
         d.reset_stats();
         assert_eq!(d.stats().ops, 0);
-        let b = d.submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage);
+        let b = ok(d.submit(a.finished, IoKind::Read, SectorRange::new(8, 8), IoTag::GuestImage));
         assert!(b.sequential, "head position survives stats reset");
     }
 
     #[test]
-    #[should_panic(expected = "at least one range")]
-    fn empty_batch_panics() {
-        disk().submit_batch(SimTime::ZERO, IoKind::Read, &[], IoTag::GuestImage);
+    fn empty_batch_is_a_typed_error() {
+        let err = disk()
+            .submit_batch(SimTime::ZERO, IoKind::Read, &[], IoTag::GuestImage)
+            .expect_err("empty batch must fail");
+        assert_eq!(err.kind, IoErrorKind::EmptyBatch);
+        assert!(!err.is_retryable());
+    }
+
+    /// Every sector in [0, n) permanently bad.
+    fn all_latent() -> FaultPlan {
+        FaultPlan::new(FaultConfig { latent_rate: 1.0, ..FaultConfig::default() }, 7)
+    }
+
+    #[test]
+    fn latent_fault_fails_every_attempt_deterministically() {
+        let mut d = disk();
+        d.set_fault_plan(Some(all_latent()));
+        for attempt in 0..8 {
+            let err = d
+                .submit_attempt(
+                    SimTime::ZERO,
+                    IoKind::Read,
+                    SectorRange::new(64, 8),
+                    IoTag::GuestImage,
+                    attempt,
+                )
+                .expect_err("latent sector must fail");
+            assert_eq!(err.kind, IoErrorKind::Latent);
+            assert_eq!(err.sector, 64, "first faulting sector is stable");
+        }
+        assert_eq!(d.stats().injected_faults, 8);
+        assert_eq!(d.stats().io_retries, 7);
+        // Failed attempts never count as serviced requests.
+        assert_eq!(d.stats().ops, 0);
+        assert_eq!(d.stats().sectors_read, 0);
+    }
+
+    #[test]
+    fn transient_bursts_are_bounded_by_max_burst() {
+        let cfg = FaultConfig { transient_rate: 1.0, max_burst: 2, ..FaultConfig::default() };
+        let mut d = disk();
+        d.set_fault_plan(Some(FaultPlan::new(cfg, 11)));
+        let range = SectorRange::new(0, 8);
+        let mut t = SimTime::ZERO;
+        for attempt in 0..2 {
+            let err = d
+                .submit_attempt(t, IoKind::Read, range, IoTag::GuestImage, attempt)
+                .expect_err("attempts below max_burst fail");
+            assert!(err.is_retryable());
+            t = d.busy_until();
+        }
+        let io = d
+            .submit_attempt(t, IoKind::Read, range, IoTag::GuestImage, 2)
+            .expect("attempt at max_burst succeeds");
+        assert!(io.finished > io.started);
+        assert_eq!(d.stats().injected_faults, 2);
+    }
+
+    #[test]
+    fn torn_write_reports_persisted_prefix() {
+        let cfg = FaultConfig { torn_rate: 1.0, ..FaultConfig::default() };
+        let mut d = disk();
+        d.set_fault_plan(Some(FaultPlan::new(cfg, 3)));
+        let err = d
+            .submit(SimTime::ZERO, IoKind::Write, SectorRange::new(32, 16), IoTag::HostSwap)
+            .expect_err("torn write must fail");
+        match err.kind {
+            IoErrorKind::Torn { written } => {
+                assert_eq!(written, err.sector - 32);
+                assert!(written < 16);
+            }
+            other => panic!("expected torn write, got {other:?}"),
+        }
+        assert_eq!(d.stats().torn_writes, 1);
+        // Reads never tear.
+        let plan = FaultPlan::new(*d.fault_plan().unwrap().config(), 3);
+        assert!(plan.decide(false, 32, 16, 0).is_none());
+    }
+
+    #[test]
+    fn timeouts_inflate_device_occupancy() {
+        let cfg = FaultConfig { timeout_rate: 1.0, ..FaultConfig::default() };
+        let mut clean = disk();
+        let io =
+            ok(clean.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::HostSwap));
+        let nominal = io.finished - io.started;
+
+        let mut d = disk();
+        d.set_fault_plan(Some(FaultPlan::new(cfg, 5)));
+        let err = d
+            .submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::HostSwap)
+            .expect_err("timeout must fail");
+        assert_eq!(err.kind, IoErrorKind::Timeout);
+        assert_eq!(err.wasted, nominal * 4);
+        assert_eq!(d.stats().timed_out_requests, 1);
+        assert_eq!(d.busy_until(), SimTime::ZERO + nominal * 4);
+    }
+
+    #[test]
+    fn reset_stats_clears_fault_counters() {
+        let mut d = disk();
+        d.set_fault_plan(Some(all_latent()));
+        let _ = d.submit_attempt(
+            SimTime::ZERO,
+            IoKind::Read,
+            SectorRange::new(0, 8),
+            IoTag::GuestImage,
+            1,
+        );
+        assert_eq!(d.stats().injected_faults, 1);
+        assert_eq!(d.stats().io_retries, 1);
+        d.reset_stats();
+        assert_eq!(d.stats().injected_faults, 0);
+        assert_eq!(d.stats().io_retries, 0);
+        assert_eq!(d.stats().timed_out_requests, 0);
+        assert_eq!(d.stats().torn_writes, 0);
+    }
+
+    #[test]
+    fn no_plan_means_no_faults() {
+        let mut d = disk();
+        assert!(d.fault_plan().is_none());
+        for page in 0..512 {
+            ok(d.submit(
+                d.busy_until(),
+                IoKind::Write,
+                SectorRange::for_page(0, page),
+                IoTag::HostSwap,
+            ));
+        }
+        assert_eq!(d.stats().injected_faults, 0);
+        assert_eq!(d.stats().ops, 512);
     }
 }

@@ -189,6 +189,38 @@ impl GuestKernel {
         self.anon_lru.len() as u64
     }
 
+    /// Every live guest page and the content the guest expects to read
+    /// from it: resident page-cache and anonymous pages, in gfn order.
+    /// Whatever the host did behind the guest's back — swap, discard,
+    /// degrade, recover from an injected fault — the host-side signature
+    /// of each listed gfn must equal the listed label. Gfns the guest has
+    /// freed are deliberately absent: the host may keep stale copies of
+    /// those, and their fate is not guest-visible.
+    pub fn expected_resident_content(&self) -> Vec<(Gfn, ContentLabel)> {
+        self.page_state
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, state)| {
+                let gfn = Gfn::new(idx as u64);
+                match *state {
+                    GuestPageState::Cache { image_page } => {
+                        Some((gfn, self.cache[&image_page].label))
+                    }
+                    GuestPageState::Anon { proc, vpn } => {
+                        match self.processes[proc.index()].pages[vpn.index()] {
+                            AnonPage::Resident { gfn: g, label } => {
+                                debug_assert_eq!(g, gfn);
+                                Some((gfn, label))
+                            }
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
     /// True if the process is still alive (not reaped by the OOM killer).
     pub fn is_alive(&self, proc: ProcId) -> bool {
         self.processes.get(proc.index()).is_some_and(|p| p.alive)

@@ -13,7 +13,10 @@ use sim_core::{DeterministicRng, SimDuration, SimTime};
 use sim_obs::{Event, EventLog};
 use std::error::Error;
 use std::fmt;
-use vswap_disk::{DiskLayout, DiskModel, DiskRegion, IoKind, IoTag};
+use vswap_disk::{
+    DiskLayout, DiskModel, DiskRegion, FaultPlan, IoErrorKind, IoKind, IoTag, SectorRange,
+};
+use vswap_hypervisor::RetryPolicy;
 use vswap_mem::{
     Backing, ContentLabel, Ept, FrameId, FrameOwner, Gfn, HostFrameTable, LabelGen, ListArena,
     ListHead, VmId,
@@ -139,6 +142,9 @@ struct VmMm {
     ra_loaded: u64,
     /// Of those, pages evicted untouched (wasted).
     ra_wasted: u64,
+    /// Image blocks whose physical sectors failed permanently: the Mapper
+    /// must never (re)associate a guest page with them.
+    suspect: Vec<bool>,
 }
 
 /// The host kernel model. See the crate docs for an overview and an
@@ -168,6 +174,8 @@ pub struct HostKernel {
     rng: DeterministicRng,
     /// Structured event sink; disabled (free) unless attached.
     events: EventLog,
+    /// Retry/backoff schedule applied to failed disk requests.
+    retry: RetryPolicy,
 }
 
 impl HostKernel {
@@ -198,6 +206,7 @@ impl HostKernel {
             stats: HostStats::new(),
             rng: DeterministicRng::seed_from(0x4051_beef),
             events: EventLog::disabled(),
+            retry: RetryPolicy::paper_default(),
             spec,
         })
     }
@@ -207,6 +216,27 @@ impl HostKernel {
     pub fn set_event_log(&mut self, events: EventLog) {
         self.disk.set_event_log(events.clone());
         self.events = events;
+    }
+
+    /// Installs (or clears) a deterministic fault plan on the physical
+    /// disk. With no plan — the default — no request ever fails.
+    pub fn install_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.disk.set_fault_plan(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.disk.fault_plan()
+    }
+
+    /// Replaces the retry/backoff schedule for failed disk requests.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The retry/backoff schedule in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Registers a VM with the host, carving its disk-image and hypervisor
@@ -251,6 +281,7 @@ impl HostKernel {
             ra_window: self.spec.swap_readahead_pages,
             ra_loaded: 0,
             ra_wasted: 0,
+            suspect: vec![false; cfg.image_pages as usize],
         });
         // Pre-fault the hypervisor's hot code (the QEMU process is running).
         let mut t = SimTime::ZERO;
@@ -287,6 +318,12 @@ impl HostKernel {
     /// The host swap area.
     pub fn swap(&self) -> &SwapArea {
         &self.swap
+    }
+
+    /// The physical-disk region backing the host swap area — lets fault
+    /// plans aim a latent window at exactly the swap sectors.
+    pub fn swap_disk_region(&self) -> DiskRegion {
+        self.swap_region
     }
 
     /// Number of free host frames.
@@ -408,13 +445,133 @@ impl HostKernel {
             panic!("page is not swap-backed");
         };
         let range = self.swap_region.page_range(slot);
-        let io = self.disk.submit(now, IoKind::Read, range, IoTag::HostSwap);
-        io.finished - now
+        let mut t = now;
+        if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::HostSwap) {
+            // The physical sectors are unreadable, but the logical
+            // content (the slot record) survives: serve it degraded.
+            self.stats.recovered_pages += 1;
+        }
+        t - now
     }
 
     /// Draws a fresh, never-before-seen content label (guest writes).
     pub fn fresh_label(&mut self) -> ContentLabel {
         self.labels.fresh()
+    }
+
+    /// Image blocks of the VM currently quarantined from Mapper use.
+    pub fn suspect_blocks(&self, vm: VmId) -> u64 {
+        self.vms[vm.index()].suspect.iter().filter(|&&s| s).count() as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Fallible disk I/O: retry, backoff, and graceful degradation
+    // ------------------------------------------------------------------
+
+    /// Submits a foreground request with bounded retries and exponential
+    /// backoff in simulated time. On success `t` lands on the completion
+    /// instant; on permanent failure `t` has absorbed every wasted
+    /// attempt and pause, and `true` is returned so the caller can take
+    /// its degradation path.
+    fn disk_io_failed(
+        &mut self,
+        t: &mut SimTime,
+        kind: IoKind,
+        range: SectorRange,
+        tag: IoTag,
+    ) -> bool {
+        let start = *t;
+        let mut attempt = 0u32;
+        loop {
+            match self.disk.submit_attempt(*t, kind, range, tag, attempt) {
+                Ok(io) => {
+                    *t = io.finished;
+                    return false;
+                }
+                Err(err) => {
+                    *t += err.wasted;
+                    attempt += 1;
+                    if !err.is_retryable() || !self.retry.should_retry(attempt, *t - start) {
+                        return true;
+                    }
+                    let backoff = self.retry.backoff(attempt - 1);
+                    self.stats.io_retries += 1;
+                    self.events.emit_with(*t, None, || Event::IoRetry { attempt, backoff });
+                    *t += backoff;
+                }
+            }
+        }
+    }
+
+    /// True if any sector of the range is permanently bad under the
+    /// installed fault plan.
+    fn range_has_latent(&self, range: SectorRange) -> bool {
+        match self.disk.fault_plan() {
+            Some(plan) => (range.start()..range.end()).any(|s| plan.latent_bad(s)),
+            None => false,
+        }
+    }
+
+    /// An image-span request failed permanently: pages whose physical
+    /// blocks are latent-bad are quarantined from future Mapper use.
+    /// Callers on read paths additionally count the span as recovered
+    /// (served from the logical image).
+    fn degrade_image_span(&mut self, t: &mut SimTime, vm: VmId, image_page: u64, count: u64) {
+        for p in image_page..image_page + count {
+            let range = self.vms[vm.index()].image_region.page_range(p);
+            if self.range_has_latent(range) {
+                self.mark_block_suspect(t, vm, p);
+            }
+        }
+    }
+
+    /// Quarantines an image block whose physical sectors proved bad: no
+    /// future association may target it, and any existing association is
+    /// dissolved — the held page degrades to anonymous, its content
+    /// recovered from the logical image where needed. Idempotent.
+    fn mark_block_suspect(&mut self, t: &mut SimTime, vm: VmId, page: u64) {
+        if self.vms[vm.index()].suspect[page as usize] {
+            return;
+        }
+        self.vms[vm.index()].suspect[page as usize] = true;
+        let Some(gfn) = self.vms[vm.index()].origin.gfn_for_page(page) else {
+            return;
+        };
+        self.stats.fault_invalidations += 1;
+        self.stats.degraded_pages += 1;
+        self.events.emit_with(*t, Some(vm.get()), || Event::MapperDegraded {
+            gfn: gfn.get(),
+            image_page: page,
+        });
+        match self.vms[vm.index()].ept.translate(gfn) {
+            Some(frame) => {
+                // Resident named page: the frame already holds the bytes;
+                // just stop trusting the block.
+                self.vms[vm.index()].origin.dissociate_gfn(gfn);
+                self.list_move(vm, frame, false);
+            }
+            None if self.vms[vm.index()].ept.backing(gfn) == Some(Backing::ImagePage(page)) => {
+                // Discarded named page: its only physical copy just went
+                // bad. Materialize it from the logical image before the
+                // association dies; it lives on as an anonymous page.
+                self.vms[vm.index()].origin.dissociate_gfn(gfn);
+                self.vms[vm.index()].ept.set_backing(gfn, Backing::None);
+                let frame = self
+                    .alloc_frame(t, vm, FrameOwner::Guest { vm, gfn })
+                    .expect("reclaim guarantees progress");
+                let label = self.vms[vm.index()].image.label(page);
+                self.frames.set_label(frame, label);
+                self.frames.set_dirty(frame, false);
+                self.vms[vm.index()].ept.map(gfn, frame);
+                self.list_push(vm, frame, false);
+                self.stats.recovered_pages += 1;
+            }
+            None => {
+                // Swapped or untouched: the association is bookkeeping
+                // only; drop it.
+                self.vms[vm.index()].origin.dissociate_gfn(gfn);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -553,8 +710,10 @@ impl HostKernel {
 
         // The physical read of the image blocks.
         let range = self.vms[vm.index()].image_region.page_span(image_page, count);
-        let io = self.disk.submit(t, IoKind::Read, range, IoTag::GuestImage);
-        t = io.finished;
+        if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::GuestImage) {
+            self.stats.recovered_pages += count;
+            self.degrade_image_span(&mut t, vm, image_page, count);
+        }
 
         // DMA fills the destination pages with image content.
         for (i, &gfn) in dest_gfns.iter().enumerate() {
@@ -572,9 +731,10 @@ impl HostKernel {
             self.frames.set_label(frame, label);
             self.frames.set_dirty(frame, false);
             self.frames.set_accessed(frame, true);
-            if self.vms[vm.index()].mapper_enabled {
-                // This is the Mapper's *unaligned fallback* path: the
-                // request cannot be tracked, so no association is kept.
+            if self.vms[vm.index()].mapper_enabled || self.vms[vm.index()].suspect[page as usize] {
+                // The Mapper's *unaligned fallback* path (the request
+                // cannot be tracked) — and quarantined blocks are never
+                // tracked either.
                 self.vms[vm.index()].origin.dissociate_gfn(gfn);
             } else {
                 // Track the origin for silent-write classification; the
@@ -612,8 +772,11 @@ impl HostKernel {
         // readahead(2) + mmap(MAP_POPULATE | MAP_NOCOW): one streaming read,
         // plus the per-page mapping overhead of the mmap path (§5.3).
         let range = self.vms[vm.index()].image_region.page_span(image_page, count);
-        let io = self.disk.submit(t, IoKind::Read, range, IoTag::GuestImage);
-        t = io.finished + self.spec.mmap_page_overhead * count;
+        if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::GuestImage) {
+            self.stats.recovered_pages += count;
+            self.degrade_image_span(&mut t, vm, image_page, count);
+        }
+        t += self.spec.mmap_page_overhead * count;
 
         for (i, &gfn) in dest_gfns.iter().enumerate() {
             let page = image_page + i as u64;
@@ -640,8 +803,20 @@ impl HostKernel {
             // Unhook only after the allocation above: its reclaim
             // pressure could have discarded the block's current holder.
             self.unhook_stale_block_association(vm, gfn, page);
-            self.vms[vm.index()].origin.associate(gfn, page);
-            self.list_move(vm, frame, true);
+            if self.vms[vm.index()].suspect[page as usize] {
+                // The block cannot be trusted to serve a refault: keep
+                // the page anonymous (degraded) instead of naming it.
+                self.vms[vm.index()].origin.dissociate_gfn(gfn);
+                self.list_move(vm, frame, false);
+                self.stats.degraded_pages += 1;
+                self.events.emit_with(t, Some(vm.get()), || Event::MapperDegraded {
+                    gfn: gfn.get(),
+                    image_page: page,
+                });
+            } else {
+                self.vms[vm.index()].origin.associate(gfn, page);
+                self.list_move(vm, frame, true);
+            }
         }
         t - now
     }
@@ -712,7 +887,8 @@ impl HostKernel {
             let label = self.frames.label(frame);
             self.vms[vm.index()].image.write(page, label);
             let mapper = self.vms[vm.index()].mapper_enabled;
-            if mappable || !mapper {
+            let suspect = self.vms[vm.index()].suspect[page as usize];
+            if (mappable || !mapper) && !suspect {
                 // Write-then-map: the source page now matches the block.
                 self.unhook_stale_block_association(vm, gfn, page);
                 self.vms[vm.index()].origin.associate(gfn, page);
@@ -720,13 +896,18 @@ impl HostKernel {
             } else {
                 self.vms[vm.index()].origin.dissociate_gfn(gfn);
             }
-            let named = mapper && mappable;
+            let named = mapper && mappable && !suspect;
             self.list_move(vm, frame, named);
         }
 
         let range = self.vms[vm.index()].image_region.page_span(image_page, count);
-        let io = self.disk.submit(t, IoKind::Write, range, IoTag::GuestImage);
-        io.finished - now
+        if self.disk_io_failed(&mut t, IoKind::Write, range, IoTag::GuestImage) {
+            // The logical image already holds the written labels; the
+            // bad physical blocks are quarantined (dissolving the
+            // write-then-map associations made above).
+            self.degrade_image_span(&mut t, vm, image_page, count);
+        }
+        t - now
     }
 
     /// A block about to be (re)associated with `dest` may still back a
@@ -806,15 +987,29 @@ impl HostKernel {
             Backing::SwapSlot(slot) => {
                 let info = self.swap.get(slot).expect("occupied slot");
                 let range = self.swap_region.page_range(slot);
-                let io = self.disk.submit(now, IoKind::Read, range, IoTag::HostSwap);
+                let mut t = now;
+                if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::HostSwap) {
+                    // The emulation merge still proceeds: the logical
+                    // content survives in the slot record.
+                    self.stats.recovered_pages += 1;
+                }
                 self.stats.swap_ins += 1;
-                (info.label, io.finished - now)
+                (info.label, t - now)
             }
             Backing::ImagePage(page) => {
                 let range = self.vms[vm.index()].image_region.page_range(page);
-                let io = self.disk.submit(now, IoKind::Read, range, IoTag::GuestImage);
+                let mut t = now;
+                if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::GuestImage) {
+                    // Served from the logical image. The block is NOT
+                    // quarantined here: this page is mid-emulation (its
+                    // buffer is about to be promoted, which dissolves
+                    // the association itself), and quarantining would
+                    // have to materialize the page — forbidden while the
+                    // caller holds it non-present.
+                    self.stats.recovered_pages += 1;
+                }
                 self.stats.named_refaults += 1;
-                (self.vms[vm.index()].image.label(page), io.finished - now)
+                (self.vms[vm.index()].image.label(page), t - now)
             }
             Backing::None => (ContentLabel::ZERO, SimDuration::ZERO),
         }
@@ -931,8 +1126,13 @@ impl HostKernel {
         let first = targets.iter().map(|&(s, _, _)| s).min().expect("non-empty cluster");
         let last = targets.iter().map(|&(s, _, _)| s).max().expect("non-empty cluster");
         let span = self.swap_region.page_span(first, last - first + 1);
-        let io = self.disk.submit(*t, IoKind::Read, span, IoTag::HostSwap);
-        *t = io.finished;
+        let failed = self.disk_io_failed(t, IoKind::Read, span, IoTag::HostSwap);
+        if failed {
+            // Unreadable physical slots: every cluster member's logical
+            // content survives in its slot record; serve them degraded
+            // and retire the bad slots below.
+            self.stats.recovered_pages += targets.len() as u64;
+        }
         self.events.emit_with(*t, Some(vm.get()), || Event::SwapIn {
             gfn: gfn.get(),
             readahead: targets.len() as u64 - 1,
@@ -946,7 +1146,11 @@ impl HostKernel {
             let named = self.vms[vm.index()].mapper_enabled
                 && self.vms[vm.index()].origin.page_for_gfn(info.gfn).is_some();
             self.list_push(vm, frame, named);
-            self.swap.free(s);
+            if failed && self.range_has_latent(self.swap_region.page_range(s)) {
+                self.swap.mark_bad(s);
+            } else {
+                self.swap.free(s);
+            }
             self.stats.swap_ins += 1;
             // Count every cluster member toward the adaptive window's
             // evidence: a window stuck at 1 must still accumulate loads,
@@ -989,8 +1193,12 @@ impl HostKernel {
 
         let count = cluster.len() as u64;
         let range = self.vms[vm.index()].image_region.page_span(page, count);
-        let io = self.disk.submit(*t, IoKind::Read, range, IoTag::GuestImage);
-        *t = io.finished;
+        let failed = self.disk_io_failed(t, IoKind::Read, range, IoTag::GuestImage);
+        if failed {
+            // The refault is served from the logical image; latent-bad
+            // members are quarantined (and degraded to anonymous) below.
+            self.stats.recovered_pages += count;
+        }
         self.events.emit_with(*t, Some(vm.get()), || Event::NamedRefault {
             gfn: gfn.get(),
             readahead: count - 1,
@@ -1002,7 +1210,23 @@ impl HostKernel {
             self.frames.set_dirty(frame, false);
             self.vms[vm.index()].ept.set_backing(g, Backing::None);
             self.vms[vm.index()].ept.map(g, frame);
-            self.list_push(vm, frame, true);
+            let bad =
+                failed && self.range_has_latent(self.vms[vm.index()].image_region.page_range(p));
+            if bad {
+                // The block cannot serve the next refault: break the
+                // association while the content is safely in memory.
+                self.vms[vm.index()].suspect[p as usize] = true;
+                self.vms[vm.index()].origin.dissociate_gfn(g);
+                self.list_push(vm, frame, false);
+                self.stats.degraded_pages += 1;
+                self.stats.fault_invalidations += 1;
+                self.events.emit_with(*t, Some(vm.get()), || Event::MapperDegraded {
+                    gfn: g.get(),
+                    image_page: p,
+                });
+            } else {
+                self.list_push(vm, frame, true);
+            }
             self.stats.named_refaults += 1;
             if p != page {
                 self.stats.image_readahead_extra += 1;
@@ -1048,8 +1272,13 @@ impl HostKernel {
                         .alloc_frame(t, vm, FrameOwner::HypervisorCode { vm, page })
                         .expect("reclaim guarantees progress");
                     let range = self.vms[vm.index()].hv_binary_region.page_range(page);
-                    let io = self.disk.submit(*t, IoKind::Read, range, IoTag::GuestImage);
-                    *t = io.finished + self.spec.major_fault_overhead;
+                    if self.disk_io_failed(t, IoKind::Read, range, IoTag::GuestImage) {
+                        // Hypervisor binary pages are recoverable from
+                        // the install media; serve the code degraded
+                        // rather than wedging emulation.
+                        self.stats.recovered_pages += 1;
+                    }
+                    *t += self.spec.major_fault_overhead;
                     self.vms[vm.index()].hv_code_frames[page as usize] = Some(frame);
                     self.list_push(vm, frame, true);
                     self.frames.set_accessed(frame, true);
@@ -1197,7 +1426,13 @@ impl HostKernel {
                 debug_assert_eq!(owner_vm, vm);
                 let origin_page = self.vms[vm.index()].origin.page_for_gfn(gfn);
                 let mapper = self.vms[vm.index()].mapper_enabled;
-                if let (true, Some(page), false) = (mapper, origin_page, self.frames.dirty(frame)) {
+                // A discard is only safe onto a block the disk can still
+                // serve: never discard onto a quarantined block.
+                let discardable =
+                    origin_page.is_some_and(|p| !self.vms[vm.index()].suspect[p as usize]);
+                if let (true, Some(page), false, true) =
+                    (mapper, origin_page, self.frames.dirty(frame), discardable)
+                {
                     // Named page: drop it; the image still has the bytes.
                     self.vms[vm.index()].ept.unmap(gfn, Backing::ImagePage(page));
                     self.stats.named_discards += 1;
@@ -1209,17 +1444,7 @@ impl HostKernel {
                     // if it is byte-identical to a disk-image block — the
                     // silent swap write.
                     let label = self.frames.label(frame);
-                    let jitter = self.spec.swap_alloc_jitter;
-                    let slot = self
-                        .swap
-                        .alloc_scattered(SlotInfo { vm, gfn, label }, &mut self.rng, jitter)
-                        .expect("host swap area exhausted");
-                    let range = self.swap_region.page_range(slot);
-                    // Swap-out writes go through write-behind: reclaim
-                    // does not stall on them, but they occupy the device
-                    // (and, silently, its write bandwidth — the cost of
-                    // silent swap writes).
-                    self.disk.submit_writeback(*t, range, IoTag::HostSwap);
+                    let slot = self.swap_out_write(*t, vm, gfn, label);
                     self.stats.swap_outs += 1;
                     self.events.emit_with(*t, Some(vm.get()), || Event::SwapOut { gfn: gfn.get() });
                     if origin_page.is_some() && !self.frames.dirty(frame) {
@@ -1241,6 +1466,64 @@ impl HostKernel {
         }
         self.frames.free(frame);
         self.vms[vm.index()].charged -= 1;
+    }
+
+    /// Allocates a swap slot and performs the write-behind swap-out
+    /// write, riding out transient failures with bounded retries and
+    /// relocating the page to a fresh slot when the first slot's media
+    /// proves permanently bad. Returns the slot that finally holds the
+    /// page.
+    fn swap_out_write(&mut self, now: SimTime, vm: VmId, gfn: Gfn, label: ContentLabel) -> u64 {
+        let jitter = self.spec.swap_alloc_jitter;
+        let mut slot = self
+            .swap
+            .alloc_scattered(SlotInfo { vm, gfn, label }, &mut self.rng, jitter)
+            .expect("host swap area exhausted");
+        // Swap-out writes go through write-behind: reclaim does not
+        // stall on them, but they occupy the device (and, silently, its
+        // write bandwidth — the cost of silent swap writes). Retries
+        // therefore resubmit when the device next drains, not on the
+        // reclaim clock.
+        let mut at = now;
+        let mut attempt = 0u32;
+        loop {
+            let range = self.swap_region.page_range(slot);
+            match self.disk.submit_writeback_attempt(at, range, IoTag::HostSwap, attempt) {
+                Ok(_) => break,
+                Err(err) => {
+                    attempt += 1;
+                    if err.kind == IoErrorKind::Latent {
+                        // The slot's media is permanently bad: retire it
+                        // and move the page to a fresh slot.
+                        self.swap.mark_bad(slot);
+                        self.stats.swap_slot_remaps += 1;
+                        slot = self
+                            .swap
+                            .alloc_scattered(SlotInfo { vm, gfn, label }, &mut self.rng, jitter)
+                            .expect("host swap area exhausted");
+                        attempt = 0;
+                        at = self.disk.busy_until();
+                    } else if self.retry.should_retry(attempt, self.disk.busy_until() - now) {
+                        let backoff = self.retry.backoff(attempt - 1);
+                        self.stats.io_retries += 1;
+                        let drained = self.disk.busy_until();
+                        self.events.emit_with(drained, Some(vm.get()), || Event::IoRetry {
+                            attempt,
+                            backoff,
+                        });
+                        at = drained + backoff;
+                    } else {
+                        // Budget exhausted: accept the lost physical
+                        // write. The logical content survives in the
+                        // slot record, and any later read of the slot
+                        // serves it (degraded) — nothing is silently
+                        // corrupted.
+                        break;
+                    }
+                }
+            }
+        }
+        slot
     }
 
     // ------------------------------------------------------------------
@@ -1358,6 +1641,20 @@ impl HostKernel {
                     if holder != Some(gfn) {
                         return Err(format!(
                             "vm{vmi}/{gfn} discarded to image page {p} but origin holder is {holder:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        // A block the fault plan proved bad must never keep a Mapper
+        // association — that would be a stale mapping onto storage a
+        // refault cannot read.
+        for (vmi, mm) in self.vms.iter().enumerate() {
+            for (p, &bad) in mm.suspect.iter().enumerate() {
+                if bad {
+                    if let Some(gfn) = mm.origin.gfn_for_page(p as u64) {
+                        return Err(format!(
+                            "vm{vmi} suspect block {p} still associated with {gfn}"
                         ));
                     }
                 }

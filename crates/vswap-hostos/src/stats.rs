@@ -67,6 +67,20 @@ pub struct HostStats {
     /// Mapper consistency invalidations: guest disk writes that dissolved
     /// (and possibly faulted in) an existing page↔block association.
     pub consistency_invalidations: u64,
+    /// Failed disk requests resubmitted by the host's retry policy.
+    pub io_retries: u64,
+    /// Pages whose backing read failed permanently and whose content was
+    /// served from the logical store (slot record or image) instead.
+    pub recovered_pages: u64,
+    /// Named pages demoted to anonymous because their backing block went
+    /// bad (the Mapper's graceful degradation).
+    pub degraded_pages: u64,
+    /// Page↔block associations dissolved because the block was found
+    /// physically unreliable.
+    pub fault_invalidations: u64,
+    /// Swap-out writes relocated to a fresh slot after the first slot's
+    /// media proved bad.
+    pub swap_slot_remaps: u64,
 }
 
 impl HostStats {
@@ -99,6 +113,11 @@ impl HostStats {
         s.set("balloon_released_slots", self.balloon_released_slots);
         s.set("virtual_io_requests", self.virtual_io_requests);
         s.set("consistency_invalidations", self.consistency_invalidations);
+        s.set("io_retries", self.io_retries);
+        s.set("recovered_pages", self.recovered_pages);
+        s.set("degraded_pages", self.degraded_pages);
+        s.set("fault_invalidations", self.fault_invalidations);
+        s.set("swap_slot_remaps", self.swap_slot_remaps);
         s
     }
 }

@@ -42,6 +42,8 @@ pub struct SwapArea {
     free: BTreeSet<u64>,
     cursor: u64,
     high_water: u64,
+    /// Slots retired after a permanent media error; never allocated again.
+    bad: BTreeSet<u64>,
 }
 
 impl SwapArea {
@@ -52,6 +54,7 @@ impl SwapArea {
             free: (0..capacity).collect(),
             cursor: 0,
             high_water: 0,
+            bad: BTreeSet::new(),
         }
     }
 
@@ -60,9 +63,31 @@ impl SwapArea {
         self.slots.len() as u64
     }
 
-    /// Occupied slots.
+    /// Occupied slots (retired bad slots are neither free nor used).
     pub fn used(&self) -> u64 {
-        self.capacity() - self.free.len() as u64
+        self.capacity() - self.free.len() as u64 - self.bad.len() as u64
+    }
+
+    /// Retires a physically bad slot: its contents (if any) are dropped
+    /// and the slot is withdrawn from allocation forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    pub fn mark_bad(&mut self, slot: u64) {
+        self.slots[slot as usize] = None;
+        self.free.remove(&slot);
+        self.bad.insert(slot);
+    }
+
+    /// Number of retired slots.
+    pub fn bad_slots(&self) -> u64 {
+        self.bad.len() as u64
+    }
+
+    /// True if the slot has been retired by [`SwapArea::mark_bad`].
+    pub fn is_bad(&self, slot: u64) -> bool {
+        self.bad.contains(&slot)
     }
 
     /// The most slots ever occupied at once.
@@ -227,5 +252,29 @@ mod tests {
         let s = swap.alloc(info(0)).unwrap();
         swap.free(s);
         swap.free(s);
+    }
+
+    #[test]
+    fn bad_slots_are_never_reallocated() {
+        let mut swap = SwapArea::new(4);
+        let s = swap.alloc(info(0)).unwrap();
+        swap.mark_bad(s);
+        assert!(swap.is_bad(s));
+        assert_eq!(swap.bad_slots(), 1);
+        assert_eq!(swap.get(s), None, "retired slots drop their contents");
+        assert_eq!(swap.used(), 0, "a retired slot is not in use");
+        for g in 0..3 {
+            let next = swap.alloc(info(g)).unwrap();
+            assert_ne!(next, s, "a bad slot must never be handed out again");
+        }
+        assert_eq!(swap.alloc(info(9)), None, "capacity shrinks by the retired slot");
+    }
+
+    #[test]
+    fn marking_a_free_slot_bad_withdraws_it() {
+        let mut swap = SwapArea::new(2);
+        swap.mark_bad(1);
+        assert_eq!(swap.alloc(info(0)), Some(0));
+        assert_eq!(swap.alloc(info(1)), None);
     }
 }

@@ -8,7 +8,9 @@
 //!   that samples host and guest memory statistics every interval and
 //!   inflates/deflates balloons at a bounded rate. Its *reaction lag* is
 //!   the phenomenon behind Figure 4 and Figure 14: "ballooning is
-//!   insufficiently responsive" under changing load.
+//!   insufficiently responsive" under changing load,
+//! * [`retry`] — the bounded retry/backoff policy the storage emulation
+//!   applies to failed disk requests (fault injection support).
 //!
 //! [MOM]: https://www.ibm.com/developerworks/library/l-overcommit-kvm-resources/
 //!
@@ -25,7 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod balloon;
+pub mod retry;
 pub mod vm;
 
 pub use balloon::{BalloonManager, BalloonPolicy, VmTelemetry};
+pub use retry::RetryPolicy;
 pub use vm::VmSpec;

@@ -1,0 +1,103 @@
+//! Bounded retry with exponential backoff for fallible disk I/O.
+//!
+//! The hypervisor's storage emulation is where transient device errors
+//! surface: a real QEMU retries a failed request a few times (with
+//! growing pauses, so a congested device can drain) before declaring the
+//! I/O dead and falling back to degraded service. [`RetryPolicy`]
+//! captures exactly that decision procedure in simulated time; the host
+//! kernel consults it around every [`vswap-disk`] submission.
+//!
+//! [`vswap-disk`]: ../vswap_disk/index.html
+
+use sim_core::SimDuration;
+
+/// When to resubmit a failed request, and when to give up.
+///
+/// # Examples
+///
+/// ```
+/// use vswap_hypervisor::RetryPolicy;
+///
+/// let policy = RetryPolicy::paper_default();
+/// // Backoff doubles per attempt: 100us, 200us, 400us, ...
+/// assert_eq!(policy.backoff(1).as_nanos(), 2 * policy.backoff(0).as_nanos());
+/// // The first failure is always worth one retry.
+/// assert!(policy.should_retry(1, policy.backoff(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts allowed per request (first try included).
+    pub max_attempts: u32,
+    /// Pause before the first resubmission; doubles each further attempt.
+    pub base_backoff: SimDuration,
+    /// Give up once a request has been in flight this long, even with
+    /// attempts left (a timed-out device holds the queue for multiples of
+    /// its nominal service time, so attempts alone bound time poorly).
+    pub deadline: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The default used by every experiment: six attempts, 100 us base
+    /// backoff, and a one-second deadline — generous enough that every
+    /// bounded fault burst (`max_burst` below the attempt budget) is
+    /// ridden out, while a permanently bad sector fails fast.
+    pub fn paper_default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimDuration::from_micros(100),
+            deadline: SimDuration::from_millis(1000),
+        }
+    }
+
+    /// The pause after failed attempt number `attempt` (0-based):
+    /// `base_backoff << attempt`, saturating.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64 << attempt.min(20);
+        self.base_backoff * factor
+    }
+
+    /// True if a request that has already failed `attempts` times and
+    /// been in flight for `elapsed` deserves another submission.
+    pub fn should_retry(&self, attempts: u32, elapsed: SimDuration) -> bool {
+        attempts < self.max_attempts && elapsed < self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RetryPolicy::paper_default();
+        assert_eq!(p.backoff(0), SimDuration::from_micros(100));
+        assert_eq!(p.backoff(3), SimDuration::from_micros(800));
+        // Deep attempts clamp instead of overflowing.
+        assert_eq!(p.backoff(64), p.backoff(20));
+    }
+
+    #[test]
+    fn attempt_budget_bounds_retries() {
+        let p = RetryPolicy::paper_default();
+        assert!(p.should_retry(1, SimDuration::ZERO));
+        assert!(p.should_retry(5, SimDuration::ZERO));
+        assert!(!p.should_retry(6, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn deadline_bounds_time_in_flight() {
+        let p = RetryPolicy::paper_default();
+        assert!(p.should_retry(1, SimDuration::from_millis(999)));
+        assert!(!p.should_retry(1, SimDuration::from_millis(1000)));
+    }
+
+    #[test]
+    fn total_backoff_fits_well_under_the_deadline() {
+        let p = RetryPolicy::paper_default();
+        let mut total = SimDuration::ZERO;
+        for attempt in 0..p.max_attempts {
+            total += p.backoff(attempt);
+        }
+        assert!(total < p.deadline, "backoff schedule must not eat the deadline");
+    }
+}

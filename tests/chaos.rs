@@ -1,0 +1,214 @@
+//! The chaos consistency oracle: workloads driven through the complete
+//! stack while the physical disk misbehaves must end with exactly the
+//! guest-visible content of a fault-free run.
+//!
+//! The stack is built so that injected faults may cost *time* (retries,
+//! backoff, recovery reads) and *trust* (Mapper associations dissolved,
+//! swap slots retired) but never *content*: the logical stores — the
+//! image-label table and the swap-slot records — survive every physical
+//! failure, and all permanent-read degradation paths recover from them.
+//! These tests pin that contract, plus the scheduling contract that a
+//! fixed fault seed yields bitwise-identical chaos tables on any worker
+//! count.
+
+use sim_core::SimDuration;
+use vswap_bench::suite::{run_suite, SuiteOptions};
+use vswap_bench::Scale;
+use vswap_core::{FaultProfile, Machine, MachineConfig, SwapPolicy, VmHandle};
+use vswap_guestos::{FileId, GuestCtx, GuestError, GuestProgram, GuestSpec, ProcId, StepOutcome};
+use vswap_hostos::HostSpec;
+use vswap_hypervisor::VmSpec;
+use vswap_mem::{ContentLabel, Gfn, MemBytes, Vpn};
+
+const FILE_PAGES: u64 = 192;
+const ANON_PAGES: u64 = 256;
+const STEPS: u64 = 600;
+
+/// A fixed mixed workload: file reads/writes, anonymous touches, full
+/// overwrites (Preventer bait), frees, and cache drops — every path the
+/// fault machinery can cross.
+struct Mixed {
+    pos: u64,
+    file: Option<FileId>,
+    proc: Option<(ProcId, Vpn)>,
+}
+
+impl GuestProgram for Mixed {
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> Result<StepOutcome, GuestError> {
+        let (file, proc, base) = match (self.file, self.proc) {
+            (Some(f), Some((p, b))) => (f, p, b),
+            _ => {
+                let f = ctx.create_file(FILE_PAGES)?;
+                let p = ctx.spawn_process();
+                let b = ctx.alloc_anon(p, ANON_PAGES)?;
+                self.file = Some(f);
+                self.proc = Some((p, b));
+                return Ok(StepOutcome::Running);
+            }
+        };
+        let i = self.pos;
+        if i >= STEPS {
+            return Ok(StepOutcome::Done);
+        }
+        self.pos += 1;
+        match i % 8 {
+            0 => ctx.read_file(
+                file,
+                (i * 7) % FILE_PAGES,
+                12.min(FILE_PAGES - (i * 7) % FILE_PAGES),
+            )?,
+            1 => ctx.touch_anon(proc, base.offset((i * 13) % ANON_PAGES), true)?,
+            2 => ctx.write_file(
+                file,
+                (i * 11) % FILE_PAGES,
+                6.min(FILE_PAGES - (i * 11) % FILE_PAGES),
+            )?,
+            3 => ctx.overwrite_anon(proc, base.offset((i * 3) % ANON_PAGES))?,
+            4 => ctx.touch_anon(proc, base.offset((i * 29) % ANON_PAGES), false)?,
+            5 => ctx.free_anon(
+                proc,
+                base.offset((i * 17) % ANON_PAGES),
+                4.min(ANON_PAGES - (i * 17) % ANON_PAGES),
+            )?,
+            6 => ctx.read_file(
+                file,
+                (i * 23) % FILE_PAGES,
+                20.min(FILE_PAGES - (i * 23) % FILE_PAGES),
+            )?,
+            _ => {
+                ctx.compute(SimDuration::from_micros(700));
+                ctx.drop_caches();
+            }
+        }
+        Ok(StepOutcome::Running)
+    }
+
+    fn name(&self) -> &str {
+        "chaos-mixed"
+    }
+}
+
+/// Runs the fixed workload under `(policy, profile)` on a tight host.
+fn run_chaos(policy: SwapPolicy, profile: FaultProfile) -> (Machine, VmHandle) {
+    let host = HostSpec {
+        dram: MemBytes::from_mb(8),
+        disk_pages: MemBytes::from_mb(128).pages(),
+        swap_pages: MemBytes::from_mb(32).pages(),
+        hypervisor_code_pages: 8,
+        ..HostSpec::paper_testbed()
+    };
+    let cfg = MachineConfig::preset(policy).with_host(host).with_faults(profile);
+    let mut m = Machine::new(cfg).expect("valid host");
+    let spec =
+        VmSpec::linux("guest", MemBytes::from_mb(4), MemBytes::from_mb(1)).with_guest(GuestSpec {
+            memory: MemBytes::from_mb(4),
+            disk: MemBytes::from_mb(32),
+            swap: MemBytes::from_mb(4),
+            kernel_pages: 16,
+            boot_file_pages: 64,
+            boot_anon_pages: 32,
+            ..GuestSpec::linux_default()
+        });
+    let vm = m.add_vm(spec).expect("VM fits");
+    m.launch(vm, Box::new(Mixed { pos: 0, file: None, proc: None }));
+    let report = m.run();
+    assert!(report.vm(vm).completed(), "{policy}/{profile}: workload must survive the faults");
+    m.host().audit().unwrap_or_else(|e| panic!("{policy}/{profile}: audit failed: {e}"));
+    (m, vm)
+}
+
+/// The consistency oracle: every page the guest holds live must carry,
+/// wherever the host currently keeps it (frame, swap slot, or image
+/// block), exactly the content the guest expects to read back. Returns
+/// the checked `(gfn, label)` list so runs can be compared to each
+/// other. Gfns the guest has freed are excluded on purpose — the host
+/// legitimately keeps stale copies of those, and their fate (swapped,
+/// discarded, dissolved) varies with fault-perturbed reclaim order.
+fn check_signatures(m: &Machine, vm: VmHandle, tag: &str) -> Vec<(Gfn, ContentLabel)> {
+    let expected = m.guest(vm).expected_resident_content();
+    assert!(!expected.is_empty(), "{tag}: the guest must end holding live pages");
+    for &(gfn, label) in &expected {
+        assert_eq!(
+            m.host().page_signature(vm.vm_id(), gfn),
+            Some(label),
+            "{tag}: {gfn:?} no longer holds the content the guest expects"
+        );
+    }
+    expected
+}
+
+#[test]
+fn guest_content_is_fault_invariant_for_every_policy_and_profile() {
+    for policy in [SwapPolicy::Baseline, SwapPolicy::MapperOnly, SwapPolicy::Vswapper] {
+        let (reference, vm) = run_chaos(policy, FaultProfile::None);
+        let want = check_signatures(&reference, vm, "reference");
+        assert_eq!(
+            reference.host().disk_stats().injected_faults,
+            0,
+            "the reference run must be fault-free"
+        );
+        for profile in FaultProfile::ALL {
+            let (m, vm) = run_chaos(policy, profile);
+            let got = check_signatures(&m, vm, &format!("{policy}/{profile}"));
+            assert_eq!(
+                want, got,
+                "{policy}/{profile}: the guest's live pages diverged from the fault-free run"
+            );
+        }
+    }
+}
+
+#[test]
+fn storms_actually_inject_and_recover() {
+    let (m, _vm) = run_chaos(SwapPolicy::Vswapper, FaultProfile::Storm);
+    let disk = m.host().disk_stats();
+    assert!(disk.injected_faults > 0, "the storm must fire at this scale");
+    assert!(disk.io_retries > 0, "retryable faults must be retried");
+    let host = m.host().stats();
+    assert!(
+        host.recovered_pages + host.degraded_pages > 0,
+        "permanent failures must cross a degradation path"
+    );
+}
+
+#[test]
+fn no_fault_leaves_a_stale_mapper_association() {
+    // Latent-heavy profiles under the Mapper: every quarantined image
+    // block must have had its association dissolved (enforced by
+    // `audit`, called in run_chaos) and be refused for future discards.
+    for profile in [FaultProfile::Latent, FaultProfile::Storm] {
+        let (m, vm) = run_chaos(SwapPolicy::Vswapper, profile);
+        let suspect = m.host().suspect_blocks(vm.vm_id());
+        let stats = m.host().stats();
+        assert!(
+            stats.fault_invalidations <= stats.degraded_pages,
+            "{profile}: every invalidation degrades the page it dissolved"
+        );
+        if suspect > 0 {
+            assert!(stats.degraded_pages > 0, "{profile}: quarantined blocks imply degraded pages");
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_replay_identical_chaos() {
+    let (a, vma) = run_chaos(SwapPolicy::Vswapper, FaultProfile::Storm);
+    let (b, vmb) = run_chaos(SwapPolicy::Vswapper, FaultProfile::Storm);
+    assert_eq!(check_signatures(&a, vma, "first"), check_signatures(&b, vmb, "second"));
+    assert_eq!(a.host().disk_stats(), b.host().disk_stats());
+    assert_eq!(a.host().stats(), b.host().stats());
+    assert_eq!(a.now(), b.now());
+}
+
+#[test]
+fn chaos_tables_are_bitwise_identical_across_worker_counts() {
+    let render = |jobs: usize| {
+        let opts =
+            SuiteOptions::new(Scale::Smoke).with_jobs(jobs).with_only(vec!["chaos".to_owned()]);
+        run_suite(&opts).rendered()
+    };
+    let serial = render(1);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, render(2), "2 workers must not change a byte");
+    assert_eq!(serial, render(8), "8 workers must not change a byte");
+}

@@ -379,6 +379,7 @@ proptest! {
                     IoTag::HostSwap,
                 ),
             };
+            let io = io.expect("no fault plan installed");
             // Completions are causal and the device only moves forward.
             prop_assert!(io.started >= now);
             prop_assert!(io.finished > io.started);
@@ -394,6 +395,77 @@ proptest! {
         prop_assert!(s.swap_sectors_read <= s.sectors_read);
         prop_assert!(s.swap_sectors_written <= s.sectors_written);
         prop_assert!(s.swap_read_seeks <= s.swap_read_ops);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fault plans: failures are a pure per-sector function of the seed
+// ----------------------------------------------------------------------
+
+// Splitting or merging a request stream must never change which sectors
+// fail — otherwise request coalescing would perturb fault injection and
+// break `--jobs` determinism.
+proptest! {
+    #[test]
+    fn merging_never_changes_which_sectors_fail(
+        seed in any::<u64>(),
+        write in any::<bool>(),
+        attempt in 0..3u32,
+        spans in prop::collection::vec((0..5_000u64, 1..64u64), 1..12),
+    ) {
+        use std::collections::BTreeSet;
+        use vswap_disk::{merge_ranges, FaultConfig, FaultPlan, SectorRange};
+        let plan = FaultPlan::new(
+            FaultConfig {
+                latent_rate: 0.02,
+                transient_rate: 0.10,
+                timeout_rate: 0.05,
+                torn_rate: 0.10,
+                ..FaultConfig::default()
+            },
+            seed,
+        );
+        let ranges: Vec<SectorRange> =
+            spans.into_iter().map(|(s, l)| SectorRange::new(s, l)).collect();
+        let union = |rs: &[SectorRange]| -> BTreeSet<u64> {
+            rs.iter()
+                .flat_map(|r| plan.faulty_sectors(write, r.start(), r.len(), attempt))
+                .collect()
+        };
+        prop_assert_eq!(union(&ranges), union(&merge_ranges(&ranges)));
+    }
+
+    // `decide` fails a request on exactly the first faulty sector that
+    // `faulty_sectors` reports — the two views of a plan always agree.
+    #[test]
+    fn decide_agrees_with_the_faulty_sector_set(
+        seed in any::<u64>(),
+        write in any::<bool>(),
+        attempt in 0..3u32,
+        start in 0..5_000u64,
+        len in 1..256u64,
+    ) {
+        use vswap_disk::{FaultConfig, FaultPlan};
+        let plan = FaultPlan::new(
+            FaultConfig {
+                latent_rate: 0.02,
+                transient_rate: 0.10,
+                timeout_rate: 0.05,
+                torn_rate: 0.10,
+                ..FaultConfig::default()
+            },
+            seed,
+        );
+        let sectors = plan.faulty_sectors(write, start, len, attempt);
+        match plan.decide(write, start, len, attempt) {
+            Some(fault) => prop_assert_eq!(sectors.first().copied(), Some(fault.sector)),
+            None => prop_assert!(sectors.is_empty()),
+        }
+        // Latent errors are permanent: past the retry burst only they
+        // remain, so every sector still failing must be latent-bad.
+        for s in plan.faulty_sectors(write, start, len, u32::MAX) {
+            prop_assert!(plan.latent_bad(s));
+        }
     }
 }
 
