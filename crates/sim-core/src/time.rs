@@ -140,6 +140,33 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
+    /// Parses a human-friendly span: a number with an optional `s`, `ms`,
+    /// `us`, or `ns` suffix (no suffix means seconds, matching how the
+    /// CLI talks about simulated time). Fractions are allowed:
+    /// `"1.5s"`, `"500ms"`, `"250us"`, `"80000ns"`, `"2"`.
+    pub fn parse(text: &str) -> Result<SimDuration, String> {
+        let text = text.trim();
+        let (number, scale) = if let Some(rest) = text.strip_suffix("ns") {
+            (rest, 1.0)
+        } else if let Some(rest) = text.strip_suffix("us") {
+            (rest, 1e3)
+        } else if let Some(rest) = text.strip_suffix("ms") {
+            (rest, 1e6)
+        } else if let Some(rest) = text.strip_suffix('s') {
+            (rest, 1e9)
+        } else {
+            (text, 1e9)
+        };
+        let value: f64 = number
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid duration '{text}' (expected e.g. 1.5s, 500ms, 250us)"))?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!("invalid duration '{text}' (must be finite and non-negative)"));
+        }
+        Ok(SimDuration((value * scale).round() as u64))
+    }
+
     /// Returns the longer of two spans.
     pub fn max(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.max(other.0))
@@ -314,5 +341,18 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_seconds_panic() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn parse_accepts_suffixed_spans() {
+        assert_eq!(SimDuration::parse("1.5s").unwrap().as_nanos(), 1_500_000_000);
+        assert_eq!(SimDuration::parse("500ms").unwrap().as_nanos(), 500_000_000);
+        assert_eq!(SimDuration::parse("250us").unwrap().as_nanos(), 250_000);
+        assert_eq!(SimDuration::parse("80000ns").unwrap().as_nanos(), 80_000);
+        assert_eq!(SimDuration::parse("2").unwrap(), SimDuration::from_secs(2));
+        assert_eq!(SimDuration::parse(" 3 s ").unwrap(), SimDuration::from_secs(3));
+        assert!(SimDuration::parse("abc").is_err());
+        assert!(SimDuration::parse("-1s").is_err());
+        assert!(SimDuration::parse("").is_err());
     }
 }

@@ -445,7 +445,7 @@ impl EventKind {
 }
 
 /// An [`Event`] plus its stamps: causal sequence number, simulated time,
-/// and the VM it concerns (if any).
+/// the VM it concerns (if any), and its place in the causal span tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventRecord {
     /// Monotone per-log sequence number (causal order).
@@ -454,6 +454,15 @@ pub struct EventRecord {
     pub at: SimTime,
     /// The VM involved, or `None` for host-global events.
     pub vm: Option<u32>,
+    /// The span this record opens ([`SpanId::NONE`] for plain events).
+    ///
+    /// [`SpanId::NONE`]: crate::SpanId::NONE
+    pub span: crate::span::SpanId,
+    /// The enclosing span at emission time ([`SpanId::NONE`] at top
+    /// level).
+    ///
+    /// [`SpanId::NONE`]: crate::SpanId::NONE
+    pub parent: crate::span::SpanId,
     /// The event itself.
     pub event: Event,
 }

@@ -11,6 +11,7 @@
 use crate::event::{Event, EventKind, EventRecord};
 use crate::json::JsonWriter;
 use crate::log::EventLog;
+use crate::span::SpanEvent;
 
 /// Supported on-disk trace encodings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,15 @@ pub fn render(log: &EventLog, format: TraceFormat) -> String {
     match format {
         TraceFormat::Jsonl => to_jsonl(log),
         TraceFormat::Chrome => to_chrome_trace(log),
+    }
+}
+
+/// Renders an explicit record slice (e.g. a time-window filter of a log)
+/// in the requested format.
+pub fn render_records(records: &[EventRecord], format: TraceFormat) -> String {
+    match format {
+        TraceFormat::Jsonl => to_jsonl_records(records),
+        TraceFormat::Chrome => to_chrome_trace_records(records),
     }
 }
 
@@ -135,8 +145,13 @@ fn event_fields(w: &mut JsonWriter, event: &Event) {
 
 /// Renders the log as JSON Lines: one record per line, causal order.
 pub fn to_jsonl(log: &EventLog) -> String {
+    to_jsonl_records(&log.records())
+}
+
+/// [`to_jsonl`] over an explicit record slice.
+pub fn to_jsonl_records(records: &[EventRecord]) -> String {
     let mut out = String::new();
-    log.for_each(|record| {
+    for record in records {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.field_u64("seq", record.seq);
@@ -149,12 +164,61 @@ pub fn to_jsonl(log: &EventLog) -> String {
             }
         }
         w.field_str("kind", record.event.kind().name());
+        if !record.span.is_none() {
+            w.field_u64("span", record.span.get());
+        }
+        if !record.parent.is_none() {
+            w.field_u64("parent", record.parent.get());
+        }
         event_fields(&mut w, &record.event);
         w.end_object();
         out.push_str(&w.finish());
         out.push('\n');
-    });
+    }
     out
+}
+
+/// Parses a JSONL trace back into the neutral events the span assembler
+/// consumes — the exact inverse of [`to_jsonl`] for the fields the
+/// critical-path analyzer needs. Lines must be flat JSON objects; the
+/// line number of the first malformed one is reported.
+pub fn parse_jsonl(text: &str) -> Result<Vec<SpanEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = crate::json::parse_flat_object(line)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let mut event = SpanEvent {
+            seq: 0,
+            at: sim_core::SimTime::ZERO,
+            vm: None,
+            kind: String::new(),
+            span: 0,
+            parent: 0,
+            weight: sim_core::SimDuration::ZERO,
+        };
+        for (key, value) in fields {
+            match key.as_str() {
+                "seq" => event.seq = value.as_u64().unwrap_or(0),
+                "ns" => event.at = sim_core::SimTime::from_nanos(value.as_u64().unwrap_or(0)),
+                "vm" => event.vm = value.as_u64().map(|v| v as u32),
+                "kind" => event.kind = value.as_str().unwrap_or("").to_owned(),
+                "span" => event.span = value.as_u64().unwrap_or(0),
+                "parent" => event.parent = value.as_u64().unwrap_or(0),
+                "latency_ns" | "backoff_ns" => {
+                    event.weight = sim_core::SimDuration::from_nanos(value.as_u64().unwrap_or(0));
+                }
+                _ => {}
+            }
+        }
+        if event.kind.is_empty() {
+            return Err(format!("line {}: record has no kind", lineno + 1));
+        }
+        events.push(event);
+    }
+    Ok(events)
 }
 
 /// Chrome trace process id: 0 is the host, VM `n` maps to `n + 1`.
@@ -191,6 +255,11 @@ fn metadata_event(w: &mut JsonWriter, name: &str, pid: u64, tid: u64, value: &st
 /// Renders the log in Chrome `trace_event` JSON (the "JSON object
 /// format": `{"traceEvents": [...]}`), loadable in Perfetto.
 pub fn to_chrome_trace(log: &EventLog) -> String {
+    to_chrome_trace_records(&log.records())
+}
+
+/// [`to_chrome_trace`] over an explicit record slice.
+pub fn to_chrome_trace_records(records: &[EventRecord]) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("traceEvents");
@@ -198,7 +267,7 @@ pub fn to_chrome_trace(log: &EventLog) -> String {
 
     // Process/thread naming metadata for every (pid, tid) in the log.
     let mut seen: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
-    log.for_each(|record| {
+    for record in records {
         let pid = chrome_pid(record);
         let tid = chrome_tid(record.event.kind());
         if seen.insert((pid, tid)) {
@@ -208,9 +277,9 @@ pub fn to_chrome_trace(log: &EventLog) -> String {
             }
             metadata_event(&mut w, "thread_name", pid, tid, record.event.kind().component());
         }
-    });
+    }
 
-    log.for_each(|record| {
+    for record in records {
         let pid = chrome_pid(record);
         let tid = chrome_tid(record.event.kind());
         let end_us = record.at.as_nanos() as f64 / 1e3;
@@ -242,10 +311,16 @@ pub fn to_chrome_trace(log: &EventLog) -> String {
         w.key("args");
         w.begin_object();
         w.field_u64("seq", record.seq);
+        if !record.span.is_none() {
+            w.field_u64("span", record.span.get());
+        }
+        if !record.parent.is_none() {
+            w.field_u64("parent", record.parent.get());
+        }
         event_fields(&mut w, &record.event);
         w.end_object();
         w.end_object();
-    });
+    }
 
     w.end_array();
     w.end_object();
@@ -308,6 +383,34 @@ mod tests {
         assert!(text.contains(r#""dur":4"#));
         // Slice starts at completion minus latency: 9us - 4us = 5us.
         assert!(text.contains(r#""ts":5"#));
+    }
+
+    #[test]
+    fn jsonl_round_trips_span_stamps() {
+        let log = EventLog::bounded(64);
+        let root = log.open_span(SimTime::from_nanos(100));
+        log.emit(
+            SimTime::from_nanos(120),
+            None,
+            Event::IoRetry { attempt: 1, backoff: SimDuration::from_nanos(40) },
+        );
+        log.close_span_with(root, Some(0), || Event::PageFault {
+            gfn: 9,
+            write: false,
+            major: true,
+        });
+        let text = to_jsonl(&log);
+        assert!(text.contains(r#""parent":1"#));
+        assert!(text.contains(r#""span":1"#));
+        let parsed = parse_jsonl(&text).expect("parses back");
+        let original: Vec<SpanEvent> = log.records().iter().map(SpanEvent::from_record).collect();
+        assert_eq!(parsed, original, "JSONL is a lossless span encoding");
+    }
+
+    #[test]
+    fn parse_jsonl_reports_the_bad_line() {
+        let err = parse_jsonl("{\"seq\":0,\"kind\":\"swap_out\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
     }
 
     #[test]

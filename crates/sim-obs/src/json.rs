@@ -1,8 +1,10 @@
-//! A tiny dependency-free JSON writer.
+//! A tiny dependency-free JSON writer, plus a flat-object reader.
 //!
 //! Shared by the trace export sinks and by `RunReport` serialization in
 //! `vswap-core`, so the whole workspace emits JSON through one
-//! implementation instead of ad-hoc string pasting.
+//! implementation instead of ad-hoc string pasting. [`parse_flat_object`]
+//! is the inverse for the one shape the analyzer needs to read back:
+//! single-level objects of scalars, i.e. JSONL trace lines.
 
 /// An append-only JSON emitter with correct escaping and comma handling.
 ///
@@ -169,6 +171,172 @@ pub fn escape_into(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// One scalar value read back from a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// An unsigned integer.
+    U64(u64),
+    /// Any other number (negative or fractional).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (unescaped).
+    Str(String),
+    /// `null`.
+    Null,
+}
+
+impl JsonScalar {
+    /// The value as a `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"k":scalar,...}`) — the shape every
+/// JSONL trace line has. Nested objects or arrays are rejected.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    let mut fields = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn expect(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+        want: char,
+    ) -> Result<(), String> {
+        match chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            other => Err(format!("expected '{want}', found {other:?}")),
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        expect(chars, '"')?;
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, c) =
+                                chars.next().ok_or_else(|| "short \\u escape".to_owned())?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| "bad \\u escape".to_owned())?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match chars.peek().copied() {
+            Some((_, '"')) => JsonScalar::Str(parse_string(&mut chars)?),
+            Some((_, 't')) => {
+                for _ in 0..4 {
+                    chars.next();
+                }
+                JsonScalar::Bool(true)
+            }
+            Some((_, 'f')) => {
+                for _ in 0..5 {
+                    chars.next();
+                }
+                JsonScalar::Bool(false)
+            }
+            Some((_, 'n')) => {
+                for _ in 0..4 {
+                    chars.next();
+                }
+                JsonScalar::Null
+            }
+            Some((start, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = start;
+                while let Some(&(i, c)) = chars.peek() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        end = i + c.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &s[start..end];
+                match text.parse::<u64>() {
+                    Ok(v) => JsonScalar::U64(v),
+                    Err(_) => JsonScalar::F64(
+                        text.parse::<f64>().map_err(|e| format!("bad number '{text}': {e}"))?,
+                    ),
+                }
+            }
+            Some((_, '{')) | Some((_, '[')) => {
+                return Err("nested values are not supported".to_owned())
+            }
+            other => return Err(format!("unexpected value start {other:?}")),
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some(extra) = chars.next() {
+        return Err(format!("trailing input at {extra:?}"));
+    }
+    Ok(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +376,36 @@ mod tests {
         w.value_i64(-3);
         w.end_array();
         assert_eq!(w.finish(), "[1.5,0,-3]");
+    }
+
+    #[test]
+    fn flat_parser_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("seq", 42);
+        w.field_str("kind", "page_fault");
+        w.field_bool("write", true);
+        w.key("vm");
+        w.value_null();
+        w.field_f64("ratio", 1.5);
+        w.field_str("note", "a\"b\\c");
+        w.end_object();
+        let line = w.finish();
+        let fields = parse_flat_object(&line).expect("parses");
+        assert_eq!(fields[0], ("seq".to_owned(), JsonScalar::U64(42)));
+        assert_eq!(fields[1].1.as_str(), Some("page_fault"));
+        assert_eq!(fields[2].1, JsonScalar::Bool(true));
+        assert_eq!(fields[3].1, JsonScalar::Null);
+        assert_eq!(fields[4].1, JsonScalar::F64(1.5));
+        assert_eq!(fields[5].1.as_str(), Some("a\"b\\c"));
+    }
+
+    #[test]
+    fn flat_parser_rejects_malformed_lines() {
+        assert!(parse_flat_object("{\"a\":1").is_err(), "unterminated object");
+        assert!(parse_flat_object("{\"a\":{}}").is_err(), "nested object");
+        assert!(parse_flat_object("{\"a\":1}x").is_err(), "trailing garbage");
+        assert!(parse_flat_object("").is_err(), "empty line");
+        assert_eq!(parse_flat_object("{}").unwrap(), vec![]);
     }
 }

@@ -26,6 +26,16 @@
 //!   `trace_event` JSON ([`export::to_chrome_trace`], loadable in
 //!   Perfetto or `chrome://tracing`), both built on the shared
 //!   dependency-free [`json`] writer.
+//! * [`span`] — **causal spans**: every record carries a [`SpanId`] and a
+//!   parent edge, so one guest fault's whole lifecycle (swap-in, disk
+//!   requests, retries, Preventer work) reassembles into a single tree
+//!   ([`SpanForest`]) and a critical-path report
+//!   ([`span::render_critical_path`]).
+//! * [`hist`] — **log-bucketed latency histograms** ([`LatencyHist`]):
+//!   mergeable with an element-wise sum, so percentile queries (p50,
+//!   p99, p999) are bitwise deterministic no matter how a parallel suite
+//!   partitions its work; [`LatencyBook`]/[`LatencyHub`] key them per
+//!   `(vm, class)`.
 //!
 //! # Examples
 //!
@@ -43,13 +53,17 @@
 
 pub mod event;
 pub mod export;
+pub mod hist;
 pub mod json;
 pub mod log;
 pub mod profile;
 pub mod registry;
+pub mod span;
 
 pub use event::{Event, EventKind, EventRecord, FaultTag, FlushCause, IoClass, IoDir};
 pub use export::TraceFormat;
+pub use hist::{LatencyBook, LatencyClass, LatencyHist, LatencyHub};
 pub use log::EventLog;
 pub use profile::{Profiler, TimeCategory};
 pub use registry::MetricsRegistry;
+pub use span::{SpanEvent, SpanForest, SpanId, SpanNode};

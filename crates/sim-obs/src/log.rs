@@ -7,17 +7,49 @@
 //! event's construction is skipped when the log is disabled.
 
 use crate::event::{Event, EventRecord};
+use crate::span::SpanId;
 use sim_core::SimTime;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+/// One open span on the shared stack.
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    start: SimTime,
+}
+
 struct LogInner {
     buf: VecDeque<EventRecord>,
     capacity: usize,
     next_seq: u64,
     dropped: u64,
+    /// Next span id to allocate (span 0 means "none").
+    next_span: u64,
+    /// The currently open spans, innermost last. Emission is synchronous
+    /// within one fault's call chain, so a shared stack is enough to
+    /// parent every event to the lifecycle that caused it.
+    spans: Vec<OpenSpan>,
+}
+
+/// Appends one stamped record, evicting the oldest past capacity.
+fn push_record(
+    inner: &mut LogInner,
+    at: SimTime,
+    vm: Option<u32>,
+    span: SpanId,
+    parent: SpanId,
+    event: Event,
+) {
+    let seq = inner.next_seq;
+    inner.next_seq += 1;
+    if inner.buf.len() == inner.capacity {
+        inner.buf.pop_front();
+        inner.dropped += 1;
+    }
+    inner.buf.push_back(EventRecord { seq, at, vm, span, parent, event });
 }
 
 /// A shared handle to a bounded, in-order event buffer.
@@ -63,6 +95,8 @@ impl EventLog {
                 capacity,
                 next_seq: 0,
                 dropped: 0,
+                next_span: 1,
+                spans: Vec::new(),
             }))),
         }
     }
@@ -74,18 +108,14 @@ impl EventLog {
     }
 
     /// Records an event, building it lazily: `make` runs only when the
-    /// log is enabled, so a disabled log makes instrumentation free.
+    /// log is enabled, so a disabled log makes instrumentation free. The
+    /// record is parented to the innermost open span, if any.
     #[inline]
     pub fn emit_with(&self, at: SimTime, vm: Option<u32>, make: impl FnOnce() -> Event) {
         if let Some(inner) = &self.inner {
             let mut inner = inner.borrow_mut();
-            let seq = inner.next_seq;
-            inner.next_seq += 1;
-            if inner.buf.len() == inner.capacity {
-                inner.buf.pop_front();
-                inner.dropped += 1;
-            }
-            inner.buf.push_back(EventRecord { seq, at, vm, event: make() });
+            let parent = SpanId(inner.spans.last().map_or(0, |s| s.id));
+            push_record(&mut inner, at, vm, SpanId::NONE, parent, make());
         }
     }
 
@@ -93,6 +123,52 @@ impl EventLog {
     #[inline]
     pub fn emit(&self, at: SimTime, vm: Option<u32>, event: Event) {
         self.emit_with(at, vm, || event);
+    }
+
+    /// Opens a causal span at `at`: until the matching [`close_span_with`]
+    /// call, every record emitted through this log is parented to it.
+    /// Returns [`SpanId::NONE`] on a disabled log.
+    ///
+    /// [`close_span_with`]: EventLog::close_span_with
+    pub fn open_span(&self, at: SimTime) -> SpanId {
+        match &self.inner {
+            None => SpanId::NONE,
+            Some(inner) => {
+                let mut inner = inner.borrow_mut();
+                let id = inner.next_span;
+                inner.next_span += 1;
+                let parent = inner.spans.last().map_or(0, |s| s.id);
+                inner.spans.push(OpenSpan { id, parent, start: at });
+                SpanId(id)
+            }
+        }
+    }
+
+    /// Closes the innermost span and emits the record that *is* the span:
+    /// stamped with the span's id, the parent captured at open time, and
+    /// the open timestamp (so a span always starts at or before each of
+    /// its children). No-op on a disabled log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not the innermost open span (spans strictly
+    /// nest, like the synchronous call chains they trace).
+    pub fn close_span_with(&self, id: SpanId, vm: Option<u32>, make: impl FnOnce() -> Event) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if id.is_none() {
+            return;
+        }
+        let mut inner = inner.borrow_mut();
+        let top = inner.spans.pop().expect("close_span_with with no open span");
+        assert_eq!(top.id, id.get(), "spans must close in LIFO order");
+        push_record(&mut inner, top.start, vm, id, SpanId(top.parent), make());
+    }
+
+    /// Depth of the open-span stack (0 outside any lifecycle).
+    pub fn open_spans(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.borrow().spans.len())
     }
 
     /// Number of records currently buffered.
@@ -187,6 +263,57 @@ mod tests {
         let first = log.records()[0].clone();
         assert_eq!(first.event, Event::SwapOut { gfn: 2 });
         assert_eq!(first.seq, 2, "seq numbers survive eviction");
+    }
+
+    #[test]
+    fn spans_parent_everything_emitted_inside_them() {
+        let log = EventLog::bounded(16);
+        let root = log.open_span(SimTime::from_nanos(100));
+        let child = log.open_span(SimTime::from_nanos(110));
+        log.emit(SimTime::from_nanos(120), None, Event::SwapOut { gfn: 1 });
+        log.close_span_with(child, Some(0), || Event::SwapIn { gfn: 2, readahead: 0 });
+        log.close_span_with(root, Some(0), || Event::PageFault {
+            gfn: 2,
+            write: false,
+            major: true,
+        });
+        assert_eq!(log.open_spans(), 0);
+        let records = log.records();
+        // Leaf event inside the innermost span.
+        assert_eq!(records[0].span, SpanId::NONE);
+        assert_eq!(records[0].parent, child);
+        // The child span record: opens at its open timestamp, parented to
+        // the root captured at open time.
+        assert_eq!(records[1].span, child);
+        assert_eq!(records[1].parent, root);
+        assert_eq!(records[1].at, SimTime::from_nanos(110));
+        // The root span record has no parent.
+        assert_eq!(records[2].span, root);
+        assert_eq!(records[2].parent, SpanId::NONE);
+        assert_eq!(records[2].at, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn disabled_log_hands_out_null_spans() {
+        let log = EventLog::disabled();
+        let id = log.open_span(SimTime::ZERO);
+        assert!(id.is_none());
+        let mut built = false;
+        log.close_span_with(id, None, || {
+            built = true;
+            Event::SwapOut { gfn: 0 }
+        });
+        assert!(!built, "closing a null span must not build the event");
+        assert_eq!(log.open_spans(), 0);
+    }
+
+    #[test]
+    fn events_outside_spans_are_unparented() {
+        let log = EventLog::bounded(4);
+        log.emit(SimTime::ZERO, None, Event::SwapOut { gfn: 0 });
+        let r = &log.records()[0];
+        assert_eq!(r.span, SpanId::NONE);
+        assert_eq!(r.parent, SpanId::NONE);
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! Causal spans: reassembling fault lifecycles from the event stream.
+//!
+//! Every [`EventRecord`](crate::EventRecord) carries a `span`/`parent`
+//! pair. A record with `span != 0` *is* a span: it opens at the record's
+//! timestamp and covers everything emitted while it was on the log's
+//! span stack. A record with `span == 0` but `parent != 0` is a leaf
+//! event inside that span. A span's end is derived at analysis time as
+//! the newest timestamp anywhere in its subtree, so the write path never
+//! needs close records and the instrumentation stays one integer stamp
+//! per event.
+//!
+//! [`SpanForest`] rebuilds the trees from any record stream — the live
+//! [`EventLog`](crate::EventLog) or a replayed JSONL trace — and
+//! [`render_critical_path`] prints the top-k slowest lifecycles with a
+//! per-stage breakdown and the dominant cost component.
+
+use crate::event::{Event, EventRecord};
+use sim_core::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifier of a causal span. `NONE` (zero) means "no span".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The null span: events outside any lifecycle carry it.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Raw value (0 = none).
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// True for the null span.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One event in the neutral, source-independent form the span assembler
+/// consumes: built either from a live [`EventRecord`] or parsed back
+/// from a JSONL trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Causal sequence number.
+    pub seq: u64,
+    /// Simulated timestamp.
+    pub at: SimTime,
+    /// VM involved, if any.
+    pub vm: Option<u32>,
+    /// Event kind name (`page_fault`, `disk_complete`, ...).
+    pub kind: String,
+    /// Span this record opens (0 = plain event).
+    pub span: u64,
+    /// Enclosing span (0 = top level).
+    pub parent: u64,
+    /// Duration payload carried by the event, if any: disk latency for
+    /// `disk_complete`, backoff for `io_retry`, zero otherwise.
+    pub weight: SimDuration,
+}
+
+impl SpanEvent {
+    /// Converts a live record into the neutral form.
+    pub fn from_record(record: &EventRecord) -> SpanEvent {
+        let weight = match &record.event {
+            Event::DiskComplete { latency, .. } => *latency,
+            Event::IoRetry { backoff, .. } => *backoff,
+            _ => SimDuration::ZERO,
+        };
+        SpanEvent {
+            seq: record.seq,
+            at: record.at,
+            vm: record.vm,
+            kind: record.event.kind().name().to_owned(),
+            span: record.span.get(),
+            parent: record.parent.get(),
+            weight,
+        }
+    }
+}
+
+/// One reassembled span: the opening record plus its children.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span identity.
+    pub id: u64,
+    /// Enclosing span id (0 = root).
+    pub parent: u64,
+    /// Kind of the opening record (`page_fault`, `swap_in`, ...).
+    pub kind: String,
+    /// VM of the opening record.
+    pub vm: Option<u32>,
+    /// Opening timestamp.
+    pub start: SimTime,
+    /// Derived end: newest timestamp in the subtree.
+    pub end: SimTime,
+    /// Child span indices into [`SpanForest::nodes`].
+    pub children: Vec<usize>,
+    /// Leaf events attached directly to this span, in seq order.
+    pub events: Vec<SpanEvent>,
+}
+
+impl SpanNode {
+    /// Span length on the simulated timeline.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Cost attribution for one lifecycle subtree.
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    /// Whole-lifecycle duration.
+    pub total: SimDuration,
+    /// Time inside disk requests (sum of `disk_complete` latencies).
+    pub disk: SimDuration,
+    /// Time lost to retry backoff (sum of `io_retry` backoffs).
+    pub backoff: SimDuration,
+    /// Injected disk faults hit.
+    pub disk_faults: u64,
+    /// Leaf events in the subtree.
+    pub events: u64,
+    /// Aggregated child-stage durations, keyed by span kind.
+    pub stages: Vec<(String, SimDuration)>,
+}
+
+impl Breakdown {
+    /// Everything not attributed to disk service or backoff.
+    pub fn overhead(&self) -> SimDuration {
+        self.total.saturating_sub(self.disk).saturating_sub(self.backoff)
+    }
+
+    /// The component that dominated the lifecycle.
+    pub fn dominant(&self) -> &'static str {
+        let overhead = self.overhead();
+        if self.disk >= self.backoff && self.disk >= overhead {
+            "disk queue"
+        } else if self.backoff >= overhead {
+            "retry backoff"
+        } else {
+            "cpu/overhead"
+        }
+    }
+}
+
+/// The reassembled span trees of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct SpanForest {
+    nodes: Vec<SpanNode>,
+    roots: Vec<usize>,
+    /// Leaf events whose parent span never appeared (ring-buffer
+    /// truncation); kept as a count so reports can flag incomplete trees.
+    orphan_events: u64,
+    /// Span nodes whose declared parent never appeared.
+    orphan_spans: u64,
+}
+
+impl SpanForest {
+    /// Rebuilds the forest from a live log's records.
+    pub fn from_records(records: &[EventRecord]) -> SpanForest {
+        Self::build(records.iter().map(SpanEvent::from_record))
+    }
+
+    /// Rebuilds the forest from neutral events (any order; two passes).
+    pub fn build(events: impl IntoIterator<Item = SpanEvent>) -> SpanForest {
+        let events: Vec<SpanEvent> = events.into_iter().collect();
+        let mut nodes: Vec<SpanNode> = Vec::new();
+        let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+        for e in &events {
+            if e.span != 0 {
+                index.insert(e.span, nodes.len());
+                nodes.push(SpanNode {
+                    id: e.span,
+                    parent: e.parent,
+                    kind: e.kind.clone(),
+                    vm: e.vm,
+                    start: e.at,
+                    end: e.at,
+                    children: Vec::new(),
+                    events: Vec::new(),
+                });
+            }
+        }
+        let mut forest = SpanForest::default();
+        for e in events {
+            if e.span != 0 {
+                continue;
+            }
+            if e.parent == 0 {
+                continue; // top-level plain event; not part of any lifecycle
+            }
+            match index.get(&e.parent) {
+                Some(&i) => {
+                    nodes[i].end = nodes[i].end.max(e.at);
+                    nodes[i].events.push(e);
+                }
+                None => forest.orphan_events += 1,
+            }
+        }
+        // Sort attached events by seq (input order may be arbitrary).
+        for node in &mut nodes {
+            node.events.sort_by_key(|e| e.seq);
+        }
+        // Link children and find roots. Parent spans are always allocated
+        // before their children, so folding ends upward in decreasing id
+        // order settles every subtree in one pass.
+        let mut by_id: Vec<usize> = (0..nodes.len()).collect();
+        by_id.sort_by_key(|&i| nodes[i].id);
+        for &i in &by_id {
+            let parent = nodes[i].parent;
+            if parent == 0 {
+                forest.roots.push(i);
+            } else {
+                match index.get(&parent) {
+                    Some(&p) => nodes[p].children.push(i),
+                    None => {
+                        forest.orphan_spans += 1;
+                        forest.roots.push(i);
+                    }
+                }
+            }
+        }
+        for &i in by_id.iter().rev() {
+            let parent = nodes[i].parent;
+            let end = nodes[i].end;
+            if parent != 0 {
+                if let Some(&p) = index.get(&parent) {
+                    nodes[p].end = nodes[p].end.max(end);
+                }
+            }
+        }
+        forest.nodes = nodes;
+        forest
+    }
+
+    /// All spans, in first-appearance order.
+    pub fn nodes(&self) -> &[SpanNode] {
+        &self.nodes
+    }
+
+    /// Root spans (lifecycle trees), in id order.
+    pub fn roots(&self) -> impl Iterator<Item = &SpanNode> {
+        self.roots.iter().map(|&i| &self.nodes[i])
+    }
+
+    /// Number of leaf events whose span was truncated away.
+    pub fn orphan_events(&self) -> u64 {
+        self.orphan_events
+    }
+
+    /// Number of spans whose parent was truncated away.
+    pub fn orphan_spans(&self) -> u64 {
+        self.orphan_spans
+    }
+
+    /// Root spans sorted slowest-first (ties broken by id, so the order
+    /// is fully deterministic).
+    pub fn lifecycles(&self) -> Vec<&SpanNode> {
+        let mut roots: Vec<&SpanNode> = self.roots().collect();
+        roots.sort_by(|a, b| b.duration().cmp(&a.duration()).then(a.id.cmp(&b.id)));
+        roots
+    }
+
+    /// Cost attribution over one span's whole subtree.
+    pub fn breakdown(&self, node: &SpanNode) -> Breakdown {
+        let mut b = Breakdown { total: node.duration(), ..Breakdown::default() };
+        let mut stages: BTreeMap<String, SimDuration> = BTreeMap::new();
+        self.fold(node, &mut b);
+        for &c in &node.children {
+            let child = &self.nodes[c];
+            *stages.entry(child.kind.clone()).or_default() += child.duration();
+        }
+        b.stages = stages.into_iter().collect();
+        b
+    }
+
+    fn fold(&self, node: &SpanNode, b: &mut Breakdown) {
+        for e in &node.events {
+            b.events += 1;
+            match e.kind.as_str() {
+                "disk_complete" => b.disk += e.weight,
+                "io_retry" => b.backoff += e.weight,
+                "disk_fault" => b.disk_faults += 1,
+                _ => {}
+            }
+        }
+        for &c in &node.children {
+            self.fold(&self.nodes[c], b);
+        }
+    }
+
+    /// Checks structural well-formedness of every tree:
+    ///
+    /// * no orphans (every parent reference resolves),
+    /// * parents are allocated before their children (acyclic by id),
+    /// * a parent opens at or before each child on the simulated
+    ///   timeline, and covers each child's derived end,
+    /// * the children of any span are pairwise disjoint in time, so
+    ///   their durations sum to at most the parent's duration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.orphan_events > 0 || self.orphan_spans > 0 {
+            return Err(format!(
+                "truncated trace: {} orphan events, {} orphan spans",
+                self.orphan_events, self.orphan_spans
+            ));
+        }
+        for node in &self.nodes {
+            let mut child_sum = SimDuration::ZERO;
+            let mut prev_end = node.start;
+            let mut children: Vec<&SpanNode> =
+                node.children.iter().map(|&c| &self.nodes[c]).collect();
+            children.sort_by_key(|c| c.start);
+            for child in children {
+                if child.id <= node.id {
+                    return Err(format!(
+                        "span {} has child {} with a non-increasing id",
+                        node.id, child.id
+                    ));
+                }
+                if child.start < node.start {
+                    return Err(format!(
+                        "span {} opens at {} before its parent {} at {}",
+                        child.id, child.start, node.id, node.start
+                    ));
+                }
+                if child.start < prev_end {
+                    return Err(format!("children of span {} overlap at {}", node.id, child.start));
+                }
+                if child.end > node.end {
+                    return Err(format!(
+                        "child {} of span {} ends at {} past its parent's {}",
+                        child.id, node.id, child.end, node.end
+                    ));
+                }
+                prev_end = child.end;
+                child_sum += child.duration();
+            }
+            if child_sum > node.duration() {
+                return Err(format!(
+                    "children of span {} sum to {} > parent duration {}",
+                    node.id,
+                    child_sum,
+                    node.duration()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_node(forest: &SpanForest, node: &SpanNode, depth: usize, out: &mut String) {
+    push_indent(out, depth);
+    let vm = node.vm.map_or_else(|| "host".to_owned(), |v| format!("vm{v}"));
+    out.push_str(&format!(
+        "- {} [span {}] {} +{} dur {}",
+        node.kind,
+        node.id,
+        vm,
+        node.start,
+        node.duration()
+    ));
+    let b = forest.breakdown(node);
+    if b.disk > SimDuration::ZERO || b.backoff > SimDuration::ZERO {
+        out.push_str(&format!("  (disk {}, backoff {})", b.disk, b.backoff));
+    }
+    out.push('\n');
+    if !node.events.is_empty() {
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in &node.events {
+            *counts.entry(e.kind.as_str()).or_default() += 1;
+        }
+        push_indent(out, depth + 1);
+        let listed: Vec<String> = counts.iter().map(|(kind, n)| format!("{kind} x{n}")).collect();
+        out.push_str(&format!("events: {}\n", listed.join(", ")));
+    }
+    for &c in &node.children {
+        render_node(forest, &forest.nodes[c], depth + 1, out);
+    }
+}
+
+/// Renders the critical-path report: the `top_k` slowest root lifecycles
+/// as indented span trees with a per-stage breakdown and the dominant
+/// component of each. The output is a pure function of the trace, so the
+/// same file always analyzes to the same bytes.
+pub fn render_critical_path(forest: &SpanForest, top_k: usize) -> String {
+    let lifecycles = forest.lifecycles();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "critical path: top {} of {} traced lifecycles ({} spans)\n",
+        top_k.min(lifecycles.len()),
+        lifecycles.len(),
+        forest.nodes().len()
+    ));
+    if forest.orphan_events() > 0 || forest.orphan_spans() > 0 {
+        out.push_str(&format!(
+            "warning: trace is truncated ({} orphan events, {} orphan spans); trees may be incomplete\n",
+            forest.orphan_events(),
+            forest.orphan_spans()
+        ));
+    }
+    for (rank, root) in lifecycles.iter().take(top_k).enumerate() {
+        let b = forest.breakdown(root);
+        out.push('\n');
+        out.push_str(&format!(
+            "#{} {} dur {} — dominant: {} (disk {}, backoff {}, other {})\n",
+            rank + 1,
+            root.kind,
+            b.total,
+            b.dominant(),
+            b.disk,
+            b.backoff,
+            b.overhead()
+        ));
+        if !b.stages.is_empty() {
+            let listed: Vec<String> =
+                b.stages.iter().map(|(kind, d)| format!("{kind} {d}")).collect();
+            out.push_str(&format!("   stages: {}\n", listed.join(", ")));
+        }
+        render_node(forest, root, 1, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, ns: u64, kind: &str, span: u64, parent: u64, weight_ns: u64) -> SpanEvent {
+        SpanEvent {
+            seq,
+            at: SimTime::from_nanos(ns),
+            vm: Some(0),
+            kind: kind.to_owned(),
+            span,
+            parent,
+            weight: SimDuration::from_nanos(weight_ns),
+        }
+    }
+
+    /// One fault lifecycle: page_fault(1) -> swap_in(2) -> 2 disk events.
+    fn lifecycle() -> Vec<SpanEvent> {
+        vec![
+            ev(0, 105, "disk_issue", 0, 2, 0),
+            ev(1, 140, "disk_complete", 0, 2, 35),
+            ev(2, 150, "swap_in", 2, 1, 0).at_start(101),
+            ev(3, 160, "page_fault", 1, 0, 0).at_start(100),
+        ]
+    }
+
+    trait AtStart {
+        fn at_start(self, ns: u64) -> SpanEvent;
+    }
+    impl AtStart for SpanEvent {
+        fn at_start(mut self, ns: u64) -> SpanEvent {
+            self.at = SimTime::from_nanos(ns);
+            self
+        }
+    }
+
+    #[test]
+    fn forest_reassembles_one_lifecycle() {
+        let forest = SpanForest::build(lifecycle());
+        assert_eq!(forest.nodes().len(), 2);
+        assert_eq!(forest.roots().count(), 1);
+        let root = forest.lifecycles()[0];
+        assert_eq!(root.kind, "page_fault");
+        assert_eq!(root.start, SimTime::from_nanos(100));
+        // The derived end is the newest event in the subtree (140ns).
+        assert_eq!(root.end, SimTime::from_nanos(140));
+        forest.validate().expect("well-formed");
+        let b = forest.breakdown(root);
+        assert_eq!(b.disk, SimDuration::from_nanos(35));
+        assert_eq!(b.dominant(), "disk queue");
+        assert_eq!(b.stages, vec![("swap_in".to_owned(), SimDuration::from_nanos(39))]);
+    }
+
+    #[test]
+    fn orphans_are_counted_and_fail_validation() {
+        let events = vec![ev(0, 10, "disk_issue", 0, 99, 0)];
+        let forest = SpanForest::build(events);
+        assert_eq!(forest.orphan_events(), 1);
+        assert!(forest.validate().is_err());
+    }
+
+    #[test]
+    fn overlapping_children_fail_validation() {
+        let events = vec![
+            ev(0, 100, "page_fault", 1, 0, 0),
+            ev(1, 110, "swap_in", 2, 1, 0),
+            ev(2, 130, "disk_complete", 0, 2, 0),
+            // Second child opens before the first child's subtree ended.
+            ev(3, 120, "swap_out", 3, 1, 0),
+            ev(4, 125, "disk_complete", 0, 3, 0),
+        ];
+        let forest = SpanForest::build(events);
+        assert!(forest.validate().is_err(), "overlap must be rejected");
+    }
+
+    #[test]
+    fn critical_path_report_is_deterministic() {
+        let forest = SpanForest::build(lifecycle());
+        let a = render_critical_path(&forest, 3);
+        let b = render_critical_path(&forest, 3);
+        assert_eq!(a, b);
+        assert!(a.contains("dominant: disk queue"));
+        assert!(a.contains("page_fault"));
+        assert!(a.contains("swap_in [span 2]"));
+    }
+}

@@ -36,6 +36,7 @@ vswap — drive the VSwapper simulation
 USAGE:
   vswap run [OPTIONS]            run a workload and report
   vswap trace [OPTIONS]          run a workload and summarize its event trace
+  vswap analyze <TRACE> [--top K]  critical-path report from a JSONL trace file
   vswap migrate [OPTIONS]        live-migrate a warmed guest and report
   vswap pathology [OPTIONS]      run the five-pathology demonstration
   vswap figures [SUITE] [ID..]   regenerate the paper's tables (stdout; timings on stderr)
@@ -72,7 +73,15 @@ OPTIONS (run / trace / migrate / pathology):
                       same run always sees the same faults)
   --trace-out <PATH>  write the structured event trace to PATH
   --trace-format <F>  jsonl | chrome (default jsonl; chrome loads in Perfetto)
+  --since <T>         drop trace records before T of simulated time
+  --until <T>         drop trace records at/after T of simulated time
+                      (T accepts 1.5s, 500ms, 250us, 80000ns; bare = seconds;
+                      filters the --trace-out file and the `trace` histogram,
+                      not the simulation itself)
   --json              machine-readable output
+
+ANALYZE OPTIONS:
+  --top <K>           number of slowest fault lifecycles to print (default 5)
 ";
 
 #[derive(Debug, Clone)]
@@ -89,6 +98,8 @@ struct Options {
     fault_seed: Option<u64>,
     trace_out: Option<String>,
     trace_format: TraceFormat,
+    since: Option<SimDuration>,
+    until: Option<SimDuration>,
     json: bool,
 }
 
@@ -107,6 +118,8 @@ impl Default for Options {
             fault_seed: None,
             trace_out: None,
             trace_format: TraceFormat::Jsonl,
+            since: None,
+            until: None,
             json: false,
         }
     }
@@ -161,6 +174,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.trace_format =
                     value("--trace-format")?.parse().map_err(|e| format!("--trace-format: {e}"))?
             }
+            "--since" => {
+                opts.since = Some(
+                    SimDuration::parse(&value("--since")?).map_err(|e| format!("--since: {e}"))?,
+                )
+            }
+            "--until" => {
+                opts.until = Some(
+                    SimDuration::parse(&value("--until")?).map_err(|e| format!("--until: {e}"))?,
+                )
+            }
             "--json" => opts.json = true,
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -175,6 +198,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     }
     if opts.guests == 0 {
         return Err("--guests must be at least 1".to_owned());
+    }
+    if let (Some(since), Some(until)) = (opts.since, opts.until) {
+        if since >= until {
+            return Err("--since must be earlier than --until".to_owned());
+        }
     }
     Ok(opts)
 }
@@ -221,11 +249,38 @@ fn guest_spec(opts: &Options, name: &str) -> VmSpec {
 /// paper-scale workloads while bounding memory.
 const EVENT_CAPACITY: usize = 1 << 20;
 
-/// Renders the machine's event log to `--trace-out`, if requested.
+/// The `--since`/`--until` simulated-time window applied to a record's
+/// timestamp (both bounds are offsets from simulation start).
+fn in_window(opts: &Options, at: SimTime) -> bool {
+    let since = opts.since.map_or(SimTime::ZERO, |d| SimTime::ZERO + d);
+    let until = opts.until.map_or(SimTime::MAX, |d| SimTime::ZERO + d);
+    at >= since && at < until
+}
+
+/// Renders the machine's event log to `--trace-out`, if requested,
+/// applying the `--since`/`--until` window.
 fn write_trace(m: &Machine, opts: &Options) -> Result<(), String> {
     let Some(path) = &opts.trace_out else { return Ok(()) };
-    let rendered = export::render(m.event_log(), opts.trace_format);
+    let rendered = if opts.since.is_none() && opts.until.is_none() {
+        export::render(m.event_log(), opts.trace_format)
+    } else {
+        let records: Vec<_> =
+            m.event_log().records().into_iter().filter(|r| in_window(opts, r.at)).collect();
+        export::render_records(&records, opts.trace_format)
+    };
     std::fs::write(path, rendered).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Warns on stderr when the bounded ring evicted records (the trace on
+/// disk is then a suffix of the run, not the whole run).
+fn warn_dropped(m: &Machine) {
+    let dropped = m.event_log().dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: event log dropped {dropped} record(s) (capacity {EVENT_CAPACITY}); \
+             the trace holds only the most recent events"
+        );
+    }
 }
 
 /// Prepares, ages and warms a sysbench guest; returns the file handle.
@@ -268,12 +323,14 @@ fn run_workloads(opts: &Options, attach_events: bool) -> Result<(Machine, RunRep
 fn cmd_run(opts: &Options) -> Result<String, String> {
     let (m, report) = run_workloads(opts, opts.trace_out.is_some())?;
     write_trace(&m, opts)?;
+    warn_dropped(&m);
     Ok(if opts.json { report.to_json() } else { report.to_string() })
 }
 
 fn cmd_trace(opts: &Options) -> Result<String, String> {
     let (m, _report) = run_workloads(opts, true)?;
     write_trace(&m, opts)?;
+    warn_dropped(&m);
     let log = m.event_log();
     let mut out = String::new();
     let _ = writeln!(
@@ -283,12 +340,53 @@ fn cmd_trace(opts: &Options) -> Result<String, String> {
         log.len(),
         log.dropped()
     );
-    for (kind, count) in log.kind_histogram() {
-        let _ = writeln!(out, "  {kind:<24} {count}");
+    if opts.since.is_some() || opts.until.is_some() {
+        let mut histogram: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        let mut windowed = 0u64;
+        for record in log.records() {
+            if in_window(opts, record.at) {
+                *histogram.entry(record.event.kind().name()).or_insert(0) += 1;
+                windowed += 1;
+            }
+        }
+        let _ = writeln!(out, "window: {windowed} record(s) in [--since, --until)");
+        for (kind, count) in histogram {
+            let _ = writeln!(out, "  {kind:<24} {count}");
+        }
+    } else {
+        for (kind, count) in log.kind_histogram() {
+            let _ = writeln!(out, "  {kind:<24} {count}");
+        }
     }
     out.push('\n');
     out.push_str(&m.profiler().breakdown_table());
     Ok(out)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, String> {
+    let mut path: Option<String> = None;
+    let mut top = 5usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?
+            }
+            other if !other.starts_with("--") && path.is_none() => path = Some(other.to_owned()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let path = path.ok_or("analyze needs a JSONL trace file (from `vswap run --trace-out`)")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let events = export::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let forest = sim_obs::SpanForest::build(events);
+    forest.validate().map_err(|e| format!("{path}: malformed span structure: {e}"))?;
+    Ok(sim_obs::span::render_critical_path(&forest, top))
 }
 
 fn cmd_migrate(opts: &Options) -> Result<String, String> {
@@ -518,6 +616,7 @@ fn main() -> ExitCode {
             }
             Err(e) => Err(e),
         },
+        "analyze" => cmd_analyze(rest),
         "run" | "trace" | "migrate" | "pathology" => match parse_options(rest) {
             Ok(opts) => match cmd.as_str() {
                 "run" => cmd_run(&opts),
@@ -718,5 +817,67 @@ mod tests {
         assert!(out.contains("page_fault"), "fault events must appear: {out}");
         assert!(out.contains("cpu"), "profiler table must appear: {out}");
         assert!(out.contains("total"));
+    }
+
+    #[test]
+    fn window_flags_parse() {
+        let o = opts(&["--since", "500ms", "--until", "1.5s"]).unwrap();
+        assert_eq!(o.since, Some(SimDuration::from_millis(500)));
+        assert_eq!(o.until, Some(SimDuration::from_nanos(1_500_000_000)));
+        let o = opts(&["--until", "2"]).unwrap();
+        assert_eq!(o.since, None, "open-ended window on the left");
+        assert_eq!(o.until, Some(SimDuration::from_secs(2)), "bare number = seconds");
+        assert!(opts(&["--since", "soon"]).is_err());
+        assert!(opts(&["--since"]).is_err(), "missing value");
+        assert!(opts(&["--since", "2s", "--until", "1s"]).is_err(), "empty windows are rejected");
+        assert!(opts(&["--since", "1s", "--until", "1s"]).is_err());
+    }
+
+    #[test]
+    fn window_restricts_the_trace_summary() {
+        let mut o = Options {
+            mem_mb: 64,
+            actual_mb: 32,
+            until: Some(SimDuration::from_nanos(1)),
+            ..Options::default()
+        };
+        o.workload = "alloc".to_owned();
+        let out = cmd_trace(&o).unwrap();
+        assert!(out.contains("window:"), "{out}");
+        assert!(!out.contains("page_fault"), "nothing faults in the first nanosecond: {out}");
+    }
+
+    #[test]
+    fn analyze_round_trips_a_trace() {
+        let dir = std::env::temp_dir().join("vswap-analyze-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let mut o = Options {
+            mem_mb: 64,
+            actual_mb: 32,
+            trace_out: Some(path.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        o.workload = "alloc".to_owned();
+        cmd_run(&o).unwrap();
+        let args = vec![path.to_string_lossy().into_owned(), "--top".to_owned(), "2".to_owned()];
+        let first = cmd_analyze(&args).unwrap();
+        assert!(first.contains("critical path:"), "{first}");
+        // The slowest lifecycles may be guest faults or host-I/O
+        // swap-ins depending on queue depths; either way spans render.
+        assert!(first.contains("#1"), "{first}");
+        assert!(first.contains("dominant:"), "{first}");
+        let second = cmd_analyze(&args).unwrap();
+        assert_eq!(first, second, "same trace must analyze identically");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_rejects_bad_arguments() {
+        assert!(cmd_analyze(&[]).is_err(), "the trace path is mandatory");
+        let bad = vec!["--top".to_owned()];
+        assert!(cmd_analyze(&bad).is_err(), "missing value");
+        let bad = vec!["/definitely/not/a/file".to_owned()];
+        assert!(cmd_analyze(&bad).is_err(), "unreadable file");
     }
 }

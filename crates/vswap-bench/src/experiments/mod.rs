@@ -13,6 +13,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod latency;
 pub mod tab01;
 pub mod tab02;
 pub mod tab03;

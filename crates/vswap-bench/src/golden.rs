@@ -13,7 +13,7 @@ use crate::suite::{render_experiment, ExperimentResult};
 use std::path::PathBuf;
 
 /// The embedded corpus, in registry order.
-const CORPUS: [(&str, &str); 17] = [
+const CORPUS: [(&str, &str); 18] = [
     ("fig03", include_str!("../golden/fig03.golden")),
     ("fig04", include_str!("../golden/fig04.golden")),
     ("fig05", include_str!("../golden/fig05.golden")),
@@ -31,6 +31,7 @@ const CORPUS: [(&str, &str); 17] = [
     ("tab05", include_str!("../golden/tab05.golden")),
     ("ablate", include_str!("../golden/ablate.golden")),
     ("chaos", include_str!("../golden/chaos.golden")),
+    ("latency", include_str!("../golden/latency.golden")),
 ];
 
 /// Returns the checked-in golden rendering for an experiment id, or

@@ -148,6 +148,12 @@ pub fn suite_experiments() -> Vec<SuiteExperiment> {
             plan: chaos::plan,
             run: chaos::run,
         },
+        SuiteExperiment {
+            id: "latency",
+            title: "Latency: fault-lifecycle p50/p99/p999 per class and configuration",
+            plan: latency::plan,
+            run: latency::run,
+        },
     ]
 }
 

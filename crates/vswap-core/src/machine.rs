@@ -10,7 +10,7 @@ use crate::mapper::SwapMapper;
 use crate::preventer::FalseReadsPreventer;
 use crate::report::{RunReport, VmReport};
 use sim_core::{Clock, DeterministicRng, SimDuration, SimTime, Trace};
-use sim_obs::{Event, EventLog, MetricsRegistry, Profiler, TimeCategory};
+use sim_obs::{Event, EventLog, LatencyHub, MetricsRegistry, Profiler, TimeCategory};
 use std::error::Error;
 use std::fmt;
 use vswap_guestos::{
@@ -130,6 +130,9 @@ pub struct Machine {
     profiler: Profiler,
     /// Hierarchical gauges and counters, sampled into the trace.
     metrics: MetricsRegistry,
+    /// Per-(vm, class) latency histograms shared with the host kernel and
+    /// Preventer; always on (unlike the event log).
+    latency: LatencyHub,
 }
 
 impl fmt::Debug for Machine {
@@ -166,10 +169,14 @@ impl Machine {
             Ballooning::Auto(policy) => Some(BalloonManager::new(policy.clone())),
             _ => None,
         };
+        let latency = LatencyHub::new();
+        host.set_latency_hub(latency.clone());
+        let mut preventer = FalseReadsPreventer::new(cfg.preventer);
+        preventer.set_latency_hub(latency.clone());
         Ok(Machine {
             clock: Clock::new(),
             mapper: SwapMapper::new(cfg.mapper),
-            preventer: FalseReadsPreventer::new(cfg.preventer),
+            preventer,
             balloon_manager,
             host,
             vms: Vec::new(),
@@ -179,8 +186,14 @@ impl Machine {
             events: EventLog::disabled(),
             profiler: Profiler::new(),
             metrics: MetricsRegistry::new(),
+            latency,
             cfg,
         })
+    }
+
+    /// The shared per-(vm, class) latency book accumulated so far.
+    pub fn latency(&self) -> sim_obs::LatencyBook {
+        self.latency.snapshot()
     }
 
     /// Attaches a bounded structured event log to the machine and every
@@ -510,6 +523,8 @@ impl Machine {
             self.trace.clone(),
             metrics.flatten(),
             self.profiler.clone(),
+            self.latency.snapshot(),
+            self.events.dropped(),
         )
     }
 

@@ -15,7 +15,7 @@
 //!   with the buffered bytes.
 
 use sim_core::{SimDuration, SimTime, StatSet};
-use sim_obs::{Event, EventLog, FlushCause};
+use sim_obs::{Event, EventLog, FlushCause, LatencyClass, LatencyHub};
 use vswap_hostos::HostKernel;
 use vswap_mem::{Backing, ContentLabel, FrameId, Gfn, VmId};
 
@@ -118,6 +118,8 @@ pub struct FalseReadsPreventer {
     stats: PreventerStats,
     /// Structured event sink; disabled (free) unless attached.
     events: EventLog,
+    /// Per-(vm, class) latency distributions; always on.
+    latency: LatencyHub,
 }
 
 impl FalseReadsPreventer {
@@ -128,6 +130,7 @@ impl FalseReadsPreventer {
             emus: Vec::new(),
             stats: PreventerStats::default(),
             events: EventLog::disabled(),
+            latency: LatencyHub::new(),
         }
     }
 
@@ -135,6 +138,12 @@ impl FalseReadsPreventer {
     /// emit open/flush/discard events.
     pub fn set_event_log(&mut self, events: EventLog) {
         self.events = events;
+    }
+
+    /// Shares a latency book: each emulation's buffered lifetime (first
+    /// write to disposal) lands in the `prevented_write` class.
+    pub fn set_latency_hub(&mut self, latency: LatencyHub) {
+        self.latency = latency;
     }
 
     /// The configuration in force.
@@ -238,6 +247,11 @@ impl FalseReadsPreventer {
             let emu = self.emus.swap_remove(pos);
             self.install(host, now, emu.frame, vm, gfn, label);
             self.stats.remaps += 1;
+            self.latency.record(
+                vm.get(),
+                LatencyClass::PreventedWrite,
+                now.saturating_since(emu.first_write),
+            );
             return cost;
         }
         assert!(self.should_intercept(host, vm, gfn), "page is not interceptable");
@@ -247,6 +261,10 @@ impl FalseReadsPreventer {
         host.promote_buffer_frame(vm, gfn, frame, label);
         self.stats.buffers_opened += 1;
         self.stats.remaps += 1;
+        // A one-shot prevention: the buffer opened and promoted within
+        // this single write, so its buffered lifetime is the write's own
+        // emulation cost.
+        self.latency.record(vm.get(), LatencyClass::PreventedWrite, cost);
         self.events.emit_with(now, Some(vm.get()), || Event::PreventerOpen { gfn: gfn.get() });
         cost
     }
@@ -292,6 +310,11 @@ impl FalseReadsPreventer {
             let emu = self.emus.swap_remove(pos);
             host.drop_buffer_frame(vm, emu.frame);
             self.stats.cancelled += 1;
+            self.latency.record(
+                vm.get(),
+                LatencyClass::PreventedWrite,
+                now.saturating_since(emu.first_write),
+            );
             self.events
                 .emit_with(now, Some(vm.get()), || Event::PreventerDiscard { gfn: gfn.get() });
         }
@@ -342,6 +365,11 @@ impl FalseReadsPreventer {
         };
         self.install(host, now, emu.frame, emu.vm, emu.gfn, emu.label);
         self.stats.merges += 1;
+        self.latency.record(
+            emu.vm.get(),
+            LatencyClass::PreventedWrite,
+            now.saturating_since(emu.first_write),
+        );
         match cause {
             MergeCause::Timeout => self.stats.timeouts += 1,
             MergeCause::Capacity => self.stats.capacity_evictions += 1,

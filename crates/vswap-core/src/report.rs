@@ -2,7 +2,7 @@
 
 use sim_core::{SimDuration, SimTime, StatSet, Trace};
 use sim_obs::json::JsonWriter;
-use sim_obs::{Profiler, TimeCategory};
+use sim_obs::{LatencyBook, Profiler, TimeCategory};
 use vswap_mem::VmId;
 
 /// The record of one completed (or killed) workload on one VM.
@@ -72,6 +72,12 @@ pub struct RunReport {
     /// Per-VM simulated-time attribution; each VM's category rows sum to
     /// its attributed runtime.
     pub profile: Profiler,
+    /// Per-(vm, class) latency distributions (swap-in, swap-out,
+    /// prevented-write, retried-I/O); always recorded.
+    pub latency: LatencyBook,
+    /// Event records the bounded log evicted because a sink was attached
+    /// with too small a capacity (0 when nothing was lost or no sink).
+    pub events_dropped: u64,
 }
 
 impl RunReport {
@@ -86,8 +92,22 @@ impl RunReport {
         trace: Trace,
         metrics: StatSet,
         profile: Profiler,
+        latency: LatencyBook,
+        events_dropped: u64,
     ) -> Self {
-        RunReport { ended_at, workloads, host, disk, mapper, preventer, trace, metrics, profile }
+        RunReport {
+            ended_at,
+            workloads,
+            host,
+            disk,
+            mapper,
+            preventer,
+            trace,
+            metrics,
+            profile,
+            latency,
+            events_dropped,
+        }
     }
 
     /// The most recent workload record for a VM.
@@ -165,6 +185,9 @@ impl RunReport {
         stat_object(&mut w, "mapper", &self.mapper);
         stat_object(&mut w, "preventer", &self.preventer);
         stat_object(&mut w, "metrics", &self.metrics);
+        w.key("latency");
+        self.latency.write_json(&mut w);
+        w.field_u64("events_dropped", self.events_dropped);
         w.key("profile");
         w.begin_array();
         for vm in self.profile.vms() {
@@ -264,6 +287,8 @@ mod tests {
             Trace::default(),
             StatSet::new(),
             Profiler::new(),
+            LatencyBook::new(),
+            0,
         );
         let s = report.to_string();
         assert!(s.contains("vm0"));
@@ -289,6 +314,8 @@ mod tests {
             Trace::default(),
             StatSet::new(),
             Profiler::new(),
+            LatencyBook::new(),
+            0,
         );
         let mean = report.mean_runtime_secs().unwrap();
         assert!((mean - 3.0).abs() < 1e-9);
@@ -314,6 +341,8 @@ mod tests {
             Trace::default(),
             StatSet::new(),
             profile,
+            LatencyBook::new(),
+            0,
         );
         let json = report.to_json();
         assert!(json.contains("\"ended_at_ns\":5000"));

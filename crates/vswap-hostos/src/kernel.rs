@@ -10,7 +10,7 @@ use crate::spec::HostSpec;
 use crate::stats::HostStats;
 use crate::swaparea::{SlotInfo, SwapArea};
 use sim_core::{DeterministicRng, SimDuration, SimTime};
-use sim_obs::{Event, EventLog};
+use sim_obs::{Event, EventLog, LatencyClass, LatencyHub};
 use std::error::Error;
 use std::fmt;
 use vswap_disk::{
@@ -174,6 +174,9 @@ pub struct HostKernel {
     rng: DeterministicRng,
     /// Structured event sink; disabled (free) unless attached.
     events: EventLog,
+    /// Per-(vm, class) latency distributions; always on (recording a
+    /// swap-path duration is a handful of integer ops per event).
+    latency: LatencyHub,
     /// Retry/backoff schedule applied to failed disk requests.
     retry: RetryPolicy,
 }
@@ -206,6 +209,7 @@ impl HostKernel {
             stats: HostStats::new(),
             rng: DeterministicRng::seed_from(0x4051_beef),
             events: EventLog::disabled(),
+            latency: LatencyHub::new(),
             retry: RetryPolicy::paper_default(),
             spec,
         })
@@ -216,6 +220,12 @@ impl HostKernel {
     pub fn set_event_log(&mut self, events: EventLog) {
         self.disk.set_event_log(events.clone());
         self.events = events;
+    }
+
+    /// Shares a latency book so the host's swap-path durations land in
+    /// the same per-(vm, class) histograms as the rest of the machine.
+    pub fn set_latency_hub(&mut self, latency: LatencyHub) {
+        self.latency = latency;
     }
 
     /// Installs (or clears) a deterministic fault plan on the physical
@@ -446,7 +456,7 @@ impl HostKernel {
         };
         let range = self.swap_region.page_range(slot);
         let mut t = now;
-        if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::HostSwap) {
+        if self.disk_io_failed(&mut t, vm, IoKind::Read, range, IoTag::HostSwap) {
             // The physical sectors are unreadable, but the logical
             // content (the slot record) survives: serve it degraded.
             self.stats.recovered_pages += 1;
@@ -476,23 +486,24 @@ impl HostKernel {
     fn disk_io_failed(
         &mut self,
         t: &mut SimTime,
+        vm: VmId,
         kind: IoKind,
         range: SectorRange,
         tag: IoTag,
     ) -> bool {
         let start = *t;
         let mut attempt = 0u32;
-        loop {
+        let failed = loop {
             match self.disk.submit_attempt(*t, kind, range, tag, attempt) {
                 Ok(io) => {
                     *t = io.finished;
-                    return false;
+                    break false;
                 }
                 Err(err) => {
                     *t += err.wasted;
                     attempt += 1;
                     if !err.is_retryable() || !self.retry.should_retry(attempt, *t - start) {
-                        return true;
+                        break true;
                     }
                     let backoff = self.retry.backoff(attempt - 1);
                     self.stats.io_retries += 1;
@@ -500,7 +511,11 @@ impl HostKernel {
                     *t += backoff;
                 }
             }
+        };
+        if attempt > 0 {
+            self.latency.record(vm.get(), LatencyClass::RetriedIo, *t - start);
         }
+        failed
     }
 
     /// True if any sector of the range is permanently bad under the
@@ -587,16 +602,17 @@ impl HostKernel {
         let (faulted, major) = if self.vms[vm.index()].ept.translate(gfn).is_some() {
             (false, false)
         } else {
+            // The fault is the root span: every swap-in, disk request,
+            // and retry it triggers parents (transitively) under it.
+            let span = self.events.open_span(now);
             let major = self.fault_in(&mut t, vm, gfn, FaultCause::Guest);
-            (true, major)
-        };
-        if faulted {
-            self.events.emit_with(now, Some(vm.get()), || Event::PageFault {
+            self.events.close_span_with(span, Some(vm.get()), || Event::PageFault {
                 gfn: gfn.get(),
                 write,
                 major,
             });
-        }
+            (true, major)
+        };
         let frame = self.vms[vm.index()].ept.translate(gfn).expect("faulted in");
         self.frames.set_accessed(frame, true);
         self.prefetched[frame.index()] = false;
@@ -625,19 +641,18 @@ impl HostKernel {
                 self.vms[vm.index()].ept.backing(gfn),
                 Some(Backing::SwapSlot(_)) | Some(Backing::ImagePage(_))
             );
+            let span = self.events.open_span(now);
             let major = self.fault_in(&mut t, vm, gfn, FaultCause::Guest);
+            self.events.close_span_with(span, Some(vm.get()), || Event::PageFault {
+                gfn: gfn.get(),
+                write: true,
+                major,
+            });
             if was_on_disk {
                 self.stats.false_swap_reads += 1;
             }
             (true, major)
         };
-        if faulted {
-            self.events.emit_with(now, Some(vm.get()), || Event::PageFault {
-                gfn: gfn.get(),
-                write: true,
-                major,
-            });
-        }
         let frame = self.vms[vm.index()].ept.translate(gfn).expect("faulted in");
         self.frames.set_accessed(frame, true);
         self.guest_write_present(&mut t, vm, gfn, frame, Some(label));
@@ -710,7 +725,7 @@ impl HostKernel {
 
         // The physical read of the image blocks.
         let range = self.vms[vm.index()].image_region.page_span(image_page, count);
-        if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::GuestImage) {
+        if self.disk_io_failed(&mut t, vm, IoKind::Read, range, IoTag::GuestImage) {
             self.stats.recovered_pages += count;
             self.degrade_image_span(&mut t, vm, image_page, count);
         }
@@ -772,7 +787,7 @@ impl HostKernel {
         // readahead(2) + mmap(MAP_POPULATE | MAP_NOCOW): one streaming read,
         // plus the per-page mapping overhead of the mmap path (§5.3).
         let range = self.vms[vm.index()].image_region.page_span(image_page, count);
-        if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::GuestImage) {
+        if self.disk_io_failed(&mut t, vm, IoKind::Read, range, IoTag::GuestImage) {
             self.stats.recovered_pages += count;
             self.degrade_image_span(&mut t, vm, image_page, count);
         }
@@ -901,7 +916,7 @@ impl HostKernel {
         }
 
         let range = self.vms[vm.index()].image_region.page_span(image_page, count);
-        if self.disk_io_failed(&mut t, IoKind::Write, range, IoTag::GuestImage) {
+        if self.disk_io_failed(&mut t, vm, IoKind::Write, range, IoTag::GuestImage) {
             // The logical image already holds the written labels; the
             // bad physical blocks are quarantined (dissolving the
             // write-then-map associations made above).
@@ -988,7 +1003,7 @@ impl HostKernel {
                 let info = self.swap.get(slot).expect("occupied slot");
                 let range = self.swap_region.page_range(slot);
                 let mut t = now;
-                if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::HostSwap) {
+                if self.disk_io_failed(&mut t, vm, IoKind::Read, range, IoTag::HostSwap) {
                     // The emulation merge still proceeds: the logical
                     // content survives in the slot record.
                     self.stats.recovered_pages += 1;
@@ -999,7 +1014,7 @@ impl HostKernel {
             Backing::ImagePage(page) => {
                 let range = self.vms[vm.index()].image_region.page_range(page);
                 let mut t = now;
-                if self.disk_io_failed(&mut t, IoKind::Read, range, IoTag::GuestImage) {
+                if self.disk_io_failed(&mut t, vm, IoKind::Read, range, IoTag::GuestImage) {
                     // Served from the logical image. The block is NOT
                     // quarantined here: this page is mid-emulation (its
                     // buffer is about to be promoted, which dissolves
@@ -1106,6 +1121,8 @@ impl HostKernel {
     /// what "decayed swap sequentiality" destroys.
     fn swap_in_cluster(&mut self, t: &mut SimTime, vm: VmId, gfn: Gfn, slot: u64) {
         debug_assert_eq!(self.vms[vm.index()].ept.backing(gfn), Some(Backing::SwapSlot(slot)));
+        let t0 = *t;
+        let lifecycle = self.events.open_span(t0);
         self.adjust_readahead_window(vm);
         let window = self.swap.window(slot, self.vms[vm.index()].ra_window);
         let cluster: Vec<(u64, SlotInfo)> =
@@ -1126,17 +1143,14 @@ impl HostKernel {
         let first = targets.iter().map(|&(s, _, _)| s).min().expect("non-empty cluster");
         let last = targets.iter().map(|&(s, _, _)| s).max().expect("non-empty cluster");
         let span = self.swap_region.page_span(first, last - first + 1);
-        let failed = self.disk_io_failed(t, IoKind::Read, span, IoTag::HostSwap);
+        let failed = self.disk_io_failed(t, vm, IoKind::Read, span, IoTag::HostSwap);
         if failed {
             // Unreadable physical slots: every cluster member's logical
             // content survives in its slot record; serve them degraded
             // and retire the bad slots below.
             self.stats.recovered_pages += targets.len() as u64;
         }
-        self.events.emit_with(*t, Some(vm.get()), || Event::SwapIn {
-            gfn: gfn.get(),
-            readahead: targets.len() as u64 - 1,
-        });
+        let readahead = targets.len() as u64 - 1;
 
         for (s, info, frame) in targets {
             self.frames.set_label(frame, info.label);
@@ -1163,6 +1177,12 @@ impl HostKernel {
                 self.frames.set_accessed(frame, true);
             }
         }
+
+        self.latency.record(vm.get(), LatencyClass::SwapIn, *t - t0);
+        self.events.close_span_with(lifecycle, Some(vm.get()), || Event::SwapIn {
+            gfn: gfn.get(),
+            readahead,
+        });
     }
 
     /// Named refault with image readahead: re-reads the faulting block and
@@ -1171,6 +1191,8 @@ impl HostKernel {
     /// disk image — the Mapper's answer to decayed swap sequentiality.
     fn image_refault_cluster(&mut self, t: &mut SimTime, vm: VmId, gfn: Gfn, page: u64) {
         debug_assert_eq!(self.vms[vm.index()].origin.gfn_for_page(page), Some(gfn));
+        let t0 = *t;
+        let span = self.events.open_span(t0);
         let end = (page + self.spec.image_readahead_pages).min(self.vms[vm.index()].image.pages());
         let mut cluster: Vec<(u64, Gfn)> = Vec::new();
         for p in page..end {
@@ -1193,17 +1215,12 @@ impl HostKernel {
 
         let count = cluster.len() as u64;
         let range = self.vms[vm.index()].image_region.page_span(page, count);
-        let failed = self.disk_io_failed(t, IoKind::Read, range, IoTag::GuestImage);
+        let failed = self.disk_io_failed(t, vm, IoKind::Read, range, IoTag::GuestImage);
         if failed {
             // The refault is served from the logical image; latent-bad
             // members are quarantined (and degraded to anonymous) below.
             self.stats.recovered_pages += count;
         }
-        self.events.emit_with(*t, Some(vm.get()), || Event::NamedRefault {
-            gfn: gfn.get(),
-            readahead: count - 1,
-        });
-
         for (p, g, frame) in targets {
             let label = self.vms[vm.index()].image.label(p);
             self.frames.set_label(frame, label);
@@ -1234,6 +1251,12 @@ impl HostKernel {
                 self.frames.set_accessed(frame, true);
             }
         }
+
+        self.latency.record(vm.get(), LatencyClass::SwapIn, *t - t0);
+        self.events.close_span_with(span, Some(vm.get()), || Event::NamedRefault {
+            gfn: gfn.get(),
+            readahead: count - 1,
+        });
     }
 
     /// Rescales the VM's swap-readahead window every 64 speculative
@@ -1272,7 +1295,7 @@ impl HostKernel {
                         .alloc_frame(t, vm, FrameOwner::HypervisorCode { vm, page })
                         .expect("reclaim guarantees progress");
                     let range = self.vms[vm.index()].hv_binary_region.page_range(page);
-                    if self.disk_io_failed(t, IoKind::Read, range, IoTag::GuestImage) {
+                    if self.disk_io_failed(t, vm, IoKind::Read, range, IoTag::GuestImage) {
                         // Hypervisor binary pages are recoverable from
                         // the install media; serve the code degraded
                         // rather than wedging emulation.
@@ -1486,12 +1509,14 @@ impl HostKernel {
         // reclaim clock.
         let mut at = now;
         let mut attempt = 0u32;
+        let mut retried = false;
         loop {
             let range = self.swap_region.page_range(slot);
             match self.disk.submit_writeback_attempt(at, range, IoTag::HostSwap, attempt) {
                 Ok(_) => break,
                 Err(err) => {
                     attempt += 1;
+                    retried = true;
                     if err.kind == IoErrorKind::Latent {
                         // The slot's media is permanently bad: retire it
                         // and move the page to a fresh slot.
@@ -1522,6 +1547,13 @@ impl HostKernel {
                     }
                 }
             }
+        }
+        // The swap-out's cost is how far into the device's future the
+        // write-behind queue now extends (zero when the disk was idle).
+        let queued = self.disk.busy_until().saturating_since(now);
+        self.latency.record(vm.get(), LatencyClass::SwapOut, queued);
+        if retried {
+            self.latency.record(vm.get(), LatencyClass::RetriedIo, queued);
         }
         slot
     }

@@ -242,6 +242,69 @@ fn no_sink_means_no_events_and_identical_results() {
 }
 
 #[test]
+fn span_forest_from_a_real_run_is_well_formed() {
+    // The acceptance criterion for causal tracing: reassembling the
+    // spans of a full demonstration run (Mapper, Preventer, disk,
+    // balloon all active) yields a valid forest where no lifecycle's
+    // children account for more time than the lifecycle itself.
+    let m = traced_demonstration();
+    let records = m.event_log().records();
+    let forest = sim_obs::SpanForest::from_records(&records);
+    forest.validate().expect("well-formed span forest");
+    assert_eq!(forest.orphan_events(), 0, "every event lands in a span or at top level");
+    assert_eq!(forest.orphan_spans(), 0);
+    let lifecycles = forest.lifecycles();
+    assert!(!lifecycles.is_empty(), "a pressured run has fault lifecycles");
+    assert!(lifecycles.iter().any(|n| n.kind == "page_fault"), "guest faults must appear as roots");
+    for root in &lifecycles {
+        let children: SimDuration =
+            root.children.iter().map(|&c| forest.nodes()[c].duration()).sum();
+        assert!(
+            children <= root.duration(),
+            "lifecycle {}: child durations ({children}) exceed the root's ({})",
+            root.id,
+            root.duration()
+        );
+    }
+}
+
+#[test]
+fn latency_book_is_populated_and_reported() {
+    // Swap-ins and prevented writes both happen in the demonstration
+    // run; their latency distributions must reach the report.
+    let m = traced_demonstration();
+    let book = m.report().latency;
+    let swap_in = book.class_hist(sim_obs::LatencyClass::SwapIn);
+    assert!(swap_in.count() > 0, "host swap-ins must be measured");
+    assert!(swap_in.p50() <= swap_in.p99() && swap_in.p99() <= swap_in.max());
+    let prevented = book.class_hist(sim_obs::LatencyClass::PreventedWrite);
+    assert!(prevented.count() > 0, "the Preventer must measure buffered writes");
+    let json = m.report().to_json();
+    assert!(json.contains("\"latency\""), "{json}");
+    assert!(json.contains("\"swap_in\""), "{json}");
+    assert!(json.contains("\"events_dropped\""), "{json}");
+}
+
+#[test]
+fn jsonl_round_trip_preserves_the_critical_path() {
+    // `vswap analyze` replays a trace from disk; the report it derives
+    // must be identical to one computed from the live records.
+    let m = traced_demonstration();
+    let records = m.event_log().records();
+    let live = sim_obs::SpanForest::from_records(&records);
+    let jsonl = export::to_jsonl(m.event_log());
+    let parsed = export::parse_jsonl(&jsonl).expect("trace parses back");
+    assert_eq!(parsed.len(), records.len());
+    let replayed = sim_obs::SpanForest::build(parsed);
+    replayed.validate().expect("well-formed after round-trip");
+    assert_eq!(
+        sim_obs::span::render_critical_path(&live, 5),
+        sim_obs::span::render_critical_path(&replayed, 5),
+        "analysis must not depend on whether the trace went through disk"
+    );
+}
+
+#[test]
 fn metrics_registry_flattens_component_scopes() {
     let (m, _vm) = traced_run(SwapPolicy::Vswapper);
     let report = m.report();

@@ -703,3 +703,170 @@ proptest! {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Latency histograms: merging is a commutative monoid and quantiles do
+// not depend on how samples were sharded across workers
+// ----------------------------------------------------------------------
+
+fn hist_of(samples: &[u64]) -> sim_obs::LatencyHist {
+    let mut h = sim_obs::LatencyHist::new();
+    for &ns in samples {
+        h.record(sim_core::SimDuration::from_nanos(ns));
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn latency_hist_merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..80),
+        b in prop::collection::vec(any::<u64>(), 0..80),
+        c in prop::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // Commutativity: a+b == b+a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut left = ab.clone();
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // The empty histogram is the identity.
+        let mut with_empty = ha.clone();
+        with_empty.merge(&sim_obs::LatencyHist::new());
+        prop_assert_eq!(&with_empty, &ha);
+    }
+
+    // The suite merges per-task books in task order; workers shard the
+    // samples arbitrarily. Quantiles must come out as if one worker had
+    // seen every sample — otherwise `--jobs` would perturb the latency
+    // golden table.
+    #[test]
+    fn quantiles_are_invariant_under_sharding_and_merge_order(
+        samples in prop::collection::vec((any::<u64>(), 0..4usize), 1..200),
+    ) {
+        let all: Vec<u64> = samples.iter().map(|&(ns, _)| ns).collect();
+        let whole = hist_of(&all);
+        let mut shards = vec![sim_obs::LatencyHist::new(); 4];
+        for &(ns, shard) in &samples {
+            shards[shard].record(sim_core::SimDuration::from_nanos(ns));
+        }
+        let mut forward = sim_obs::LatencyHist::new();
+        for shard in &shards {
+            forward.merge(shard);
+        }
+        let mut backward = sim_obs::LatencyHist::new();
+        for shard in shards.iter().rev() {
+            backward.merge(shard);
+        }
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&backward, &whole);
+        for permille in [0, 1, 250, 500, 900, 990, 999, 1000] {
+            prop_assert_eq!(
+                forward.quantile_permille(permille),
+                whole.quantile_permille(permille),
+                "p{} drifted under sharding", permille
+            );
+        }
+        prop_assert_eq!(forward.count(), all.len() as u64);
+        prop_assert_eq!(forward.max(), whole.max());
+        prop_assert_eq!(forward.mean(), whole.mean());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Span trees: any properly nested open/close/emit interleaving yields a
+// well-formed forest whose child durations sum within the root's
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SpanOp {
+    /// Open a new span (pushed on the log's LIFO stack).
+    Open,
+    /// Close the innermost open span.
+    Close,
+    /// Emit a leaf event parented to the innermost open span.
+    Leaf,
+    /// Advance simulated time by this many nanoseconds.
+    Advance(u64),
+}
+
+fn span_op() -> impl Strategy<Value = SpanOp> {
+    prop_oneof![
+        Just(SpanOp::Open),
+        Just(SpanOp::Close),
+        Just(SpanOp::Leaf),
+        (1..1_000_000u64).prop_map(SpanOp::Advance),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn span_forests_from_nested_logs_are_well_formed(
+        ops in prop::collection::vec(span_op(), 1..250),
+    ) {
+        use sim_obs::{Event, EventLog, SpanForest};
+        let log = EventLog::bounded(1 << 12);
+        let mut now = SimTime::ZERO;
+        let mut stack = Vec::new();
+        for op in ops {
+            match op {
+                SpanOp::Open => stack.push(log.open_span(now)),
+                SpanOp::Close => {
+                    if let Some(id) = stack.pop() {
+                        log.close_span_with(id, Some(0), || Event::SwapIn {
+                            gfn: 0,
+                            readahead: 0,
+                        });
+                    }
+                }
+                SpanOp::Leaf => log.emit(
+                    now,
+                    Some(0),
+                    Event::ReclaimScan { scanned: 1, reclaimed: 0 },
+                ),
+                SpanOp::Advance(ns) => now += sim_core::SimDuration::from_nanos(ns),
+            }
+        }
+        while let Some(id) = stack.pop() {
+            log.close_span_with(id, Some(0), || Event::PageFault {
+                gfn: 0,
+                write: false,
+                major: true,
+            });
+        }
+        prop_assert_eq!(log.open_spans(), 0, "every span closed");
+        let records = log.records();
+        let forest = SpanForest::from_records(&records);
+        forest.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(forest.orphan_events(), 0);
+        prop_assert_eq!(forest.orphan_spans(), 0);
+        // Proper nesting means siblings cannot overlap, so the children
+        // of any span account for no more time than the span itself.
+        for node in forest.nodes() {
+            let children: sim_core::SimDuration = node
+                .children
+                .iter()
+                .map(|&c| forest.nodes()[c].duration())
+                .sum();
+            prop_assert!(
+                children <= node.duration(),
+                "span {}: children sum {:?} exceeds own {:?}",
+                node.id, children, node.duration()
+            );
+            for &c in &node.children {
+                let child = &forest.nodes()[c];
+                prop_assert!(child.start >= node.start, "children start within the parent");
+                prop_assert!(child.id > node.id, "parents are opened before children");
+            }
+        }
+    }
+}
