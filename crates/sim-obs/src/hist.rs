@@ -16,7 +16,6 @@
 use crate::json::JsonWriter;
 use sim_core::SimDuration;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Number of buckets: one for zero plus one per possible highest set bit
@@ -207,10 +206,20 @@ impl LatencyHist {
     }
 }
 
+/// Number of [`LatencyClass`] variants (the width of one VM's row in a
+/// [`LatencyBook`]).
+const CLASSES: usize = LatencyClass::ALL.len();
+
 /// Per-`(vm, class)` latency histograms for one run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Stored as dense per-VM rows indexed by class, so the per-sample
+/// recording path is two array indexes — no tree or hash lookup. A
+/// `(vm, class)` pair is *present* exactly when its histogram is
+/// non-empty, which matches what a keyed map would contain (recording
+/// always adds at least one sample).
+#[derive(Debug, Clone, Default)]
 pub struct LatencyBook {
-    hists: BTreeMap<(u32, LatencyClass), LatencyHist>,
+    rows: Vec<[LatencyHist; CLASSES]>,
 }
 
 impl LatencyBook {
@@ -220,42 +229,63 @@ impl LatencyBook {
     }
 
     /// Records one duration for a VM and class.
+    #[inline]
     pub fn record(&mut self, vm: u32, class: LatencyClass, d: SimDuration) {
-        self.hists.entry((vm, class)).or_default().record(d);
+        let vm = vm as usize;
+        if vm >= self.rows.len() {
+            self.rows.resize_with(vm + 1, Default::default);
+        }
+        self.rows[vm][class as usize].record(d);
     }
 
-    /// Folds another book in (see [`LatencyHist::merge`]).
+    /// Folds another book in (see [`LatencyHist::merge`]). Merging an
+    /// empty histogram is the identity, so element-wise merging whole
+    /// rows preserves exactly the keyed-map semantics.
     pub fn merge(&mut self, other: &LatencyBook) {
-        for (key, hist) in &other.hists {
-            self.hists.entry(*key).or_default().merge(hist);
+        if other.rows.len() > self.rows.len() {
+            self.rows.resize_with(other.rows.len(), Default::default);
+        }
+        for (mine, theirs) in self.rows.iter_mut().zip(other.rows.iter()) {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                m.merge(t);
+            }
         }
     }
 
     /// The histogram for one `(vm, class)` pair, if anything was
     /// recorded.
     pub fn hist(&self, vm: u32, class: LatencyClass) -> Option<&LatencyHist> {
-        self.hists.get(&(vm, class))
+        let hist = &self.rows.get(vm as usize)?[class as usize];
+        if hist.is_empty() {
+            None
+        } else {
+            Some(hist)
+        }
     }
 
     /// All histograms of one class merged across VMs.
     pub fn class_hist(&self, class: LatencyClass) -> LatencyHist {
         let mut merged = LatencyHist::new();
-        for ((_, c), hist) in &self.hists {
-            if *c == class {
-                merged.merge(hist);
-            }
+        for row in &self.rows {
+            merged.merge(&row[class as usize]);
         }
         merged
     }
 
     /// Iterates `(vm, class, hist)` in deterministic key order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, LatencyClass, &LatencyHist)> {
-        self.hists.iter().map(|(&(vm, class), hist)| (vm, class, hist))
+        self.rows.iter().enumerate().flat_map(|(vm, row)| {
+            LatencyClass::ALL
+                .iter()
+                .zip(row.iter())
+                .filter(|(_, h)| !h.is_empty())
+                .map(move |(&class, h)| (vm as u32, class, h))
+        })
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.hists.is_empty()
+        self.rows.iter().all(|row| row.iter().all(|h| h.is_empty()))
     }
 
     /// Writes the book as a JSON array of per-`(vm, class)` summaries

@@ -11,7 +11,6 @@ use crate::span::SpanId;
 use sim_core::SimTime;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// One open span on the shared stack.
@@ -22,7 +21,12 @@ struct OpenSpan {
 }
 
 struct LogInner {
-    buf: VecDeque<EventRecord>,
+    /// Flat ring: grows to `capacity`, then the slot at `head` (the
+    /// oldest record) is overwritten in place — one store per eviction
+    /// instead of a pop/push pair.
+    buf: Vec<EventRecord>,
+    /// Index of the oldest record once the ring is full (0 before).
+    head: usize,
     capacity: usize,
     next_seq: u64,
     dropped: u64,
@@ -32,6 +36,18 @@ struct LogInner {
     /// within one fault's call chain, so a shared stack is enough to
     /// parent every event to the lifecycle that caused it.
     spans: Vec<OpenSpan>,
+}
+
+impl LogInner {
+    /// Visits the buffered records oldest-first.
+    fn for_each(&self, mut visit: impl FnMut(&EventRecord)) {
+        for record in &self.buf[self.head..] {
+            visit(record);
+        }
+        for record in &self.buf[..self.head] {
+            visit(record);
+        }
+    }
 }
 
 /// Appends one stamped record, evicting the oldest past capacity.
@@ -45,11 +61,17 @@ fn push_record(
 ) {
     let seq = inner.next_seq;
     inner.next_seq += 1;
-    if inner.buf.len() == inner.capacity {
-        inner.buf.pop_front();
+    let record = EventRecord { seq, at, vm, span, parent, event };
+    if inner.buf.len() < inner.capacity {
+        inner.buf.push(record);
+    } else {
+        inner.buf[inner.head] = record;
+        inner.head += 1;
+        if inner.head == inner.capacity {
+            inner.head = 0;
+        }
         inner.dropped += 1;
     }
-    inner.buf.push_back(EventRecord { seq, at, vm, span, parent, event });
 }
 
 /// A shared handle to a bounded, in-order event buffer.
@@ -91,7 +113,8 @@ impl EventLog {
         assert!(capacity > 0, "capacity must be positive");
         EventLog {
             inner: Some(Rc::new(RefCell::new(LogInner {
-                buf: VecDeque::new(),
+                buf: Vec::with_capacity(capacity),
+                head: 0,
                 capacity,
                 next_seq: 0,
                 dropped: 0,
@@ -193,15 +216,15 @@ impl EventLog {
 
     /// Clones the buffered records out, oldest first.
     pub fn records(&self) -> Vec<EventRecord> {
-        self.inner.as_ref().map_or_else(Vec::new, |i| i.borrow().buf.iter().cloned().collect())
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|r| out.push(r.clone()));
+        out
     }
 
     /// Visits each buffered record, oldest first, without copying.
-    pub fn for_each(&self, mut visit: impl FnMut(&EventRecord)) {
+    pub fn for_each(&self, visit: impl FnMut(&EventRecord)) {
         if let Some(inner) = &self.inner {
-            for record in &inner.borrow().buf {
-                visit(record);
-            }
+            inner.borrow().for_each(visit);
         }
     }
 

@@ -523,17 +523,40 @@ fn cmd_figures(a: &SuiteArgs) -> Result<String, String> {
 }
 
 /// Escapes nothing: experiment ids are `[a-z0-9]+` by construction.
-fn bench_json(serial: &suite::SuiteResult, parallel: &suite::SuiteResult) -> String {
+fn bench_json(
+    serial: &suite::SuiteResult,
+    parallel: &suite::SuiteResult,
+    compare: std::time::Duration,
+) -> String {
+    let pages = suite::pages_simulated(&serial.metrics);
+    let events = suite::events_emitted(&serial.metrics);
+    let serial_secs = serial.wall.as_secs_f64();
+    let parallel_secs = parallel.wall.as_secs_f64();
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"scale\": \"smoke\",");
     let _ = writeln!(out, "  \"jobs\": {},", parallel.jobs);
-    let _ = writeln!(out, "  \"serial_wall_secs\": {:.6},", serial.wall.as_secs_f64());
-    let _ = writeln!(out, "  \"parallel_wall_secs\": {:.6},", parallel.wall.as_secs_f64());
+    let _ = writeln!(out, "  \"serial_wall_secs\": {serial_secs:.6},");
+    let _ = writeln!(out, "  \"parallel_wall_secs\": {parallel_secs:.6},");
+    let _ = writeln!(out, "  \"speedup\": {:.3},", serial_secs / parallel_secs.max(1e-9));
+    let _ = writeln!(out, "  \"pages_simulated\": {pages},");
+    let _ =
+        writeln!(out, "  \"serial_pages_per_sec\": {:.0},", pages as f64 / serial_secs.max(1e-9));
     let _ = writeln!(
         out,
-        "  \"speedup\": {:.3},",
-        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9)
+        "  \"parallel_pages_per_sec\": {:.0},",
+        pages as f64 / parallel_secs.max(1e-9)
     );
+    let _ = writeln!(out, "  \"events_emitted\": {events},");
+    out.push_str("  \"phases\": [\n");
+    let _ = writeln!(out, "    {{\"phase\": \"serial-suite\", \"wall_secs\": {serial_secs:.6}}},");
+    let _ =
+        writeln!(out, "    {{\"phase\": \"parallel-suite\", \"wall_secs\": {parallel_secs:.6}}},");
+    let _ = writeln!(
+        out,
+        "    {{\"phase\": \"determinism-compare\", \"wall_secs\": {:.6}}}",
+        compare.as_secs_f64()
+    );
+    out.push_str("  ],\n");
     out.push_str("  \"experiments\": [\n");
     for (i, (s, p)) in serial.experiments.iter().zip(&parallel.experiments).enumerate() {
         let _ = write!(
@@ -563,15 +586,17 @@ fn cmd_verify_tables(a: &SuiteArgs) -> Result<String, String> {
 
     // The determinism gate: the parallel run must be byte-identical to
     // the serial reference — tables and merged metrics both.
+    let compare_start = std::time::Instant::now();
     if serial.rendered() != parallel.rendered() {
         return Err("parallel tables diverged from the serial reference (determinism bug)".into());
     }
     if serial.metrics.to_string() != parallel.metrics.to_string() {
         return Err("parallel metrics diverged from the serial reference (determinism bug)".into());
     }
+    let compare = compare_start.elapsed();
 
     if let Some(path) = &a.bench_out {
-        std::fs::write(path, bench_json(&serial, &parallel))
+        std::fs::write(path, bench_json(&serial, &parallel, compare))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("verify-tables: wrote timing report to {path}");
     }

@@ -340,6 +340,53 @@ pub struct SuiteResult {
     pub jobs: usize,
 }
 
+/// Host counters that each represent one page of simulated paging work.
+/// Their sum is the suite's deterministic "pages simulated" figure: it
+/// depends only on the seed and scale (the merged metrics are verified
+/// byte-identical across worker counts), so pages/sec trajectories in
+/// `BENCH_*.json` are comparable across PRs.
+const PAGE_WORK_COUNTERS: &[&str] = &[
+    "guest_major_faults",
+    "guest_minor_faults",
+    "host_context_faults",
+    "swap_ins",
+    "swap_outs",
+    "named_refaults",
+    "named_discards",
+    "zero_fills",
+    "pages_scanned",
+];
+
+/// Sums the page-granularity host work recorded in `metrics` — the
+/// denominator-independent workload size behind pages-simulated/sec.
+pub fn pages_simulated(metrics: &MetricsRegistry) -> u64 {
+    let flat = metrics.flatten();
+    let mut total = 0u64;
+    for (key, value) in flat.iter() {
+        if let Some((scope, name)) = key.rsplit_once('/') {
+            if scope.ends_with("/host") && PAGE_WORK_COUNTERS.contains(&name) {
+                total += value;
+            }
+        }
+    }
+    total
+}
+
+/// Total structured events emitted across every unit's sink (buffered +
+/// evicted) — observability volume, tracked alongside pages/sec.
+pub fn events_emitted(metrics: &MetricsRegistry) -> u64 {
+    let flat = metrics.flatten();
+    let mut total = 0u64;
+    for (key, value) in flat.iter() {
+        if let Some((scope, name)) = key.rsplit_once('/') {
+            if name == "emitted" && scope.contains("/events/") {
+                total += value;
+            }
+        }
+    }
+    total
+}
+
 impl SuiteResult {
     /// Renders every experiment the way `figures` prints them and the
     /// golden corpus stores them.

@@ -538,6 +538,15 @@ impl Machine {
     fn poll_balloon_manager(&mut self) {
         let Some(manager) = self.balloon_manager.as_mut() else { return };
         let now = self.clock.now();
+        if !manager.due(now) {
+            // The round is rate-limited away; still roll the swap-out
+            // baseline forward so "recent" keeps meaning "since the
+            // previous step", exactly as a full poll would.
+            for e in &mut self.vms {
+                e.prev_guest_swap_outs = e.guest.stats().guest_swap_outs;
+            }
+            return;
+        }
         let free_frac = self.host.free_frames() as f64 / self.cfg.host.dram.pages().max(1) as f64;
         let telemetry: Vec<VmTelemetry> = self
             .vms

@@ -115,6 +115,16 @@ enum MergeCause {
 pub struct FalseReadsPreventer {
     cfg: PreventerConfig,
     emus: Vec<Emulation>,
+    /// Lower bound on every live emulation's `first_write`. Removals can
+    /// only raise the true minimum, so the bound stays valid without
+    /// recomputation; [`FalseReadsPreventer::expire`] uses it to skip its
+    /// scan when even the oldest possible buffer is still within budget.
+    earliest: SimTime,
+    /// Per-VM bitmaps marking pages with an open emulation. The bus
+    /// probes membership on every guest memory access and every host
+    /// disk-I/O page; the bitmap answers in O(1) so the small ordered
+    /// `emus` vec is only scanned on actual hits.
+    marks: Vec<Vec<u64>>,
     stats: PreventerStats,
     /// Structured event sink; disabled (free) unless attached.
     events: EventLog,
@@ -128,6 +138,8 @@ impl FalseReadsPreventer {
         FalseReadsPreventer {
             cfg,
             emus: Vec::new(),
+            earliest: SimTime::ZERO,
+            marks: Vec::new(),
             stats: PreventerStats::default(),
             events: EventLog::disabled(),
             latency: LatencyHub::new(),
@@ -162,8 +174,46 @@ impl FalseReadsPreventer {
     }
 
     /// True if writes to this page are currently emulated.
+    #[inline]
     pub fn is_emulating(&self, vm: VmId, gfn: Gfn) -> bool {
-        self.emus.iter().any(|e| e.vm == vm && e.gfn == gfn)
+        self.marked(vm, gfn)
+    }
+
+    /// O(1) membership probe against the per-VM bitmaps.
+    #[inline]
+    fn marked(&self, vm: VmId, gfn: Gfn) -> bool {
+        self.marks
+            .get(vm.get() as usize)
+            .and_then(|m| m.get(gfn.index() / 64))
+            .is_some_and(|w| w & (1 << (gfn.index() % 64)) != 0)
+    }
+
+    /// Sets or clears a page's membership bit, growing the bitmap on
+    /// first use of a VM or page range.
+    fn mark(&mut self, vm: VmId, gfn: Gfn, on: bool) {
+        let v = vm.get() as usize;
+        if self.marks.len() <= v {
+            self.marks.resize_with(v + 1, Vec::new);
+        }
+        let map = &mut self.marks[v];
+        let word = gfn.index() / 64;
+        if map.len() <= word {
+            map.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (gfn.index() % 64);
+        if on {
+            map[word] |= bit;
+        } else {
+            map[word] &= !bit;
+        }
+    }
+
+    /// Removes the emulation at `pos`, keeping the membership bitmap in
+    /// sync.
+    fn take_emu(&mut self, pos: usize) -> Emulation {
+        let emu = self.emus.swap_remove(pos);
+        self.mark(emu.vm, emu.gfn, false);
+        emu
     }
 
     /// True when the Preventer would intercept a write to `gfn`: it is
@@ -181,13 +231,21 @@ impl FalseReadsPreventer {
     /// Returns the total cost charged (the guest is synchronous in this
     /// model, approximating the paper's asynchronous read).
     pub fn expire(&mut self, host: &mut HostKernel, now: SimTime) -> SimDuration {
+        // Called on every guest memory operation: bail without scanning
+        // unless the oldest possible buffer could actually be expired.
+        if self.emus.is_empty() || now.saturating_since(self.earliest) < self.cfg.timeout {
+            return SimDuration::ZERO;
+        }
         let mut cost = SimDuration::ZERO;
         while let Some(pos) =
             self.emus.iter().position(|e| now.saturating_since(e.first_write) >= self.cfg.timeout)
         {
-            let emu = self.emus.swap_remove(pos);
+            let emu = self.take_emu(pos);
             cost += self.merge(host, now + cost, emu, MergeCause::Timeout);
         }
+        // Tighten the bound to the survivors' true minimum so the next
+        // fast-path check is exact.
+        self.earliest = self.emus.iter().map(|e| e.first_write).min().unwrap_or(now);
         cost
     }
 
@@ -218,6 +276,10 @@ impl FalseReadsPreventer {
         let (frame, alloc_cost) = host.alloc_buffer_frame(now + cost, vm, gfn);
         cost += alloc_cost;
         let label = host.fresh_label();
+        if self.emus.is_empty() || now < self.earliest {
+            self.earliest = now;
+        }
+        self.mark(vm, gfn, true);
         self.emus.push(Emulation { vm, gfn, frame, first_write: now, label });
         self.stats.buffers_opened += 1;
         self.events.emit_with(now, Some(vm.get()), || Event::PreventerOpen { gfn: gfn.get() });
@@ -244,7 +306,7 @@ impl FalseReadsPreventer {
         let mut cost = self.cfg.emulated_write_overhead;
         if let Some(pos) = self.emus.iter().position(|e| e.vm == vm && e.gfn == gfn) {
             // The running emulation just completed the page.
-            let emu = self.emus.swap_remove(pos);
+            let emu = self.take_emu(pos);
             self.install(host, now, emu.frame, vm, gfn, label);
             self.stats.remaps += 1;
             self.latency.record(
@@ -279,10 +341,15 @@ impl FalseReadsPreventer {
         vm: VmId,
         gfn: Gfn,
     ) -> SimDuration {
-        let Some(pos) = self.emus.iter().position(|e| e.vm == vm && e.gfn == gfn) else {
+        if !self.marked(vm, gfn) {
             return SimDuration::ZERO;
-        };
-        let emu = self.emus.swap_remove(pos);
+        }
+        let pos = self
+            .emus
+            .iter()
+            .position(|e| e.vm == vm && e.gfn == gfn)
+            .expect("marked pages have an emulation");
+        let emu = self.take_emu(pos);
         self.merge(host, now, emu, MergeCause::GuestRead)
     }
 
@@ -296,10 +363,15 @@ impl FalseReadsPreventer {
         vm: VmId,
         gfn: Gfn,
     ) -> SimDuration {
-        let Some(pos) = self.emus.iter().position(|e| e.vm == vm && e.gfn == gfn) else {
+        if !self.marked(vm, gfn) {
             return SimDuration::ZERO;
-        };
-        let emu = self.emus.swap_remove(pos);
+        }
+        let pos = self
+            .emus
+            .iter()
+            .position(|e| e.vm == vm && e.gfn == gfn)
+            .expect("marked pages have an emulation");
+        let emu = self.take_emu(pos);
         self.merge(host, now, emu, MergeCause::HostAccess)
     }
 
@@ -307,7 +379,7 @@ impl FalseReadsPreventer {
     /// cancel and drop the buffer.
     pub fn cancel(&mut self, host: &mut HostKernel, now: SimTime, vm: VmId, gfn: Gfn) {
         if let Some(pos) = self.emus.iter().position(|e| e.vm == vm && e.gfn == gfn) {
-            let emu = self.emus.swap_remove(pos);
+            let emu = self.take_emu(pos);
             host.drop_buffer_frame(vm, emu.frame);
             self.stats.cancelled += 1;
             self.latency.record(
@@ -324,6 +396,7 @@ impl FalseReadsPreventer {
     pub fn flush_all(&mut self, host: &mut HostKernel, now: SimTime) -> SimDuration {
         let mut cost = SimDuration::ZERO;
         while let Some(emu) = self.emus.pop() {
+            self.mark(emu.vm, emu.gfn, false);
             cost += self.merge(host, now + cost, emu, MergeCause::Timeout);
         }
         cost
@@ -341,7 +414,7 @@ impl FalseReadsPreventer {
             .min_by_key(|(_, e)| e.first_write)
             .map(|(i, _)| i)
             .expect("table is full");
-        let emu = self.emus.swap_remove(oldest);
+        let emu = self.take_emu(oldest);
         self.merge(host, now, emu, MergeCause::Capacity)
     }
 

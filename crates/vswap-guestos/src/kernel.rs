@@ -8,7 +8,7 @@ use crate::spec::GuestSpec;
 use crate::stats::GuestStats;
 use crate::swap::{GuestSlotInfo, GuestSwap};
 use sim_core::{DeterministicRng, SimDuration};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use vswap_mem::{ContentLabel, Gfn, IndexList, Vpn};
@@ -72,6 +72,80 @@ struct CacheEntry {
     label: ContentLabel,
 }
 
+/// Dense page-cache index over image pages, stored as parallel arrays
+/// whose empty state is all-zero bytes: construction over a multi-
+/// gigabyte disk image is one `alloc_zeroed` (lazily mapped), not an
+/// eager fill per guest.
+#[derive(Debug)]
+struct CacheIndex {
+    /// `gfn + 1` per image page; `0` = not cached.
+    gfn: Vec<u64>,
+    /// Raw content label per cached image page.
+    label: Vec<u64>,
+    /// Dirty bit per image page (set only while the page is cached).
+    dirty_bits: Vec<u64>,
+}
+
+impl CacheIndex {
+    fn new(pages: u64) -> Self {
+        CacheIndex {
+            gfn: vec![0; pages as usize],
+            label: vec![0; pages as usize],
+            dirty_bits: vec![0; (pages as usize).div_ceil(64)],
+        }
+    }
+
+    fn is_cached(&self, page: u64) -> bool {
+        self.gfn[page as usize] != 0
+    }
+
+    fn get(&self, page: u64) -> Option<CacheEntry> {
+        let gfn = self.gfn[page as usize].checked_sub(1)?;
+        Some(CacheEntry {
+            gfn: Gfn::new(gfn),
+            dirty: self.dirty(page),
+            label: ContentLabel::from_raw(self.label[page as usize]),
+        })
+    }
+
+    fn insert(&mut self, page: u64, entry: CacheEntry) {
+        self.gfn[page as usize] = entry.gfn.get() + 1;
+        self.label[page as usize] = entry.label.get();
+        self.set_dirty(page, entry.dirty);
+    }
+
+    fn remove(&mut self, page: u64) {
+        self.gfn[page as usize] = 0;
+        self.label[page as usize] = 0;
+        self.set_dirty(page, false);
+    }
+
+    fn set_label(&mut self, page: u64, label: ContentLabel) {
+        self.label[page as usize] = label.get();
+    }
+
+    fn dirty(&self, page: u64) -> bool {
+        self.dirty_bits[(page / 64) as usize] & (1u64 << (page % 64)) != 0
+    }
+
+    fn set_dirty(&mut self, page: u64, dirty: bool) {
+        let mask = 1u64 << (page % 64);
+        if dirty {
+            self.dirty_bits[(page / 64) as usize] |= mask;
+        } else {
+            self.dirty_bits[(page / 64) as usize] &= !mask;
+        }
+    }
+
+    fn cached_count(&self) -> u64 {
+        self.gfn.iter().filter(|&&g| g != 0).count() as u64
+    }
+
+    fn dirty_count(&self) -> u64 {
+        self.dirty_bits.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+}
+
 /// Minimum page-cache pages guest reclaim keeps before it starts swapping
 /// anonymous memory instead.
 const MIN_CACHE_PAGES: usize = 64;
@@ -82,8 +156,12 @@ pub struct GuestKernel {
     spec: GuestSpec,
     page_state: Vec<GuestPageState>,
     free_gfns: VecDeque<Gfn>,
-    cache: HashMap<u64, CacheEntry>,
-    cache_by_gfn: HashMap<Gfn, u64>,
+    /// Page-cache index, dense over image pages (`spec.disk.pages()`
+    /// entries). The reverse gfn → image-page direction lives in
+    /// `page_state` as [`GuestPageState::Cache`], so cache lookups in
+    /// both directions are array reads — no hashing on the fault path.
+    cache: CacheIndex,
+    cache_len: u64,
     cache_lru: IndexList,
     anon_lru: IndexList,
     dirty_fifo: VecDeque<u64>,
@@ -101,6 +179,9 @@ pub struct GuestKernel {
     op_counter: u64,
     /// Round-robin cursor over the hot kernel pages.
     kernel_touch_cursor: u64,
+    /// Reusable readahead-window snapshot for [`GuestKernel::guest_swap_in`];
+    /// kept across faults so the steady state allocates nothing.
+    swapin_scratch: Vec<(u64, GuestSlotInfo)>,
 }
 
 impl GuestKernel {
@@ -130,8 +211,8 @@ impl GuestKernel {
         GuestKernel {
             page_state,
             free_gfns,
-            cache: HashMap::new(),
-            cache_by_gfn: HashMap::new(),
+            cache: CacheIndex::new(disk_pages),
+            cache_len: 0,
             cache_lru: IndexList::with_capacity(gfn_count as usize),
             anon_lru: IndexList::with_capacity(gfn_count as usize),
             dirty_fifo: VecDeque::new(),
@@ -145,6 +226,7 @@ impl GuestKernel {
             balloon_swap_score: 0,
             op_counter: 0,
             kernel_touch_cursor: 0,
+            swapin_scratch: Vec::new(),
             spec,
         }
     }
@@ -165,13 +247,13 @@ impl GuestKernel {
 
     /// Pages currently in the guest page cache.
     pub fn cache_pages(&self) -> u64 {
-        self.cache.len() as u64
+        self.cache_len
     }
 
     /// Clean (non-dirty) pages in the guest page cache — the population
     /// the Swap Mapper can track (Figure 15).
     pub fn cache_clean_pages(&self) -> u64 {
-        self.cache.len() as u64 - self.dirty_count
+        self.cache_len - self.dirty_count
     }
 
     /// Pages on the guest free list.
@@ -204,7 +286,7 @@ impl GuestKernel {
                 let gfn = Gfn::new(idx as u64);
                 match *state {
                     GuestPageState::Cache { image_page } => {
-                        Some((gfn, self.cache[&image_page].label))
+                        Some((gfn, self.cache.get(image_page).expect("cached").label))
                     }
                     GuestPageState::Anon { proc, vpn } => {
                         match self.processes[proc.index()].pages[vpn.index()] {
@@ -313,7 +395,7 @@ impl GuestKernel {
         let mut p = offset;
         while p < offset + count {
             let image_page = self.fs.image_page(file, p);
-            if let Some(entry) = self.cache.get(&image_page).copied() {
+            if let Some(entry) = self.cache.get(image_page) {
                 self.stats.cache_hits += 1;
                 let r = hw.mem_read(entry.gfn);
                 debug_assert_eq!(r.label, entry.label, "cache content diverged at {file}:{p}");
@@ -329,7 +411,7 @@ impl GuestKernel {
             let mut run = 0;
             while run < max_run {
                 let ip = self.fs.image_page(file, p + run);
-                if self.cache.contains_key(&ip) {
+                if self.cache.is_cached(ip) {
                     break;
                 }
                 run += 1;
@@ -347,7 +429,7 @@ impl GuestKernel {
                 self.install_cache_page(gfn, ip, label, false);
             }
             self.stats.readahead_pages += run - 1;
-            let first = self.cache[&image_page];
+            let first = self.cache.get(image_page).expect("just installed");
             let r = hw.mem_read(first.gfn);
             debug_assert_eq!(r.label, first.label, "freshly read content diverged");
             elapsed += r.latency;
@@ -378,7 +460,7 @@ impl GuestKernel {
         assert!(offset + count <= self.fs.len(file), "write past end of {file}");
         for p in offset..offset + count {
             let image_page = self.fs.image_page(file, p);
-            if let Some(entry) = self.cache.get(&image_page).copied() {
+            if let Some(entry) = self.cache.get(image_page) {
                 let r = hw.mem_write(entry.gfn);
                 elapsed += r.latency;
                 self.cache_lru.move_to_back(entry.gfn.index());
@@ -412,8 +494,11 @@ impl GuestKernel {
         let mut elapsed = self.sync(hw);
         while let Some(idx) = self.cache_lru.pop_front() {
             let gfn = Gfn::new(idx as u64);
-            let image_page = self.cache_by_gfn.remove(&gfn).expect("cached");
-            self.cache.remove(&image_page);
+            let GuestPageState::Cache { image_page } = self.page_state[idx] else {
+                unreachable!("cache LRU holds only cache pages");
+            };
+            self.cache.remove(image_page);
+            self.cache_len -= 1;
             self.stats.dropped_clean += 1;
             self.release_gfn(gfn);
         }
@@ -670,8 +755,10 @@ impl GuestKernel {
     fn drop_cache_victim(&mut self, hw: &mut dyn VirtualHardware) -> bool {
         let Some(idx) = self.cache_lru.front() else { return false };
         let gfn = Gfn::new(idx as u64);
-        let image_page = self.cache_by_gfn[&gfn];
-        let entry = self.cache[&image_page];
+        let GuestPageState::Cache { image_page } = self.page_state[idx] else {
+            unreachable!("cache LRU holds only cache pages");
+        };
+        let entry = self.cache.get(image_page).expect("cached");
         if entry.dirty {
             hw.disk_write_behind(&[gfn], image_page, true);
             self.stats.writebacks += 1;
@@ -680,8 +767,8 @@ impl GuestKernel {
             self.stats.dropped_clean += 1;
         }
         self.cache_lru.remove(idx);
-        self.cache.remove(&image_page);
-        self.cache_by_gfn.remove(&gfn);
+        self.cache.remove(image_page);
+        self.cache_len -= 1;
         self.release_gfn(gfn);
         true
     }
@@ -739,8 +826,12 @@ impl GuestKernel {
     ) -> Result<SimDuration, GuestError> {
         let mut elapsed = SimDuration::ZERO;
         let mut loaded = 0;
-        let window = self.swap.window(slot, self.spec.swap_readahead);
-        for (s, info) in window {
+        // Snapshot the window into a reusable scratch buffer: the loop
+        // below mutates `self.swap` (alloc_gfn may reclaim), so it cannot
+        // borrow the partition while walking it.
+        let mut window = std::mem::take(&mut self.swapin_scratch);
+        self.swap.window_into(slot, self.spec.swap_readahead, &mut window);
+        for &(s, info) in &window {
             if self.swap.get(s) != Some(info) {
                 continue; // raced with reclaim during our own allocations
             }
@@ -763,6 +854,7 @@ impl GuestKernel {
                 self.stats.guest_swap_readahead += 1;
             }
         }
+        self.swapin_scratch = window;
         if loaded > 0 {
             hw.observe(sim_obs::Event::GuestSwapIn { pages: loaded });
         }
@@ -826,8 +918,9 @@ impl GuestKernel {
 
     fn install_cache_page(&mut self, gfn: Gfn, image_page: u64, label: ContentLabel, dirty: bool) {
         self.page_state[gfn.index()] = GuestPageState::Cache { image_page };
+        debug_assert!(!self.cache.is_cached(image_page), "double-caching {image_page}");
         self.cache.insert(image_page, CacheEntry { gfn, dirty, label });
-        self.cache_by_gfn.insert(gfn, image_page);
+        self.cache_len += 1;
         self.cache_lru.push_back(gfn.index());
         if dirty {
             self.dirty_count += 1;
@@ -853,19 +946,19 @@ impl GuestKernel {
     }
 
     fn mark_dirty(&mut self, image_page: u64, label: ContentLabel) {
-        let entry = self.cache.get_mut(&image_page).expect("cached");
-        entry.label = label;
-        if !entry.dirty {
-            entry.dirty = true;
+        assert!(self.cache.is_cached(image_page), "cached");
+        self.cache.set_label(image_page, label);
+        if !self.cache.dirty(image_page) {
+            self.cache.set_dirty(image_page, true);
             self.dirty_count += 1;
             self.dirty_fifo.push_back(image_page);
         }
     }
 
     fn clear_dirty(&mut self, image_page: u64) {
-        let entry = self.cache.get_mut(&image_page).expect("cached");
-        if entry.dirty {
-            entry.dirty = false;
+        assert!(self.cache.is_cached(image_page), "cached");
+        if self.cache.dirty(image_page) {
+            self.cache.set_dirty(image_page, false);
             self.dirty_count -= 1;
         }
     }
@@ -884,7 +977,7 @@ impl GuestKernel {
         let mut victims: Vec<u64> = Vec::new();
         while victims.len() < batch as usize {
             let Some(image_page) = self.dirty_fifo.pop_front() else { break };
-            if self.cache.get(&image_page).is_some_and(|e| e.dirty) {
+            if self.cache.is_cached(image_page) && self.cache.dirty(image_page) {
                 victims.push(image_page);
             }
         }
@@ -895,7 +988,8 @@ impl GuestKernel {
             while j < victims.len() && victims[j] == victims[j - 1] + 1 {
                 j += 1;
             }
-            let gfns: Vec<Gfn> = victims[i..j].iter().map(|p| self.cache[p].gfn).collect();
+            let gfns: Vec<Gfn> =
+                victims[i..j].iter().map(|p| self.cache.get(*p).expect("cached").gfn).collect();
             elapsed += hw.disk_write(&gfns, victims[i], true);
             for p in &victims[i..j] {
                 self.clear_dirty(*p);
@@ -921,7 +1015,7 @@ impl GuestKernel {
                 GuestPageState::Cache { image_page } => {
                     let entry = self
                         .cache
-                        .get(&image_page)
+                        .get(image_page)
                         .ok_or_else(|| format!("{gfn} claims uncached page {image_page}"))?;
                     if entry.gfn != gfn {
                         return Err(format!("cache entry for {image_page} points elsewhere"));
@@ -950,10 +1044,14 @@ impl GuestKernel {
                 self.free_pages()
             ));
         }
-        if self.cache.len() != self.cache_lru.len() {
-            return Err("cache map and LRU out of sync".to_owned());
+        let cached = self.cache.cached_count();
+        if cached != self.cache_len {
+            return Err(format!("cache len {} != actual {cached}", self.cache_len));
         }
-        let dirty = self.cache.values().filter(|e| e.dirty).count() as u64;
+        if self.cache_len != self.cache_lru.len() as u64 {
+            return Err("cache index and LRU out of sync".to_owned());
+        }
+        let dirty = self.cache.dirty_count();
         if dirty != self.dirty_count {
             return Err(format!("dirty count {} != actual {dirty}", self.dirty_count));
         }

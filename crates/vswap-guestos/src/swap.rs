@@ -6,7 +6,6 @@
 //! view that is ordinary virtual-disk I/O.
 
 use crate::process::ProcId;
-use std::collections::BTreeSet;
 use vswap_mem::{ContentLabel, Vpn};
 
 /// What one occupied guest swap slot holds.
@@ -38,19 +37,33 @@ pub struct GuestSlotInfo {
 pub struct GuestSwap {
     base_page: u64,
     slots: Vec<Option<GuestSlotInfo>>,
-    free: BTreeSet<u64>,
+    /// Free bitmap, one bit per slot; mirrors the host `SwapArea` shape
+    /// so slot allocation is a word scan, not a tree walk per swap-out.
+    free_bits: Vec<u64>,
+    free_count: u64,
     cursor: u64,
+    /// No free slot exists below `low_hint * 64`; lowered on free so the
+    /// wrap scan stays amortized O(1).
+    low_hint: usize,
 }
 
 impl GuestSwap {
     /// Creates a swap partition of `pages` slots whose first slot lives at
     /// virtual-disk page `base_page`.
     pub fn new(base_page: u64, pages: u64) -> Self {
+        let words = (pages as usize).div_ceil(64);
+        let mut free_bits = vec![u64::MAX; words];
+        let tail = pages % 64;
+        if tail != 0 {
+            free_bits[words - 1] = (1u64 << tail) - 1;
+        }
         GuestSwap {
             base_page,
             slots: vec![None; pages as usize],
-            free: (0..pages).collect(),
+            free_bits,
+            free_count: pages,
             cursor: 0,
+            low_hint: 0,
         }
     }
 
@@ -61,18 +74,39 @@ impl GuestSwap {
 
     /// Occupied slots.
     pub fn used(&self) -> u64 {
-        self.capacity() - self.free.len() as u64
+        self.capacity() - self.free_count
+    }
+
+    /// First free slot at or after `start`, if any.
+    fn next_free_from(&self, start: u64) -> Option<u64> {
+        let mut word = start as usize / 64;
+        if word >= self.free_bits.len() {
+            return None;
+        }
+        let mut mask = self.free_bits[word] & !((1u64 << (start % 64)) - 1);
+        loop {
+            if mask != 0 {
+                return Some((word as u64) * 64 + u64::from(mask.trailing_zeros()));
+            }
+            word += 1;
+            if word >= self.free_bits.len() {
+                return None;
+            }
+            mask = self.free_bits[word];
+        }
     }
 
     /// Allocates a slot (cursor scan with wrap, like the host allocator).
     pub fn alloc(&mut self, info: GuestSlotInfo) -> Option<u64> {
+        if self.free_count == 0 {
+            return None;
+        }
         let slot = self
-            .free
-            .range(self.cursor..)
-            .next()
-            .copied()
-            .or_else(|| self.free.iter().next().copied())?;
-        self.free.remove(&slot);
+            .next_free_from(self.cursor)
+            .or_else(|| self.next_free_from((self.low_hint as u64) * 64))
+            .expect("free_count > 0");
+        self.free_bits[slot as usize / 64] &= !(1u64 << (slot % 64));
+        self.free_count -= 1;
         self.cursor = slot + 1;
         self.slots[slot as usize] = Some(info);
         Some(slot)
@@ -87,7 +121,10 @@ impl GuestSwap {
         let entry = &mut self.slots[slot as usize];
         assert!(entry.is_some(), "freeing free guest swap slot {slot}");
         *entry = None;
-        self.free.insert(slot);
+        debug_assert_eq!(self.free_bits[slot as usize / 64] & (1u64 << (slot % 64)), 0);
+        self.free_bits[slot as usize / 64] |= 1u64 << (slot % 64);
+        self.free_count += 1;
+        self.low_hint = self.low_hint.min(slot as usize / 64);
     }
 
     /// Contents of a slot, or `None` if free.
@@ -105,6 +142,15 @@ impl GuestSwap {
     pub fn window(&self, start: u64, window: u64) -> Vec<(u64, GuestSlotInfo)> {
         let end = (start + window).min(self.capacity());
         (start..end).filter_map(|s| self.slots[s as usize].map(|i| (s, i))).collect()
+    }
+
+    /// Snapshots the occupied slots of `[start, start + window)` into
+    /// `out` (cleared first) — the readahead loop mutates the partition
+    /// while it walks, so it needs a stable copy, not a borrow.
+    pub fn window_into(&self, start: u64, window: u64, out: &mut Vec<(u64, GuestSlotInfo)>) {
+        out.clear();
+        let end = (start + window).min(self.capacity());
+        out.extend((start..end).filter_map(|s| self.slots[s as usize].map(|i| (s, i))));
     }
 }
 

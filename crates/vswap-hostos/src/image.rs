@@ -26,7 +26,15 @@ use vswap_mem::{ContentLabel, LabelGen};
 /// ```
 #[derive(Debug, Clone)]
 pub struct ImageStore {
-    labels: Vec<ContentLabel>,
+    /// First label of the contiguous block reserved for this image: an
+    /// unwritten page `p` holds `base + p` implicitly, so formatting a
+    /// multi-gigabyte image costs one label-block reservation instead of
+    /// one `fresh()` call per page.
+    base: u64,
+    /// `label + 1` for written pages; `0` = never written (label derives
+    /// from `base`). Off-by-one because a legitimately written label may
+    /// itself be `ContentLabel::ZERO`. All-zero at rest → `alloc_zeroed`.
+    written: Vec<u64>,
     writes: u64,
 }
 
@@ -34,12 +42,16 @@ impl ImageStore {
     /// Creates an image of `pages` pages, each with distinct initial
     /// content drawn from `gen` (a freshly formatted image with data).
     pub fn new(pages: u64, gen: &mut LabelGen) -> Self {
-        ImageStore { labels: (0..pages).map(|_| gen.fresh()).collect(), writes: 0 }
+        ImageStore {
+            base: gen.fresh_block(pages).get(),
+            written: vec![0; pages as usize],
+            writes: 0,
+        }
     }
 
     /// Size of the image in pages.
     pub fn pages(&self) -> u64 {
-        self.labels.len() as u64
+        self.written.len() as u64
     }
 
     /// Returns the content currently stored at `page`.
@@ -48,7 +60,10 @@ impl ImageStore {
     ///
     /// Panics if `page` is out of bounds.
     pub fn label(&self, page: u64) -> ContentLabel {
-        self.labels[page as usize]
+        match self.written[page as usize] {
+            0 => ContentLabel::from_raw(self.base + page),
+            raw => ContentLabel::from_raw(raw - 1),
+        }
     }
 
     /// Overwrites the content at `page`.
@@ -57,7 +72,7 @@ impl ImageStore {
     ///
     /// Panics if `page` is out of bounds.
     pub fn write(&mut self, page: u64, label: ContentLabel) {
-        self.labels[page as usize] = label;
+        self.written[page as usize] = label.get() + 1;
         self.writes += 1;
     }
 

@@ -179,6 +179,14 @@ pub struct HostKernel {
     latency: LatencyHub,
     /// Retry/backoff schedule applied to failed disk requests.
     retry: RetryPolicy,
+    /// Reused swap-readahead cluster scratch (slot, slot contents); taken
+    /// out of `self` for the duration of a fault so the steady-state path
+    /// never allocates.
+    swap_cluster_scratch: Vec<(u64, SlotInfo)>,
+    /// Reused image-readahead cluster scratch (image page, guest frame).
+    image_cluster_scratch: Vec<(u64, Gfn)>,
+    /// Reused target-frame scratch, parallel to the cluster scratch.
+    frame_scratch: Vec<FrameId>,
 }
 
 impl HostKernel {
@@ -211,6 +219,9 @@ impl HostKernel {
             events: EventLog::disabled(),
             latency: LatencyHub::new(),
             retry: RetryPolicy::paper_default(),
+            swap_cluster_scratch: Vec::new(),
+            image_cluster_scratch: Vec::new(),
+            frame_scratch: Vec::new(),
             spec,
         })
     }
@@ -279,7 +290,7 @@ impl HostKernel {
             image: ImageStore::new(cfg.image_pages, &mut self.labels),
             image_region,
             hv_binary_region,
-            origin: OriginMap::new(cfg.gfn_count),
+            origin: OriginMap::new(cfg.gfn_count, cfg.image_pages),
             anon_lru: ListHead::new(),
             named_lru: ListHead::new(),
             mem_limit: cfg.mem_limit_pages,
@@ -1124,35 +1135,42 @@ impl HostKernel {
         let t0 = *t;
         let lifecycle = self.events.open_span(t0);
         self.adjust_readahead_window(vm);
-        let window = self.swap.window(slot, self.vms[vm.index()].ra_window);
-        let cluster: Vec<(u64, SlotInfo)> =
-            window.into_iter().filter(|(_, info)| info.vm == vm).collect();
+        // Take the reused scratch out of `self` for the fault's duration:
+        // after warm-up this path performs no heap allocation.
+        let mut cluster = std::mem::take(&mut self.swap_cluster_scratch);
+        cluster.clear();
+        cluster.extend(
+            self.swap
+                .window_iter(slot, self.vms[vm.index()].ra_window)
+                .filter(|(_, info)| info.vm == vm),
+        );
         debug_assert!(cluster.iter().any(|&(s, _)| s == slot), "faulting slot must be occupied");
 
         // Allocate all target frames first (may trigger reclaim).
-        let mut targets = Vec::with_capacity(cluster.len());
-        for &(s, info) in &cluster {
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        frames.clear();
+        for &(_, info) in &cluster {
             let frame = self
                 .alloc_frame(t, vm, FrameOwner::Guest { vm: info.vm, gfn: info.gfn })
                 .expect("reclaim guarantees progress");
-            targets.push((s, info, frame));
+            frames.push(frame);
         }
 
         // Readahead reads the covering span in one request, holes
         // included — one positioning cost, then sequential transfer.
-        let first = targets.iter().map(|&(s, _, _)| s).min().expect("non-empty cluster");
-        let last = targets.iter().map(|&(s, _, _)| s).max().expect("non-empty cluster");
+        let first = cluster.iter().map(|&(s, _)| s).min().expect("non-empty cluster");
+        let last = cluster.iter().map(|&(s, _)| s).max().expect("non-empty cluster");
         let span = self.swap_region.page_span(first, last - first + 1);
         let failed = self.disk_io_failed(t, vm, IoKind::Read, span, IoTag::HostSwap);
         if failed {
             // Unreadable physical slots: every cluster member's logical
             // content survives in its slot record; serve them degraded
             // and retire the bad slots below.
-            self.stats.recovered_pages += targets.len() as u64;
+            self.stats.recovered_pages += cluster.len() as u64;
         }
-        let readahead = targets.len() as u64 - 1;
+        let readahead = cluster.len() as u64 - 1;
 
-        for (s, info, frame) in targets {
+        for (&(s, info), &frame) in cluster.iter().zip(&frames) {
             self.frames.set_label(frame, info.label);
             self.frames.set_dirty(frame, false);
             self.vms[vm.index()].ept.set_backing(info.gfn, Backing::None);
@@ -1178,6 +1196,8 @@ impl HostKernel {
             }
         }
 
+        self.swap_cluster_scratch = cluster;
+        self.frame_scratch = frames;
         self.latency.record(vm.get(), LatencyClass::SwapIn, *t - t0);
         self.events.close_span_with(lifecycle, Some(vm.get()), || Event::SwapIn {
             gfn: gfn.get(),
@@ -1194,7 +1214,8 @@ impl HostKernel {
         let t0 = *t;
         let span = self.events.open_span(t0);
         let end = (page + self.spec.image_readahead_pages).min(self.vms[vm.index()].image.pages());
-        let mut cluster: Vec<(u64, Gfn)> = Vec::new();
+        let mut cluster = std::mem::take(&mut self.image_cluster_scratch);
+        cluster.clear();
         for p in page..end {
             match self.vms[vm.index()].origin.gfn_for_page(p) {
                 Some(g) if self.vms[vm.index()].ept.backing(g) == Some(Backing::ImagePage(p)) => {
@@ -1205,12 +1226,13 @@ impl HostKernel {
             }
         }
 
-        let mut targets = Vec::with_capacity(cluster.len());
-        for &(p, g) in &cluster {
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        frames.clear();
+        for &(_, g) in &cluster {
             let frame = self
                 .alloc_frame(t, vm, FrameOwner::Guest { vm, gfn: g })
                 .expect("reclaim guarantees progress");
-            targets.push((p, g, frame));
+            frames.push(frame);
         }
 
         let count = cluster.len() as u64;
@@ -1221,7 +1243,7 @@ impl HostKernel {
             // members are quarantined (and degraded to anonymous) below.
             self.stats.recovered_pages += count;
         }
-        for (p, g, frame) in targets {
+        for (&(p, g), &frame) in cluster.iter().zip(&frames) {
             let label = self.vms[vm.index()].image.label(p);
             self.frames.set_label(frame, label);
             self.frames.set_dirty(frame, false);
@@ -1252,6 +1274,8 @@ impl HostKernel {
             }
         }
 
+        self.image_cluster_scratch = cluster;
+        self.frame_scratch = frames;
         self.latency.record(vm.get(), LatencyClass::SwapIn, *t - t0);
         self.events.close_span_with(span, Some(vm.get()), || Event::NamedRefault {
             gfn: gfn.get(),

@@ -14,8 +14,10 @@
 //! An association is always *clean*: the moment the guest dirties the page
 //! (COW break) or the underlying image block is overwritten, the
 //! association is dissolved.
+//!
+//! Both directions are dense arrays — gfn-indexed and image-page-indexed —
+//! so lookups on the fault path are single array reads with no hashing.
 
-use std::collections::HashMap;
 use vswap_mem::Gfn;
 
 /// Bidirectional map between guest frame numbers and image pages.
@@ -26,7 +28,7 @@ use vswap_mem::Gfn;
 /// use vswap_hostos::OriginMap;
 /// use vswap_mem::Gfn;
 ///
-/// let mut origin = OriginMap::new(16);
+/// let mut origin = OriginMap::new(16, 1024);
 /// origin.associate(Gfn::new(2), 7);
 /// assert_eq!(origin.page_for_gfn(Gfn::new(2)), Some(7));
 /// assert_eq!(origin.gfn_for_page(7), Some(Gfn::new(2)));
@@ -35,15 +37,24 @@ use vswap_mem::Gfn;
 /// ```
 #[derive(Debug, Clone)]
 pub struct OriginMap {
-    by_gfn: Vec<Option<u64>>,
-    by_page: HashMap<u64, Gfn>,
+    /// `image_page + 1` per gfn; `0` = no association. The off-by-one
+    /// sentinel keeps the empty map all-zero bytes so construction over a
+    /// multi-gigabyte image is `alloc_zeroed`, not an eager fill.
+    by_gfn: Vec<u64>,
+    /// `gfn + 1` per image page; `0` = no association.
+    by_page: Vec<u64>,
+    live: usize,
 }
 
 impl OriginMap {
     /// Creates an empty map for a guest-physical space of `gfn_count`
-    /// pages.
-    pub fn new(gfn_count: u64) -> Self {
-        OriginMap { by_gfn: vec![None; gfn_count as usize], by_page: HashMap::new() }
+    /// pages over a disk image of `image_pages` pages.
+    pub fn new(gfn_count: u64, image_pages: u64) -> Self {
+        OriginMap {
+            by_gfn: vec![0; gfn_count as usize],
+            by_page: vec![0; image_pages as usize],
+            live: 0,
+        }
     }
 
     /// Associates `gfn` with `image_page`, dissolving any association
@@ -52,45 +63,50 @@ impl OriginMap {
     pub fn associate(&mut self, gfn: Gfn, image_page: u64) {
         self.dissociate_gfn(gfn);
         self.dissociate_page(image_page);
-        self.by_gfn[gfn.index()] = Some(image_page);
-        self.by_page.insert(image_page, gfn);
+        self.by_gfn[gfn.index()] = image_page + 1;
+        self.by_page[image_page as usize] = gfn.get() + 1;
+        self.live += 1;
     }
 
     /// Removes the association of `gfn`, if any. Returns the image page it
     /// was associated with.
     pub fn dissociate_gfn(&mut self, gfn: Gfn) -> Option<u64> {
-        let page = self.by_gfn[gfn.index()].take()?;
-        self.by_page.remove(&page);
+        let page = self.by_gfn[gfn.index()].checked_sub(1)?;
+        self.by_gfn[gfn.index()] = 0;
+        self.by_page[page as usize] = 0;
+        self.live -= 1;
         Some(page)
     }
 
     /// Removes the association of `image_page`, if any. Returns the guest
     /// frame it was associated with.
     pub fn dissociate_page(&mut self, image_page: u64) -> Option<Gfn> {
-        let gfn = self.by_page.remove(&image_page)?;
-        self.by_gfn[gfn.index()] = None;
-        Some(gfn)
+        let gfn = self.by_page[image_page as usize].checked_sub(1)?;
+        self.by_page[image_page as usize] = 0;
+        self.by_gfn[gfn as usize] = 0;
+        self.live -= 1;
+        Some(Gfn::new(gfn))
     }
 
     /// The image page backing `gfn`, if associated.
     pub fn page_for_gfn(&self, gfn: Gfn) -> Option<u64> {
-        self.by_gfn[gfn.index()]
+        self.by_gfn[gfn.index()].checked_sub(1)
     }
 
     /// The guest frame associated with `image_page`, if any.
     pub fn gfn_for_page(&self, image_page: u64) -> Option<Gfn> {
-        self.by_page.get(&image_page).copied()
+        self.by_page[image_page as usize].checked_sub(1).map(Gfn::new)
     }
 
     /// Number of live associations (the Mapper's tracked-page count,
     /// Figure 15).
     pub fn len(&self) -> usize {
-        self.by_page.len()
+        self.live
     }
 
     /// True if no associations exist.
     pub fn is_empty(&self) -> bool {
-        self.by_page.is_empty()
+        self.live == 0
     }
 }
 
@@ -100,7 +116,7 @@ mod tests {
 
     #[test]
     fn association_is_bidirectional() {
-        let mut o = OriginMap::new(8);
+        let mut o = OriginMap::new(8, 512);
         o.associate(Gfn::new(1), 100);
         assert_eq!(o.page_for_gfn(Gfn::new(1)), Some(100));
         assert_eq!(o.gfn_for_page(100), Some(Gfn::new(1)));
@@ -109,7 +125,7 @@ mod tests {
 
     #[test]
     fn reassociating_gfn_clears_old_page() {
-        let mut o = OriginMap::new(8);
+        let mut o = OriginMap::new(8, 512);
         o.associate(Gfn::new(1), 100);
         o.associate(Gfn::new(1), 200);
         assert_eq!(o.gfn_for_page(100), None);
@@ -119,7 +135,7 @@ mod tests {
 
     #[test]
     fn reassociating_page_clears_old_gfn() {
-        let mut o = OriginMap::new(8);
+        let mut o = OriginMap::new(8, 512);
         o.associate(Gfn::new(1), 100);
         o.associate(Gfn::new(2), 100);
         assert_eq!(o.page_for_gfn(Gfn::new(1)), None);
@@ -129,7 +145,7 @@ mod tests {
 
     #[test]
     fn dissociate_both_directions() {
-        let mut o = OriginMap::new(8);
+        let mut o = OriginMap::new(8, 512);
         o.associate(Gfn::new(3), 300);
         assert_eq!(o.dissociate_page(300), Some(Gfn::new(3)));
         assert!(o.is_empty());

@@ -5,6 +5,12 @@
 //! cursor (so a fresh swap area fills sequentially in reclaim order), and
 //! freed slots leave holes that later allocations plug out of order — which
 //! is precisely how file-sequential content gets scattered over time.
+//!
+//! Free slots are tracked in a bitmap (one `u64` word per 64 slots) scanned
+//! with `trailing_zeros`, plus a low-water hint word so the wrap-around
+//! scan is amortized O(1). Allocation order is identical to the earlier
+//! ordered-set implementation: first free slot at or after the cursor,
+//! else the lowest free slot overall.
 
 use sim_core::DeterministicRng;
 use std::collections::BTreeSet;
@@ -19,6 +25,47 @@ pub struct SlotInfo {
     pub gfn: Gfn,
     /// Content stored in the slot.
     pub label: ContentLabel,
+}
+
+/// Iterates the free slots of `[..end)` in ascending order starting from a
+/// pre-masked word, word-accelerated via `trailing_zeros`.
+struct FreeRange<'a> {
+    bits: &'a [u64],
+    word: usize,
+    /// Unconsumed free bits of `bits[word]`.
+    mask: u64,
+    end: u64,
+}
+
+impl<'a> FreeRange<'a> {
+    /// Free slots in `[start, end)`, ascending.
+    fn new(bits: &'a [u64], start: u64, end: u64) -> Self {
+        let word = (start / 64) as usize;
+        let mask = if word < bits.len() { bits[word] & !((1u64 << (start % 64)) - 1) } else { 0 };
+        FreeRange { bits, word, mask, end }
+    }
+}
+
+impl Iterator for FreeRange<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.mask != 0 {
+                let slot = (self.word as u64) * 64 + self.mask.trailing_zeros() as u64;
+                if slot >= self.end {
+                    return None;
+                }
+                self.mask &= self.mask - 1;
+                return Some(slot);
+            }
+            self.word += 1;
+            if (self.word as u64) * 64 >= self.end || self.word >= self.bits.len() {
+                return None;
+            }
+            self.mask = self.bits[self.word];
+        }
+    }
 }
 
 /// The host swap area: a fixed number of page-sized slots.
@@ -38,9 +85,22 @@ pub struct SlotInfo {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SwapArea {
-    slots: Vec<Option<SlotInfo>>,
-    free: BTreeSet<u64>,
+    capacity: u64,
+    /// `vm + 1` per occupied slot; `0` = free (or retired). Kept as
+    /// structure-of-arrays with the zero word meaning "empty" so a fresh
+    /// multi-gigabyte swap area is `alloc_zeroed`, not an eager fill.
+    slot_vm: Vec<u32>,
+    /// Guest frame number per occupied slot (valid only when occupied).
+    slot_gfn: Vec<u64>,
+    /// Raw content label per occupied slot (valid only when occupied).
+    slot_label: Vec<u64>,
+    /// Bit set = slot free. Word `w` covers slots `64*w .. 64*w+64`.
+    free_bits: Vec<u64>,
+    free_count: u64,
     cursor: u64,
+    /// Invariant: no word below `low_hint` has a free bit — the
+    /// wrap-around scan starts here instead of at slot 0.
+    low_hint: usize,
     high_water: u64,
     /// Slots retired after a permanent media error; never allocated again.
     bad: BTreeSet<u64>,
@@ -49,10 +109,23 @@ pub struct SwapArea {
 impl SwapArea {
     /// Creates an empty swap area of `capacity` slots.
     pub fn new(capacity: u64) -> Self {
+        let words = (capacity as usize).div_ceil(64);
+        let mut free_bits = vec![u64::MAX; words];
+        let tail = (capacity % 64) as u32;
+        if tail != 0 {
+            if let Some(last) = free_bits.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
         SwapArea {
-            slots: vec![None; capacity as usize],
-            free: (0..capacity).collect(),
+            capacity,
+            slot_vm: vec![0; capacity as usize],
+            slot_gfn: vec![0; capacity as usize],
+            slot_label: vec![0; capacity as usize],
+            free_bits,
+            free_count: capacity,
             cursor: 0,
+            low_hint: 0,
             high_water: 0,
             bad: BTreeSet::new(),
         }
@@ -60,12 +133,36 @@ impl SwapArea {
 
     /// Total slots.
     pub fn capacity(&self) -> u64 {
-        self.slots.len() as u64
+        self.capacity
     }
 
     /// Occupied slots (retired bad slots are neither free nor used).
     pub fn used(&self) -> u64 {
-        self.capacity() - self.free.len() as u64 - self.bad.len() as u64
+        self.capacity() - self.free_count - self.bad.len() as u64
+    }
+
+    fn is_free(&self, slot: u64) -> bool {
+        self.free_bits[(slot / 64) as usize] >> (slot % 64) & 1 == 1
+    }
+
+    fn clear_free(&mut self, slot: u64) {
+        self.free_bits[(slot / 64) as usize] &= !(1u64 << (slot % 64));
+        self.free_count -= 1;
+    }
+
+    /// First free slot in `[start, capacity)`, if any.
+    fn next_free_from(&self, start: u64) -> Option<u64> {
+        FreeRange::new(&self.free_bits, start, self.capacity()).next()
+    }
+
+    /// Free slots starting at the cursor and wrapping around, ascending in
+    /// each half — the order slot allocation considers candidates in.
+    fn free_from_cursor(&self) -> impl Iterator<Item = u64> + '_ {
+        FreeRange::new(&self.free_bits, self.cursor, self.capacity()).chain(FreeRange::new(
+            &self.free_bits,
+            (self.low_hint as u64) * 64,
+            self.cursor,
+        ))
     }
 
     /// Retires a physically bad slot: its contents (if any) are dropped
@@ -75,8 +172,10 @@ impl SwapArea {
     ///
     /// Panics if `slot` is out of bounds.
     pub fn mark_bad(&mut self, slot: u64) {
-        self.slots[slot as usize] = None;
-        self.free.remove(&slot);
+        self.slot_vm[slot as usize] = 0;
+        if self.is_free(slot) {
+            self.clear_free(slot);
+        }
         self.bad.insert(slot);
     }
 
@@ -99,16 +198,18 @@ impl SwapArea {
     /// cursor (wrapping), like Linux's `scan_swap_map`. Returns `None`
     /// if the area is full.
     pub fn alloc(&mut self, info: SlotInfo) -> Option<u64> {
-        let slot = self
-            .free
-            .range(self.cursor..)
-            .next()
-            .copied()
-            .or_else(|| self.free.iter().next().copied())?;
-        self.free.remove(&slot);
-        self.cursor = slot + 1;
-        self.slots[slot as usize] = Some(info);
-        self.high_water = self.high_water.max(self.used());
+        let slot = match self.next_free_from(self.cursor) {
+            Some(s) => s,
+            None => {
+                // Wrap: the lowest free slot overall. Nothing below
+                // `low_hint` is free, so start the scan there and pull the
+                // hint forward to the word we land in.
+                let s = self.next_free_from((self.low_hint as u64) * 64)?;
+                self.low_hint = (s / 64) as usize;
+                s
+            }
+        };
+        self.take_slot(slot, info);
         Some(slot)
     }
 
@@ -127,22 +228,25 @@ impl SwapArea {
         if jitter <= 1 {
             return self.alloc(info);
         }
-        let candidates: Vec<u64> = self
-            .free
-            .range(self.cursor..)
-            .chain(self.free.range(..self.cursor))
-            .take(jitter as usize)
-            .copied()
-            .collect();
-        if candidates.is_empty() {
+        // Two passes over the candidate window keep this allocation-free:
+        // count the candidates, draw the index, then re-scan to the pick.
+        let count = self.free_from_cursor().take(jitter as usize).count();
+        if count == 0 {
             return None;
         }
-        let slot = candidates[rng.index(candidates.len())];
-        self.free.remove(&slot);
-        self.cursor = slot + 1;
-        self.slots[slot as usize] = Some(info);
-        self.high_water = self.high_water.max(self.used());
+        let pick = rng.index(count);
+        let slot = self.free_from_cursor().nth(pick).expect("candidate counted above");
+        self.take_slot(slot, info);
         Some(slot)
+    }
+
+    fn take_slot(&mut self, slot: u64, info: SlotInfo) {
+        self.clear_free(slot);
+        self.cursor = slot + 1;
+        self.slot_vm[slot as usize] = info.vm.get() + 1;
+        self.slot_gfn[slot as usize] = info.gfn.get();
+        self.slot_label[slot as usize] = info.label.get();
+        self.high_water = self.high_water.max(self.used());
     }
 
     /// Frees a slot.
@@ -151,10 +255,11 @@ impl SwapArea {
     ///
     /// Panics if the slot is already free or out of bounds.
     pub fn free(&mut self, slot: u64) {
-        let entry = &mut self.slots[slot as usize];
-        assert!(entry.is_some(), "freeing an already-free swap slot {slot}");
-        *entry = None;
-        self.free.insert(slot);
+        assert!(self.slot_vm[slot as usize] != 0, "freeing an already-free swap slot {slot}");
+        self.slot_vm[slot as usize] = 0;
+        self.free_bits[(slot / 64) as usize] |= 1u64 << (slot % 64);
+        self.free_count += 1;
+        self.low_hint = self.low_hint.min((slot / 64) as usize);
     }
 
     /// Returns the contents of a slot, or `None` if free.
@@ -163,15 +268,25 @@ impl SwapArea {
     ///
     /// Panics if `slot` is out of bounds.
     pub fn get(&self, slot: u64) -> Option<SlotInfo> {
-        self.slots[slot as usize]
+        let vm = self.slot_vm[slot as usize].checked_sub(1)?;
+        Some(SlotInfo {
+            vm: VmId::new(vm),
+            gfn: Gfn::new(self.slot_gfn[slot as usize]),
+            label: ContentLabel::from_raw(self.slot_label[slot as usize]),
+        })
     }
 
-    /// Returns the occupied slots in the readahead window
-    /// `[start, start + window)`, clamped to capacity, in slot order.
-    /// This is the cluster a fault-time swap readahead would read.
-    pub fn window(&self, start: u64, window: u64) -> Vec<(u64, SlotInfo)> {
+    /// Iterates the occupied slots in the readahead window
+    /// `[start, start + window)`, clamped to capacity, in slot order —
+    /// the cluster a fault-time swap readahead would read. Borrows the
+    /// area instead of allocating, so the per-fault path stays heap-free.
+    pub fn window_iter(
+        &self,
+        start: u64,
+        window: u64,
+    ) -> impl Iterator<Item = (u64, SlotInfo)> + '_ {
         let end = (start + window).min(self.capacity());
-        (start..end).filter_map(|s| self.slots[s as usize].map(|info| (s, info))).collect()
+        (start..end).filter_map(|s| self.get(s).map(|info| (s, info)))
     }
 }
 
@@ -228,11 +343,28 @@ mod tests {
             swap.alloc(info(g)).unwrap();
         }
         swap.free(2);
-        let w = swap.window(1, 4);
-        let slots: Vec<u64> = w.iter().map(|(s, _)| *s).collect();
+        let slots: Vec<u64> = swap.window_iter(1, 4).map(|(s, _)| s).collect();
         assert_eq!(slots, vec![1, 3]);
         // Window clamps at capacity.
-        assert_eq!(swap.window(7, 10).len(), 0);
+        assert_eq!(swap.window_iter(7, 10).count(), 0);
+    }
+
+    #[test]
+    fn scattered_allocation_spans_large_areas() {
+        // A multi-word area with holes far apart: the wrapped candidate
+        // enumeration must see them in cursor order.
+        let mut swap = SwapArea::new(256);
+        for g in 0..256 {
+            swap.alloc(info(g)).unwrap();
+        }
+        for s in [3, 70, 200] {
+            swap.free(s);
+        }
+        // Cursor is at 256: wrapping enumeration yields 3, 70, 200.
+        let mut rng = DeterministicRng::seed_from(7);
+        let got = swap.alloc_scattered(info(300), &mut rng, 3).unwrap();
+        assert!([3, 70, 200].contains(&got));
+        assert_eq!(swap.used(), 254);
     }
 
     #[test]

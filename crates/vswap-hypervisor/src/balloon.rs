@@ -121,6 +121,16 @@ impl BalloonManager {
         self.policy.interval
     }
 
+    /// True when [`BalloonManager::poll`] would run a sampling round at
+    /// `now` — lets the caller skip gathering telemetry on the (vastly
+    /// more common) steps where the round is rate-limited away.
+    pub fn due(&self, now: SimTime) -> bool {
+        match self.last_round {
+            Some(last) => now.saturating_since(last) >= self.policy.interval,
+            None => true,
+        }
+    }
+
     /// Runs one sampling round if the interval has elapsed since the last
     /// one. `host_free_fraction` is the host's free-frame ratio. Returns
     /// the target changes to apply (empty when it is not yet time, or

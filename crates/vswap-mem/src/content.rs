@@ -38,6 +38,13 @@ impl ContentLabel {
         self.0
     }
 
+    /// Reconstructs a label from its raw value. Intended for dense tables
+    /// that store labels as bare `u64`s; the caller is responsible for only
+    /// feeding back values produced by [`ContentLabel::get`].
+    pub const fn from_raw(raw: u64) -> Self {
+        ContentLabel(raw)
+    }
+
     /// True for the all-zeroes page label.
     pub const fn is_zero_page(self) -> bool {
         self.0 == 0
@@ -78,6 +85,16 @@ impl LabelGen {
         let label = ContentLabel(self.next);
         self.next += 1;
         label
+    }
+
+    /// Reserves `count` consecutive fresh labels and returns the first.
+    /// Label `i` of the block is `first.get() + i`. Lets a caller stamp a
+    /// large region (e.g. a disk image) with unique labels without
+    /// materializing them one by one.
+    pub fn fresh_block(&mut self, count: u64) -> ContentLabel {
+        let first = ContentLabel(self.next);
+        self.next += count;
+        first
     }
 
     /// Number of labels handed out so far.

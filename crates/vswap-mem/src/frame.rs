@@ -92,15 +92,54 @@ impl FrameOwner {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Frame {
-    owner: FrameOwner,
-    accessed: bool,
-    dirty: bool,
-    label: ContentLabel,
+// Packed owner encoding: `0` is `Free`, so a freshly zeroed table is a
+// table of free frames and `HostFrameTable::new` never touches its pages.
+// Bits 0..3 hold the owner kind, bits 3..32 the VM id, bits 32..64 the
+// owner-specific page number (gfn / image page / code page).
+const KIND_GUEST: u64 = 1;
+const KIND_PAGE_CACHE: u64 = 2;
+const KIND_HYPERVISOR_CODE: u64 = 3;
+const KIND_WRITE_BUFFER: u64 = 4;
+const KIND_BITS: u64 = 0x7;
+const VM_SHIFT: u32 = 3;
+const VM_BITS: u64 = (1 << 29) - 1;
+const PAGE_SHIFT: u32 = 32;
+
+fn pack_owner(owner: FrameOwner) -> u64 {
+    let (kind, vm, page) = match owner {
+        FrameOwner::Free => return 0,
+        FrameOwner::Guest { vm, gfn } => (KIND_GUEST, vm, gfn.get()),
+        FrameOwner::PageCache { vm, image_page } => (KIND_PAGE_CACHE, vm, image_page),
+        FrameOwner::HypervisorCode { vm, page } => (KIND_HYPERVISOR_CODE, vm, page),
+        FrameOwner::WriteBuffer { vm, gfn } => (KIND_WRITE_BUFFER, vm, gfn.get()),
+    };
+    debug_assert!(u64::from(vm.get()) <= VM_BITS, "vm id out of packed range");
+    debug_assert!(page < 1 << 32, "owner page out of packed range");
+    kind | (u64::from(vm.get()) << VM_SHIFT) | (page << PAGE_SHIFT)
 }
 
-/// Host DRAM: a fixed-size table of frames with a free list.
+fn unpack_owner(bits: u64) -> FrameOwner {
+    if bits == 0 {
+        return FrameOwner::Free;
+    }
+    let vm = VmId::new(((bits >> VM_SHIFT) & VM_BITS) as u32);
+    let page = bits >> PAGE_SHIFT;
+    match bits & KIND_BITS {
+        KIND_GUEST => FrameOwner::Guest { vm, gfn: Gfn::new(page) },
+        KIND_PAGE_CACHE => FrameOwner::PageCache { vm, image_page: page },
+        KIND_HYPERVISOR_CODE => FrameOwner::HypervisorCode { vm, page },
+        KIND_WRITE_BUFFER => FrameOwner::WriteBuffer { vm, gfn: Gfn::new(page) },
+        kind => unreachable!("corrupt frame owner kind {kind}"),
+    }
+}
+
+/// Host DRAM: a fixed-size table of frames with a bitmap free-frame
+/// allocator.
+///
+/// One `u64` word tracks 64 frames (bit set = free). Allocation scans
+/// words with `trailing_zeros`, starting from a search hint that is
+/// kept at or below the lowest word holding a free bit, so the scan is
+/// amortized O(1) and frames are always handed out lowest-index-first.
 ///
 /// # Examples
 ///
@@ -116,69 +155,110 @@ struct Frame {
 /// ```
 #[derive(Debug, Clone)]
 pub struct HostFrameTable {
-    frames: Vec<Frame>,
-    free: Vec<u32>,
+    total: u64,
+    /// Packed owner per frame; `0` = free. Structure-of-arrays so the
+    /// empty table is all-zero bytes and construction is `alloc_zeroed`
+    /// (lazily mapped), not an eager fill over hundreds of MiB of DRAM
+    /// metadata per host.
+    owners: Vec<u64>,
+    /// Accessed (referenced) bit per frame, one bit per frame.
+    accessed_bits: Vec<u64>,
+    /// Dirty bit per frame, one bit per frame.
+    dirty_bits: Vec<u64>,
+    /// Raw content label per frame (`ContentLabel::ZERO` is 0).
+    labels: Vec<u64>,
+    /// Bit set = frame free. Word `w` covers frames `64*w .. 64*w+64`.
+    /// Stored inverted-on-construction relative to the zero page (a fresh
+    /// table is all-free), but at one bit per frame the fill is tiny.
+    free_bits: Vec<u64>,
+    free_count: u64,
+    /// Invariant: no word below `hint` has a free bit.
+    hint: usize,
 }
 
 impl HostFrameTable {
     /// Creates a table of `total` free frames.
     pub fn new(total: u64) -> Self {
-        let frames = vec![
-            Frame {
-                owner: FrameOwner::Free,
-                accessed: false,
-                dirty: false,
-                label: ContentLabel::ZERO,
-            };
-            total as usize
-        ];
-        // Pop from the back; lowest frame numbers are handed out first.
-        let free = (0..total as u32).rev().collect();
-        HostFrameTable { frames, free }
+        let words = (total as usize).div_ceil(64);
+        let mut free_bits = vec![u64::MAX; words];
+        // Clear the tail bits past `total` in the last word.
+        let tail = (total % 64) as u32;
+        if tail != 0 {
+            if let Some(last) = free_bits.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        HostFrameTable {
+            total,
+            owners: vec![0; total as usize],
+            accessed_bits: vec![0; words],
+            dirty_bits: vec![0; words],
+            labels: vec![0; total as usize],
+            free_bits,
+            free_count: total,
+            hint: 0,
+        }
     }
 
     /// Total number of frames (free + allocated).
     pub fn total_frames(&self) -> u64 {
-        self.frames.len() as u64
+        self.total
     }
 
     /// Number of currently free frames.
     pub fn free_frames(&self) -> u64 {
-        self.free.len() as u64
+        self.free_count
     }
 
     /// Allocates a frame for `owner`, or `None` if DRAM is exhausted.
-    /// The new frame's usage bits are clear and its content is the zero
-    /// page.
+    /// The lowest-numbered free frame is handed out. The new frame's
+    /// usage bits are clear and its content is the zero page.
     pub fn alloc(&mut self, owner: FrameOwner) -> Option<FrameId> {
         debug_assert!(!matches!(owner, FrameOwner::Free), "cannot alloc a Free frame");
-        let id = self.free.pop()?;
-        let frame = &mut self.frames[id as usize];
-        frame.owner = owner;
-        frame.accessed = false;
-        frame.dirty = false;
-        frame.label = ContentLabel::ZERO;
+        if self.free_count == 0 {
+            return None;
+        }
+        let mut w = self.hint;
+        while self.free_bits[w] == 0 {
+            w += 1;
+        }
+        self.hint = w;
+        let bit = self.free_bits[w].trailing_zeros();
+        self.free_bits[w] &= !(1u64 << bit);
+        self.free_count -= 1;
+        let id = (w as u32) * 64 + bit;
+        self.owners[id as usize] = pack_owner(owner);
+        self.accessed_bits[w] &= !(1u64 << bit);
+        self.dirty_bits[w] &= !(1u64 << bit);
+        self.labels[id as usize] = 0;
         Some(FrameId(id))
     }
 
-    /// Releases a frame back to the free list.
+    /// Releases a frame back to the free bitmap.
     ///
     /// # Panics
     ///
     /// Panics if the frame is already free.
     pub fn free(&mut self, id: FrameId) {
-        let frame = &mut self.frames[id.index()];
-        assert!(!matches!(frame.owner, FrameOwner::Free), "double free of {id}");
-        frame.owner = FrameOwner::Free;
-        frame.accessed = false;
-        frame.dirty = false;
-        frame.label = ContentLabel::ZERO;
-        self.free.push(id.get());
+        assert!(self.owners[id.index()] != 0, "double free of {id}");
+        let w = id.index() / 64;
+        let bit = id.index() % 64;
+        self.owners[id.index()] = 0;
+        self.accessed_bits[w] &= !(1u64 << bit);
+        self.dirty_bits[w] &= !(1u64 << bit);
+        self.labels[id.index()] = 0;
+        debug_assert_eq!(self.free_bits[w] & (1u64 << bit), 0, "free bit already set for {id}");
+        self.free_bits[w] |= 1u64 << bit;
+        self.free_count += 1;
+        // Keep the hint at or below the lowest free word.
+        if w < self.hint {
+            self.hint = w;
+        }
     }
 
     /// Returns the frame's owner.
     pub fn owner(&self, id: FrameId) -> FrameOwner {
-        self.frames[id.index()].owner
+        unpack_owner(self.owners[id.index()])
     }
 
     /// Re-labels the frame's owner (e.g. a page-cache frame becomes a guest
@@ -190,49 +270,58 @@ impl HostFrameTable {
     /// [`HostFrameTable::free`]).
     pub fn set_owner(&mut self, id: FrameId, owner: FrameOwner) {
         assert!(!matches!(owner, FrameOwner::Free), "use free() to release frames");
-        let frame = &mut self.frames[id.index()];
-        assert!(!matches!(frame.owner, FrameOwner::Free), "cannot retag a free frame");
-        frame.owner = owner;
+        assert!(self.owners[id.index()] != 0, "cannot retag a free frame");
+        self.owners[id.index()] = pack_owner(owner);
     }
 
     /// Returns the frame's accessed (referenced) bit.
     pub fn accessed(&self, id: FrameId) -> bool {
-        self.frames[id.index()].accessed
+        self.accessed_bits[id.index() / 64] & (1u64 << (id.index() % 64)) != 0
     }
 
     /// Sets or clears the accessed bit.
     pub fn set_accessed(&mut self, id: FrameId, accessed: bool) {
-        self.frames[id.index()].accessed = accessed;
+        let mask = 1u64 << (id.index() % 64);
+        if accessed {
+            self.accessed_bits[id.index() / 64] |= mask;
+        } else {
+            self.accessed_bits[id.index() / 64] &= !mask;
+        }
     }
 
     /// Returns the frame's dirty bit.
     pub fn dirty(&self, id: FrameId) -> bool {
-        self.frames[id.index()].dirty
+        self.dirty_bits[id.index() / 64] & (1u64 << (id.index() % 64)) != 0
     }
 
     /// Sets or clears the dirty bit.
     pub fn set_dirty(&mut self, id: FrameId, dirty: bool) {
-        self.frames[id.index()].dirty = dirty;
+        let mask = 1u64 << (id.index() % 64);
+        if dirty {
+            self.dirty_bits[id.index() / 64] |= mask;
+        } else {
+            self.dirty_bits[id.index() / 64] &= !mask;
+        }
     }
 
     /// Returns the frame's content label.
     pub fn label(&self, id: FrameId) -> ContentLabel {
-        self.frames[id.index()].label
+        ContentLabel::from_raw(self.labels[id.index()])
     }
 
     /// Replaces the frame's content label (the frame was written or filled
     /// from disk).
     pub fn set_label(&mut self, id: FrameId, label: ContentLabel) {
-        self.frames[id.index()].label = label;
+        self.labels[id.index()] = label.get();
     }
 
     /// Iterates over all allocated frames as `(id, owner)`.
     pub fn iter_allocated(&self) -> impl Iterator<Item = (FrameId, FrameOwner)> + '_ {
-        self.frames.iter().enumerate().filter_map(|(i, f)| {
-            if matches!(f.owner, FrameOwner::Free) {
+        self.owners.iter().enumerate().filter_map(|(i, &bits)| {
+            if bits == 0 {
                 None
             } else {
-                Some((FrameId(i as u32), f.owner))
+                Some((FrameId(i as u32), unpack_owner(bits)))
             }
         })
     }
@@ -275,6 +364,37 @@ mod tests {
         assert!(!t.dirty(g), "recycled frame must have clear bits");
         assert!(!t.accessed(g));
         assert_eq!(t.label(g), ContentLabel::ZERO);
+    }
+
+    #[test]
+    fn lowest_free_frame_reused_first() {
+        let mut t = HostFrameTable::new(8);
+        let frames: Vec<FrameId> = (0..8).map(|g| t.alloc(guest_owner(g)).unwrap()).collect();
+        // Free out of order; the allocator must still hand back the
+        // lowest-numbered free frame first.
+        t.free(frames[5]);
+        t.free(frames[1]);
+        t.free(frames[3]);
+        assert_eq!(t.alloc(guest_owner(10)).unwrap().get(), 1);
+        assert_eq!(t.alloc(guest_owner(11)).unwrap().get(), 3);
+        assert_eq!(t.alloc(guest_owner(12)).unwrap().get(), 5);
+        assert!(t.alloc(guest_owner(13)).is_none());
+    }
+
+    #[test]
+    fn bitmap_spans_multiple_words() {
+        let mut t = HostFrameTable::new(130);
+        let frames: Vec<FrameId> = (0..130).map(|g| t.alloc(guest_owner(g)).unwrap()).collect();
+        assert_eq!(frames.last().unwrap().get(), 129);
+        assert!(t.alloc(guest_owner(130)).is_none());
+        // Free one frame in each word; reuse must walk back to word 0.
+        t.free(frames[129]);
+        t.free(frames[70]);
+        t.free(frames[3]);
+        assert_eq!(t.alloc(guest_owner(200)).unwrap().get(), 3);
+        assert_eq!(t.alloc(guest_owner(201)).unwrap().get(), 70);
+        assert_eq!(t.alloc(guest_owner(202)).unwrap().get(), 129);
+        assert_eq!(t.free_frames(), 0);
     }
 
     #[test]

@@ -27,25 +27,90 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct IndexList {
-    links: Vec<Link>,
+    links: LinkTable,
     head: Option<u32>,
     tail: Option<u32>,
     len: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Link {
-    prev: Option<u32>,
-    next: Option<u32>,
-    on_list: bool,
+/// Dense link storage. The neighbours of element `i` are packed into one
+/// `u64` word — `prev + 1` in the low half, `next + 1` in the high half,
+/// with `0` meaning "none" — and list membership lives in a separate
+/// bitmap. The idle state of every element is therefore all-zero bytes,
+/// so construction over millions of frames is a single `alloc_zeroed`
+/// (lazily mapped) instead of an eager fill.
+#[derive(Debug, Clone)]
+struct LinkTable {
+    words: Vec<u64>,
+    on_bits: Vec<u64>,
 }
 
-const FREE_LINK: Link = Link { prev: None, next: None, on_list: false };
+impl LinkTable {
+    fn with_capacity(capacity: usize) -> Self {
+        LinkTable { words: vec![0; capacity], on_bits: vec![0; capacity.div_ceil(64)] }
+    }
+
+    fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    fn grow(&mut self, new_capacity: usize) {
+        if new_capacity > self.words.len() {
+            self.words.resize(new_capacity, 0);
+            self.on_bits.resize(new_capacity.div_ceil(64), 0);
+        }
+    }
+
+    fn on_list(&self, index: usize) -> bool {
+        self.on_bits[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    fn set_on_list(&mut self, index: usize, on: bool) {
+        let mask = 1u64 << (index % 64);
+        if on {
+            self.on_bits[index / 64] |= mask;
+        } else {
+            self.on_bits[index / 64] &= !mask;
+        }
+    }
+
+    fn prev(&self, index: usize) -> Option<u32> {
+        let p = self.words[index] as u32;
+        p.checked_sub(1)
+    }
+
+    fn next(&self, index: usize) -> Option<u32> {
+        let n = (self.words[index] >> 32) as u32;
+        n.checked_sub(1)
+    }
+
+    fn set_prev(&mut self, index: usize, prev: Option<u32>) {
+        let p = prev.map_or(0, |v| u64::from(v) + 1);
+        self.words[index] = (self.words[index] & !0xFFFF_FFFF) | p;
+    }
+
+    fn set_next(&mut self, index: usize, next: Option<u32>) {
+        let n = next.map_or(0, |v| u64::from(v) + 1);
+        self.words[index] = (self.words[index] & 0xFFFF_FFFF) | (n << 32);
+    }
+
+    fn link(&mut self, index: usize, prev: Option<u32>, next: Option<u32>) {
+        let p = prev.map_or(0, |v| u64::from(v) + 1);
+        let n = next.map_or(0, |v| u64::from(v) + 1);
+        self.words[index] = p | (n << 32);
+        self.set_on_list(index, true);
+    }
+
+    fn clear(&mut self, index: usize) {
+        self.words[index] = 0;
+        self.set_on_list(index, false);
+    }
+}
 
 impl IndexList {
     /// Creates an empty list able to hold indices `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
-        IndexList { links: vec![FREE_LINK; capacity], head: None, tail: None, len: 0 }
+        IndexList { links: LinkTable::with_capacity(capacity), head: None, tail: None, len: 0 }
     }
 
     /// Number of elements currently on the list.
@@ -60,15 +125,13 @@ impl IndexList {
 
     /// Capacity (one more than the largest admissible index).
     pub fn capacity(&self) -> usize {
-        self.links.len()
+        self.links.capacity()
     }
 
     /// Grows the capacity to hold indices `0..new_capacity` (no-op if
     /// already large enough).
     pub fn grow(&mut self, new_capacity: usize) {
-        if new_capacity > self.links.len() {
-            self.links.resize(new_capacity, FREE_LINK);
-        }
+        self.links.grow(new_capacity);
     }
 
     /// True if `index` is currently on the list.
@@ -77,7 +140,7 @@ impl IndexList {
     ///
     /// Panics if `index` is out of capacity.
     pub fn contains(&self, index: usize) -> bool {
-        self.links[index].on_list
+        self.links.on_list(index)
     }
 
     /// Appends `index` at the back (the "most recently added" end).
@@ -86,11 +149,11 @@ impl IndexList {
     ///
     /// Panics if `index` is out of capacity or already on the list.
     pub fn push_back(&mut self, index: usize) {
-        assert!(!self.links[index].on_list, "index {index} already on list");
+        assert!(!self.links.on_list(index), "index {index} already on list");
         let idx = index as u32;
-        self.links[index] = Link { prev: self.tail, next: None, on_list: true };
+        self.links.link(index, self.tail, None);
         match self.tail {
-            Some(t) => self.links[t as usize].next = Some(idx),
+            Some(t) => self.links.set_next(t as usize, Some(idx)),
             None => self.head = Some(idx),
         }
         self.tail = Some(idx);
@@ -103,11 +166,11 @@ impl IndexList {
     ///
     /// Panics if `index` is out of capacity or already on the list.
     pub fn push_front(&mut self, index: usize) {
-        assert!(!self.links[index].on_list, "index {index} already on list");
+        assert!(!self.links.on_list(index), "index {index} already on list");
         let idx = index as u32;
-        self.links[index] = Link { prev: None, next: self.head, on_list: true };
+        self.links.link(index, None, self.head);
         match self.head {
-            Some(h) => self.links[h as usize].prev = Some(idx),
+            Some(h) => self.links.set_prev(h as usize, Some(idx)),
             None => self.tail = Some(idx),
         }
         self.head = Some(idx);
@@ -133,19 +196,20 @@ impl IndexList {
     ///
     /// Panics if `index` is out of capacity.
     pub fn remove(&mut self, index: usize) -> bool {
-        let link = self.links[index];
-        if !link.on_list {
+        if !self.links.on_list(index) {
             return false;
         }
-        match link.prev {
-            Some(p) => self.links[p as usize].next = link.next,
-            None => self.head = link.next,
+        let prev = self.links.prev(index);
+        let next = self.links.next(index);
+        match prev {
+            Some(p) => self.links.set_next(p as usize, next),
+            None => self.head = next,
         }
-        match link.next {
-            Some(n) => self.links[n as usize].prev = link.prev,
-            None => self.tail = link.prev,
+        match next {
+            Some(n) => self.links.set_prev(n as usize, prev),
+            None => self.tail = prev,
         }
-        self.links[index] = FREE_LINK;
+        self.links.clear(index);
         self.len -= 1;
         true
     }
@@ -159,14 +223,14 @@ impl IndexList {
 
     /// Iterates front-to-back without removing elements.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { list: self, cursor: self.head }
+        Iter { links: &self.links, cursor: self.head }
     }
 }
 
 /// Front-to-back iterator over an [`IndexList`]; see [`IndexList::iter`].
 #[derive(Debug)]
 pub struct Iter<'a> {
-    list: &'a IndexList,
+    links: &'a LinkTable,
     cursor: Option<u32>,
 }
 
@@ -175,7 +239,7 @@ impl Iterator for Iter<'_> {
 
     fn next(&mut self) -> Option<usize> {
         let c = self.cursor?;
-        self.cursor = self.list.links[c as usize].next;
+        self.cursor = self.links.next(c as usize);
         Some(c as usize)
     }
 }
@@ -203,7 +267,7 @@ impl Iterator for Iter<'_> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ListArena {
-    links: Vec<Link>,
+    links: LinkTable,
 }
 
 /// Head/tail/len of one list living in a [`ListArena`].
@@ -239,17 +303,17 @@ impl ListHead {
 impl ListArena {
     /// Creates link storage for indices `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
-        ListArena { links: vec![FREE_LINK; capacity] }
+        ListArena { links: LinkTable::with_capacity(capacity) }
     }
 
     /// Capacity (one more than the largest admissible index).
     pub fn capacity(&self) -> usize {
-        self.links.len()
+        self.links.capacity()
     }
 
     /// True if `index` is on *some* list in this arena.
     pub fn on_any_list(&self, index: usize) -> bool {
-        self.links[index].on_list
+        self.links.on_list(index)
     }
 
     /// Appends `index` at the back of the list identified by `head`.
@@ -258,11 +322,11 @@ impl ListArena {
     ///
     /// Panics if `index` is already on a list in this arena.
     pub fn push_back(&mut self, head: &mut ListHead, index: usize) {
-        assert!(!self.links[index].on_list, "index {index} already on a list");
+        assert!(!self.links.on_list(index), "index {index} already on a list");
         let idx = index as u32;
-        self.links[index] = Link { prev: head.tail, next: None, on_list: true };
+        self.links.link(index, head.tail, None);
         match head.tail {
-            Some(t) => self.links[t as usize].next = Some(idx),
+            Some(t) => self.links.set_next(t as usize, Some(idx)),
             None => head.head = Some(idx),
         }
         head.tail = Some(idx);
@@ -275,19 +339,20 @@ impl ListArena {
     /// on; list membership across heads is not checked (only arena-level
     /// membership is). Returns `true` if the element was on a list.
     pub fn remove(&mut self, head: &mut ListHead, index: usize) -> bool {
-        let link = self.links[index];
-        if !link.on_list {
+        if !self.links.on_list(index) {
             return false;
         }
-        match link.prev {
-            Some(p) => self.links[p as usize].next = link.next,
-            None => head.head = link.next,
+        let prev = self.links.prev(index);
+        let next = self.links.next(index);
+        match prev {
+            Some(p) => self.links.set_next(p as usize, next),
+            None => head.head = next,
         }
-        match link.next {
-            Some(n) => self.links[n as usize].prev = link.prev,
-            None => head.tail = link.prev,
+        match next {
+            Some(n) => self.links.set_prev(n as usize, prev),
+            None => head.tail = prev,
         }
-        self.links[index] = FREE_LINK;
+        self.links.clear(index);
         head.len -= 1;
         true
     }
@@ -307,14 +372,14 @@ impl ListArena {
 
     /// Iterates one list front-to-back.
     pub fn iter<'a>(&'a self, head: &ListHead) -> ArenaIter<'a> {
-        ArenaIter { arena: self, cursor: head.head }
+        ArenaIter { links: &self.links, cursor: head.head }
     }
 }
 
 /// Front-to-back iterator over one arena list; see [`ListArena::iter`].
 #[derive(Debug)]
 pub struct ArenaIter<'a> {
-    arena: &'a ListArena,
+    links: &'a LinkTable,
     cursor: Option<u32>,
 }
 
@@ -323,7 +388,7 @@ impl Iterator for ArenaIter<'_> {
 
     fn next(&mut self) -> Option<usize> {
         let c = self.cursor?;
-        self.cursor = self.arena.links[c as usize].next;
+        self.cursor = self.links.next(c as usize);
         Some(c as usize)
     }
 }

@@ -140,6 +140,132 @@ proptest! {
 }
 
 // ----------------------------------------------------------------------
+// Bitmap frame allocator vs a naive lowest-free-first model
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FrameOp {
+    Alloc,
+    FreeNth(usize),
+    Touch(usize),
+}
+
+fn frame_op() -> impl Strategy<Value = FrameOp> {
+    prop_oneof![
+        Just(FrameOp::Alloc),
+        (0..64usize).prop_map(FrameOp::FreeNth),
+        (0..64usize).prop_map(FrameOp::Touch),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frame_table_matches_lowest_free_model(ops in prop::collection::vec(frame_op(), 1..400)) {
+        use vswap_mem::{FrameOwner, HostFrameTable};
+        let total = 130u64; // spans three bitmap words
+        let mut table = HostFrameTable::new(total);
+        // Reference model: the plain set of free frame numbers; alloc
+        // always hands out the minimum.
+        let mut model_free: std::collections::BTreeSet<u64> = (0..total).collect();
+        let mut held: Vec<u64> = Vec::new();
+        let owner = FrameOwner::Guest { vm: VmId::new(1), gfn: Gfn::new(9) };
+        for op in ops {
+            match op {
+                FrameOp::Alloc => {
+                    let got = table.alloc(owner).map(|f| u64::from(f.get()));
+                    let want = model_free.iter().next().copied();
+                    prop_assert_eq!(got, want, "alloc must be lowest-free-first");
+                    if let Some(f) = got {
+                        model_free.remove(&f);
+                        held.push(f);
+                        let id = vswap_mem::FrameId::new(f as u32);
+                        prop_assert_eq!(table.owner(id), owner);
+                        prop_assert!(!table.accessed(id), "fresh frame has clear bits");
+                        prop_assert!(!table.dirty(id));
+                        prop_assert_eq!(table.label(id), ContentLabel::ZERO);
+                    }
+                }
+                FrameOp::FreeNth(n) => {
+                    if !held.is_empty() {
+                        let f = held.remove(n % held.len());
+                        table.free(vswap_mem::FrameId::new(f as u32));
+                        model_free.insert(f);
+                    }
+                }
+                FrameOp::Touch(n) => {
+                    if !held.is_empty() {
+                        let f = held[n % held.len()];
+                        let id = vswap_mem::FrameId::new(f as u32);
+                        table.set_accessed(id, true);
+                        table.set_dirty(id, true);
+                        prop_assert!(table.accessed(id));
+                        prop_assert!(table.dirty(id));
+                    }
+                }
+            }
+            prop_assert_eq!(table.free_frames(), model_free.len() as u64);
+        }
+        let allocated: Vec<u64> =
+            table.iter_allocated().map(|(id, _)| u64::from(id.get())).collect();
+        let mut expected = held.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(allocated, expected);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Hinted SwapArea::alloc vs a naive cursor-scan model
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn swap_alloc_order_matches_cursor_model(ops in prop::collection::vec(swap_op(), 1..300)) {
+        // The bitmap allocator keeps a low-water hint so the wrap scan
+        // skips known-full words; the observable order must still be
+        // exactly "first free slot at or after the cursor, else the
+        // lowest free slot overall".
+        let capacity = 96u64;
+        let mut swap = SwapArea::new(capacity);
+        let mut model_free: std::collections::BTreeSet<u64> = (0..capacity).collect();
+        let mut model_cursor = 0u64;
+        let mut held: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                SwapOp::Alloc(g) => {
+                    let info = SlotInfo {
+                        vm: VmId::new(0),
+                        gfn: Gfn::new(g),
+                        label: ContentLabel::ZERO,
+                    };
+                    let want = model_free
+                        .range(model_cursor..)
+                        .next()
+                        .or_else(|| model_free.iter().next())
+                        .copied();
+                    prop_assert_eq!(swap.alloc(info), want, "hinted scan diverged from model");
+                    if let Some(slot) = want {
+                        model_free.remove(&slot);
+                        model_cursor = slot + 1;
+                        held.push(slot);
+                    }
+                }
+                // Scattered allocation draws from the same candidate
+                // enumeration; exercised by swap_area_never_double_allocates.
+                SwapOp::AllocScattered(_) => {}
+                SwapOp::FreeNth(n) => {
+                    if !held.is_empty() {
+                        let slot = held.remove(n % held.len());
+                        swap.free(slot);
+                        model_free.insert(slot);
+                    }
+                }
+            }
+            prop_assert_eq!(swap.used(), held.len() as u64);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
 // Guest kernel: arbitrary op sequences keep the audit green
 // ----------------------------------------------------------------------
 
