@@ -5,9 +5,10 @@
 //! `proptest` cannot be resolved; this in-tree substitute keeps the
 //! workspace's property tests compiling and running. It provides:
 //!
-//! * the [`Strategy`] trait with [`Strategy::prop_map`] and boxing;
-//! * strategies for integer ranges, tuples, [`Just`], `any::<T>()`, and
-//!   [`collection::vec`](crate::collection::vec);
+//! * the [`strategy::Strategy`] trait with [`strategy::Strategy::prop_map`]
+//!   and boxing;
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   `any::<T>()`, and [`collection::vec`];
 //! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
 //!   [`prop_assert_eq!`], and [`prop_assert_ne!`] macros;
 //! * [`test_runner::TestCaseError`] and

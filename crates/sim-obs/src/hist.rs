@@ -252,6 +252,24 @@ impl LatencyBook {
         }
     }
 
+    /// Folds another book in while remapping its VM ids. Cluster reports
+    /// use this to merge per-host books — where each host numbers its VMs
+    /// from zero — into one tenant-indexed book: `map` translates the
+    /// other book's VM id into a cluster-wide tenant id, or `None` to
+    /// drop that row (e.g. a VM the caller does not track).
+    pub fn merge_remapped(&mut self, other: &LatencyBook, map: impl Fn(u32) -> Option<u32>) {
+        for (vm, row) in other.rows.iter().enumerate() {
+            let Some(tenant) = map(vm as u32) else { continue };
+            let tenant = tenant as usize;
+            if tenant >= self.rows.len() {
+                self.rows.resize_with(tenant + 1, Default::default);
+            }
+            for (m, t) in self.rows[tenant].iter_mut().zip(row.iter()) {
+                m.merge(t);
+            }
+        }
+    }
+
     /// The histogram for one `(vm, class)` pair, if anything was
     /// recorded.
     pub fn hist(&self, vm: u32, class: LatencyClass) -> Option<&LatencyHist> {
@@ -326,6 +344,12 @@ impl LatencyHub {
     #[inline]
     pub fn record(&self, vm: u32, class: LatencyClass, d: SimDuration) {
         self.book.borrow_mut().record(vm, class, d);
+    }
+
+    /// Sample count recorded so far for one `(vm, class)` pair, without
+    /// cloning the book (the cluster scheduler polls this per epoch).
+    pub fn class_count(&self, vm: u32, class: LatencyClass) -> u64 {
+        self.book.borrow().hist(vm, class).map_or(0, |h| h.count())
     }
 
     /// Clones the accumulated book out.

@@ -228,7 +228,7 @@ impl EventLog {
         }
     }
 
-    /// Counts buffered records per [`EventKind`].
+    /// Counts buffered records per [`crate::EventKind`].
     pub fn kind_histogram(&self) -> BTreeMap<&'static str, u64> {
         let mut hist = BTreeMap::new();
         self.for_each(|r| *hist.entry(r.event.kind().name()).or_insert(0) += 1);

@@ -1,6 +1,6 @@
 //! Causal spans: reassembling fault lifecycles from the event stream.
 //!
-//! Every [`EventRecord`](crate::EventRecord) carries a `span`/`parent`
+//! Every [`crate::EventRecord`] carries a `span`/`parent`
 //! pair. A record with `span != 0` *is* a span: it opens at the record's
 //! timestamp and covers everything emitted while it was on the log's
 //! span stack. A record with `span == 0` but `parent != 0` is a leaf

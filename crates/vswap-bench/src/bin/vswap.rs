@@ -38,6 +38,7 @@ USAGE:
   vswap trace [OPTIONS]          run a workload and summarize its event trace
   vswap analyze <TRACE> [--top K]  critical-path report from a JSONL trace file
   vswap migrate [OPTIONS]        live-migrate a warmed guest and report
+  vswap cluster [OPTIONS]        run a multi-host fleet under the overcommit scheduler
   vswap pathology [OPTIONS]      run the five-pathology demonstration
   vswap figures [SUITE] [ID..]   regenerate the paper's tables (stdout; timings on stderr)
   vswap verify-tables [SUITE]    re-run the smoke suite and diff against the golden corpus
@@ -79,6 +80,14 @@ OPTIONS (run / trace / migrate / pathology):
                       filters the --trace-out file and the `trace` histogram,
                       not the simulation itself)
   --json              machine-readable output
+
+CLUSTER OPTIONS:
+  --hosts <N>         hosts in the fleet (default 4)
+  --guests <N>        tenant guests placed across the fleet (default 16)
+  --policy <NAME>     as above (default vswapper)
+  --smoke             reduced ~16x guest/host sizes (seconds, not minutes)
+  --seed <N>          simulation seed (default 0x5eedcafe)
+  --json              machine-readable report
 
 ANALYZE OPTIONS:
   --top <K>           number of slowest fault lifecycles to print (default 5)
@@ -420,6 +429,72 @@ fn cmd_migrate(opts: &Options) -> Result<String, String> {
     }
 }
 
+/// Arguments for the `cluster` subcommand.
+#[derive(Debug, Clone)]
+struct ClusterArgs {
+    hosts: u32,
+    guests: u32,
+    policy: SwapPolicy,
+    scale: Scale,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_cluster_args(args: &[String]) -> Result<ClusterArgs, String> {
+    let mut parsed = ClusterArgs {
+        hosts: 4,
+        guests: 16,
+        policy: SwapPolicy::Vswapper,
+        scale: Scale::Paper,
+        seed: suite::DEFAULT_SEED,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--hosts" => {
+                parsed.hosts = value("--hosts")?.parse().map_err(|e| format!("--hosts: {e}"))?
+            }
+            "--guests" => {
+                parsed.guests = value("--guests")?.parse().map_err(|e| format!("--guests: {e}"))?
+            }
+            "--policy" => parsed.policy = parse_policy(&value("--policy")?)?,
+            "--smoke" => parsed.scale = Scale::Smoke,
+            "--seed" => {
+                parsed.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => parsed.json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if parsed.hosts == 0 {
+        return Err("--hosts must be at least 1".to_owned());
+    }
+    if parsed.guests == 0 {
+        return Err("--guests must be at least 1".to_owned());
+    }
+    Ok(parsed)
+}
+
+/// Runs one cluster point exactly the way the `cluster` suite
+/// experiment does, so a CLI run and a suite cell with the same
+/// parameters and seed report the same numbers.
+fn cmd_cluster(a: &ClusterArgs) -> Result<String, String> {
+    let mut ctx = suite::TaskCtx::standalone(a.seed, "cluster-cli");
+    let (mean, report) = vswap_bench::experiments::cluster::run_point(
+        a.scale, a.policy, a.hosts, a.guests, &mut ctx,
+    );
+    if a.json {
+        Ok(report.to_json())
+    } else {
+        let mut out = report.render();
+        let _ = writeln!(out, "mean completion time: {mean:.2}s ({})", a.policy);
+        Ok(out)
+    }
+}
+
 fn cmd_pathology(opts: &Options) -> Result<String, String> {
     let mut m = build_machine(opts)?;
     let vm = m.add_vm(guest_spec(opts, "guest")).map_err(|e| e.to_string())?;
@@ -642,6 +717,7 @@ fn main() -> ExitCode {
             Err(e) => Err(e),
         },
         "analyze" => cmd_analyze(rest),
+        "cluster" => parse_cluster_args(rest).and_then(|a| cmd_cluster(&a)),
         "run" | "trace" | "migrate" | "pathology" => match parse_options(rest) {
             Ok(opts) => match cmd.as_str() {
                 "run" => cmd_run(&opts),
@@ -895,6 +971,52 @@ mod tests {
         let second = cmd_analyze(&args).unwrap();
         assert_eq!(first, second, "same trace must analyze identically");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_args_parse() {
+        let owned: Vec<String> = [
+            "--hosts", "2", "--guests", "6", "--policy", "baseline", "--smoke", "--seed", "3",
+            "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = parse_cluster_args(&owned).unwrap();
+        assert_eq!(a.hosts, 2);
+        assert_eq!(a.guests, 6);
+        assert_eq!(a.policy, SwapPolicy::Baseline);
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.seed, 3);
+        assert!(a.json);
+
+        let defaults = parse_cluster_args(&[]).unwrap();
+        assert_eq!(defaults.hosts, 4);
+        assert_eq!(defaults.guests, 16);
+        assert_eq!(defaults.scale, Scale::Paper);
+
+        assert!(parse_cluster_args(&["--hosts".to_owned(), "0".to_owned()]).is_err());
+        assert!(parse_cluster_args(&["--guests".to_owned(), "0".to_owned()]).is_err());
+        assert!(parse_cluster_args(&["--banana".to_owned()]).is_err());
+        assert!(parse_cluster_args(&["--hosts".to_owned()]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn cluster_smoke_run_reports_the_fleet() {
+        let a = ClusterArgs {
+            hosts: 2,
+            guests: 4,
+            policy: SwapPolicy::Vswapper,
+            scale: Scale::Smoke,
+            seed: suite::DEFAULT_SEED,
+            json: false,
+        };
+        let out = cmd_cluster(&a).unwrap();
+        assert!(out.contains("cluster: 2 hosts"), "{out}");
+        assert!(out.contains("mean completion time"), "{out}");
+        let json = cmd_cluster(&ClusterArgs { json: true, ..a }).unwrap();
+        assert!(json.contains("\"hosts\""), "{json}");
+        assert!(json.contains("\"migration_log\""), "{json}");
     }
 
     #[test]

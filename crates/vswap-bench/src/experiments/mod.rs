@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod cluster;
 pub mod common;
 pub mod fig03;
 pub mod fig04;

@@ -1,7 +1,7 @@
 //! The golden-table corpus: checked-in canonical `Scale::Smoke` output
 //! for every experiment, rendered by
-//! [`render_experiment`](crate::suite::render_experiment) under the
-//! suite's [default seed](crate::suite::DEFAULT_SEED).
+//! [`crate::suite::render_experiment`] under the suite's
+//! [default seed](crate::suite::DEFAULT_SEED).
 //!
 //! `vswap verify-tables` re-runs the smoke suite and diffs against this
 //! corpus; CI runs it on every push, so any change to simulator
@@ -13,7 +13,7 @@ use crate::suite::{render_experiment, ExperimentResult};
 use std::path::PathBuf;
 
 /// The embedded corpus, in registry order.
-const CORPUS: [(&str, &str); 18] = [
+const CORPUS: [(&str, &str); 19] = [
     ("fig03", include_str!("../golden/fig03.golden")),
     ("fig04", include_str!("../golden/fig04.golden")),
     ("fig05", include_str!("../golden/fig05.golden")),
@@ -32,6 +32,7 @@ const CORPUS: [(&str, &str); 18] = [
     ("ablate", include_str!("../golden/ablate.golden")),
     ("chaos", include_str!("../golden/chaos.golden")),
     ("latency", include_str!("../golden/latency.golden")),
+    ("cluster", include_str!("../golden/cluster.golden")),
 ];
 
 /// Returns the checked-in golden rendering for an experiment id, or

@@ -154,6 +154,12 @@ pub fn suite_experiments() -> Vec<SuiteExperiment> {
             plan: latency::plan,
             run: latency::run,
         },
+        SuiteExperiment {
+            id: "cluster",
+            title: "Cluster: multi-host overcommit with live migration, 10-1000 guests",
+            plan: cluster::plan,
+            run: cluster::run,
+        },
     ]
 }
 

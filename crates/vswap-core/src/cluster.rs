@@ -1,0 +1,900 @@
+//! Cluster mode: many hosts, one overcommit scheduler, live migration.
+//!
+//! [`Cluster`] generalizes the single [`Machine`] testbed to a rack of
+//! hosts sharing a tenant population — the datacenter-scale extension of
+//! the paper's consolidation argument (§1: memory overcommitment is what
+//! makes consolidation pay; §7: VSwapper makes migrating guests cheap
+//! because named pages travel as references and need not travel at all
+//! when storage is shared). Three pieces:
+//!
+//! * **placement** — a new guest lands on the host with the most
+//!   *effective* free memory (free frames minus pages already promised
+//!   to earlier tenants, [`HostPressure::placement_score`]);
+//! * **pressure-driven migration** — each host's swap rate and free-frame
+//!   fraction feed a debounced [`PressureTracker`]; when pressure is
+//!   sustained, the host's hottest-swapping guest (largest swap-in count
+//!   since the previous poll) is live-migrated to the least-loaded host.
+//!   The migration's cost is fully simulated: pre-copy rounds through
+//!   [`LiveMigration`] on the source (network time, swap readbacks,
+//!   re-dirtying), then the page-state hand-off of
+//!   [`Machine::extract_vm`]/[`Machine::admit_vm`];
+//! * **merged reporting** — [`ClusterReport`] aggregates per-host
+//!   [`RunReport`]s and re-indexes every host's per-VM latency book by
+//!   *tenant*, so a guest's swap-in percentiles follow it across hosts.
+//!
+//! Time advances in epoch lockstep: every host runs to the same barrier,
+//! the scheduler polls at the barrier, repeat until no workload remains.
+//! Hosts may overshoot a barrier by one workload step; they resynchronize
+//! at the next one. Everything — placement, victim choice, migration
+//! targets — iterates hosts in sorted-name order and breaks ties by
+//! name, so results are invariant to the enumeration order of
+//! [`ClusterConfig::host_names`].
+//!
+//! # Examples
+//!
+//! ```
+//! use vswap_core::cluster::{Cluster, ClusterConfig};
+//! use vswap_core::workload_api::FileScan;
+//! use vswap_core::{MachineConfig, SwapPolicy};
+//! use vswap_guestos::GuestSpec;
+//! use vswap_hostos::HostSpec;
+//! use vswap_hypervisor::VmSpec;
+//! use vswap_mem::MemBytes;
+//!
+//! let host = HostSpec {
+//!     dram: MemBytes::from_mb(64),
+//!     disk_pages: MemBytes::from_mb(512).pages(),
+//!     swap_pages: MemBytes::from_mb(64).pages(),
+//!     hypervisor_code_pages: 16,
+//!     ..HostSpec::paper_testbed()
+//! };
+//! let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(host);
+//! let mut cluster = Cluster::new(ClusterConfig::homogeneous(2, machine))?;
+//! for i in 0..4 {
+//!     let spec = VmSpec::linux(&format!("g{i}"), MemBytes::from_mb(16), MemBytes::from_mb(8))
+//!         .with_guest(GuestSpec {
+//!             memory: MemBytes::from_mb(16),
+//!             disk: MemBytes::from_mb(64),
+//!             swap: MemBytes::from_mb(8),
+//!             kernel_pages: 64,
+//!             boot_file_pages: 128,
+//!             boot_anon_pages: 64,
+//!             ..GuestSpec::linux_default()
+//!         });
+//!     let tenant = cluster.place_vm(spec)?;
+//!     cluster.launch(tenant, Box::new(FileScan::new(512, 1)));
+//! }
+//! let report = cluster.run();
+//! assert_eq!(report.completed_workloads(), 4);
+//! # Ok::<(), vswap_core::MachineError>(())
+//! ```
+
+use crate::config::MachineConfig;
+use crate::machine::{Machine, MachineError, VmHandle};
+use crate::migration::{LiveMigration, MigrationConfig};
+use crate::report::RunReport;
+use sim_core::{DeterministicRng, SimDuration, SimTime};
+use sim_obs::json::JsonWriter;
+use sim_obs::{LatencyBook, LatencyClass};
+use vswap_hypervisor::{HostPressure, PressureTracker, VmSpec};
+
+/// Identifies one guest across the whole cluster, stable across
+/// migrations (unlike the per-host VM id, which changes on every move).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The dense index of this tenant (rows of the cluster latency book).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The overcommit scheduler's knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Epoch length: hosts run to a common barrier every interval, and
+    /// the scheduler polls pressure at the barrier.
+    pub poll_interval: SimDuration,
+    /// Host swap ops/sec above which a poll counts as pressured.
+    pub swap_ops_per_sec_threshold: f64,
+    /// Free-DRAM fraction below which a poll counts as pressured.
+    pub free_frac_low_watermark: f64,
+    /// Consecutive pressured polls before a migration triggers.
+    pub sustain_polls: u32,
+    /// Polls a freshly migrated tenant is immune from re-migration
+    /// (anti-ping-pong).
+    pub tenant_cooldown_polls: u64,
+    /// Hard cap on migrations over the whole run.
+    pub max_migrations: u64,
+    /// Master switch: with `false` the cluster never migrates (the
+    /// static-placement baseline).
+    pub live_migration: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            poll_interval: SimDuration::from_secs(1),
+            swap_ops_per_sec_threshold: 50.0,
+            free_frac_low_watermark: 0.2,
+            sustain_polls: 3,
+            tenant_cooldown_polls: 8,
+            max_migrations: u64::MAX,
+            live_migration: true,
+        }
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Host names. Order does not matter: the cluster sorts them, and
+    /// every scheduling decision is keyed by name, so any permutation
+    /// yields bit-identical results.
+    pub host_names: Vec<String>,
+    /// Per-host machine template. Each host derives its own RNG seed
+    /// (forked off the template seed by host name) and its own disjoint
+    /// content-label namespace (by sorted-name rank).
+    pub machine: MachineConfig,
+    /// Scheduler knobs.
+    pub scheduler: SchedulerConfig,
+    /// Live-migration link and pre-copy tuning.
+    pub migration: MigrationConfig,
+}
+
+impl ClusterConfig {
+    /// `hosts` identical hosts named `host000`, `host001`, … sharing one
+    /// machine template and default scheduler/migration tuning.
+    pub fn homogeneous(hosts: u32, machine: MachineConfig) -> Self {
+        ClusterConfig {
+            host_names: (0..hosts).map(|i| format!("host{i:03}")).collect(),
+            machine,
+            scheduler: SchedulerConfig::default(),
+            migration: MigrationConfig::default(),
+        }
+    }
+}
+
+/// One live migration's record in the cluster report.
+#[derive(Debug, Clone)]
+pub struct MigrationRecord {
+    /// Migrated tenant's name.
+    pub tenant: String,
+    /// Source host name.
+    pub from: String,
+    /// Destination host name.
+    pub to: String,
+    /// Barrier instant at which the migration was triggered.
+    pub at: SimTime,
+    /// Bytes the pre-copy rounds put on the wire.
+    pub total_bytes: u64,
+    /// Guest downtime (stop-and-copy plus buffer flush).
+    pub downtime: SimDuration,
+    /// Pre-copy rounds run (including the stop-and-copy round).
+    pub rounds: u32,
+}
+
+/// One host's slice of the cluster report.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Host name.
+    pub name: String,
+    /// Guests that migrated onto this host.
+    pub migrations_in: u64,
+    /// Guests that migrated off this host.
+    pub migrations_out: u64,
+    /// The host's full per-machine report. Completed-workload records
+    /// travel with migrating guests, so each workload appears exactly
+    /// once cluster-wide: on the host where it finished.
+    pub report: RunReport,
+}
+
+/// The merged report of a [`Cluster::run`].
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Simulated instant the last host went idle.
+    pub ended_at: SimTime,
+    /// Per-host reports, sorted by host name.
+    pub hosts: Vec<HostReport>,
+    /// Every live migration, in trigger order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Tenant names, indexed by [`TenantId::index`].
+    pub tenant_names: Vec<String>,
+    /// Tenant-indexed latency book: every host's per-VM rows re-mapped
+    /// to the tenant that owned the VM, then merged — a guest's swap-in
+    /// percentiles follow it across migrations.
+    pub latency: LatencyBook,
+}
+
+impl ClusterReport {
+    /// Workloads that ran to completion cluster-wide.
+    pub fn completed_workloads(&self) -> usize {
+        self.hosts.iter().map(|h| h.report.workloads.iter().filter(|w| w.completed()).count()).sum()
+    }
+
+    /// Workloads the guest OOM killers claimed cluster-wide.
+    pub fn kill_count(&self) -> usize {
+        self.hosts.iter().map(|h| h.report.kill_count()).sum()
+    }
+
+    /// Number of live migrations performed.
+    pub fn migration_count(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Mean runtime in simulated seconds across all completed workloads
+    /// (`None` if nothing completed).
+    pub fn mean_runtime_secs(&self) -> Option<f64> {
+        let runtimes: Vec<f64> = self
+            .hosts
+            .iter()
+            .flat_map(|h| h.report.workloads.iter())
+            .filter(|w| w.completed())
+            .filter_map(|w| w.runtime())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        if runtimes.is_empty() {
+            None
+        } else {
+            Some(runtimes.iter().sum::<f64>() / runtimes.len() as f64)
+        }
+    }
+
+    /// Sum of one host counter across all hosts (e.g. `"swap_ins"`).
+    pub fn host_stat(&self, key: &str) -> u64 {
+        self.hosts.iter().map(|h| h.report.host.get(key)).sum()
+    }
+
+    /// Renders the cluster summary as a fixed-width text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cluster: {} hosts, {} workloads done, {} killed, {} migrations",
+            self.hosts.len(),
+            self.completed_workloads(),
+            self.kill_count(),
+            self.migration_count(),
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>8} {:>10} {:>10} {:>7} {:>8}",
+            "host", "done", "killed", "swap_ins", "swap_outs", "mig_in", "mig_out"
+        );
+        for h in &self.hosts {
+            let done = h.report.workloads.iter().filter(|w| w.completed()).count();
+            let _ = writeln!(
+                out,
+                "{:<10} {:>6} {:>8} {:>10} {:>10} {:>7} {:>8}",
+                h.name,
+                done,
+                h.report.kill_count(),
+                h.report.host.get("swap_ins"),
+                h.report.host.get("swap_outs"),
+                h.migrations_in,
+                h.migrations_out,
+            );
+        }
+        const SHOWN: usize = 16;
+        for m in self.migrations.iter().take(SHOWN) {
+            let _ = writeln!(
+                out,
+                "  migrated {:<12} {} -> {} ({} rounds, {} bytes, downtime {})",
+                m.tenant, m.from, m.to, m.rounds, m.total_bytes, m.downtime,
+            );
+        }
+        if self.migrations.len() > SHOWN {
+            let _ = writeln!(out, "  … and {} more migrations", self.migrations.len() - SHOWN);
+        }
+        out
+    }
+
+    /// Serializes the cluster report as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("ended_at_ns", self.ended_at.as_nanos());
+        w.field_u64("migrations", self.migrations.len() as u64);
+        w.field_u64("completed_workloads", self.completed_workloads() as u64);
+        w.field_u64("killed_workloads", self.kill_count() as u64);
+        w.key("hosts");
+        w.begin_array();
+        for h in &self.hosts {
+            w.begin_object();
+            w.field_str("name", &h.name);
+            w.field_u64(
+                "completed",
+                h.report.workloads.iter().filter(|r| r.completed()).count() as u64,
+            );
+            w.field_u64("killed", h.report.kill_count() as u64);
+            w.field_u64("swap_ins", h.report.host.get("swap_ins"));
+            w.field_u64("swap_outs", h.report.host.get("swap_outs"));
+            w.field_u64("migrations_in", h.migrations_in);
+            w.field_u64("migrations_out", h.migrations_out);
+            w.field_u64("ended_at_ns", h.report.ended_at.as_nanos());
+            w.end_object();
+        }
+        w.end_array();
+        w.key("migration_log");
+        w.begin_array();
+        for m in &self.migrations {
+            w.begin_object();
+            w.field_str("tenant", &m.tenant);
+            w.field_str("from", &m.from);
+            w.field_str("to", &m.to);
+            w.field_u64("at_ns", m.at.as_nanos());
+            w.field_u64("bytes", m.total_bytes);
+            w.field_u64("downtime_ns", m.downtime.as_nanos());
+            w.field_u64("rounds", u64::from(m.rounds));
+            w.end_object();
+        }
+        w.end_array();
+        w.key("tenant_latency");
+        w.begin_array();
+        for (i, name) in self.tenant_names.iter().enumerate() {
+            let Some(h) = self.latency.hist(i as u32, LatencyClass::SwapIn) else { continue };
+            w.begin_object();
+            w.field_str("tenant", name);
+            w.field_u64("swap_in_count", h.count());
+            w.field_u64("swap_in_p50_ns", h.p50().as_nanos());
+            w.field_u64("swap_in_p99_ns", h.p99().as_nanos());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+}
+
+struct HostSlot {
+    name: String,
+    machine: Machine,
+    tracker: PressureTracker,
+    /// Actual-memory pages promised to tenants currently placed here.
+    committed_pages: u64,
+    /// Host swap ops (in + out) as of the previous poll.
+    prev_swap_ops: u64,
+    /// Host clock at the previous poll.
+    last_poll: SimTime,
+    /// Dense per-host VM id → tenant map. Entries persist after a VM
+    /// migrates away (VM ids are never reused), which is exactly what
+    /// re-mapping the host's latency rows to tenants needs.
+    vm_tenant: Vec<Option<u32>>,
+    migrations_in: u64,
+    migrations_out: u64,
+}
+
+struct Tenant {
+    name: String,
+    host: usize,
+    handle: VmHandle,
+    /// Actual (granted) memory pages — the placement commitment.
+    pages: u64,
+    /// Host swap-in sample count (on the current host) at the last poll.
+    prev_swap_ins: u64,
+    /// Epoch of the tenant's last migration, for the cooldown.
+    last_migration_epoch: Option<u64>,
+}
+
+/// A cluster of hosts under one overcommit scheduler. See the module
+/// docs for the model and an example.
+pub struct Cluster {
+    scheduler: SchedulerConfig,
+    migration_cfg: MigrationConfig,
+    hosts: Vec<HostSlot>,
+    tenants: Vec<Tenant>,
+    migrations: Vec<MigrationRecord>,
+    epoch: u64,
+    dram_pages: u64,
+    hv_code_pages: u64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("hosts", &self.hosts.len())
+            .field("tenants", &self.tenants.len())
+            .field("migrations", &self.migrations.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Builds the cluster: one [`Machine`] per host, each with a
+    /// name-derived RNG seed and a rank-derived content-label namespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Host`] if the host template is
+    /// inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_names` is empty or contains duplicates.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, MachineError> {
+        let mut names = cfg.host_names.clone();
+        names.sort();
+        assert!(!names.is_empty(), "a cluster needs at least one host");
+        assert!(names.windows(2).all(|w| w[0] != w[1]), "host names must be unique");
+
+        let root = DeterministicRng::seed_from(cfg.machine.seed);
+        let mut hosts = Vec::with_capacity(names.len());
+        for (rank, name) in names.into_iter().enumerate() {
+            // Seed from the host *name*, namespace from the sorted
+            // *rank*: both are pure functions of the name set, so any
+            // enumeration order of `host_names` builds this same host.
+            let seed = root.fork_labeled(&format!("cluster/{name}")).next_u64();
+            let machine_cfg = cfg
+                .machine
+                .clone()
+                .with_seed(seed)
+                .with_label_namespace(u32::try_from(rank + 1).expect("host count fits u32"));
+            let machine = Machine::new(machine_cfg)?;
+            hosts.push(HostSlot {
+                name,
+                machine,
+                tracker: PressureTracker::new(
+                    cfg.scheduler.swap_ops_per_sec_threshold,
+                    cfg.scheduler.free_frac_low_watermark,
+                    cfg.scheduler.sustain_polls,
+                ),
+                committed_pages: 0,
+                prev_swap_ops: 0,
+                last_poll: SimTime::ZERO,
+                vm_tenant: Vec::new(),
+                migrations_in: 0,
+                migrations_out: 0,
+            });
+        }
+        Ok(Cluster {
+            scheduler: cfg.scheduler,
+            migration_cfg: cfg.migration,
+            dram_pages: cfg.machine.host.dram.pages(),
+            hv_code_pages: cfg.machine.host.hypervisor_code_pages,
+            hosts,
+            tenants: Vec::new(),
+            migrations: Vec::new(),
+            epoch: 0,
+        })
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The host a tenant currently lives on.
+    pub fn tenant_host(&self, tenant: TenantId) -> &str {
+        &self.hosts[self.tenants[tenant.index()].host].name
+    }
+
+    /// The [`Machine`] currently hosting a tenant — read access for
+    /// oracles that check page content where the tenant actually lives.
+    pub fn tenant_machine(&self, tenant: TenantId) -> &Machine {
+        &self.hosts[self.tenants[tenant.index()].host].machine
+    }
+
+    /// A tenant's VM handle on its current host. Handles are per-host:
+    /// this one is only meaningful against [`Cluster::tenant_machine`]
+    /// for the same tenant, and it changes when the tenant migrates.
+    pub fn tenant_handle(&self, tenant: TenantId) -> VmHandle {
+        self.tenants[tenant.index()].handle
+    }
+
+    /// Places a new guest on the host with the highest effective-free
+    /// score ([`HostPressure::placement_score`]; ties go to the first
+    /// host in name order) and boots it there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the chosen host cannot fit the VM.
+    pub fn place_vm(&mut self, spec: VmSpec) -> Result<TenantId, MachineError> {
+        let mut best = 0usize;
+        let mut best_score = 0u64;
+        for (i, h) in self.hosts.iter().enumerate() {
+            let score = self.pressure_of(h).placement_score(h.committed_pages);
+            if i == 0 || score > best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        let pages = spec.actual_memory.pages();
+        let name = spec.name.clone();
+        let handle = self.hosts[best].machine.add_vm(spec)?;
+        let tenant = u32::try_from(self.tenants.len()).expect("tenant count fits u32");
+        self.note_tenant_on_host(best, handle, tenant);
+        self.hosts[best].committed_pages += pages;
+        self.tenants.push(Tenant {
+            name,
+            host: best,
+            handle,
+            pages,
+            prev_swap_ins: 0,
+            last_migration_epoch: None,
+        });
+        Ok(TenantId(tenant))
+    }
+
+    /// Schedules a workload on a tenant's VM (wherever it currently is).
+    pub fn launch(&mut self, tenant: TenantId, program: Box<dyn vswap_guestos::GuestProgram>) {
+        let t = &self.tenants[tenant.index()];
+        self.hosts[t.host].machine.launch(t.handle, program);
+    }
+
+    /// Schedules a workload starting no earlier than `at` (phased
+    /// dispatch across the cluster).
+    pub fn launch_at(
+        &mut self,
+        tenant: TenantId,
+        program: Box<dyn vswap_guestos::GuestProgram>,
+        at: SimTime,
+    ) {
+        let t = &self.tenants[tenant.index()];
+        self.hosts[t.host].machine.launch_at(t.handle, program, at);
+    }
+
+    /// Runs the whole cluster to completion: epochs of lockstep host
+    /// execution with a scheduler poll at every barrier, until no host
+    /// has a runnable workload. Returns the merged report.
+    pub fn run(&mut self) -> ClusterReport {
+        let interval = self.scheduler.poll_interval;
+        let mut barrier = SimTime::ZERO + interval;
+        loop {
+            let mut any_runnable = false;
+            for h in &mut self.hosts {
+                if h.machine.now() < barrier {
+                    h.machine.run_until(barrier);
+                }
+                any_runnable |= h.machine.has_runnable_workloads();
+            }
+            self.poll_scheduler(barrier);
+            self.epoch += 1;
+            if !any_runnable {
+                break;
+            }
+            // Next barrier: one interval past the slowest still-runnable
+            // host (skipping dead epochs when every host overshot).
+            let slowest_runnable = self
+                .hosts
+                .iter()
+                .filter(|h| h.machine.has_runnable_workloads())
+                .map(|h| h.machine.now())
+                .min();
+            barrier = slowest_runnable.map_or(barrier, |t| t.max(barrier)) + interval;
+        }
+        self.report()
+    }
+
+    /// Builds the merged cluster report for everything run so far.
+    pub fn report(&self) -> ClusterReport {
+        let mut latency = LatencyBook::new();
+        let mut hosts = Vec::with_capacity(self.hosts.len());
+        let mut ended_at = SimTime::ZERO;
+        for h in &self.hosts {
+            let book = h.machine.latency();
+            latency.merge_remapped(&book, |vm| h.vm_tenant.get(vm as usize).copied().flatten());
+            let report = h.machine.report();
+            ended_at = ended_at.max(report.ended_at);
+            hosts.push(HostReport {
+                name: h.name.clone(),
+                migrations_in: h.migrations_in,
+                migrations_out: h.migrations_out,
+                report,
+            });
+        }
+        ClusterReport {
+            ended_at,
+            hosts,
+            migrations: self.migrations.clone(),
+            tenant_names: self.tenants.iter().map(|t| t.name.clone()).collect(),
+            latency,
+        }
+    }
+
+    /// Audits every host kernel's frame/disk accounting invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing host's audit message, prefixed with
+    /// that host's name.
+    pub fn audit(&self) -> Result<(), String> {
+        for h in &self.hosts {
+            h.machine.host().audit().map_err(|e| format!("{}: {e}", h.name))?;
+        }
+        Ok(())
+    }
+
+    /// One barrier's scheduler round: sample every host's pressure,
+    /// update every tenant's swap-in delta, then migrate the hottest
+    /// guest off each host whose pressure is sustained.
+    fn poll_scheduler(&mut self, barrier: SimTime) {
+        // Per-tenant swap-in deltas since the previous poll (the
+        // "hottest guest" signal), updated even when nothing triggers so
+        // "recent" always means "since the last barrier".
+        let mut deltas = vec![0u64; self.tenants.len()];
+        {
+            let hosts = &self.hosts;
+            for (i, t) in self.tenants.iter_mut().enumerate() {
+                let count = hosts[t.host].machine.latency_count(t.handle, LatencyClass::SwapIn);
+                deltas[i] = count.saturating_sub(t.prev_swap_ins);
+                t.prev_swap_ins = count;
+            }
+        }
+
+        let mut triggered = Vec::new();
+        let dram_frames = self.dram_pages;
+        for (i, h) in self.hosts.iter_mut().enumerate() {
+            let stats = h.machine.host().stats();
+            let ops = stats.swap_ins + stats.swap_outs;
+            let now = h.machine.now();
+            let sample = HostPressure {
+                free_frames: h.machine.host().free_frames(),
+                dram_frames,
+                recent_swap_ops: ops.saturating_sub(h.prev_swap_ops),
+                interval: now.saturating_since(h.last_poll),
+            };
+            h.prev_swap_ops = ops;
+            h.last_poll = now;
+            if h.tracker.observe(&sample) {
+                triggered.push(i);
+            }
+        }
+        if !self.scheduler.live_migration {
+            return;
+        }
+        for src in triggered {
+            if self.migrations.len() as u64 >= self.scheduler.max_migrations {
+                break;
+            }
+            self.migrate_hottest(src, &deltas, barrier);
+        }
+    }
+
+    fn pressure_of(&self, h: &HostSlot) -> HostPressure {
+        HostPressure {
+            free_frames: h.machine.host().free_frames(),
+            dram_frames: self.dram_pages,
+            recent_swap_ops: 0,
+            interval: SimDuration::ZERO,
+        }
+    }
+
+    /// Migrates the hottest-swapping eligible guest off `src` to the
+    /// host with the most free frames, if moving it actually helps.
+    fn migrate_hottest(&mut self, src: usize, deltas: &[u64], barrier: SimTime) {
+        // Victim: largest swap-in delta among this host's tenants not in
+        // cooldown; ties go to the earliest-created tenant.
+        let mut victim: Option<(usize, u64)> = None;
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.host != src {
+                continue;
+            }
+            if let Some(e) = t.last_migration_epoch {
+                if self.epoch - e < self.scheduler.tenant_cooldown_polls {
+                    continue;
+                }
+            }
+            if victim.map_or(true, |(_, best)| deltas[i] > best) {
+                victim = Some((i, deltas[i]));
+            }
+        }
+        let Some((ti, _)) = victim else { return };
+        let pages = self.tenants[ti].pages;
+        let image_pages = {
+            let t = &self.tenants[ti];
+            self.hosts[t.host].machine.vm_spec(t.handle).guest.disk.pages()
+        };
+
+        // Destination: most free frames among hosts that can hold the
+        // VM's disk regions and would be a real improvement over the
+        // source; ties go to the first host in name order.
+        let src_free = self.hosts[src].machine.host().free_frames();
+        let mut dst: Option<(usize, u64)> = None;
+        for (i, h) in self.hosts.iter().enumerate() {
+            if i == src {
+                continue;
+            }
+            let free = h.machine.host().free_frames();
+            if h.machine.host().disk_free_pages() < image_pages + self.hv_code_pages {
+                continue;
+            }
+            // Worth the downtime only if the destination has meaningfully
+            // more headroom than the thrashing source.
+            if free < src_free + pages / 2 {
+                continue;
+            }
+            if dst.map_or(true, |(_, best)| free > best) {
+                dst = Some((i, free));
+            }
+        }
+        let Some((dst, _)) = dst else { return };
+
+        // The full cost model: pre-copy rounds on the source (the guest
+        // keeps running between rounds), then the page-state hand-off.
+        let handle = self.tenants[ti].handle;
+        let mig = LiveMigration::new(self.migration_cfg).run(&mut self.hosts[src].machine, handle);
+        let grant = self.hosts[src].machine.extract_vm(handle);
+        let flush = grant.flush_cost();
+        let arrival =
+            self.hosts[src].machine.now().max(self.hosts[dst].machine.now()) + mig.downtime + flush;
+        let new_handle = self.hosts[dst]
+            .machine
+            .admit_vm(grant, arrival)
+            .expect("destination was checked to fit the migrating VM");
+
+        let tenant_idx = u32::try_from(ti).expect("tenant count fits u32");
+        self.note_tenant_on_host(dst, new_handle, tenant_idx);
+        self.hosts[src].committed_pages = self.hosts[src].committed_pages.saturating_sub(pages);
+        self.hosts[dst].committed_pages += pages;
+        self.hosts[src].migrations_out += 1;
+        self.hosts[dst].migrations_in += 1;
+        self.hosts[src].tracker.reset();
+        self.migrations.push(MigrationRecord {
+            tenant: self.tenants[ti].name.clone(),
+            from: self.hosts[src].name.clone(),
+            to: self.hosts[dst].name.clone(),
+            at: barrier,
+            total_bytes: mig.total_bytes,
+            downtime: mig.downtime + flush,
+            rounds: u32::try_from(mig.rounds.len()).expect("round count fits u32"),
+        });
+        let t = &mut self.tenants[ti];
+        t.host = dst;
+        t.handle = new_handle;
+        t.prev_swap_ins = 0;
+        t.last_migration_epoch = Some(self.epoch);
+    }
+
+    fn note_tenant_on_host(&mut self, host: usize, handle: VmHandle, tenant: u32) {
+        let map = &mut self.hosts[host].vm_tenant;
+        let idx = handle.vm_id().get() as usize;
+        if idx >= map.len() {
+            map.resize(idx + 1, None);
+        }
+        map[idx] = Some(tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwapPolicy;
+    use crate::workload_api::FileScan;
+    use vswap_guestos::GuestSpec;
+    use vswap_hostos::HostSpec;
+    use vswap_mem::MemBytes;
+
+    fn small_host() -> HostSpec {
+        HostSpec {
+            dram: MemBytes::from_mb(48),
+            disk_pages: MemBytes::from_mb(512).pages(),
+            swap_pages: MemBytes::from_mb(64).pages(),
+            hypervisor_code_pages: 16,
+            ..HostSpec::paper_testbed()
+        }
+    }
+
+    fn guest(name: &str, mem_mb: u64, actual_mb: u64) -> VmSpec {
+        VmSpec::linux(name, MemBytes::from_mb(mem_mb), MemBytes::from_mb(actual_mb)).with_guest(
+            GuestSpec {
+                memory: MemBytes::from_mb(mem_mb),
+                disk: MemBytes::from_mb(64),
+                swap: MemBytes::from_mb(16),
+                kernel_pages: 64,
+                boot_file_pages: 128,
+                boot_anon_pages: 64,
+                ..GuestSpec::linux_default()
+            },
+        )
+    }
+
+    /// A scheduler that fires on the first poll with any swap traffic —
+    /// for tests that need a migration to actually happen.
+    fn hair_trigger() -> SchedulerConfig {
+        SchedulerConfig {
+            swap_ops_per_sec_threshold: 1.0,
+            free_frac_low_watermark: 1.1, // every poll counts as low-memory
+            sustain_polls: 1,
+            ..SchedulerConfig::default()
+        }
+    }
+
+    #[test]
+    fn placement_spreads_guests_across_hosts() {
+        let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
+        let mut cluster = Cluster::new(ClusterConfig::homogeneous(2, machine)).unwrap();
+        let mut placed = Vec::new();
+        for i in 0..4 {
+            let t = cluster.place_vm(guest(&format!("g{i}"), 16, 8)).unwrap();
+            placed.push(cluster.tenant_host(t).to_owned());
+        }
+        assert_eq!(placed, ["host000", "host001", "host000", "host001"]);
+    }
+
+    #[test]
+    fn pressured_host_sheds_its_hottest_guest() {
+        let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
+        let mut cfg = ClusterConfig::homogeneous(2, machine);
+        cfg.scheduler = hair_trigger();
+        let mut cluster = Cluster::new(cfg).unwrap();
+        // "heavy" thrashes inside a 16 MB grant; "light" finishes fast on
+        // the other host, leaving it the obvious migration target.
+        let heavy = cluster.place_vm(guest("heavy", 32, 16)).unwrap();
+        let light = cluster.place_vm(guest("light", 8, 4)).unwrap();
+        cluster.launch(heavy, Box::new(FileScan::new(MemBytes::from_mb(24).pages(), 6)));
+        cluster.launch(light, Box::new(FileScan::new(128, 1)));
+        let report = cluster.run();
+        assert!(report.migration_count() >= 1, "sustained pressure must trigger: {report:?}");
+        assert_eq!(report.migrations[0].tenant, "heavy");
+        assert_eq!(report.migrations[0].from, "host000");
+        assert_eq!(report.migrations[0].to, "host001");
+        assert!(report.migrations[0].total_bytes > 0);
+        assert_eq!(report.completed_workloads(), 2, "both finish despite the move");
+        for h in &cluster.hosts {
+            h.machine.host().audit().unwrap();
+        }
+        // The heavy tenant's swap-in latency followed it across hosts.
+        let hist = report.latency.hist(heavy.index() as u32, LatencyClass::SwapIn);
+        assert!(hist.is_some_and(|h| h.count() > 0));
+        let _ = light;
+    }
+
+    #[test]
+    fn disabling_live_migration_pins_placement() {
+        let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
+        let mut cfg = ClusterConfig::homogeneous(2, machine);
+        cfg.scheduler = SchedulerConfig { live_migration: false, ..hair_trigger() };
+        let mut cluster = Cluster::new(cfg).unwrap();
+        let heavy = cluster.place_vm(guest("heavy", 32, 16)).unwrap();
+        let light = cluster.place_vm(guest("light", 8, 4)).unwrap();
+        cluster.launch(heavy, Box::new(FileScan::new(MemBytes::from_mb(24).pages(), 6)));
+        cluster.launch(light, Box::new(FileScan::new(128, 1)));
+        let report = cluster.run();
+        assert_eq!(report.migration_count(), 0);
+        assert_eq!(report.completed_workloads(), 2);
+    }
+
+    fn run_cluster(host_names: Vec<String>) -> ClusterReport {
+        let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
+        let mut cfg = ClusterConfig::homogeneous(0, machine);
+        cfg.host_names = host_names;
+        cfg.scheduler = hair_trigger();
+        let mut cluster = Cluster::new(cfg).unwrap();
+        let heavy = cluster.place_vm(guest("heavy", 32, 16)).unwrap();
+        let light = cluster.place_vm(guest("light", 8, 4)).unwrap();
+        cluster.launch(heavy, Box::new(FileScan::new(MemBytes::from_mb(24).pages(), 4)));
+        cluster.launch(light, Box::new(FileScan::new(128, 1)));
+        cluster.run()
+    }
+
+    #[test]
+    fn report_is_deterministic_and_host_order_invariant() {
+        let names = || vec!["rack-a".to_owned(), "rack-b".to_owned(), "rack-c".to_owned()];
+        let forward = run_cluster(names());
+        let repeat = run_cluster(names());
+        let reversed = run_cluster(names().into_iter().rev().collect());
+        assert_eq!(forward.to_json(), repeat.to_json(), "same input, same bytes");
+        assert_eq!(
+            forward.to_json(),
+            reversed.to_json(),
+            "results must not depend on host enumeration order"
+        );
+        assert_eq!(forward.render(), reversed.render());
+    }
+
+    #[test]
+    fn render_and_json_summarize_the_cluster() {
+        let report = run_cluster(vec!["h0".to_owned(), "h1".to_owned()]);
+        let text = report.render();
+        assert!(text.contains("cluster: 2 hosts"));
+        assert!(text.contains("h0"));
+        let json = report.to_json();
+        assert!(json.contains("\"hosts\":["));
+        assert!(json.contains("\"migration_log\":["));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -119,6 +119,12 @@ pub struct MachineConfig {
     /// pins the fault schedule too; `Some` decouples the two, letting a
     /// fault-seed sweep hold the workload constant.
     pub fault_seed: Option<u64>,
+    /// Content-label namespace this machine mints labels from (see
+    /// [`vswap_mem::LabelGen::with_namespace`]). `0` — the default —
+    /// is byte-identical to the pre-cluster behaviour. A cluster gives
+    /// every host a distinct namespace so labels carried by a migrating
+    /// VM can never collide with labels minted on the destination.
+    pub label_namespace: u32,
 }
 
 impl MachineConfig {
@@ -138,6 +144,7 @@ impl MachineConfig {
             protect_guest_kernel: false,
             faults: FaultProfile::None,
             fault_seed: None,
+            label_namespace: 0,
         }
     }
 
@@ -191,6 +198,15 @@ impl MachineConfig {
     #[must_use]
     pub fn with_fault_seed(mut self, seed: u64) -> Self {
         self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Places this machine's content labels in a disjoint per-host
+    /// namespace (builder style). Used by cluster mode; `0` keeps the
+    /// single-host behaviour.
+    #[must_use]
+    pub fn with_label_namespace(mut self, namespace: u32) -> Self {
+        self.label_namespace = namespace;
         self
     }
 }

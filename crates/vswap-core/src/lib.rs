@@ -18,7 +18,10 @@
 //!   `balloon`, `mapper`, `vswapper`, `balloon + vswapper`);
 //! * [`report`] — per-run measurement reports;
 //! * [`pathology`] — the paper's five-pathology taxonomy, extracted from
-//!   raw counters.
+//!   raw counters;
+//! * [`cluster`] — many hosts under one pressure-driven overcommit
+//!   scheduler with live migration between them (the datacenter-scale
+//!   extension of §7's future work).
 //!
 //! # Quick start
 //!
@@ -45,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod config;
 pub mod machine;
 pub mod mapper;
@@ -54,8 +58,9 @@ pub mod preventer;
 pub mod report;
 pub mod workload_api;
 
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, SchedulerConfig, TenantId};
 pub use config::{Ballooning, MachineConfig, SwapPolicy};
-pub use machine::{Machine, MachineError, VmHandle};
+pub use machine::{Machine, MachineError, MigratedVm, VmHandle};
 pub use mapper::SwapMapper;
 pub use migration::{LiveMigration, MigrationConfig, MigrationReport, NetSpec};
 pub use pathology::{Pathology, PathologyBreakdown};

@@ -16,7 +16,7 @@ use std::fmt;
 use vswap_guestos::{
     AccessResult, GuestCtx, GuestError, GuestKernel, GuestProgram, StepOutcome, VirtualHardware,
 };
-use vswap_hostos::{HostError, HostKernel, VmMmConfig};
+use vswap_hostos::{HostError, HostKernel, VmExport, VmMmConfig};
 use vswap_hypervisor::{BalloonManager, VmSpec, VmTelemetry};
 use vswap_mem::{ContentLabel, Gfn, VmId};
 
@@ -111,6 +111,43 @@ impl VmEntry {
     }
 }
 
+/// A VM lifted out of one [`Machine`] for admission into another — the
+/// cross-host half of live migration. Produced by [`Machine::extract_vm`]
+/// after the pre-copy rounds have run, and consumed by
+/// [`Machine::admit_vm`] on the destination. Carries the guest kernel,
+/// the still-pending workload slots, the completed-workload history, and
+/// the host-level page-state export (shared-storage image plus per-page
+/// wire states).
+pub struct MigratedVm {
+    spec: VmSpec,
+    guest: GuestKernel,
+    slots: Vec<ProgramSlot>,
+    next_slot: usize,
+    history: Vec<VmReport>,
+    prev_guest_swap_outs: u64,
+    export: VmExport,
+    /// Simulated time the source spent merging the VM's pending
+    /// Preventer write buffers before the export (part of the downtime).
+    flush_cost: SimDuration,
+}
+
+impl MigratedVm {
+    /// The VM's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The VM's specification.
+    pub fn spec(&self) -> &VmSpec {
+        &self.spec
+    }
+
+    /// Source-side cost of flushing pending write buffers at extraction.
+    pub fn flush_cost(&self) -> SimDuration {
+        self.flush_cost
+    }
+}
+
 /// The machine. See the crate-level docs for a quick-start example.
 pub struct Machine {
     cfg: MachineConfig,
@@ -152,6 +189,9 @@ impl Machine {
     /// Returns [`MachineError::Host`] if the host spec is inconsistent.
     pub fn new(cfg: MachineConfig) -> Result<Self, MachineError> {
         let mut host = HostKernel::new(cfg.host.clone())?;
+        if cfg.label_namespace != 0 {
+            host.set_label_namespace(cfg.label_namespace);
+        }
         let fault_cfg = cfg.faults.config();
         if !fault_cfg.is_noop() {
             // The schedule is forked off the fault root by label, so it is
@@ -532,6 +572,94 @@ impl Machine {
     /// the VM's simulated-time profile, keeping its attribution complete.
     pub fn note_migration_stall(&mut self, vm: VmId, duration: SimDuration) {
         self.profiler.add(vm.get(), TimeCategory::MigrationStall, duration);
+    }
+
+    /// Handles of every VM currently on this machine, in admission order.
+    pub fn vm_handles(&self) -> Vec<VmHandle> {
+        self.vms.iter().map(|e| VmHandle(e.id)).collect()
+    }
+
+    /// True while any VM still has a schedulable workload. Unlike
+    /// [`Machine::run_until`]'s return value this is meaningful even when
+    /// the clock already overshot a caller's deadline, which is what a
+    /// cluster's epoch barrier needs for its termination check.
+    pub fn has_runnable_workloads(&self) -> bool {
+        self.vms.iter().any(|e| e.next_runnable_at().is_some())
+    }
+
+    /// Sample count in one latency class recorded for a VM so far (e.g.
+    /// host swap-ins — the cluster scheduler's "hottest guest" signal).
+    pub fn latency_count(&self, vm: VmHandle, class: sim_obs::LatencyClass) -> u64 {
+        self.latency.class_count(vm.0.get(), class)
+    }
+
+    /// The specification a VM was admitted with.
+    pub fn vm_spec(&self, vm: VmHandle) -> &VmSpec {
+        &self.entry(vm.0).spec
+    }
+
+    /// Lifts a VM off this machine for admission elsewhere (the final
+    /// hand-off of a live migration, after the pre-copy rounds ran).
+    ///
+    /// Pending Preventer write buffers are merged first — their content
+    /// exists nowhere else — then the host kernel exports the per-page
+    /// wire states and releases every host resource the VM held. The
+    /// VM's unfinished workloads and its completed-workload history
+    /// travel with it, so cluster-level reports follow the tenant, not
+    /// the host.
+    pub fn extract_vm(&mut self, vm: VmHandle) -> MigratedVm {
+        let now = self.clock.now();
+        let flush_cost = self.preventer.flush_vm(&mut self.host, now, vm.0);
+        let export = self.host.export_vm(vm.0);
+        let idx = self.vms.iter().position(|e| e.id == vm.0).expect("unknown VM");
+        let entry = self.vms.remove(idx);
+        MigratedVm {
+            spec: entry.spec,
+            guest: entry.guest,
+            slots: entry.slots,
+            next_slot: entry.next_slot,
+            history: entry.history,
+            prev_guest_swap_outs: 0,
+            export,
+            flush_cost,
+        }
+    }
+
+    /// Admits a migrated VM onto this machine. The guest resumes its
+    /// interrupted workloads no earlier than `arrival` (the migration's
+    /// completion instant, as computed by the cluster's cost model).
+    ///
+    /// The guest is *not* re-booted: its kernel state, page cache, and
+    /// in-flight workloads continue where the source left off. Under
+    /// the Mapper, all image-backed pages land *discarded* — the §7
+    /// "migration enhanced by VSwapper" optimization: the destination
+    /// refaults them from shared storage on demand instead of copying
+    /// them over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Host`] if the destination cannot place
+    /// the VM (disk layout full, or DRAM too small to pre-fault the
+    /// hosted hypervisor's code pages).
+    pub fn admit_vm(
+        &mut self,
+        grant: MigratedVm,
+        arrival: SimTime,
+    ) -> Result<VmHandle, MachineError> {
+        let now = self.clock.now();
+        let (id, import_cost) = self.host.import_vm(now, grant.export)?;
+        let ready_at = arrival.max(now + import_cost);
+        self.vms.push(VmEntry {
+            id,
+            spec: grant.spec,
+            guest: grant.guest,
+            slots: grant.slots,
+            next_slot: grant.next_slot,
+            ready_at,
+            prev_guest_swap_outs: grant.prev_guest_swap_outs,
+            history: grant.history,
+        });
+        Ok(VmHandle(id))
     }
 
     /// Applies one balloon-manager round if dynamic ballooning is on.

@@ -392,6 +392,20 @@ impl FalseReadsPreventer {
         }
     }
 
+    /// Merges every emulation belonging to one VM immediately. Live
+    /// migration calls this before detaching the VM: a buffered write is
+    /// content that exists only in this host's emulation table, so it
+    /// must be promoted into the guest page before the page states are
+    /// exported, or the migration would silently lose it.
+    pub fn flush_vm(&mut self, host: &mut HostKernel, now: SimTime, vm: VmId) -> SimDuration {
+        let mut cost = SimDuration::ZERO;
+        while let Some(pos) = self.emus.iter().position(|e| e.vm == vm) {
+            let emu = self.take_emu(pos);
+            cost += self.merge(host, now + cost, emu, MergeCause::HostAccess);
+        }
+        cost
+    }
+
     /// Merges everything immediately (end of run).
     pub fn flush_all(&mut self, host: &mut HostKernel, now: SimTime) -> SimDuration {
         let mut cost = SimDuration::ZERO;

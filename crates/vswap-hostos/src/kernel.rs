@@ -89,6 +89,51 @@ enum FaultCause {
     HostIo,
 }
 
+/// One guest page's state on the migration wire, produced by
+/// [`HostKernel::export_vm`] and consumed by [`HostKernel::import_vm`].
+///
+/// Swapped pages do not appear here: the export reads them back from the
+/// host swap area (the migration driver charges that I/O) and ships them
+/// as [`PageState::Anon`] content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Never materialized: nothing travels, the target zero-fills lazily.
+    Untouched,
+    /// Named page: an 8-byte reference into the shared disk image. The
+    /// target re-establishes the block association and, if `resident`,
+    /// re-reads the content from the (shared) image region.
+    Named {
+        /// The disk-image block holding the bytes.
+        image_page: u64,
+        /// Whether the page was resident at handover (non-resident named
+        /// pages arrive discarded: zero target memory until refaulted).
+        resident: bool,
+    },
+    /// Anonymous content: 4 KiB crossed the wire; arrives resident and
+    /// dirty on the target.
+    Anon {
+        /// The content that was on the wire.
+        label: ContentLabel,
+    },
+}
+
+/// Everything the destination host needs to re-create a migrated VM:
+/// the memory-management geometry, the (shared-storage) disk image, and
+/// the per-page wire states. Produced by [`HostKernel::export_vm`].
+#[derive(Debug)]
+pub struct VmExport {
+    /// Geometry and policy of the VM's host-side state.
+    pub cfg: VmMmConfig,
+    /// The virtual-disk image, moved wholesale: in a cluster the image
+    /// lives on shared storage, so source and destination present the
+    /// byte-identical disk (labels included — guest swap lives here too).
+    pub image: ImageStore,
+    /// Per-gfn wire state, indexed by guest frame number.
+    pub pages: Vec<PageState>,
+    /// The page-type-aware protection hint, carried across.
+    pub protected_below: u64,
+}
+
 /// Where a guest page's content currently lives (migration's view).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageResidency {
@@ -224,6 +269,20 @@ impl HostKernel {
             frame_scratch: Vec::new(),
             spec,
         })
+    }
+
+    /// Moves this host's label generator into a disjoint namespace (see
+    /// [`LabelGen::with_namespace`]). In a cluster every host must mint
+    /// from its own namespace so content labels can migrate between hosts
+    /// without colliding with labels the destination minted itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any VM was already created (its image labels would have
+    /// been minted from the old namespace).
+    pub fn set_label_namespace(&mut self, namespace: u32) {
+        assert!(self.vms.is_empty(), "set the label namespace before creating VMs");
+        self.labels = LabelGen::with_namespace(namespace);
     }
 
     /// Attaches a structured event log. The host forwards a clone to its
@@ -483,6 +542,223 @@ impl HostKernel {
     /// Image blocks of the VM currently quarantined from Mapper use.
     pub fn suspect_blocks(&self, vm: VmId) -> u64 {
         self.vms[vm.index()].suspect.iter().filter(|&&s| s).count() as u64
+    }
+
+    /// Disk pages still unallocated in the layout — whether this host can
+    /// carve the image and hypervisor-binary regions of an arriving VM.
+    pub fn disk_free_pages(&self) -> u64 {
+        self.layout.free_pages()
+    }
+
+    // ------------------------------------------------------------------
+    // Live-migration handoff (cluster mode)
+    // ------------------------------------------------------------------
+
+    /// Detaches a VM for live migration: captures every guest page's wire
+    /// state, moves the (shared-storage) disk image out, and releases all
+    /// host-side resources the VM held — frames, swap slots, block
+    /// associations, hypervisor code pages. The `VmId` remains allocated
+    /// but vacated (IDs are never reused), and the VM's disk regions stay
+    /// carved out of the layout, as a shared-storage image would.
+    ///
+    /// Swapped pages are exported as anonymous content; the caller models
+    /// the swap readback I/O (see
+    /// [`HostKernel::migration_read_swapped`]).
+    pub fn export_vm(&mut self, vm: VmId) -> VmExport {
+        let gfn_count = self.vms[vm.index()].ept.gfn_count();
+        let mut pages = Vec::with_capacity(gfn_count as usize);
+        for g in 0..gfn_count {
+            let gfn = Gfn::new(g);
+            let mm = &self.vms[vm.index()];
+            let state = match mm.ept.translate(gfn) {
+                Some(frame) => match mm.origin.page_for_gfn(gfn) {
+                    Some(page) if mm.mapper_enabled && !self.frames.dirty(frame) => {
+                        PageState::Named { image_page: page, resident: true }
+                    }
+                    _ => PageState::Anon { label: self.frames.label(frame) },
+                },
+                None => match mm.ept.backing(gfn).expect("non-present") {
+                    Backing::None => PageState::Untouched,
+                    Backing::SwapSlot(slot) => {
+                        PageState::Anon { label: self.swap.get(slot).expect("occupied slot").label }
+                    }
+                    Backing::ImagePage(page) => {
+                        PageState::Named { image_page: page, resident: false }
+                    }
+                },
+            };
+            pages.push(state);
+        }
+        let cfg = VmMmConfig {
+            gfn_count,
+            image_pages: self.vms[vm.index()].image.pages(),
+            mem_limit_pages: self.vms[vm.index()].mem_limit,
+            mapper_enabled: self.vms[vm.index()].mapper_enabled,
+        };
+        let protected_below = self.vms[vm.index()].protected_below;
+        let image = self.release_vm(vm);
+        VmExport { cfg, image, pages, protected_below }
+    }
+
+    /// Frees every host resource a VM holds and vacates its slot,
+    /// returning the disk image. After this the VM owns no frames, no
+    /// swap slots, and no associations; `charged` is zero and
+    /// [`HostKernel::audit`] holds.
+    fn release_vm(&mut self, vm: VmId) -> ImageStore {
+        // Free every frame the VM owns, whatever its role.
+        let owned: Vec<(FrameId, FrameOwner)> = self
+            .frames
+            .iter_allocated()
+            .filter(|(_, o)| {
+                matches!(o,
+                    FrameOwner::Guest { vm: v, .. }
+                    | FrameOwner::HypervisorCode { vm: v, .. }
+                    | FrameOwner::PageCache { vm: v, .. }
+                    | FrameOwner::WriteBuffer { vm: v, .. } if *v == vm)
+            })
+            .collect();
+        for (frame, owner) in owned {
+            debug_assert!(
+                !matches!(owner, FrameOwner::WriteBuffer { .. }),
+                "flush the Preventer before exporting a VM"
+            );
+            self.list_remove(vm, frame);
+            self.prefetched[frame.index()] = false;
+            self.scan_chances[frame.index()] = 0;
+            self.frames.free(frame);
+            self.vms[vm.index()].charged -= 1;
+        }
+        // Free the VM's swap slots.
+        for slot in 0..self.swap.capacity() {
+            if self.swap.get(slot).is_some_and(|info| info.vm == vm) {
+                self.swap.free(slot);
+            }
+        }
+        // Vacate the per-VM state: an empty address space, an empty
+        // image, no associations. The slot itself stays (IDs are stable).
+        let mm = &mut self.vms[vm.index()];
+        debug_assert_eq!(mm.charged, 0, "all charged frames were freed");
+        mm.ept = Ept::new(0);
+        mm.origin = OriginMap::new(0, 0);
+        mm.anon_lru = ListHead::new();
+        mm.named_lru = ListHead::new();
+        mm.mem_limit = 0;
+        mm.protected_below = 0;
+        mm.hv_code_frames.iter_mut().for_each(|f| *f = None);
+        mm.suspect.clear();
+        let mut empty_gen = LabelGen::new();
+        std::mem::replace(&mut mm.image, ImageStore::new(0, &mut empty_gen))
+    }
+
+    /// Attaches a migrated-in VM: carves fresh disk regions, installs the
+    /// shared-storage image, re-establishes every page from its wire
+    /// state, and pre-faults the hypervisor's code pages. Anonymous
+    /// content arrives resident and dirty; named pages land *discarded*
+    /// (association only — the §7 optimization: the target never
+    /// requests pages it can re-map from shared storage) and refault on
+    /// demand. Arrival allocations run the normal reclaim path, so
+    /// importing onto a pressured host swaps exactly as a real
+    /// stop-and-copy landing would. Returns the new VM's id and the time
+    /// the installation took.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::DiskFull`] if the image or hypervisor-binary
+    /// region does not fit, or [`HostError::InsufficientDram`] if DRAM
+    /// cannot hold the hypervisor code pages.
+    pub fn import_vm(
+        &mut self,
+        now: SimTime,
+        export: VmExport,
+    ) -> Result<(VmId, SimDuration), HostError> {
+        let VmExport { cfg, image, pages, protected_below } = export;
+        assert_eq!(image.pages(), cfg.image_pages, "image must match its geometry");
+        assert_eq!(pages.len() as u64, cfg.gfn_count, "one wire state per gfn");
+        let image_region =
+            self.layout.alloc_region("guest-image", cfg.image_pages).map_err(|_| {
+                HostError::DiskFull {
+                    requested: cfg.image_pages,
+                    available: self.layout.free_pages(),
+                }
+            })?;
+        let hv_binary_region = self
+            .layout
+            .alloc_region("hypervisor-binary", self.spec.hypervisor_code_pages)
+            .map_err(|_| HostError::DiskFull {
+                requested: self.spec.hypervisor_code_pages,
+                available: self.layout.free_pages(),
+            })?;
+        let vm = VmId::new(self.vms.len() as u32);
+        self.vms.push(VmMm {
+            ept: Ept::new(cfg.gfn_count),
+            image,
+            image_region,
+            hv_binary_region,
+            origin: OriginMap::new(cfg.gfn_count, cfg.image_pages),
+            anon_lru: ListHead::new(),
+            named_lru: ListHead::new(),
+            mem_limit: cfg.mem_limit_pages,
+            charged: 0,
+            hv_code_frames: vec![None; self.spec.hypervisor_code_pages as usize],
+            hv_code_cursor: 0,
+            mapper_enabled: cfg.mapper_enabled,
+            protected_below,
+            ra_window: self.spec.swap_readahead_pages,
+            ra_loaded: 0,
+            ra_wasted: 0,
+            suspect: vec![false; cfg.image_pages as usize],
+        });
+        let mut t = now;
+        // The hypervisor process starts on the target first.
+        for page in 0..self.spec.hypervisor_code_pages {
+            let frame = self
+                .alloc_frame(&mut t, vm, FrameOwner::HypervisorCode { vm, page })
+                .ok_or(HostError::InsufficientDram)?;
+            self.vms[vm.index()].hv_code_frames[page as usize] = Some(frame);
+            self.list_push(vm, frame, true);
+            self.frames.set_accessed(frame, true);
+        }
+        // Install the guest pages from their wire state.
+        for (g, &state) in pages.iter().enumerate() {
+            let gfn = Gfn::new(g as u64);
+            match state {
+                PageState::Untouched => {}
+                PageState::Named { image_page, resident: _ } => {
+                    if self.vms[vm.index()].mapper_enabled {
+                        // §7: the target avoids requesting pages it can
+                        // re-map from shared storage. Named pages land
+                        // *discarded* — zero target memory on arrival —
+                        // and refault on demand with image readahead.
+                        self.vms[vm.index()].origin.associate(gfn, image_page);
+                        self.vms[vm.index()].ept.set_backing(gfn, Backing::ImagePage(image_page));
+                    } else {
+                        // Without the Mapper the target cannot hold a
+                        // block association: the page lands as plain
+                        // anonymous content.
+                        let frame = self
+                            .alloc_frame(&mut t, vm, FrameOwner::Guest { vm, gfn })
+                            .expect("reclaim guarantees progress");
+                        let label = self.vms[vm.index()].image.label(image_page);
+                        self.frames.set_label(frame, label);
+                        self.frames.set_dirty(frame, true);
+                        self.vms[vm.index()].ept.map(gfn, frame);
+                        self.list_push(vm, frame, false);
+                    }
+                }
+                PageState::Anon { label } => {
+                    let frame = self
+                        .alloc_frame(&mut t, vm, FrameOwner::Guest { vm, gfn })
+                        .expect("reclaim guarantees progress");
+                    self.frames.set_label(frame, label);
+                    // The content exists nowhere on this host's disk:
+                    // dirty, so reclaim must swap (never discard) it.
+                    self.frames.set_dirty(frame, true);
+                    self.vms[vm.index()].ept.map(gfn, frame);
+                    self.list_push(vm, frame, false);
+                }
+            }
+        }
+        Ok((vm, t - now))
     }
 
     // ------------------------------------------------------------------

@@ -55,7 +55,9 @@ pub mod stats;
 pub mod swaparea;
 
 pub use image::ImageStore;
-pub use kernel::{AccessOutcome, HostError, HostKernel, PageResidency, VmMmConfig};
+pub use kernel::{
+    AccessOutcome, HostError, HostKernel, PageResidency, PageState, VmExport, VmMmConfig,
+};
 pub use origin::OriginMap;
 pub use spec::HostSpec;
 pub use stats::HostStats;

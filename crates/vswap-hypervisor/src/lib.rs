@@ -10,7 +10,10 @@
 //!   the phenomenon behind Figure 4 and Figure 14: "ballooning is
 //!   insufficiently responsive" under changing load,
 //! * [`retry`] — the bounded retry/backoff policy the storage emulation
-//!   applies to failed disk requests (fault injection support).
+//!   applies to failed disk requests (fault injection support),
+//! * [`pressure`] — host memory-pressure signals ([`HostPressure`]) and the
+//!   debounced sustained-pressure detector ([`PressureTracker`]) the cluster
+//!   scheduler uses to decide when to migrate a guest off a thrashing host.
 //!
 //! [MOM]: https://www.ibm.com/developerworks/library/l-overcommit-kvm-resources/
 //!
@@ -27,9 +30,11 @@
 #![warn(missing_docs)]
 
 pub mod balloon;
+pub mod pressure;
 pub mod retry;
 pub mod vm;
 
 pub use balloon::{BalloonManager, BalloonPolicy, VmTelemetry};
+pub use pressure::{HostPressure, PressureTracker};
 pub use retry::RetryPolicy;
 pub use vm::VmSpec;

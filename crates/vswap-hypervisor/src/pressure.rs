@@ -1,0 +1,190 @@
+//! Host memory-pressure signals for the cluster scheduler.
+//!
+//! A cluster scheduler needs two things from each host: a *placement
+//! score* ("how much room is really left here?") and a *migration
+//! trigger* ("has this host been thrashing long enough that moving a
+//! guest is worth a stop-and-copy?"). Both are derived from the same
+//! [`HostPressure`] sample — free frames plus the recent host swap
+//! rate — and the trigger is debounced by [`PressureTracker`] so a
+//! single readahead burst never causes a migration.
+
+use sim_core::SimDuration;
+
+/// One poll's snapshot of a host's memory pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostPressure {
+    /// Frames currently free on the host.
+    pub free_frames: u64,
+    /// Total host DRAM in frames.
+    pub dram_frames: u64,
+    /// Host swap operations (in + out) since the previous poll.
+    pub recent_swap_ops: u64,
+    /// Simulated time covered by `recent_swap_ops`.
+    pub interval: SimDuration,
+}
+
+impl HostPressure {
+    /// Fraction of host DRAM currently free, in `[0, 1]`.
+    pub fn free_frac(&self) -> f64 {
+        self.free_frames as f64 / self.dram_frames.max(1) as f64
+    }
+
+    /// Host swap operations per simulated second over the poll interval.
+    pub fn swap_ops_per_sec(&self) -> f64 {
+        let secs = self.interval.as_nanos() as f64 / 1e9;
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.recent_swap_ops as f64 / secs
+        }
+    }
+
+    /// The placement score: *effective* free frames after subtracting
+    /// memory already committed (promised to VMs but not yet touched).
+    /// Higher is a better placement target. Deterministic: pure integer
+    /// arithmetic on the sample.
+    pub fn placement_score(&self, committed_frames: u64) -> u64 {
+        self.free_frames.saturating_sub(committed_frames)
+    }
+}
+
+/// Debounced sustained-pressure detector: the scheduler only migrates
+/// off a host whose swap rate has exceeded the threshold for
+/// `sustain_polls` *consecutive* polls while free memory sat under the
+/// low watermark.
+#[derive(Debug, Clone, Copy)]
+pub struct PressureTracker {
+    /// Swap ops/sec above which a poll counts as pressured.
+    pub swap_ops_per_sec_threshold: f64,
+    /// Free-DRAM fraction below which a poll counts as pressured.
+    pub free_frac_low_watermark: f64,
+    /// Consecutive pressured polls required to trigger.
+    pub sustain_polls: u32,
+    /// Consecutive pressured polls observed so far.
+    streak: u32,
+}
+
+impl PressureTracker {
+    /// A tracker with the given thresholds and an empty streak.
+    pub fn new(
+        swap_ops_per_sec_threshold: f64,
+        free_frac_low_watermark: f64,
+        sustain_polls: u32,
+    ) -> Self {
+        PressureTracker {
+            swap_ops_per_sec_threshold,
+            free_frac_low_watermark,
+            sustain_polls,
+            streak: 0,
+        }
+    }
+
+    /// Feeds one poll's sample. Returns `true` when the pressure has
+    /// been sustained long enough that the scheduler should migrate a
+    /// guest off this host.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sim_core::SimDuration;
+    /// use vswap_hypervisor::{HostPressure, PressureTracker};
+    ///
+    /// let mut tracker = PressureTracker::new(100.0, 0.25, 2);
+    /// let pressured = HostPressure {
+    ///     free_frames: 10,
+    ///     dram_frames: 1000,
+    ///     recent_swap_ops: 5000,
+    ///     interval: SimDuration::from_secs(1),
+    /// };
+    /// assert!(!tracker.observe(&pressured), "one poll is not sustained");
+    /// assert!(tracker.observe(&pressured), "two consecutive polls are");
+    /// ```
+    pub fn observe(&mut self, sample: &HostPressure) -> bool {
+        let pressured = sample.swap_ops_per_sec() > self.swap_ops_per_sec_threshold
+            && sample.free_frac() < self.free_frac_low_watermark;
+        if pressured {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.streak >= self.sustain_polls {
+            // Triggering consumes the streak: the next trigger needs a
+            // fresh run of pressured polls (a migration cooldown).
+            self.streak = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Resets the streak (e.g. after the scheduler acted on this host).
+    pub fn reset(&mut self) {
+        self.streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(free: u64, ops: u64) -> HostPressure {
+        HostPressure {
+            free_frames: free,
+            dram_frames: 1000,
+            recent_swap_ops: ops,
+            interval: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn calm_hosts_never_trigger() {
+        let mut t = PressureTracker::new(100.0, 0.25, 2);
+        for _ in 0..10 {
+            assert!(!t.observe(&sample(900, 0)));
+        }
+    }
+
+    #[test]
+    fn a_blip_is_debounced() {
+        let mut t = PressureTracker::new(100.0, 0.25, 3);
+        assert!(!t.observe(&sample(10, 5000)));
+        assert!(!t.observe(&sample(900, 0)), "streak broken");
+        assert!(!t.observe(&sample(10, 5000)));
+        assert!(!t.observe(&sample(10, 5000)));
+        assert!(t.observe(&sample(10, 5000)), "three in a row triggers");
+    }
+
+    #[test]
+    fn trigger_consumes_the_streak() {
+        let mut t = PressureTracker::new(100.0, 0.25, 1);
+        assert!(t.observe(&sample(10, 5000)));
+        assert!(t.observe(&sample(10, 5000)), "sustain=1 re-triggers each poll");
+        t.reset();
+        assert_eq!(t.streak, 0);
+    }
+
+    #[test]
+    fn high_swap_rate_with_free_memory_is_not_pressure() {
+        // Readahead churn on a host with plenty of free frames must not
+        // trigger migrations.
+        let mut t = PressureTracker::new(100.0, 0.25, 1);
+        assert!(!t.observe(&sample(900, 5000)));
+    }
+
+    #[test]
+    fn placement_score_subtracts_commitment() {
+        let s = sample(500, 0);
+        assert_eq!(s.placement_score(200), 300);
+        assert_eq!(s.placement_score(900), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn zero_interval_rate_is_zero() {
+        let s = HostPressure {
+            free_frames: 0,
+            dram_frames: 1000,
+            recent_swap_ops: 100,
+            interval: SimDuration::ZERO,
+        };
+        assert_eq!(s.swap_ops_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Cluster-mode integration: the suite's `cluster` experiment is
+//! bitwise deterministic at any worker count, the merged report is
+//! invariant to host enumeration order, and — the conservation oracle —
+//! a live migration moves every page the guest holds without losing or
+//! corrupting any content, including when the disk is injecting
+//! transient faults under the pre-copy traffic.
+
+use vswap_bench::suite::{run_suite, SuiteOptions};
+use vswap_bench::Scale;
+use vswap_core::workload_api::FileScan;
+use vswap_core::{
+    Cluster, ClusterConfig, ClusterReport, FaultProfile, MachineConfig, SchedulerConfig,
+    SwapPolicy, TenantId,
+};
+use vswap_guestos::GuestSpec;
+use vswap_hostos::HostSpec;
+use vswap_hypervisor::VmSpec;
+use vswap_mem::MemBytes;
+
+fn small_host() -> HostSpec {
+    HostSpec {
+        dram: MemBytes::from_mb(48),
+        disk_pages: MemBytes::from_mb(512).pages(),
+        swap_pages: MemBytes::from_mb(64).pages(),
+        hypervisor_code_pages: 16,
+        ..HostSpec::paper_testbed()
+    }
+}
+
+fn guest(name: &str, mem_mb: u64, actual_mb: u64) -> VmSpec {
+    VmSpec::linux(name, MemBytes::from_mb(mem_mb), MemBytes::from_mb(actual_mb)).with_guest(
+        GuestSpec {
+            memory: MemBytes::from_mb(mem_mb),
+            disk: MemBytes::from_mb(64),
+            swap: MemBytes::from_mb(16),
+            kernel_pages: 64,
+            boot_file_pages: 128,
+            boot_anon_pages: 64,
+            ..GuestSpec::linux_default()
+        },
+    )
+}
+
+/// A scheduler that migrates on the first whiff of swap traffic, so the
+/// small fleets here exercise the migration path every run.
+fn hair_trigger() -> SchedulerConfig {
+    SchedulerConfig {
+        swap_ops_per_sec_threshold: 1.0,
+        free_frac_low_watermark: 1.1,
+        sustain_polls: 1,
+        ..SchedulerConfig::default()
+    }
+}
+
+/// Two hosts, one thrashing tenant and one light one: the pressured
+/// host sheds the heavy guest. Returns the finished cluster (for
+/// post-hoc page inspection), the tenants, and the merged report.
+fn run_sheds_heavy(profile: FaultProfile) -> (Cluster, Vec<TenantId>, ClusterReport) {
+    let machine =
+        MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host()).with_faults(profile);
+    let mut cfg = ClusterConfig::homogeneous(2, machine);
+    cfg.scheduler = hair_trigger();
+    let mut cluster = Cluster::new(cfg).expect("valid cluster");
+    let heavy = cluster.place_vm(guest("heavy", 32, 16)).expect("fits");
+    cluster.launch(heavy, Box::new(FileScan::new(MemBytes::from_mb(24).pages(), 6)));
+    let light = cluster.place_vm(guest("light", 8, 4)).expect("fits");
+    cluster.launch(light, Box::new(FileScan::new(MemBytes::from_mb(2).pages(), 1)));
+    let report = cluster.run();
+    cluster.audit().expect("cluster invariants hold after migration");
+    (cluster, vec![heavy, light], report)
+}
+
+/// The conservation oracle: every page a guest holds live must carry,
+/// on whatever host the guest now occupies, exactly the content the
+/// guest expects to read back. Run after a forced migration, this
+/// proves the move lost nothing and corrupted nothing.
+fn check_conservation(cluster: &Cluster, tenants: &[TenantId], tag: &str) {
+    for &t in tenants {
+        let m = cluster.tenant_machine(t);
+        let vm = cluster.tenant_handle(t);
+        let expected = m.guest(vm).expected_resident_content();
+        assert!(!expected.is_empty(), "{tag}: tenant must end holding live pages");
+        for &(gfn, label) in &expected {
+            assert_eq!(
+                m.host().page_signature(vm.vm_id(), gfn),
+                Some(label),
+                "{tag}: {gfn:?} lost the content the guest expects after migration"
+            );
+        }
+    }
+}
+
+#[test]
+fn migration_conserves_guest_content() {
+    let (cluster, tenants, report) = run_sheds_heavy(FaultProfile::None);
+    assert!(report.migration_count() >= 1, "the heavy tenant must migrate");
+    assert_eq!(report.completed_workloads(), 2, "both workloads finish despite the move");
+    check_conservation(&cluster, &tenants, "fault-free");
+}
+
+#[test]
+fn migration_conserves_guest_content_under_transient_faults() {
+    // The pre-copy page-copy traffic and the destination's demand
+    // fetches ride the same faultable disk path as everything else;
+    // transient failures there must be retried, not surfaced as lost
+    // pages.
+    let (cluster, tenants, report) = run_sheds_heavy(FaultProfile::Transient);
+    assert!(report.migration_count() >= 1, "faults must not suppress the migration");
+    assert_eq!(report.completed_workloads(), 2);
+    check_conservation(&cluster, &tenants, "transient");
+}
+
+#[test]
+fn host_enumeration_order_does_not_change_the_report() {
+    let run = |names: &[&str]| {
+        let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
+        let cfg = ClusterConfig {
+            host_names: names.iter().map(|s| (*s).to_owned()).collect(),
+            machine,
+            scheduler: hair_trigger(),
+            migration: vswap_core::MigrationConfig::default(),
+        };
+        let mut cluster = Cluster::new(cfg).expect("valid cluster");
+        let heavy = cluster.place_vm(guest("heavy", 32, 16)).expect("fits");
+        cluster.launch(heavy, Box::new(FileScan::new(MemBytes::from_mb(24).pages(), 6)));
+        let light = cluster.place_vm(guest("light", 8, 4)).expect("fits");
+        cluster.launch(light, Box::new(FileScan::new(MemBytes::from_mb(2).pages(), 1)));
+        cluster.run().to_json()
+    };
+    let sorted = run(&["rack-a", "rack-b", "rack-c"]);
+    let shuffled = run(&["rack-b", "rack-c", "rack-a"]);
+    let reversed = run(&["rack-c", "rack-b", "rack-a"]);
+    assert_eq!(sorted, shuffled, "host enumeration order leaked into the report");
+    assert_eq!(sorted, reversed);
+}
+
+#[test]
+fn cluster_suite_is_bitwise_identical_at_any_worker_count() {
+    let only = vec!["cluster".to_owned()];
+    let serial = run_suite(&SuiteOptions::new(Scale::Smoke).with_jobs(1).with_only(only.clone()));
+    for jobs in [2, 8] {
+        let parallel =
+            run_suite(&SuiteOptions::new(Scale::Smoke).with_jobs(jobs).with_only(only.clone()));
+        assert_eq!(
+            serial.rendered(),
+            parallel.rendered(),
+            "cluster tables must be bitwise identical at {jobs} workers"
+        );
+        assert_eq!(
+            serial.metrics.to_string(),
+            parallel.metrics.to_string(),
+            "merged cluster metrics must be identical at {jobs} workers"
+        );
+    }
+}
