@@ -188,8 +188,13 @@ pub enum Event {
         sector: u64,
         /// Transfer length in sectors.
         sectors: u64,
+        /// Hardware queue the command landed on (0 on single-queue
+        /// devices).
+        queue: u32,
     },
-    /// A disk request completed.
+    /// A disk request completed. The `[at - latency, at]` window is the
+    /// command's residency on its queue; the Chrome export renders it as
+    /// a slice on a per-queue lane.
     DiskComplete {
         /// Transfer direction.
         dir: IoDir,
@@ -203,6 +208,8 @@ pub enum Event {
         latency: SimDuration,
         /// True if the request continued the previous one sequentially.
         sequential: bool,
+        /// Hardware queue the command was serviced on.
+        queue: u32,
     },
     /// The fault plan failed a disk request.
     DiskFault {
@@ -214,6 +221,8 @@ pub enum Event {
         sector: u64,
         /// How the fault manifested.
         fault: FaultTag,
+        /// Hardware queue the command occupied while it failed.
+        queue: u32,
     },
     /// The virtual-disk frontend is retrying a failed request after a
     /// backoff in simulated time.

@@ -94,25 +94,28 @@ fn event_fields(w: &mut JsonWriter, event: &Event) {
         Event::BalloonTarget { target_pages } => {
             w.field_u64("target_pages", *target_pages);
         }
-        Event::DiskIssue { dir, class, sector, sectors } => {
+        Event::DiskIssue { dir, class, sector, sectors, queue } => {
             w.field_str("dir", dir.label());
             w.field_str("class", class.label());
             w.field_u64("sector", *sector);
             w.field_u64("sectors", *sectors);
+            w.field_u64("queue", u64::from(*queue));
         }
-        Event::DiskComplete { dir, class, sector, sectors, latency, sequential } => {
+        Event::DiskComplete { dir, class, sector, sectors, latency, sequential, queue } => {
             w.field_str("dir", dir.label());
             w.field_str("class", class.label());
             w.field_u64("sector", *sector);
             w.field_u64("sectors", *sectors);
             w.field_u64("latency_ns", latency.as_nanos());
             w.field_bool("sequential", *sequential);
+            w.field_u64("queue", u64::from(*queue));
         }
-        Event::DiskFault { dir, class, sector, fault } => {
+        Event::DiskFault { dir, class, sector, fault, queue } => {
             w.field_str("dir", dir.label());
             w.field_str("class", class.label());
             w.field_u64("sector", *sector);
             w.field_str("fault", fault.label());
+            w.field_u64("queue", u64::from(*queue));
         }
         Event::IoRetry { attempt, backoff } => {
             w.field_u64("attempt", u64::from(*attempt));
@@ -239,6 +242,36 @@ fn chrome_tid(kind: EventKind) -> u64 {
     }
 }
 
+/// The hardware queue a record concerns, if it is queue-resident disk
+/// traffic.
+fn disk_queue(event: &Event) -> Option<u32> {
+    match event {
+        Event::DiskIssue { queue, .. }
+        | Event::DiskComplete { queue, .. }
+        | Event::DiskFault { queue, .. } => Some(*queue),
+        _ => None,
+    }
+}
+
+/// Thread id for one record: queue-resident disk commands fan out to
+/// one lane per hardware queue (tid 100 + queue) so completion slices
+/// render as per-queue residency spans; everything else keeps its
+/// component lane.
+fn chrome_tid_record(record: &EventRecord) -> u64 {
+    match disk_queue(&record.event) {
+        Some(queue) => 100 + u64::from(queue),
+        None => chrome_tid(record.event.kind()),
+    }
+}
+
+/// Thread name for one record's lane (`disk-q3`, `mapper`, ...).
+fn chrome_thread_name(record: &EventRecord) -> String {
+    match disk_queue(&record.event) {
+        Some(queue) => format!("disk-q{queue}"),
+        None => record.event.kind().component().to_owned(),
+    }
+}
+
 fn metadata_event(w: &mut JsonWriter, name: &str, pid: u64, tid: u64, value: &str) {
     w.begin_object();
     w.field_str("name", name);
@@ -269,19 +302,19 @@ pub fn to_chrome_trace_records(records: &[EventRecord]) -> String {
     let mut seen: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
     for record in records {
         let pid = chrome_pid(record);
-        let tid = chrome_tid(record.event.kind());
+        let tid = chrome_tid_record(record);
         if seen.insert((pid, tid)) {
             if seen.iter().filter(|(p, _)| *p == pid).count() == 1 {
                 let pname = if pid == 0 { "host".to_string() } else { format!("vm{}", pid - 1) };
                 metadata_event(&mut w, "process_name", pid, tid, &pname);
             }
-            metadata_event(&mut w, "thread_name", pid, tid, record.event.kind().component());
+            metadata_event(&mut w, "thread_name", pid, tid, &chrome_thread_name(record));
         }
     }
 
     for record in records {
         let pid = chrome_pid(record);
-        let tid = chrome_tid(record.event.kind());
+        let tid = chrome_tid_record(record);
         let end_us = record.at.as_nanos() as f64 / 1e3;
         // Latency-carrying events become complete slices; the stamp is
         // the completion instant, so the slice starts `dur` earlier.
@@ -356,6 +389,7 @@ mod tests {
                 sectors: 8,
                 latency: SimDuration::from_micros(4),
                 sequential: false,
+                queue: 0,
             },
         );
         log
@@ -405,6 +439,37 @@ mod tests {
         let parsed = parse_jsonl(&text).expect("parses back");
         let original: Vec<SpanEvent> = log.records().iter().map(SpanEvent::from_record).collect();
         assert_eq!(parsed, original, "JSONL is a lossless span encoding");
+    }
+
+    #[test]
+    fn jsonl_records_the_queue() {
+        let text = to_jsonl(&sample_log());
+        assert!(text.contains(r#""queue":0"#), "disk records carry their queue");
+    }
+
+    #[test]
+    fn chrome_trace_fans_disk_queues_into_lanes() {
+        let log = EventLog::bounded(16);
+        for queue in [0u32, 3] {
+            log.emit(
+                SimTime::from_nanos(5_000),
+                None,
+                Event::DiskComplete {
+                    dir: IoDir::Write,
+                    class: IoClass::HostSwap,
+                    sector: 0,
+                    sectors: 8,
+                    latency: SimDuration::from_micros(1),
+                    sequential: true,
+                    queue,
+                },
+            );
+        }
+        let text = to_chrome_trace(&log);
+        assert!(text.contains(r#""name":"disk-q0""#), "queue 0 gets its own lane");
+        assert!(text.contains(r#""name":"disk-q3""#), "queue 3 gets its own lane");
+        assert!(text.contains(r#""tid":100"#));
+        assert!(text.contains(r#""tid":103"#));
     }
 
     #[test]

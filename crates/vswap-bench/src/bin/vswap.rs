@@ -20,6 +20,7 @@ use vswap_core::{
     FaultProfile, LiveMigration, Machine, MachineConfig, MigrationConfig, PathologyBreakdown,
     RunReport, SwapPolicy, VmHandle,
 };
+use vswap_disk::DiskSpec;
 use vswap_guestos::{GuestProgram, GuestSpec};
 use vswap_hypervisor::{BalloonPolicy, VmSpec};
 use vswap_mem::MemBytes;
@@ -55,6 +56,9 @@ SUITE OPTIONS (figures / verify-tables):
                       from this run instead of diffing
   --bench-out <PATH>  (`verify-tables`) write a serial-vs-parallel timing
                       report as JSON
+  --dump-dir <DIR>    (`verify-tables`) write each experiment's fresh
+                      rendering to DIR/<id>.md (CI keeps these as the
+                      drift artifact when the diff fails)
 
 OPTIONS (run / trace / migrate / pathology):
   --workload <NAME>   sysbench | pbzip2 | kernbench | eclipse | mapreduce | alloc
@@ -67,6 +71,10 @@ OPTIONS (run / trace / migrate / pathology):
   --guests <N>        number of phased guests (default 1; `run`/`trace` only)
   --gap-secs <S>      phase gap between guest starts (default 10)
   --auto-balloon      use the MOM dynamic manager instead of a static balloon
+  --disk <D>          hdd | ssd | nvme — host swap-device timing profile
+                      (default hdd, the paper's 7200 RPM testbed drive)
+  --queue-depth <N>   commands the host submits concurrently per hardware
+                      disk queue (default 1, the paper's synchronous path)
   --seed <N>          simulation seed (default 0x5eedcafe)
   --fault-profile <P> none | transient | latent | timeouts | torn | storm
                       (default none) — deterministic disk-fault injection
@@ -102,6 +110,8 @@ struct Options {
     guests: u32,
     gap_secs: u64,
     auto_balloon: bool,
+    disk: Option<DiskSpec>,
+    queue_depth: Option<u32>,
     seed: Option<u64>,
     faults: FaultProfile,
     fault_seed: Option<u64>,
@@ -122,6 +132,8 @@ impl Default for Options {
             guests: 1,
             gap_secs: 10,
             auto_balloon: false,
+            disk: None,
+            queue_depth: None,
             seed: None,
             faults: FaultProfile::None,
             fault_seed: None,
@@ -142,6 +154,15 @@ fn parse_policy(name: &str) -> Result<SwapPolicy, String> {
         "vswapper" => SwapPolicy::Vswapper,
         "balloon+vswapper" | "balloon+vswap" => SwapPolicy::BalloonVswapper,
         other => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+fn parse_disk(name: &str) -> Result<DiskSpec, String> {
+    Ok(match name {
+        "hdd" => DiskSpec::hdd_7200(),
+        "ssd" => DiskSpec::ssd(),
+        "nvme" => DiskSpec::nvme(),
+        other => return Err(format!("unknown disk `{other}` (expected hdd | ssd | nvme)")),
     })
 }
 
@@ -166,6 +187,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     value("--gap-secs")?.parse().map_err(|e| format!("--gap-secs: {e}"))?
             }
             "--auto-balloon" => opts.auto_balloon = true,
+            "--disk" => opts.disk = Some(parse_disk(&value("--disk")?)?),
+            "--queue-depth" => {
+                opts.queue_depth = Some(
+                    value("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?,
+                )
+            }
             "--seed" => {
                 opts.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
             }
@@ -208,6 +235,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     if opts.guests == 0 {
         return Err("--guests must be at least 1".to_owned());
     }
+    if opts.queue_depth == Some(0) {
+        return Err("--queue-depth must be at least 1".to_owned());
+    }
     if let (Some(since), Some(until)) = (opts.since, opts.until) {
         if since >= until {
             return Err("--since must be earlier than --until".to_owned());
@@ -239,6 +269,12 @@ fn build_machine(opts: &Options) -> Result<Machine, String> {
     cfg = cfg.with_faults(opts.faults);
     if let Some(fault_seed) = opts.fault_seed {
         cfg = cfg.with_fault_seed(fault_seed);
+    }
+    if let Some(disk) = opts.disk {
+        cfg = cfg.with_disk(disk);
+    }
+    if let Some(depth) = opts.queue_depth {
+        cfg = cfg.with_disk_queue_depth(depth);
     }
     // Size the disk to hold every guest's image.
     cfg.host.disk_pages =
@@ -539,6 +575,7 @@ struct SuiteArgs {
     ids: Vec<String>,
     bless: bool,
     bench_out: Option<String>,
+    dump_dir: Option<String>,
 }
 
 fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
@@ -549,6 +586,7 @@ fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
         ids: Vec::new(),
         bless: false,
         bench_out: None,
+        dump_dir: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -564,6 +602,7 @@ fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
             }
             "--bless" => parsed.bless = true,
             "--bench-out" => parsed.bench_out = Some(value("--bench-out")?),
+            "--dump-dir" => parsed.dump_dir = Some(value("--dump-dir")?),
             other if !other.starts_with("--") => parsed.ids.push(other.to_owned()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -674,6 +713,24 @@ fn cmd_verify_tables(a: &SuiteArgs) -> Result<String, String> {
         std::fs::write(path, bench_json(&serial, &parallel, compare))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("verify-tables: wrote timing report to {path}");
+    }
+
+    // Dump every fresh rendering before diffing, so a drifting run still
+    // leaves the actual tables behind for inspection (CI attaches the
+    // directory as an artifact when the step fails).
+    if let Some(dir) = &a.dump_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        for exp in &parallel.experiments {
+            let path = dir.join(format!("{}.md", exp.id));
+            std::fs::write(&path, suite::render_experiment(exp.id, exp.title, &exp.tables))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        eprintln!(
+            "verify-tables: dumped {} rendering(s) to {}",
+            parallel.experiments.len(),
+            dir.display()
+        );
     }
 
     if a.bless {
@@ -842,6 +899,8 @@ mod tests {
             "--bless",
             "--bench-out",
             "/tmp/b.json",
+            "--dump-dir",
+            "/tmp/tables",
             "fig03",
         ]
         .iter()
@@ -853,6 +912,7 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert!(a.bless);
         assert_eq!(a.bench_out.as_deref(), Some("/tmp/b.json"));
+        assert_eq!(a.dump_dir.as_deref(), Some("/tmp/tables"));
         assert_eq!(a.ids, vec!["fig03".to_owned()]);
 
         let defaults = parse_suite_args(&[]).unwrap();
@@ -864,6 +924,35 @@ mod tests {
         assert!(parse_suite_args(&bad).is_err());
         let bad: Vec<String> = vec!["--jobs".to_owned()];
         assert!(parse_suite_args(&bad).is_err(), "missing value");
+    }
+
+    #[test]
+    fn disk_flags_parse() {
+        let o = opts(&["--disk", "nvme", "--queue-depth", "32"]).unwrap();
+        assert_eq!(o.disk, Some(DiskSpec::nvme()));
+        assert_eq!(o.queue_depth, Some(32));
+        for (name, spec) in
+            [("hdd", DiskSpec::hdd_7200()), ("ssd", DiskSpec::ssd()), ("nvme", DiskSpec::nvme())]
+        {
+            assert_eq!(parse_disk(name).unwrap(), spec);
+        }
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.disk, None, "default keeps the preset's testbed drive");
+        assert_eq!(o.queue_depth, None, "default keeps the synchronous path");
+        assert!(opts(&["--disk", "floppy"]).is_err());
+        assert!(opts(&["--disk"]).is_err(), "missing value");
+        assert!(opts(&["--queue-depth", "0"]).is_err(), "a ring needs a slot");
+        assert!(opts(&["--queue-depth", "deep"]).is_err());
+        assert!(opts(&["--queue-depth"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn disk_flags_reach_the_machine() {
+        let o = opts(&["--disk", "nvme", "--queue-depth", "8", "--mem", "64", "--actual", "32"])
+            .unwrap();
+        let m = build_machine(&o).unwrap();
+        assert_eq!(m.host().spec().disk.queues, DiskSpec::nvme().queues);
+        assert_eq!(m.host().spec().disk_queue_depth, 8);
     }
 
     #[test]

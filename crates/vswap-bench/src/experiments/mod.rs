@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod cluster;
 pub mod common;
+pub mod devices;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;

@@ -13,7 +13,7 @@ use crate::suite::{render_experiment, ExperimentResult};
 use std::path::PathBuf;
 
 /// The embedded corpus, in registry order.
-const CORPUS: [(&str, &str); 19] = [
+const CORPUS: [(&str, &str); 20] = [
     ("fig03", include_str!("../golden/fig03.golden")),
     ("fig04", include_str!("../golden/fig04.golden")),
     ("fig05", include_str!("../golden/fig05.golden")),
@@ -33,6 +33,7 @@ const CORPUS: [(&str, &str); 19] = [
     ("chaos", include_str!("../golden/chaos.golden")),
     ("latency", include_str!("../golden/latency.golden")),
     ("cluster", include_str!("../golden/cluster.golden")),
+    ("devices", include_str!("../golden/devices.golden")),
 ];
 
 /// Returns the checked-in golden rendering for an experiment id, or

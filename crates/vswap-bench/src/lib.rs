@@ -160,6 +160,12 @@ pub fn suite_experiments() -> Vec<SuiteExperiment> {
             plan: cluster::plan,
             run: cluster::run,
         },
+        SuiteExperiment {
+            id: "devices",
+            title: "Devices: policy x {HDD, SSD, NVMe} x queue-depth matrix",
+            plan: devices::plan,
+            run: devices::run,
+        },
     ]
 }
 

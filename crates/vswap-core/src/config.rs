@@ -2,7 +2,7 @@
 
 use crate::preventer::PreventerConfig;
 use sim_core::SimDuration;
-use vswap_disk::FaultProfile;
+use vswap_disk::{DiskSpec, FaultProfile};
 use vswap_hostos::HostSpec;
 use vswap_hypervisor::BalloonPolicy;
 
@@ -163,6 +163,25 @@ impl MachineConfig {
         self
     }
 
+    /// Overrides the disk timing profile (builder style): swap the
+    /// testbed's rotational drive for [`DiskSpec::ssd`] or
+    /// [`DiskSpec::nvme`] without touching the rest of the host.
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskSpec) -> Self {
+        self.host.disk = disk;
+        self
+    }
+
+    /// Overrides the per-queue submission-ring depth (builder style).
+    /// Depth 1 — the default — services one command per hardware queue
+    /// at a time; deeper rings overlap commands and complete them out
+    /// of order.
+    #[must_use]
+    pub fn with_disk_queue_depth(mut self, depth: u32) -> Self {
+        self.host.disk_queue_depth = depth;
+        self
+    }
+
     /// Overrides the seed (builder style).
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -243,6 +262,19 @@ mod tests {
         let chaotic = cfg.with_faults(FaultProfile::Storm).with_fault_seed(7);
         assert_eq!(chaotic.faults, FaultProfile::Storm);
         assert_eq!(chaotic.fault_seed, Some(7));
+    }
+
+    #[test]
+    fn disk_builders_reach_the_host_spec() {
+        let cfg = MachineConfig::preset(SwapPolicy::Vswapper)
+            .with_disk(DiskSpec::nvme())
+            .with_disk_queue_depth(32);
+        assert_eq!(cfg.host.disk, DiskSpec::nvme());
+        assert_eq!(cfg.host.disk_queue_depth, 32);
+        // The preset itself stays on the paper's testbed drive.
+        let stock = MachineConfig::preset(SwapPolicy::Vswapper);
+        assert_eq!(stock.host.disk, DiskSpec::hdd_7200());
+        assert_eq!(stock.host.disk_queue_depth, 1);
     }
 
     #[test]

@@ -816,6 +816,9 @@ fn disk_stat_set(stats: &vswap_disk::DiskStats) -> sim_core::StatSet {
     s.set("disk_swap_read_seeks", stats.swap_read_seeks);
     s.set("disk_swap_write_ops", stats.swap_write_ops);
     s.set("disk_busy_ns", stats.busy.as_nanos());
+    s.set("disk_doorbells", stats.doorbells);
+    s.set("disk_ooo_completions", stats.ooo_completions);
+    s.set("disk_max_inflight", stats.max_inflight);
     s.set("disk_injected_faults", stats.injected_faults);
     s.set("disk_io_retries", stats.io_retries);
     s.set("disk_timed_out_requests", stats.timed_out_requests);

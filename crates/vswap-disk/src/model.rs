@@ -1,4 +1,13 @@
-//! The block device model: head tracking, queueing, and I/O accounting.
+//! The block device model: multi-queue asynchronous submission,
+//! per-queue head tracking, and I/O accounting.
+//!
+//! Every device exposes one or more hardware queue pairs (submission +
+//! completion ring). A submitted command claims a slot on the
+//! least-loaded queue; up to `queue_depth` commands per queue are
+//! serviced concurrently, so completions can land out of order in
+//! simulated time. A single-queue device at depth 1 degenerates to the
+//! classic one-head FIFO the rotational model was built on — byte-
+//! identical timing, which the golden corpus relies on.
 
 use crate::error::{IoError, IoErrorKind};
 use crate::geometry::SectorRange;
@@ -67,6 +76,61 @@ pub struct CompletedIo {
     pub sequential: bool,
 }
 
+/// One hardware queue pair: a submission/completion ring plus the last
+/// position serviced from it (sequentiality is per-queue — commands on
+/// different queues do not share a stream).
+#[derive(Debug, Clone, Default)]
+struct IoQueue {
+    /// One past the last sector serviced from this queue, `None` before
+    /// the first command.
+    head: Option<u64>,
+    /// Completion instants of commands still occupying ring slots.
+    /// Bounded by the configured queue depth; entries at or before the
+    /// current submission instant are pruned lazily.
+    inflight: Vec<SimTime>,
+}
+
+impl IoQueue {
+    /// The instant the next command slot frees up, with `depth` slots:
+    /// `now` if a slot is open, else the earliest in-flight completion.
+    fn slot_at(&self, now: SimTime, depth: usize) -> SimTime {
+        let mut outstanding = 0usize;
+        let mut earliest = SimTime::ZERO;
+        let mut have = false;
+        for &c in &self.inflight {
+            if c > now {
+                outstanding += 1;
+                if !have || c < earliest {
+                    earliest = c;
+                    have = true;
+                }
+            }
+        }
+        if outstanding < depth {
+            now
+        } else {
+            earliest
+        }
+    }
+
+    /// Claims a slot: prunes drained commands and returns the service
+    /// start instant (removing the completion we wait on, if any).
+    fn claim(&mut self, now: SimTime, depth: usize) -> SimTime {
+        self.inflight.retain(|&c| c > now);
+        if self.inflight.len() < depth {
+            now
+        } else {
+            let mut idx = 0;
+            for (i, &c) in self.inflight.iter().enumerate() {
+                if c < self.inflight[idx] {
+                    idx = i;
+                }
+            }
+            self.inflight.swap_remove(idx)
+        }
+    }
+}
+
 /// Cumulative request accounting, overall and per [`IoTag`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DiskStats {
@@ -105,14 +169,31 @@ pub struct DiskStats {
     pub timed_out_requests: u64,
     /// Multi-sector writes that tore partway.
     pub torn_writes: u64,
+    /// Doorbell rings: one per submission, but a batch rings once for
+    /// all its merged ranges.
+    pub doorbells: u64,
+    /// Completions that landed before an earlier-submitted command
+    /// still in flight finished — out-of-order completion, only possible
+    /// with multiple queues or depth > 1.
+    pub ooo_completions: u64,
+    /// High-water mark of commands concurrently in service across all
+    /// queues (1 on a single-queue depth-1 device).
+    pub max_inflight: u64,
 }
 
-/// A single shared block device.
+/// A single shared block device with a multi-queue asynchronous
+/// submission backend.
 ///
-/// The model is intentionally simple — one head, FIFO servicing — because
-/// the phenomena under study need only the *ratio* between streaming and
-/// seeking, plus queueing delay when several VMs compete for the device
-/// (the cascading effect of Figure 14).
+/// Commands are submitted to per-queue rings (the least-loaded queue
+/// wins, ties broken by index, so placement is deterministic); each
+/// queue services up to the configured depth concurrently, and
+/// completions on different queues land out of order in simulated time.
+/// The defaults — [`DiskSpec::hdd_7200`]'s single queue at depth 1 —
+/// degenerate to one-head FIFO servicing, because the phenomena under
+/// study need only the *ratio* between streaming and seeking, plus
+/// queueing delay when several VMs compete for the device (the
+/// cascading effect of Figure 14). [`DiskSpec::nvme`] exposes 8 queues
+/// and rewards deeper rings.
 ///
 /// # Examples
 ///
@@ -133,9 +214,12 @@ pub struct DiskStats {
 #[derive(Debug, Clone)]
 pub struct DiskModel {
     spec: DiskSpec,
-    /// One past the last sector the head touched, `None` before first I/O.
-    head: Option<u64>,
-    /// The instant the device becomes idle.
+    /// Commands serviced concurrently per queue (>= 1).
+    depth: u32,
+    /// The hardware queue pairs ([`DiskSpec::queues`] of them).
+    queues: Vec<IoQueue>,
+    /// The instant the device fully drains (monotone: max completion
+    /// instant ever issued).
     busy_until: SimTime,
     stats: DiskStats,
     /// Structured event sink; disabled (free) unless attached.
@@ -146,16 +230,75 @@ pub struct DiskModel {
 }
 
 impl DiskModel {
-    /// Creates an idle device with the given timing parameters.
+    /// Creates an idle device with the given timing parameters at queue
+    /// depth 1 (synchronous servicing per queue).
     pub fn new(spec: DiskSpec) -> Self {
+        DiskModel::with_queue_depth(spec, 1)
+    }
+
+    /// Creates an idle device servicing up to `depth` commands per queue
+    /// concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero (a ring with no slots) or the spec
+    /// declares zero queues.
+    pub fn with_queue_depth(spec: DiskSpec, depth: u32) -> Self {
+        assert!(depth >= 1, "queue depth must be at least 1");
+        assert!(spec.queues >= 1, "a device needs at least one queue");
         DiskModel {
             spec,
-            head: None,
+            depth,
+            queues: vec![IoQueue::default(); spec.queues as usize],
             busy_until: SimTime::ZERO,
             stats: DiskStats::default(),
             events: EventLog::disabled(),
             fault_plan: None,
         }
+    }
+
+    /// Commands serviced concurrently per queue.
+    pub fn queue_depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of hardware queue pairs.
+    pub fn queue_count(&self) -> u32 {
+        self.queues.len() as u32
+    }
+
+    /// The queue the next command submitted at `now` would land on:
+    /// the least-loaded one (earliest free slot), ties to the lowest
+    /// index. Deterministic, and pinned to queue 0 on single-queue
+    /// devices.
+    fn pick_queue(&self, now: SimTime) -> usize {
+        let depth = self.depth as usize;
+        let mut best = 0usize;
+        let mut best_at = self.queues[0].slot_at(now, depth);
+        for (i, q) in self.queues.iter().enumerate().skip(1) {
+            let at = q.slot_at(now, depth);
+            if at < best_at {
+                best = i;
+                best_at = at;
+            }
+        }
+        best
+    }
+
+    /// Registers a completion on queue `qi`: updates the out-of-order
+    /// counter, the in-flight high-water mark, and the drain instant.
+    fn complete(&mut self, qi: usize, started: SimTime, finished: SimTime) {
+        if self.queues.iter().any(|q| q.inflight.iter().any(|&c| c > finished)) {
+            self.stats.ooo_completions += 1;
+        }
+        self.queues[qi].inflight.push(finished);
+        let in_service: u64 = self
+            .queues
+            .iter()
+            .map(|q| q.inflight.iter().filter(|&&c| c > started).count() as u64)
+            .sum();
+        self.stats.max_inflight = self.stats.max_inflight.max(in_service);
+        self.busy_until = self.busy_until.max(finished);
     }
 
     /// Installs (or clears) the deterministic fault schedule.
@@ -189,19 +332,20 @@ impl DiskModel {
         self.stats = DiskStats::default();
     }
 
-    /// Returns the instant the device becomes idle.
+    /// Returns the instant the device fully drains (the max completion
+    /// instant issued so far).
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
     }
 
     /// Submits a request at simulated instant `now` and returns its
-    /// completion. Requests are serviced FIFO: if the device is busy the
-    /// request waits.
+    /// completion. The command claims a slot on the least-loaded queue;
+    /// when every slot is busy the request waits for the earliest one.
     ///
     /// # Errors
     ///
     /// Fails if the installed fault plan fails the request (never, when no
-    /// plan is installed). The failed attempt still occupies the device.
+    /// plan is installed). The failed attempt still occupies its slot.
     pub fn submit(
         &mut self,
         now: SimTime,
@@ -227,29 +371,45 @@ impl DiskModel {
         tag: IoTag,
         attempt: u32,
     ) -> Result<CompletedIo, IoError> {
+        self.stats.doorbells += 1;
+        self.submit_ringed(now, kind, range, tag, attempt)
+    }
+
+    /// [`DiskModel::submit_attempt`] minus the doorbell: batch
+    /// submission rings once for all its ranges.
+    fn submit_ringed(
+        &mut self,
+        now: SimTime,
+        kind: IoKind,
+        range: SectorRange,
+        tag: IoTag,
+        attempt: u32,
+    ) -> Result<CompletedIo, IoError> {
         if attempt > 0 {
             self.stats.io_retries += 1;
         }
+        let qi = self.pick_queue(now);
         self.events.emit_with(now, None, || Event::DiskIssue {
             dir: io_dir(kind),
             class: io_class(tag),
             sector: range.start(),
             sectors: range.len(),
+            queue: qi as u32,
         });
-        let started = now.max(self.busy_until);
-        let gap = match self.head {
+        let started = self.queues[qi].claim(now, self.depth as usize);
+        let gap = match self.queues[qi].head {
             None => Some(u64::MAX),
             Some(end) if end == range.start() => None,
             Some(end) => Some(end.abs_diff(range.start())),
         };
         let service = self.spec.request_latency(gap, range.len());
         if let Some(fault) = self.decide_fault(kind, range, attempt) {
-            return Err(self.fail(now, started, service, kind, range, tag, fault, true));
+            return Err(self.fail(qi, now, started, service, kind, range, tag, fault, true));
         }
         let finished = started + service;
 
-        self.head = Some(range.end());
-        self.busy_until = finished;
+        self.queues[qi].head = Some(range.end());
+        self.complete(qi, started, finished);
 
         let sequential = gap.is_none();
         self.stats.ops += 1;
@@ -288,6 +448,7 @@ impl DiskModel {
             sectors: range.len(),
             latency: finished - now,
             sequential,
+            queue: qi as u32,
         });
         Ok(CompletedIo { started, finished, latency: finished - now, sequential })
     }
@@ -304,14 +465,16 @@ impl DiskModel {
             .and_then(|p| p.decide(kind == IoKind::Write, range.start(), range.len(), attempt))
     }
 
-    /// Records a failed attempt: the device is occupied for the (possibly
-    /// inflated) service time, fault counters are bumped, a `DiskFault`
-    /// event fires, and the typed error is built. Successful-request
-    /// counters (`ops`, `sectors_*`, seek accounting) are untouched so the
-    /// model's invariants — and every fault-free golden — are preserved.
+    /// Records a failed attempt: the command's queue slot is occupied for
+    /// the (possibly inflated) service time, fault counters are bumped, a
+    /// `DiskFault` event fires, and the typed error is built.
+    /// Successful-request counters (`ops`, `sectors_*`, seek accounting)
+    /// are untouched so the model's invariants — and every fault-free
+    /// golden — are preserved.
     #[allow(clippy::too_many_arguments)]
     fn fail(
         &mut self,
+        qi: usize,
         now: SimTime,
         started: SimTime,
         service: SimDuration,
@@ -321,11 +484,12 @@ impl DiskModel {
         fault: InjectedFault,
         move_head: bool,
     ) -> IoError {
-        // A timed-out request holds the device well past its nominal
+        // A timed-out request holds its slot well past its nominal
         // service time before the deadline aborts it.
         let service = if fault.kind == FaultKind::Timeout { service * 4 } else { service };
         let finished = started + service;
-        self.busy_until = finished;
+        self.queues[qi].inflight.push(finished);
+        self.busy_until = self.busy_until.max(finished);
         self.stats.busy += service;
         self.stats.injected_faults += 1;
         let error_kind = match fault.kind {
@@ -342,13 +506,14 @@ impl DiskModel {
         };
         if move_head {
             // The head stopped where the transfer broke down.
-            self.head = Some(fault.sector);
+            self.queues[qi].head = Some(fault.sector);
         }
         self.events.emit_with(finished, None, || Event::DiskFault {
             dir: io_dir(kind),
             class: io_class(tag),
             sector: fault.sector,
             fault: fault_tag(fault.kind),
+            queue: qi as u32,
         });
         IoError { kind: error_kind, sector: fault.sector, wasted: finished - now }
     }
@@ -387,21 +552,34 @@ impl DiskModel {
         if attempt > 0 {
             self.stats.io_retries += 1;
         }
+        self.stats.doorbells += 1;
+        let qi = self.pick_queue(now);
         self.events.emit_with(now, None, || Event::DiskIssue {
             dir: IoDir::Write,
             class: io_class(tag),
             sector: range.start(),
             sectors: range.len(),
+            queue: qi as u32,
         });
-        let started = now.max(self.busy_until);
+        let started = self.queues[qi].claim(now, self.depth as usize);
         let service = self.spec.request_latency(None, range.len());
         if let Some(fault) = self.decide_fault(IoKind::Write, range, attempt) {
             // Write-behind never disturbs the foreground head position,
             // even when it fails.
-            return Err(self.fail(now, started, service, IoKind::Write, range, tag, fault, false));
+            return Err(self.fail(
+                qi,
+                now,
+                started,
+                service,
+                IoKind::Write,
+                range,
+                tag,
+                fault,
+                false,
+            ));
         }
         let finished = started + service;
-        self.busy_until = finished;
+        self.complete(qi, started, finished);
         self.stats.ops += 1;
         self.stats.busy += service;
         self.stats.sequential_ops += 1;
@@ -418,13 +596,15 @@ impl DiskModel {
             sectors: range.len(),
             latency: finished - now,
             sequential: true,
+            queue: qi as u32,
         });
         Ok(CompletedIo { started, finished, latency: finished - now, sequential: true })
     }
 
     /// Submits a batch of ranges as one logical operation (e.g. a readahead
     /// window). Contiguous ranges are merged so a well-clustered batch pays
-    /// a single positioning cost. Returns the completion of the whole batch.
+    /// a single positioning cost, and the whole batch rings the doorbell
+    /// once. Returns the completion of the whole batch.
     ///
     /// # Errors
     ///
@@ -445,10 +625,11 @@ impl DiskModel {
                 wasted: SimDuration::ZERO,
             });
         }
+        self.stats.doorbells += 1;
         let merged = merge_ranges(ranges);
         let mut last: Option<CompletedIo> = None;
         for range in merged {
-            let completed = self.submit(now, kind, range, tag)?;
+            let completed = self.submit_ringed(now, kind, range, tag, 0)?;
             last = Some(match last {
                 None => completed,
                 Some(prev) => CompletedIo {
@@ -703,6 +884,125 @@ mod tests {
         assert_eq!(d.stats().io_retries, 0);
         assert_eq!(d.stats().timed_out_requests, 0);
         assert_eq!(d.stats().torn_writes, 0);
+    }
+
+    #[test]
+    fn multi_queue_services_concurrently() {
+        // 8 NVMe queues at depth 1: 8 scattered requests submitted at the
+        // same instant all start immediately on distinct queues.
+        let mut d = DiskModel::new(DiskSpec::nvme());
+        assert_eq!(d.queue_count(), 8);
+        let mut finishes = Vec::new();
+        for i in 0..8u64 {
+            let io = ok(d.submit(
+                SimTime::ZERO,
+                IoKind::Read,
+                SectorRange::new(i << 20, 8),
+                IoTag::HostSwap,
+            ));
+            assert_eq!(io.started, SimTime::ZERO, "request {i} must not queue");
+            finishes.push(io.finished);
+        }
+        // The 9th waits for a slot.
+        let io = ok(d.submit(
+            SimTime::ZERO,
+            IoKind::Read,
+            SectorRange::new(1 << 30, 8),
+            IoTag::HostSwap,
+        ));
+        assert!(io.started > SimTime::ZERO);
+        assert_eq!(d.stats().max_inflight, 8, "all eight queues were saturated at once");
+    }
+
+    #[test]
+    fn queue_depth_overlaps_commands_on_one_queue() {
+        let spec = DiskSpec::hdd_7200();
+        let mut d = DiskModel::with_queue_depth(spec, 2);
+        assert_eq!(d.queue_depth(), 2);
+        let a =
+            ok(d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(0, 8), IoTag::GuestImage));
+        let b = ok(d.submit(
+            SimTime::ZERO,
+            IoKind::Read,
+            SectorRange::new(1 << 20, 8),
+            IoTag::GuestImage,
+        ));
+        assert_eq!(b.started, SimTime::ZERO, "second slot services concurrently");
+        let c = ok(d.submit(
+            SimTime::ZERO,
+            IoKind::Read,
+            SectorRange::new(1 << 24, 8),
+            IoTag::GuestImage,
+        ));
+        assert_eq!(
+            c.started,
+            a.finished.min(b.finished),
+            "third command waits for the earliest slot"
+        );
+    }
+
+    #[test]
+    fn out_of_order_completion_is_counted() {
+        // Queue 0 gets a huge transfer, queue 1 a tiny one submitted
+        // later: the tiny one completes first.
+        let mut d = DiskModel::new(DiskSpec::nvme());
+        let big = ok(d.submit(
+            SimTime::ZERO,
+            IoKind::Read,
+            SectorRange::new(0, 64 * 1024),
+            IoTag::GuestImage,
+        ));
+        let small = ok(d.submit(
+            SimTime::ZERO,
+            IoKind::Read,
+            SectorRange::new(1 << 30, 8),
+            IoTag::HostSwap,
+        ));
+        assert!(small.finished < big.finished, "completions land out of order");
+        assert_eq!(d.stats().ooo_completions, 1);
+    }
+
+    #[test]
+    fn single_queue_depth_one_never_reorders() {
+        let mut d = disk();
+        for i in 0..32u64 {
+            ok(d.submit(
+                SimTime::ZERO,
+                IoKind::Read,
+                SectorRange::new(i * (1 << 16), 8),
+                IoTag::HostSwap,
+            ));
+        }
+        assert_eq!(d.stats().ooo_completions, 0);
+        assert_eq!(d.stats().max_inflight, 1);
+    }
+
+    #[test]
+    fn batch_rings_one_doorbell() {
+        let mut d = disk();
+        let ranges: Vec<SectorRange> = (0..4).map(|p| SectorRange::for_page(0, p)).collect();
+        ok(d.submit_batch(SimTime::ZERO, IoKind::Read, &ranges, IoTag::GuestImage));
+        assert_eq!(d.stats().doorbells, 1, "a batch is one doorbell");
+        ok(d.submit(d.busy_until(), IoKind::Read, SectorRange::new(1 << 20, 8), IoTag::HostSwap));
+        ok(d.submit_writeback(d.busy_until(), SectorRange::new(1 << 21, 8), IoTag::HostSwap));
+        assert_eq!(d.stats().doorbells, 3);
+    }
+
+    #[test]
+    fn faulted_attempt_still_occupies_its_slot() {
+        let mut d = DiskModel::with_queue_depth(DiskSpec::hdd_7200(), 1);
+        d.set_fault_plan(Some(all_latent()));
+        let err = d
+            .submit(SimTime::ZERO, IoKind::Read, SectorRange::new(64, 8), IoTag::GuestImage)
+            .expect_err("latent sector must fail");
+        d.set_fault_plan(None);
+        let io =
+            ok(d.submit(SimTime::ZERO, IoKind::Read, SectorRange::new(128, 8), IoTag::GuestImage));
+        assert_eq!(
+            io.started,
+            SimTime::ZERO + err.wasted,
+            "the failed attempt held the queue slot for its service time"
+        );
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub struct DiskSpec {
     pub mid_gap_sectors: u64,
     /// Fixed per-request controller/command overhead.
     pub command_overhead: SimDuration,
+    /// Hardware submission/completion queue pairs the device exposes.
+    /// Rotational drives and SATA SSDs have a single queue (one head /
+    /// one NCQ ring); NVMe devices expose several, each servicing
+    /// commands independently.
+    pub queues: u32,
 }
 
 impl DiskSpec {
@@ -61,6 +66,7 @@ impl DiskSpec {
             near_gap_sectors: 2048,
             mid_gap_sectors: 4 * 1024 * 1024, // within a ~2 GiB zone
             command_overhead: SimDuration::from_micros(60),
+            queues: 1,
         }
     }
 
@@ -78,6 +84,29 @@ impl DiskSpec {
             near_gap_sectors: 0,
             mid_gap_sectors: 0,
             command_overhead: SimDuration::from_micros(20),
+            // SATA: one NCQ ring. Depth comes from the host config.
+            queues: 1,
+        }
+    }
+
+    /// An NVMe flash drive: flat latency (no seek model — the only
+    /// "positioning" cost is a small flash random-access penalty),
+    /// per-queue parallelism (8 hardware queue pairs), ~3 GB/s
+    /// sequential throughput, ~10 us command overhead.
+    pub fn nvme() -> Self {
+        DiskSpec {
+            // No mechanical positioning: "seeks" cost only the flash
+            // translation-layer lookup, a few microseconds at worst.
+            avg_seek: SimDuration::from_micros(6),
+            near_seek: SimDuration::from_micros(2),
+            mid_seek: SimDuration::from_micros(4),
+            rotational: SimDuration::ZERO,
+            // 3 GB/s => 512 B take ~170 ns.
+            sector_transfer: SimDuration::from_nanos(170),
+            near_gap_sectors: 2048,
+            mid_gap_sectors: 4 * 1024 * 1024,
+            command_overhead: SimDuration::from_micros(10),
+            queues: 8,
         }
     }
 
@@ -152,5 +181,33 @@ mod tests {
         let rand = spec.request_latency(Some(1 << 20), PAGE_SECTORS);
         // SSD random penalty is small (< 3x).
         assert!(rand.as_nanos() < 3 * seq.as_nanos());
+    }
+
+    #[test]
+    fn nvme_is_flat_with_small_random_penalty() {
+        let spec = DiskSpec::nvme();
+        let seq = spec.request_latency(None, PAGE_SECTORS);
+        // The worst random access pays no more than a 2x penalty over
+        // streaming: there is no seek model, only a flash lookup.
+        for gap in [1u64, 1 << 10, 1 << 20, 1 << 26, u64::MAX] {
+            let rand = spec.request_latency(Some(gap), PAGE_SECTORS);
+            assert!(
+                rand.as_nanos() <= 2 * seq.as_nanos(),
+                "gap {gap}: random 4K ({rand}) must stay within 2x of sequential ({seq})"
+            );
+        }
+        assert_eq!(spec.rotational, SimDuration::ZERO, "no platter to wait for");
+    }
+
+    #[test]
+    fn nvme_is_much_faster_than_hdd_and_multi_queue() {
+        let nvme = DiskSpec::nvme();
+        let hdd = DiskSpec::hdd_7200();
+        let nvme_rand = nvme.request_latency(Some(1 << 26), PAGE_SECTORS);
+        let hdd_rand = hdd.request_latency(Some(1 << 26), PAGE_SECTORS);
+        assert!(hdd_rand.as_nanos() > 100 * nvme_rand.as_nanos());
+        assert!(nvme.queues > 1, "NVMe exposes several hardware queues");
+        assert_eq!(hdd.queues, 1);
+        assert_eq!(DiskSpec::ssd().queues, 1, "SATA has a single NCQ ring");
     }
 }

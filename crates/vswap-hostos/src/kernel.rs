@@ -249,7 +249,7 @@ impl HostKernel {
         let dram_pages = spec.dram.pages();
         Ok(HostKernel {
             frames: HostFrameTable::new(dram_pages),
-            disk: DiskModel::new(spec.disk),
+            disk: DiskModel::with_queue_depth(spec.disk, spec.disk_queue_depth),
             layout,
             swap_region,
             swap: SwapArea::new(spec.swap_pages),

@@ -24,6 +24,12 @@ pub struct HostSpec {
     pub dram: MemBytes,
     /// Physical disk timing parameters.
     pub disk: DiskSpec,
+    /// Commands the host submits concurrently per hardware disk queue
+    /// (the submission-ring depth). 1 — the default, and the paper's
+    /// synchronous swap path — services one command per queue at a time;
+    /// deeper rings let an SSD/NVMe device overlap commands and complete
+    /// them out of order.
+    pub disk_queue_depth: u32,
     /// Physical disk capacity in 4 KiB pages.
     pub disk_pages: u64,
     /// Host swap area capacity in pages.
@@ -74,6 +80,7 @@ impl HostSpec {
         HostSpec {
             dram: MemBytes::from_gb(16),
             disk: DiskSpec::hdd_7200(),
+            disk_queue_depth: 1,
             // 64 GiB of modelled disk is plenty for every experiment and
             // keeps the sector address space compact.
             disk_pages: MemBytes::from_gb(64).pages(),

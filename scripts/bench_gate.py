@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""CI gate over the checked-in BENCH_<n>.json performance trajectory.
+
+The repo keeps one ``BENCH_<n>.json`` per performance-relevant PR, each
+written by ``vswap verify-tables --bench-out``. This script validates
+the whole trajectory, not just the newest file:
+
+* every ``BENCH_<n>.json`` at the repo root carries the full timing
+  schema with sane values;
+* the indices are contiguous (a renamed or dropped entry breaks the
+  history the trajectory exists to preserve);
+* the suite only grows: experiment count and pages simulated are
+  monotone non-decreasing along the trajectory.
+
+With ``--current <file>`` it additionally gates a fresh run: its
+serial pages-simulated/sec must reach at least half of the latest
+reference's. The 2x allowance absorbs runner jitter; a reintroduced
+hot-path allocation or eager table fill still trips it. Re-baseline by
+checking in the next ``BENCH_<n+1>.json`` alongside intentional
+performance-relevant changes.
+
+Usage:
+    python3 scripts/bench_gate.py [--root DIR] [--current BENCH_smoke.json]
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+# Field -> accepted types. bool is an int subclass in Python; reject it
+# explicitly where it would mask a schema bug.
+SCHEMA = {
+    "scale": str,
+    "jobs": int,
+    "serial_wall_secs": (int, float),
+    "parallel_wall_secs": (int, float),
+    "speedup": (int, float),
+    "pages_simulated": int,
+    "serial_pages_per_sec": (int, float),
+    "parallel_pages_per_sec": (int, float),
+    "events_emitted": int,
+    "phases": list,
+    "experiments": list,
+}
+
+EXPERIMENT_SCHEMA = {
+    "id": str,
+    "units": int,
+    "serial_secs": (int, float),
+    "parallel_busy_secs": (int, float),
+}
+
+POSITIVE = (
+    "serial_wall_secs",
+    "parallel_wall_secs",
+    "pages_simulated",
+    "serial_pages_per_sec",
+    "parallel_pages_per_sec",
+)
+
+
+def check_fields(errors, label, obj, schema):
+    for field, types in schema.items():
+        if field not in obj:
+            errors.append(f"{label}: missing field `{field}`")
+        elif isinstance(obj[field], bool) or not isinstance(obj[field], types):
+            errors.append(
+                f"{label}: field `{field}` has type "
+                f"{type(obj[field]).__name__}, expected {types}"
+            )
+
+
+def validate(label, data):
+    """Returns a list of schema violations for one BENCH document."""
+    errors = []
+    if not isinstance(data, dict):
+        return [f"{label}: top level must be a JSON object"]
+    check_fields(errors, label, data, SCHEMA)
+    for field in POSITIVE:
+        value = data.get(field)
+        if isinstance(value, (int, float)) and not isinstance(value, bool) and value <= 0:
+            errors.append(f"{label}: `{field}` must be positive, got {value}")
+    if data.get("scale") not in (None, "smoke"):
+        errors.append(f"{label}: `scale` must be \"smoke\", got {data['scale']!r}")
+    experiments = data.get("experiments")
+    if isinstance(experiments, list):
+        if not experiments:
+            errors.append(f"{label}: `experiments` must not be empty")
+        seen = set()
+        for i, exp in enumerate(experiments):
+            if not isinstance(exp, dict):
+                errors.append(f"{label}: experiments[{i}] must be an object")
+                continue
+            check_fields(errors, f"{label}: experiments[{i}]", exp, EXPERIMENT_SCHEMA)
+            eid = exp.get("id")
+            if eid in seen:
+                errors.append(f"{label}: duplicate experiment id `{eid}`")
+            seen.add(eid)
+    return errors
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f), None
+    except (OSError, json.JSONDecodeError) as e:
+        return None, f"{path}: {e}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="directory holding BENCH_<n>.json files")
+    ap.add_argument(
+        "--current",
+        help="fresh --bench-out report from this run, gated against the latest reference",
+    )
+    args = ap.parse_args()
+    root = pathlib.Path(args.root)
+
+    entries = []
+    for path in root.glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if m:
+            entries.append((int(m.group(1)), path))
+    entries.sort()
+    if not entries:
+        print(f"bench_gate: no BENCH_<n>.json trajectory found under {root}", file=sys.stderr)
+        return 1
+
+    errors = []
+    indices = [n for n, _ in entries]
+    expected = list(range(indices[0], indices[0] + len(indices)))
+    if indices != expected:
+        errors.append(f"trajectory indices {indices} are not contiguous (expected {expected})")
+
+    docs = []
+    for n, path in entries:
+        data, err = load(path)
+        if err:
+            errors.append(err)
+            continue
+        errors.extend(validate(path.name, data))
+        docs.append((n, path.name, data))
+
+    for (_, prev_name, prev), (_, cur_name, cur) in zip(docs, docs[1:]):
+        for field, what in (("experiments", "experiment count"), ("pages_simulated", "pages")):
+            try:
+                before = len(prev[field]) if field == "experiments" else prev[field]
+                after = len(cur[field]) if field == "experiments" else cur[field]
+            except (KeyError, TypeError):
+                continue  # already reported by validate()
+            if after < before:
+                errors.append(
+                    f"{cur_name}: {what} shrank from {before} ({prev_name}) to {after}; "
+                    "the suite only grows"
+                )
+
+    latest_n, latest_name, latest = docs[-1] if docs else (None, None, None)
+    if args.current and latest is not None:
+        current, err = load(args.current)
+        if err:
+            errors.append(err)
+        else:
+            errors.extend(validate(args.current, current))
+            ref_pps = latest.get("serial_pages_per_sec")
+            cur_pps = current.get("serial_pages_per_sec") if isinstance(current, dict) else None
+            if isinstance(ref_pps, (int, float)) and isinstance(cur_pps, (int, float)):
+                floor = ref_pps / 2
+                print(
+                    f"bench_gate: reference {latest_name} {ref_pps:.0f} pages/s, "
+                    f"current {cur_pps:.0f} pages/s, floor {floor:.0f}"
+                )
+                if cur_pps < floor:
+                    errors.append(
+                        f"throughput regression: {cur_pps:.0f} < {floor:.0f} pages/s "
+                        f"(less than half the checked-in {latest_name} reference)"
+                    )
+
+    if errors:
+        for e in errors:
+            print(f"bench_gate: error: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"bench_gate: OK — {len(docs)} trajectory entr{'y' if len(docs) == 1 else 'ies'} "
+        f"(BENCH_{indices[0]}..BENCH_{indices[-1]}), latest {latest_name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

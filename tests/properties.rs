@@ -996,3 +996,111 @@ proptest! {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Multi-queue DiskModel at one queue / depth one vs a naive FIFO model
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MqOp {
+    /// Foreground read/write of `sectors` at `sector`, after advancing
+    /// the clock by `advance_us`.
+    Submit { write: bool, sector: u64, sectors: u64, advance_us: u64 },
+    /// Write-behind of `sectors` at `sector` (no head disturbance).
+    Writeback { sector: u64, sectors: u64, advance_us: u64 },
+}
+
+fn mq_op() -> impl Strategy<Value = MqOp> {
+    prop_oneof![
+        (any::<bool>(), 0..100_000u64, 1..64u64, 0..20_000u64).prop_map(
+            |(write, sector, sectors, advance_us)| MqOp::Submit {
+                write,
+                sector,
+                sectors,
+                advance_us
+            }
+        ),
+        (0..100_000u64, 1..64u64, 0..20_000u64).prop_map(|(sector, sectors, advance_us)| {
+            MqOp::Writeback { sector, sectors, advance_us }
+        }),
+    ]
+}
+
+/// The pre-multi-queue model: one head, one outstanding command, service
+/// starts at `now.max(busy_until)`.
+struct NaiveDisk {
+    spec: vswap_disk::DiskSpec,
+    head: Option<u64>,
+    busy_until: SimTime,
+}
+
+impl NaiveDisk {
+    fn submit(
+        &mut self,
+        now: SimTime,
+        range: vswap_disk::SectorRange,
+        writeback: bool,
+    ) -> (SimTime, SimTime, bool) {
+        let started = now.max(self.busy_until);
+        let gap = if writeback {
+            None
+        } else {
+            match self.head {
+                None => Some(u64::MAX),
+                Some(end) if end == range.start() => None,
+                Some(end) => Some(end.abs_diff(range.start())),
+            }
+        };
+        let finished = started + self.spec.request_latency(gap, range.len());
+        if !writeback {
+            self.head = Some(range.end());
+        }
+        self.busy_until = self.busy_until.max(finished);
+        (started, finished, gap.is_none())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn single_queue_depth_one_matches_the_naive_fifo_model(
+        ops in prop::collection::vec(mq_op(), 1..120),
+    ) {
+        use vswap_disk::{DiskModel, DiskSpec, IoKind, IoTag, SectorRange};
+        // hdd/ssd declare one hardware queue; either works here.
+        let spec = DiskSpec::hdd_7200();
+        let mut disk = DiskModel::with_queue_depth(spec, 1);
+        let mut naive = NaiveDisk { spec, head: None, busy_until: SimTime::ZERO };
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                MqOp::Submit { write, sector, sectors, advance_us } => {
+                    now += sim_core::SimDuration::from_micros(advance_us);
+                    let range = SectorRange::new(sector, sectors);
+                    let kind = if write { IoKind::Write } else { IoKind::Read };
+                    let io = disk.submit(now, kind, range, IoTag::HostSwap).expect("no faults");
+                    let (started, finished, sequential) = naive.submit(now, range, false);
+                    prop_assert_eq!(io.started, started);
+                    prop_assert_eq!(io.finished, finished);
+                    prop_assert_eq!(io.sequential, sequential);
+                }
+                MqOp::Writeback { sector, sectors, advance_us } => {
+                    now += sim_core::SimDuration::from_micros(advance_us);
+                    let range = SectorRange::new(sector, sectors);
+                    let io = disk
+                        .submit_writeback(now, range, IoTag::HostSwap)
+                        .expect("no faults");
+                    let (started, finished, _) = naive.submit(now, range, true);
+                    prop_assert_eq!(io.started, started);
+                    prop_assert_eq!(io.finished, finished);
+                    prop_assert!(io.sequential, "write-behind rides the elevator");
+                }
+            }
+            prop_assert_eq!(disk.busy_until(), naive.busy_until);
+        }
+        // One queue at depth one can never overlap or reorder.
+        prop_assert_eq!(disk.stats().ooo_completions, 0);
+        prop_assert!(disk.stats().max_inflight <= 1);
+        prop_assert_eq!(disk.stats().doorbells, disk.stats().ops);
+    }
+}
