@@ -304,6 +304,256 @@ impl FaultPlan {
     }
 }
 
+/// How an injected migration-link fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkFault {
+    /// The link drops mid-pre-copy: the migration aborts and the guest
+    /// rolls back to (stays on) the source host.
+    Transient,
+    /// One pre-copy round's transfer tears and must be re-sent; the
+    /// migration itself survives.
+    Torn,
+}
+
+impl LinkFault {
+    /// Short lowercase label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkFault::Transient => "link-transient",
+            LinkFault::Torn => "link-torn",
+        }
+    }
+}
+
+/// Fleet-level fault probabilities: host crashes, brown-out windows, and
+/// migration-link failures.
+///
+/// Crash and brown-out decisions are drawn per `(host, epoch)` — one
+/// scheduler poll of the cluster — and link decisions per
+/// `(tenant, round, attempt)`. The default is all-zero: a plan built
+/// from it injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterFaultConfig {
+    /// Per-(host, epoch) probability that the host fail-stops at that
+    /// epoch barrier. The cluster additionally caps crashes so a fleet
+    /// never loses its last surviving host.
+    pub crash_rate: f64,
+    /// Per-(host, window) probability that the host browns out (runs no
+    /// guest work) for a whole window of `brownout_epochs` epochs.
+    pub brownout_rate: f64,
+    /// Length of one brown-out window in scheduler epochs.
+    pub brownout_epochs: u64,
+    /// Per-(tenant, round, attempt) probability that a migration's link
+    /// drops mid-pre-copy, aborting the migration back to its source.
+    pub link_transient_rate: f64,
+    /// Per-(tenant, round, attempt) probability that one pre-copy
+    /// round's transfer tears and is re-sent.
+    pub link_torn_rate: f64,
+    /// Link faults never fire once the migration `attempt` reaches this
+    /// bound, so a retry budget above it always converges.
+    pub max_link_burst: u32,
+}
+
+impl Default for ClusterFaultConfig {
+    fn default() -> Self {
+        ClusterFaultConfig {
+            crash_rate: 0.0,
+            brownout_rate: 0.0,
+            brownout_epochs: 3,
+            link_transient_rate: 0.0,
+            link_torn_rate: 0.0,
+            max_link_burst: 3,
+        }
+    }
+}
+
+impl ClusterFaultConfig {
+    /// True if no fleet fault can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.crash_rate <= 0.0
+            && self.brownout_rate <= 0.0
+            && self.link_transient_rate <= 0.0
+            && self.link_torn_rate <= 0.0
+    }
+}
+
+/// Named fleet fault mixes — the `--cluster-fault-profile` vocabulary
+/// and the sweep axis of the `cluster-chaos` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterFaultProfile {
+    /// No fleet faults (the reference run).
+    None,
+    /// Host fail-stop crashes only.
+    Crashes,
+    /// Host brown-out (slow-down) windows only.
+    BrownOuts,
+    /// Migration-link transient drops and torn pre-copy rounds only.
+    FlakyLinks,
+    /// Everything at once, at elevated rates.
+    FleetStorm,
+}
+
+impl ClusterFaultProfile {
+    /// Every profile, in sweep order.
+    pub const ALL: [ClusterFaultProfile; 5] = [
+        ClusterFaultProfile::None,
+        ClusterFaultProfile::Crashes,
+        ClusterFaultProfile::BrownOuts,
+        ClusterFaultProfile::FlakyLinks,
+        ClusterFaultProfile::FleetStorm,
+    ];
+
+    /// Stable lowercase name (CLI value, table row, RNG label).
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterFaultProfile::None => "none",
+            ClusterFaultProfile::Crashes => "crashes",
+            ClusterFaultProfile::BrownOuts => "brownouts",
+            ClusterFaultProfile::FlakyLinks => "flaky-links",
+            ClusterFaultProfile::FleetStorm => "fleet-storm",
+        }
+    }
+
+    /// The concrete rates this profile stands for.
+    pub fn config(self) -> ClusterFaultConfig {
+        let base = ClusterFaultConfig::default();
+        match self {
+            ClusterFaultProfile::None => base,
+            ClusterFaultProfile::Crashes => ClusterFaultConfig { crash_rate: 0.04, ..base },
+            ClusterFaultProfile::BrownOuts => {
+                ClusterFaultConfig { brownout_rate: 0.15, brownout_epochs: 3, ..base }
+            }
+            ClusterFaultProfile::FlakyLinks => {
+                ClusterFaultConfig { link_transient_rate: 0.35, link_torn_rate: 0.25, ..base }
+            }
+            ClusterFaultProfile::FleetStorm => ClusterFaultConfig {
+                crash_rate: 0.03,
+                brownout_rate: 0.1,
+                brownout_epochs: 3,
+                link_transient_rate: 0.3,
+                link_torn_rate: 0.2,
+                max_link_burst: 3,
+            },
+        }
+    }
+}
+
+impl std::str::FromStr for ClusterFaultProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ClusterFaultProfile::ALL.into_iter().find(|p| p.label() == s).ok_or_else(|| {
+            format!(
+                "unknown cluster fault profile `{s}` \
+                 (try: none crashes brownouts flaky-links fleet-storm)"
+            )
+        })
+    }
+}
+
+impl std::fmt::Display for ClusterFaultProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Domain-separation salts for the fleet-level decisions.
+const SALT_HOST_CRASH: u64 = 0xc4a5_4000_0575_dead;
+const SALT_BROWNOUT: u64 = 0xb40f_f000_510f_ca1f;
+const SALT_LINK_TRANSIENT: u64 = 0x11f7_a45e_47f0_0d0b;
+const SALT_LINK_TORN: u64 = 0x11f7_0042_5711_7e44;
+
+/// A sealed fleet fault schedule: configuration plus the seed every
+/// per-(host, epoch) and per-(tenant, round, attempt) decision hashes
+/// from. Decisions are pure hashes, so the schedule has the same three
+/// properties as [`FaultPlan`]: bitwise reproducibility, merge
+/// invariance, and (for link faults) bounded bursts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterFaultPlan {
+    cfg: ClusterFaultConfig,
+    seed: u64,
+}
+
+/// Hashes an arbitrary identifier string (a host or tenant name) to a
+/// stable 64-bit key for fleet fault decisions. Pure: independent of
+/// enumeration order, worker count, and platform.
+pub fn entity_key(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h = mix(h ^ u64::from(b).wrapping_mul(0x0100_0000_01b3));
+    }
+    h
+}
+
+impl ClusterFaultPlan {
+    /// Seals a plan from explicit rates and a 64-bit seed.
+    pub fn new(cfg: ClusterFaultConfig, seed: u64) -> Self {
+        ClusterFaultPlan { cfg, seed }
+    }
+
+    /// Seals a plan whose seed is split off `root` by `label`, without
+    /// advancing the root (mirrors [`FaultPlan::from_rng`]).
+    pub fn from_rng(cfg: ClusterFaultConfig, root: &DeterministicRng, label: &str) -> Self {
+        ClusterFaultPlan::new(cfg, root.fork_labeled(label).next_u64())
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &ClusterFaultConfig {
+        &self.cfg
+    }
+
+    /// A uniform draw in `[0, 1)` that is a pure function of
+    /// `(seed, salt, a, b)`.
+    fn draw(&self, salt: u64, a: u64, b: u64) -> f64 {
+        let mut h = self.seed ^ salt;
+        h = mix(h ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        h = mix(h ^ b.wrapping_mul(0xd6e8_feb8_6659_fd93));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True if the plan asks `host` (an [`entity_key`]) to fail-stop at
+    /// `epoch`. The cluster decides whether the crash is admissible (a
+    /// fleet never loses its last alive host).
+    pub fn crashes_at(&self, host: u64, epoch: u64) -> bool {
+        self.cfg.crash_rate > 0.0 && self.draw(SALT_HOST_CRASH, host, epoch) < self.cfg.crash_rate
+    }
+
+    /// True if `host` is browned out (runs no guest work) during
+    /// `epoch`. Decisions are per whole window of
+    /// [`ClusterFaultConfig::brownout_epochs`] epochs, so a brown-out
+    /// always lasts a full window.
+    pub fn brownout_at(&self, host: u64, epoch: u64) -> bool {
+        if self.cfg.brownout_rate <= 0.0 {
+            return false;
+        }
+        let window = epoch / self.cfg.brownout_epochs.max(1);
+        self.draw(SALT_BROWNOUT, host, window) < self.cfg.brownout_rate
+    }
+
+    /// The link fault (if any) migration `attempt` of `tenant` (an
+    /// [`entity_key`]) draws during pre-copy `round`. Transient drops
+    /// take priority over torn rounds; nothing fires once `attempt`
+    /// reaches [`ClusterFaultConfig::max_link_burst`], so a retry budget
+    /// above the burst bound always converges.
+    pub fn link_fault(&self, tenant: u64, round: u32, attempt: u32) -> Option<LinkFault> {
+        if attempt >= self.cfg.max_link_burst {
+            return None;
+        }
+        let key = u64::from(round) | (u64::from(attempt) << 32);
+        if self.cfg.link_transient_rate > 0.0
+            && self.draw(SALT_LINK_TRANSIENT, tenant, key) < self.cfg.link_transient_rate
+        {
+            return Some(LinkFault::Transient);
+        }
+        if self.cfg.link_torn_rate > 0.0
+            && self.draw(SALT_LINK_TORN, tenant, key) < self.cfg.link_torn_rate
+        {
+            return Some(LinkFault::Torn);
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +691,109 @@ mod tests {
             FaultProfile::Storm.config().max_burst < 6,
             "bursts must stay under the default retry budget"
         );
+    }
+
+    fn fleet_storm(seed: u64) -> ClusterFaultPlan {
+        ClusterFaultPlan::new(ClusterFaultProfile::FleetStorm.config(), seed)
+    }
+
+    #[test]
+    fn cluster_decisions_are_deterministic_and_seed_sensitive() {
+        let a = fleet_storm(42);
+        let b = fleet_storm(42);
+        let c = fleet_storm(43);
+        let hosts: Vec<u64> = (0..8).map(|i| entity_key(&format!("host{i:03}"))).collect();
+        for &h in &hosts {
+            for epoch in 0..64 {
+                assert_eq!(a.crashes_at(h, epoch), b.crashes_at(h, epoch));
+                assert_eq!(a.brownout_at(h, epoch), b.brownout_at(h, epoch));
+            }
+        }
+        let differs =
+            hosts.iter().any(|&h| (0..256).any(|e| a.crashes_at(h, e) != c.crashes_at(h, e)));
+        assert!(differs, "distinct seeds must give distinct crash schedules");
+    }
+
+    #[test]
+    fn entity_keys_depend_on_the_whole_name() {
+        assert_ne!(entity_key("host000"), entity_key("host001"));
+        assert_ne!(entity_key("ab"), entity_key("ba"));
+        assert_eq!(entity_key("tenant/heavy"), entity_key("tenant/heavy"));
+    }
+
+    #[test]
+    fn brownouts_cover_whole_windows() {
+        let plan = ClusterFaultPlan::new(
+            ClusterFaultConfig { brownout_rate: 0.3, brownout_epochs: 4, ..Default::default() },
+            9,
+        );
+        let host = entity_key("host000");
+        for window in 0..64u64 {
+            let states: Vec<bool> =
+                (window * 4..window * 4 + 4).map(|e| plan.brownout_at(host, e)).collect();
+            assert!(
+                states.iter().all(|&s| s == states[0]),
+                "a brown-out decision applies to its entire window"
+            );
+        }
+    }
+
+    #[test]
+    fn link_faults_are_attempt_bounded() {
+        let plan = fleet_storm(7);
+        let tenant = entity_key("tenant/heavy");
+        let burst = plan.config().max_link_burst;
+        for round in 0..16 {
+            for attempt in burst..burst + 8 {
+                assert_eq!(
+                    plan.link_fault(tenant, round, attempt),
+                    None,
+                    "round {round} attempt {attempt}"
+                );
+            }
+        }
+        let fires = (0..64u64)
+            .any(|t| (0..8).any(|r| plan.link_fault(entity_key(&t.to_string()), r, 0).is_some()));
+        assert!(fires, "the fleet-storm link rates must actually fire");
+    }
+
+    #[test]
+    fn cluster_noop_profile_injects_nothing() {
+        let plan = ClusterFaultPlan::new(ClusterFaultProfile::None.config(), 1);
+        assert!(ClusterFaultProfile::None.config().is_noop());
+        let host = entity_key("host000");
+        for epoch in 0..1024 {
+            assert!(!plan.crashes_at(host, epoch));
+            assert!(!plan.brownout_at(host, epoch));
+        }
+        assert!(plan.link_fault(host, 0, 0).is_none());
+    }
+
+    #[test]
+    fn cluster_profiles_parse_round_trip() {
+        for p in ClusterFaultProfile::ALL {
+            assert_eq!(ClusterFaultProfile::from_str(p.label()).unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert!(ClusterFaultProfile::from_str("nope").is_err());
+        assert!(ClusterFaultProfile::None.config().is_noop());
+        assert!(!ClusterFaultProfile::FleetStorm.config().is_noop());
+        assert!(
+            ClusterFaultProfile::FleetStorm.config().max_link_burst < 6,
+            "link bursts must stay under the default retry budget"
+        );
+    }
+
+    #[test]
+    fn cluster_from_rng_matches_fork_labeled_and_leaves_root_intact() {
+        let root = DeterministicRng::seed_from(7);
+        let cfg = ClusterFaultConfig::default();
+        let a = ClusterFaultPlan::from_rng(cfg, &root, "sim-fault/cluster");
+        let b = ClusterFaultPlan::from_rng(cfg, &root, "sim-fault/cluster");
+        assert_eq!(a, b, "labeled forks are stable");
+        let mut r1 = DeterministicRng::seed_from(7);
+        let mut r2 = DeterministicRng::seed_from(7);
+        let _ = ClusterFaultPlan::from_rng(cfg, &r1, "sim-fault/cluster");
+        assert_eq!(r1.next_u64(), r2.next_u64(), "the root is not advanced");
     }
 }

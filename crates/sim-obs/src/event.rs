@@ -276,6 +276,28 @@ pub enum Event {
         /// Pages copied this round.
         copied: u64,
     },
+    /// An in-flight live migration lost its link and rolled back to the
+    /// source host.
+    MigrationAbort {
+        /// The pre-copy round the link dropped in (0-based).
+        round: u32,
+        /// Pre-copy bytes wasted by the aborted attempt.
+        wasted_bytes: u64,
+    },
+    /// A host fail-stopped; its guests are being evacuated.
+    HostCrash {
+        /// Guests resident on the host at crash time.
+        guests: u64,
+    },
+    /// One guest was evacuated off a crashed host.
+    Evacuation {
+        /// Pages recovered as Mapper block references or swap-slot
+        /// records (nothing was lost).
+        recovered_pages: u64,
+        /// Resident pages whose only copy was the crashed host's DRAM;
+        /// the guest re-faults them.
+        refaulted_pages: u64,
+    },
 }
 
 /// The fieldless discriminant of an [`Event`], for histograms and export
@@ -330,6 +352,12 @@ pub enum EventKind {
     WorkloadFinished,
     /// See [`Event::MigrationRound`].
     MigrationRound,
+    /// See [`Event::MigrationAbort`].
+    MigrationAbort,
+    /// See [`Event::HostCrash`].
+    HostCrash,
+    /// See [`Event::Evacuation`].
+    Evacuation,
 }
 
 impl Event {
@@ -360,13 +388,16 @@ impl Event {
             Event::WorkloadStarted { .. } => EventKind::WorkloadStarted,
             Event::WorkloadFinished { .. } => EventKind::WorkloadFinished,
             Event::MigrationRound { .. } => EventKind::MigrationRound,
+            Event::MigrationAbort { .. } => EventKind::MigrationAbort,
+            Event::HostCrash { .. } => EventKind::HostCrash,
+            Event::Evacuation { .. } => EventKind::Evacuation,
         }
     }
 }
 
 impl EventKind {
     /// Every kind, in export order.
-    pub const ALL: [EventKind; 24] = [
+    pub const ALL: [EventKind; 27] = [
         EventKind::PageFault,
         EventKind::SwapOut,
         EventKind::SwapIn,
@@ -391,6 +422,9 @@ impl EventKind {
         EventKind::WorkloadStarted,
         EventKind::WorkloadFinished,
         EventKind::MigrationRound,
+        EventKind::MigrationAbort,
+        EventKind::HostCrash,
+        EventKind::Evacuation,
     ];
 
     /// Stable snake_case name used in exports.
@@ -420,6 +454,9 @@ impl EventKind {
             EventKind::WorkloadStarted => "workload_started",
             EventKind::WorkloadFinished => "workload_finished",
             EventKind::MigrationRound => "migration_round",
+            EventKind::MigrationAbort => "migration_abort",
+            EventKind::HostCrash => "host_crash",
+            EventKind::Evacuation => "evacuation",
         }
     }
 
@@ -448,7 +485,10 @@ impl EventKind {
             EventKind::GuestSwapOut | EventKind::GuestSwapIn => "guest",
             EventKind::WorkloadStarted
             | EventKind::WorkloadFinished
-            | EventKind::MigrationRound => "machine",
+            | EventKind::MigrationRound
+            | EventKind::MigrationAbort
+            | EventKind::HostCrash
+            | EventKind::Evacuation => "machine",
         }
     }
 }

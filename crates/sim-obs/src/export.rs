@@ -143,6 +143,17 @@ fn event_fields(w: &mut JsonWriter, event: &Event) {
             w.field_u64("round", u64::from(*round));
             w.field_u64("copied", *copied);
         }
+        Event::MigrationAbort { round, wasted_bytes } => {
+            w.field_u64("round", u64::from(*round));
+            w.field_u64("wasted_bytes", *wasted_bytes);
+        }
+        Event::HostCrash { guests } => {
+            w.field_u64("guests", *guests);
+        }
+        Event::Evacuation { recovered_pages, refaulted_pages } => {
+            w.field_u64("recovered_pages", *recovered_pages);
+            w.field_u64("refaulted_pages", *refaulted_pages);
+        }
     }
 }
 

@@ -17,8 +17,8 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use vswap_bench::{suite, Scale};
 use vswap_core::{
-    FaultProfile, LiveMigration, Machine, MachineConfig, MigrationConfig, PathologyBreakdown,
-    RunReport, SwapPolicy, VmHandle,
+    ClusterFaultProfile, FaultProfile, LiveMigration, Machine, MachineConfig, MigrationConfig,
+    PathologyBreakdown, RunReport, SwapPolicy, VmHandle,
 };
 use vswap_disk::DiskSpec;
 use vswap_guestos::{GuestProgram, GuestSpec};
@@ -42,7 +42,8 @@ USAGE:
   vswap cluster [OPTIONS]        run a multi-host fleet under the overcommit scheduler
   vswap pathology [OPTIONS]      run the five-pathology demonstration
   vswap figures [SUITE] [ID..]   regenerate the paper's tables (stdout; timings on stderr)
-  vswap verify-tables [SUITE]    re-run the smoke suite and diff against the golden corpus
+  vswap verify-tables [SUITE] [ID..]  re-run the smoke suite (or just the named
+                                 experiments) and diff against the golden corpus
   vswap list                     list workloads, policies, and experiments
 
 SUITE OPTIONS (figures / verify-tables):
@@ -57,8 +58,10 @@ SUITE OPTIONS (figures / verify-tables):
   --bench-out <PATH>  (`verify-tables`) write a serial-vs-parallel timing
                       report as JSON
   --dump-dir <DIR>    (`verify-tables`) write each experiment's fresh
-                      rendering to DIR/<id>.md (CI keeps these as the
-                      drift artifact when the diff fails)
+                      rendering to DIR/<id>.md and the checked-in
+                      expected rendering to DIR/<id>.expected.md (CI
+                      keeps the pair as a diffable artifact when the
+                      golden diff fails)
 
 OPTIONS (run / trace / migrate / pathology):
   --workload <NAME>   sysbench | pbzip2 | kernbench | eclipse | mapreduce | alloc
@@ -95,6 +98,11 @@ CLUSTER OPTIONS:
   --policy <NAME>     as above (default vswapper)
   --smoke             reduced ~16x guest/host sizes (seconds, not minutes)
   --seed <N>          simulation seed (default 0x5eedcafe)
+  --cluster-fault-profile <P>  fleet fault schedule: none crashes brownouts
+                      flaky-links fleet-storm (default none; crashes
+                      evacuate guests onto survivors, link failures abort
+                      and retry the migration)
+  --fault-seed <N>    decouple the fleet fault schedule from --seed
   --json              machine-readable report
 
 ANALYZE OPTIONS:
@@ -473,6 +481,8 @@ struct ClusterArgs {
     policy: SwapPolicy,
     scale: Scale,
     seed: u64,
+    faults: ClusterFaultProfile,
+    fault_seed: Option<u64>,
     json: bool,
 }
 
@@ -483,6 +493,8 @@ fn parse_cluster_args(args: &[String]) -> Result<ClusterArgs, String> {
         policy: SwapPolicy::Vswapper,
         scale: Scale::Paper,
         seed: suite::DEFAULT_SEED,
+        faults: ClusterFaultProfile::None,
+        fault_seed: None,
         json: false,
     };
     let mut it = args.iter();
@@ -501,6 +513,15 @@ fn parse_cluster_args(args: &[String]) -> Result<ClusterArgs, String> {
             "--seed" => {
                 parsed.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
             }
+            "--cluster-fault-profile" => {
+                parsed.faults = value("--cluster-fault-profile")?
+                    .parse()
+                    .map_err(|e| format!("--cluster-fault-profile: {e}"))?
+            }
+            "--fault-seed" => {
+                parsed.fault_seed =
+                    Some(value("--fault-seed")?.parse().map_err(|e| format!("--fault-seed: {e}"))?)
+            }
             "--json" => parsed.json = true,
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -516,12 +537,24 @@ fn parse_cluster_args(args: &[String]) -> Result<ClusterArgs, String> {
 
 /// Runs one cluster point exactly the way the `cluster` suite
 /// experiment does, so a CLI run and a suite cell with the same
-/// parameters and seed report the same numbers.
+/// parameters and seed report the same numbers. With a cluster fault
+/// profile it runs the `cluster-chaos` point instead (crashes,
+/// brown-outs, and link failures injected fleet-wide).
 fn cmd_cluster(a: &ClusterArgs) -> Result<String, String> {
     let mut ctx = suite::TaskCtx::standalone(a.seed, "cluster-cli");
-    let (mean, report) = vswap_bench::experiments::cluster::run_point(
-        a.scale, a.policy, a.hosts, a.guests, &mut ctx,
-    );
+    let (mean, report) = if a.faults == ClusterFaultProfile::None && a.fault_seed.is_none() {
+        vswap_bench::experiments::cluster::run_point(a.scale, a.policy, a.hosts, a.guests, &mut ctx)
+    } else {
+        let pt = vswap_bench::experiments::cluster_chaos::ChaosPoint {
+            policy: a.policy,
+            hosts: a.hosts,
+            guests: a.guests,
+            profile: a.faults,
+            seed: a.seed,
+            fault_seed: a.fault_seed,
+        };
+        vswap_bench::experiments::cluster_chaos::run_point(a.scale, pt, &mut ctx)
+    };
     if a.json {
         Ok(report.to_json())
     } else {
@@ -689,8 +722,9 @@ fn bench_json(
 
 fn cmd_verify_tables(a: &SuiteArgs) -> Result<String, String> {
     // The corpus is smoke-scale output under the default seed; scale and
-    // seed overrides would make every diff meaningless.
-    let base = suite::SuiteOptions::new(Scale::Smoke);
+    // seed overrides would make every diff meaningless. Positional ids
+    // restrict both the run and the diff to those experiments.
+    let base = suite::SuiteOptions::new(Scale::Smoke).with_only(a.ids.clone());
     let serial = suite::run_suite(&base.clone().with_jobs(1));
     let parallel = suite::run_suite(&base.with_jobs(a.jobs));
     eprintln!(
@@ -717,7 +751,10 @@ fn cmd_verify_tables(a: &SuiteArgs) -> Result<String, String> {
 
     // Dump every fresh rendering before diffing, so a drifting run still
     // leaves the actual tables behind for inspection (CI attaches the
-    // directory as an artifact when the step fails).
+    // directory as an artifact when the step fails). The checked-in
+    // expected rendering lands next to each fresh one, so the artifact
+    // is directly diffable (`diff <id>.expected.md <id>.md`) without a
+    // source checkout.
     if let Some(dir) = &a.dump_dir {
         let dir = std::path::Path::new(dir);
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -725,9 +762,14 @@ fn cmd_verify_tables(a: &SuiteArgs) -> Result<String, String> {
             let path = dir.join(format!("{}.md", exp.id));
             std::fs::write(&path, suite::render_experiment(exp.id, exp.title, &exp.tables))
                 .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            if let Some(expected) = vswap_bench::golden::golden(exp.id) {
+                let path = dir.join(format!("{}.expected.md", exp.id));
+                std::fs::write(&path, expected)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            }
         }
         eprintln!(
-            "verify-tables: dumped {} rendering(s) to {}",
+            "verify-tables: dumped {} rendering(s) (and their expected corpus pairs) to {}",
             parallel.experiments.len(),
             dir.display()
         );
@@ -1088,6 +1130,20 @@ mod tests {
         assert!(parse_cluster_args(&["--guests".to_owned(), "0".to_owned()]).is_err());
         assert!(parse_cluster_args(&["--banana".to_owned()]).is_err());
         assert!(parse_cluster_args(&["--hosts".to_owned()]).is_err(), "missing value");
+
+        let chaos = parse_cluster_args(&[
+            "--cluster-fault-profile".to_owned(),
+            "fleet-storm".to_owned(),
+            "--fault-seed".to_owned(),
+            "7".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(chaos.faults, ClusterFaultProfile::FleetStorm);
+        assert_eq!(chaos.fault_seed, Some(7));
+        assert!(
+            parse_cluster_args(&["--cluster-fault-profile".to_owned(), "nope".to_owned()]).is_err(),
+            "unknown profiles are rejected with the valid vocabulary"
+        );
     }
 
     #[test]
@@ -1098,14 +1154,24 @@ mod tests {
             policy: SwapPolicy::Vswapper,
             scale: Scale::Smoke,
             seed: suite::DEFAULT_SEED,
+            faults: ClusterFaultProfile::None,
+            fault_seed: None,
             json: false,
         };
         let out = cmd_cluster(&a).unwrap();
         assert!(out.contains("cluster: 2 hosts"), "{out}");
         assert!(out.contains("mean completion time"), "{out}");
-        let json = cmd_cluster(&ClusterArgs { json: true, ..a }).unwrap();
+        let json = cmd_cluster(&ClusterArgs { json: true, ..a.clone() }).unwrap();
         assert!(json.contains("\"hosts\""), "{json}");
         assert!(json.contains("\"migration_log\""), "{json}");
+        let chaos = cmd_cluster(&ClusterArgs {
+            hosts: 4,
+            guests: 16,
+            faults: ClusterFaultProfile::Crashes,
+            ..a
+        })
+        .unwrap();
+        assert!(chaos.contains("mean completion time"), "{chaos}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub fn points(scale: Scale) -> Vec<(u32, u32)> {
 /// points, clearly overcommitted at the late ones, and a virtual-disk
 /// pool sized so every guest image (plus a migrated copy of each) fits
 /// on any single host.
-fn cluster_host(scale: Scale, guests: u32) -> HostSpec {
+pub fn cluster_host(scale: Scale, guests: u32) -> HostSpec {
     // Swap is sized for the worst case — the whole fleet crowding onto
     // one host with every guest's perceived-minus-granted gap swapped
     // out — so the sweep measures slowdown, not swap-device exhaustion.
@@ -57,7 +57,7 @@ fn cluster_host(scale: Scale, guests: u32) -> HostSpec {
 /// The tenant guest: perceived memory comfortably above its grant, so a
 /// crowded host squeezes it into host-level swapping — the condition the
 /// scheduler's swap-rate signal watches for.
-fn tenant_vm(scale: Scale, name: &str) -> VmSpec {
+pub fn tenant_vm(scale: Scale, name: &str) -> VmSpec {
     let (mem_mb, actual_mb, disk_mb, swap_mb) = match scale {
         Scale::Paper => (96, 64, 256, 32),
         Scale::Smoke => (16, 8, 24, 8),
@@ -75,7 +75,7 @@ fn tenant_vm(scale: Scale, name: &str) -> VmSpec {
 }
 
 /// Pages each tenant's file scan touches per pass.
-fn scan_pages(scale: Scale) -> u64 {
+pub fn scan_pages(scale: Scale) -> u64 {
     match scale {
         Scale::Paper => MemBytes::from_mb(48).pages(),
         Scale::Smoke => MemBytes::from_mb(12).pages(),

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod cluster;
+pub mod cluster_chaos;
 pub mod common;
 pub mod devices;
 pub mod fig03;

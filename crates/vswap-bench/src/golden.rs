@@ -13,7 +13,7 @@ use crate::suite::{render_experiment, ExperimentResult};
 use std::path::PathBuf;
 
 /// The embedded corpus, in registry order.
-const CORPUS: [(&str, &str); 20] = [
+const CORPUS: [(&str, &str); 21] = [
     ("fig03", include_str!("../golden/fig03.golden")),
     ("fig04", include_str!("../golden/fig04.golden")),
     ("fig05", include_str!("../golden/fig05.golden")),
@@ -34,6 +34,7 @@ const CORPUS: [(&str, &str); 20] = [
     ("latency", include_str!("../golden/latency.golden")),
     ("cluster", include_str!("../golden/cluster.golden")),
     ("devices", include_str!("../golden/devices.golden")),
+    ("cluster-chaos", include_str!("../golden/cluster-chaos.golden")),
 ];
 
 /// Returns the checked-in golden rendering for an experiment id, or

@@ -166,6 +166,12 @@ pub fn suite_experiments() -> Vec<SuiteExperiment> {
             plan: devices::plan,
             run: devices::run,
         },
+        SuiteExperiment {
+            id: "cluster-chaos",
+            title: "Cluster chaos: host crashes, brown-outs, and link failures across the fleet",
+            plan: cluster_chaos::plan,
+            run: cluster_chaos::run,
+        },
     ]
 }
 

@@ -30,6 +30,37 @@
 //! name, so results are invariant to the enumeration order of
 //! [`ClusterConfig::host_names`].
 //!
+//! # Fault tolerance
+//!
+//! A [`ClusterFaultProfile`] seals a seed-pure
+//! [`ClusterFaultPlan`]: host fail-stop
+//! crashes and brown-out windows drawn per `(host, epoch)`, migration
+//! link faults per `(tenant, round, attempt)` — all pure hashes, so the
+//! schedule is merge-invariant and independent of fleet iteration
+//! order. The cluster survives the plan:
+//!
+//! * **crash → evacuate**: a crashed host's guests are rescued through
+//!   [`Machine::evacuate_vm`] — Mapper block references and swap-slot
+//!   records are replayed onto a surviving host, pages whose only copy
+//!   was the dead DRAM are invalidated guest-side and re-faulted.
+//!   A crash is suppressed (never half-applied) when it would take the
+//!   last alive host or when some guest could not be re-placed;
+//! * **link loss → abort, retry**: an in-flight migration whose link
+//!   drops rolls back to the source (pre-copy commits nothing until the
+//!   hand-off) and is retried with exponential backoff in simulated
+//!   time ([`SchedulerConfig::migration_retry`]), abandoned after the
+//!   attempt budget;
+//! * **degraded → quarantine**: a host whose injected disk-fault rate
+//!   stays above [`SchedulerConfig::fault_rate_watermark`] is excluded
+//!   from placement and migration targets until it recovers
+//!   ([`DegradationTracker`]);
+//! * **brown-out → stall**: a browned-out host runs no guest work for
+//!   the window; its work is delayed, never lost.
+//!
+//! With [`ClusterFaultProfile::None`] no plan is installed and every
+//! code path above is bypassed — the fault-free run is bit-identical to
+//! a build without fault support.
+//!
 //! # Examples
 //!
 //! ```
@@ -75,8 +106,9 @@ use crate::migration::{LiveMigration, MigrationConfig};
 use crate::report::RunReport;
 use sim_core::{DeterministicRng, SimDuration, SimTime};
 use sim_obs::json::JsonWriter;
-use sim_obs::{LatencyBook, LatencyClass};
-use vswap_hypervisor::{HostPressure, PressureTracker, VmSpec};
+use sim_obs::{Event, LatencyBook, LatencyClass};
+use vswap_disk::{entity_key, ClusterFaultPlan, ClusterFaultProfile};
+use vswap_hypervisor::{DegradationTracker, HostPressure, PressureTracker, RetryPolicy, VmSpec};
 
 /// Identifies one guest across the whole cluster, stable across
 /// migrations (unlike the per-host VM id, which changes on every move).
@@ -110,6 +142,19 @@ pub struct SchedulerConfig {
     /// Master switch: with `false` the cluster never migrates (the
     /// static-placement baseline).
     pub live_migration: bool,
+    /// Injected disk faults per simulated second above which a host
+    /// poll counts as degraded (feeds the quarantine detector).
+    pub fault_rate_watermark: f64,
+    /// Consecutive degraded polls before a host is quarantined from
+    /// placement and migration targets.
+    pub quarantine_sustain_polls: u32,
+    /// Consecutive clean polls before a quarantined host is paroled.
+    pub quarantine_recover_polls: u32,
+    /// Retry/backoff schedule for migrations whose link dropped: the
+    /// tenant is not re-attempted before `backoff(attempt)` of
+    /// simulated time has passed, and the episode is abandoned once
+    /// `max_attempts` aborts accumulate.
+    pub migration_retry: RetryPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -122,6 +167,10 @@ impl Default for SchedulerConfig {
             tenant_cooldown_polls: 8,
             max_migrations: u64::MAX,
             live_migration: true,
+            fault_rate_watermark: 25.0,
+            quarantine_sustain_polls: 2,
+            quarantine_recover_polls: 2,
+            migration_retry: RetryPolicy::paper_default(),
         }
     }
 }
@@ -141,6 +190,13 @@ pub struct ClusterConfig {
     pub scheduler: SchedulerConfig,
     /// Live-migration link and pre-copy tuning.
     pub migration: MigrationConfig,
+    /// Fleet-level fault mix: host crashes, brown-outs, link failures.
+    /// With [`ClusterFaultProfile::None`] (the default) no plan is
+    /// installed and the run is bit-identical to a fault-free build.
+    pub cluster_faults: ClusterFaultProfile,
+    /// Decouples the fleet fault schedule from the workload seed; falls
+    /// back to the machine template's seed when `None`.
+    pub cluster_fault_seed: Option<u64>,
 }
 
 impl ClusterConfig {
@@ -152,7 +208,21 @@ impl ClusterConfig {
             machine,
             scheduler: SchedulerConfig::default(),
             migration: MigrationConfig::default(),
+            cluster_faults: ClusterFaultProfile::None,
+            cluster_fault_seed: None,
         }
+    }
+
+    /// Replaces the fleet fault profile.
+    pub fn with_cluster_faults(mut self, profile: ClusterFaultProfile) -> Self {
+        self.cluster_faults = profile;
+        self
+    }
+
+    /// Pins the fleet fault schedule to its own seed.
+    pub fn with_cluster_fault_seed(mut self, seed: u64) -> Self {
+        self.cluster_fault_seed = Some(seed);
+        self
     }
 }
 
@@ -175,6 +245,44 @@ pub struct MigrationRecord {
     pub rounds: u32,
 }
 
+/// One host crash and its evacuation, in the cluster report.
+#[derive(Debug, Clone)]
+pub struct CrashRecord {
+    /// The host that fail-stopped.
+    pub host: String,
+    /// Barrier instant of the crash.
+    pub at: SimTime,
+    /// Guests evacuated to surviving hosts.
+    pub guests: u64,
+    /// Pages recovered without their bytes (block references and
+    /// swap-slot records, which survive on disk).
+    pub recovered_pages: u64,
+    /// Pages whose only copy was the dead DRAM — invalidated guest-side
+    /// and re-faulted after admission.
+    pub refaulted_pages: u64,
+    /// Preventer write buffers the crash destroyed un-merged.
+    pub dropped_buffers: u64,
+}
+
+/// One aborted migration attempt (link dropped mid-pre-copy), in the
+/// cluster report. The guest stayed on the source; the scheduler
+/// retries with backoff or abandons the episode.
+#[derive(Debug, Clone)]
+pub struct AbortRecord {
+    /// The tenant whose migration died on the wire.
+    pub tenant: String,
+    /// Source host (where the guest remains).
+    pub from: String,
+    /// Intended destination host.
+    pub to: String,
+    /// Barrier instant of the attempt.
+    pub at: SimTime,
+    /// Zero-based pre-copy round the link failed in.
+    pub round: u32,
+    /// Bytes the attempt wasted on the wire.
+    pub wasted_bytes: u64,
+}
+
 /// One host's slice of the cluster report.
 #[derive(Debug, Clone)]
 pub struct HostReport {
@@ -184,6 +292,14 @@ pub struct HostReport {
     pub migrations_in: u64,
     /// Guests that migrated off this host.
     pub migrations_out: u64,
+    /// False once the fault plan crashed this host (its counters are
+    /// frozen at the crash instant).
+    pub alive: bool,
+    /// Scheduler polls this host spent quarantined for a sustained
+    /// injected-fault rate.
+    pub quarantined_polls: u64,
+    /// Epochs this host was browned out (ran no guest work).
+    pub brownout_epochs: u64,
     /// The host's full per-machine report. Completed-workload records
     /// travel with migrating guests, so each workload appears exactly
     /// once cluster-wide: on the host where it finished.
@@ -199,6 +315,13 @@ pub struct ClusterReport {
     pub hosts: Vec<HostReport>,
     /// Every live migration, in trigger order.
     pub migrations: Vec<MigrationRecord>,
+    /// Every host crash the fault plan landed, with its evacuation
+    /// accounting, in trigger order.
+    pub crashes: Vec<CrashRecord>,
+    /// Every aborted migration attempt, in trigger order.
+    pub aborted_migrations: Vec<AbortRecord>,
+    /// Migration episodes given up after the retry budget was spent.
+    pub abandoned_migrations: u64,
     /// Tenant names, indexed by [`TenantId::index`].
     pub tenant_names: Vec<String>,
     /// Tenant-indexed latency book: every host's per-VM rows re-mapped
@@ -221,6 +344,41 @@ impl ClusterReport {
     /// Number of live migrations performed.
     pub fn migration_count(&self) -> usize {
         self.migrations.len()
+    }
+
+    /// Number of hosts the fault plan crashed.
+    pub fn crash_count(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Guests evacuated off crashed hosts.
+    pub fn evacuated_guests(&self) -> u64 {
+        self.crashes.iter().map(|c| c.guests).sum()
+    }
+
+    /// Pages recovered from on-disk records across all evacuations.
+    pub fn recovered_pages(&self) -> u64 {
+        self.crashes.iter().map(|c| c.recovered_pages).sum()
+    }
+
+    /// Pages lost to dead DRAM and re-faulted across all evacuations.
+    pub fn refaulted_pages(&self) -> u64 {
+        self.crashes.iter().map(|c| c.refaulted_pages).sum()
+    }
+
+    /// Migration attempts that aborted on a dropped link.
+    pub fn abort_count(&self) -> usize {
+        self.aborted_migrations.len()
+    }
+
+    /// Host-epochs spent browned out, fleet-wide.
+    pub fn brownout_epochs(&self) -> u64 {
+        self.hosts.iter().map(|h| h.brownout_epochs).sum()
+    }
+
+    /// Host-polls spent quarantined, fleet-wide.
+    pub fn quarantined_polls(&self) -> u64 {
+        self.hosts.iter().map(|h| h.quarantined_polls).sum()
     }
 
     /// Mean runtime in simulated seconds across all completed workloads
@@ -288,6 +446,48 @@ impl ClusterReport {
         if self.migrations.len() > SHOWN {
             let _ = writeln!(out, "  … and {} more migrations", self.migrations.len() - SHOWN);
         }
+        // Chaos accounting renders only when the fault plan actually
+        // fired, so fault-free output stays byte-identical.
+        if !self.crashes.is_empty()
+            || !self.aborted_migrations.is_empty()
+            || self.abandoned_migrations > 0
+            || self.brownout_epochs() > 0
+            || self.quarantined_polls() > 0
+        {
+            let _ = writeln!(
+                out,
+                "chaos: {} crashes, {} evacuated, {} aborts, {} abandoned, \
+                 {} brownout epochs, {} quarantined polls",
+                self.crash_count(),
+                self.evacuated_guests(),
+                self.abort_count(),
+                self.abandoned_migrations,
+                self.brownout_epochs(),
+                self.quarantined_polls(),
+            );
+        }
+        for c in &self.crashes {
+            let _ = writeln!(
+                out,
+                "  crashed {:<10} at {}: {} guests evacuated \
+                 ({} pages recovered, {} refaulted, {} buffers dropped)",
+                c.host, c.at, c.guests, c.recovered_pages, c.refaulted_pages, c.dropped_buffers,
+            );
+        }
+        for a in self.aborted_migrations.iter().take(SHOWN) {
+            let _ = writeln!(
+                out,
+                "  aborted  {:<12} {} -> {} in round {} ({} bytes wasted)",
+                a.tenant, a.from, a.to, a.round, a.wasted_bytes,
+            );
+        }
+        if self.aborted_migrations.len() > SHOWN {
+            let _ = writeln!(
+                out,
+                "  … and {} more aborted attempts",
+                self.aborted_migrations.len() - SHOWN
+            );
+        }
         out
     }
 
@@ -299,6 +499,10 @@ impl ClusterReport {
         w.field_u64("migrations", self.migrations.len() as u64);
         w.field_u64("completed_workloads", self.completed_workloads() as u64);
         w.field_u64("killed_workloads", self.kill_count() as u64);
+        w.field_u64("host_crashes", self.crashes.len() as u64);
+        w.field_u64("evacuated_guests", self.evacuated_guests());
+        w.field_u64("aborted_migrations", self.aborted_migrations.len() as u64);
+        w.field_u64("abandoned_migrations", self.abandoned_migrations);
         w.key("hosts");
         w.begin_array();
         for h in &self.hosts {
@@ -313,6 +517,9 @@ impl ClusterReport {
             w.field_u64("swap_outs", h.report.host.get("swap_outs"));
             w.field_u64("migrations_in", h.migrations_in);
             w.field_u64("migrations_out", h.migrations_out);
+            w.field_bool("alive", h.alive);
+            w.field_u64("quarantined_polls", h.quarantined_polls);
+            w.field_u64("brownout_epochs", h.brownout_epochs);
             w.field_u64("ended_at_ns", h.report.ended_at.as_nanos());
             w.end_object();
         }
@@ -328,6 +535,32 @@ impl ClusterReport {
             w.field_u64("bytes", m.total_bytes);
             w.field_u64("downtime_ns", m.downtime.as_nanos());
             w.field_u64("rounds", u64::from(m.rounds));
+            w.end_object();
+        }
+        w.end_array();
+        w.key("crash_log");
+        w.begin_array();
+        for c in &self.crashes {
+            w.begin_object();
+            w.field_str("host", &c.host);
+            w.field_u64("at_ns", c.at.as_nanos());
+            w.field_u64("guests", c.guests);
+            w.field_u64("recovered_pages", c.recovered_pages);
+            w.field_u64("refaulted_pages", c.refaulted_pages);
+            w.field_u64("dropped_buffers", c.dropped_buffers);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("abort_log");
+        w.begin_array();
+        for a in &self.aborted_migrations {
+            w.begin_object();
+            w.field_str("tenant", &a.tenant);
+            w.field_str("from", &a.from);
+            w.field_str("to", &a.to);
+            w.field_u64("at_ns", a.at.as_nanos());
+            w.field_u64("round", u64::from(a.round));
+            w.field_u64("wasted_bytes", a.wasted_bytes);
             w.end_object();
         }
         w.end_array();
@@ -354,10 +587,17 @@ struct HostSlot {
     name: String,
     machine: Machine,
     tracker: PressureTracker,
+    /// Hysteretic detector for a sustained injected-fault rate; a
+    /// quarantined host takes no new placements or migrants.
+    degradation: DegradationTracker,
+    /// False after the fault plan crashed this host.
+    alive: bool,
     /// Actual-memory pages promised to tenants currently placed here.
     committed_pages: u64,
     /// Host swap ops (in + out) as of the previous poll.
     prev_swap_ops: u64,
+    /// Injected disk faults as of the previous poll.
+    prev_injected_faults: u64,
     /// Host clock at the previous poll.
     last_poll: SimTime,
     /// Dense per-host VM id → tenant map. Entries persist after a VM
@@ -366,6 +606,8 @@ struct HostSlot {
     vm_tenant: Vec<Option<u32>>,
     migrations_in: u64,
     migrations_out: u64,
+    quarantined_polls: u64,
+    brownouts: u64,
 }
 
 struct Tenant {
@@ -378,6 +620,10 @@ struct Tenant {
     prev_swap_ins: u64,
     /// Epoch of the tenant's last migration, for the cooldown.
     last_migration_epoch: Option<u64>,
+    /// Aborted migration attempts in the current retry episode.
+    abort_attempts: u32,
+    /// Earliest barrier the tenant may be re-attempted after an abort.
+    retry_not_before: Option<SimTime>,
 }
 
 /// A cluster of hosts under one overcommit scheduler. See the module
@@ -388,6 +634,12 @@ pub struct Cluster {
     hosts: Vec<HostSlot>,
     tenants: Vec<Tenant>,
     migrations: Vec<MigrationRecord>,
+    /// The sealed fleet fault schedule; `None` under
+    /// [`ClusterFaultProfile::None`], bypassing every fault code path.
+    fault_plan: Option<ClusterFaultPlan>,
+    crashes: Vec<CrashRecord>,
+    aborted: Vec<AbortRecord>,
+    abandoned_migrations: u64,
     epoch: u64,
     dram_pages: u64,
     hv_code_pages: u64,
@@ -410,16 +662,31 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`MachineError::Host`] if the host template is
-    /// inconsistent.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `host_names` is empty or contains duplicates.
+    /// inconsistent, and [`MachineError::Config`] if `host_names` is
+    /// empty or contains duplicates.
     pub fn new(cfg: ClusterConfig) -> Result<Self, MachineError> {
         let mut names = cfg.host_names.clone();
         names.sort();
-        assert!(!names.is_empty(), "a cluster needs at least one host");
-        assert!(names.windows(2).all(|w| w[0] != w[1]), "host names must be unique");
+        if names.is_empty() {
+            return Err(MachineError::Config("a cluster needs at least one host".into()));
+        }
+        if let Some(dup) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(MachineError::Config(format!("duplicate host name `{}`", dup[0])));
+        }
+
+        let fault_cfg = cfg.cluster_faults.config();
+        let fault_plan = if fault_cfg.is_noop() {
+            None
+        } else {
+            // Like the per-machine disk fault plan: forked off its own
+            // root by label, so the schedule is a pure function of
+            // (seed, profile) — independent of fleet size, tenant mix,
+            // and worker count — and installing it perturbs no other
+            // draw.
+            let root =
+                DeterministicRng::seed_from(cfg.cluster_fault_seed.unwrap_or(cfg.machine.seed));
+            Some(ClusterFaultPlan::from_rng(fault_cfg, &root, "sim-fault/cluster-plan"))
+        };
 
         let root = DeterministicRng::seed_from(cfg.machine.seed);
         let mut hosts = Vec::with_capacity(names.len());
@@ -442,12 +709,21 @@ impl Cluster {
                     cfg.scheduler.free_frac_low_watermark,
                     cfg.scheduler.sustain_polls,
                 ),
+                degradation: DegradationTracker::new(
+                    cfg.scheduler.fault_rate_watermark,
+                    cfg.scheduler.quarantine_sustain_polls,
+                    cfg.scheduler.quarantine_recover_polls,
+                ),
+                alive: true,
                 committed_pages: 0,
                 prev_swap_ops: 0,
+                prev_injected_faults: 0,
                 last_poll: SimTime::ZERO,
                 vm_tenant: Vec::new(),
                 migrations_in: 0,
                 migrations_out: 0,
+                quarantined_polls: 0,
+                brownouts: 0,
             });
         }
         Ok(Cluster {
@@ -458,6 +734,10 @@ impl Cluster {
             hosts,
             tenants: Vec::new(),
             migrations: Vec::new(),
+            fault_plan,
+            crashes: Vec::new(),
+            aborted: Vec::new(),
+            abandoned_migrations: 0,
             epoch: 0,
         })
     }
@@ -487,21 +767,38 @@ impl Cluster {
 
     /// Places a new guest on the host with the highest effective-free
     /// score ([`HostPressure::placement_score`]; ties go to the first
-    /// host in name order) and boots it there.
+    /// host in name order) and boots it there. Crashed and quarantined
+    /// hosts are skipped.
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError`] if the chosen host cannot fit the VM.
+    /// Returns [`MachineError::Config`] if the guest's frame demand
+    /// exceeds every host's budget (it could never boot anywhere), and
+    /// [`MachineError`] if the chosen host cannot fit the VM.
     pub fn place_vm(&mut self, spec: VmSpec) -> Result<TenantId, MachineError> {
-        let mut best = 0usize;
-        let mut best_score = 0u64;
+        if spec.actual_memory.pages() + self.hv_code_pages > self.dram_pages {
+            return Err(MachineError::Config(format!(
+                "guest `{}` needs {} frames but every host budgets {}",
+                spec.name,
+                spec.actual_memory.pages() + self.hv_code_pages,
+                self.dram_pages,
+            )));
+        }
+        let mut best: Option<(usize, u64)> = None;
         for (i, h) in self.hosts.iter().enumerate() {
+            if !h.alive || h.degradation.is_quarantined() {
+                continue;
+            }
             let score = self.pressure_of(h).placement_score(h.committed_pages);
-            if i == 0 || score > best_score {
-                best = i;
-                best_score = score;
+            if best.map_or(true, |(_, s)| score > s) {
+                best = Some((i, score));
             }
         }
+        let Some((best, _)) = best else {
+            return Err(MachineError::Config(
+                "no eligible host: every host is crashed or quarantined".into(),
+            ));
+        };
         let pages = spec.actual_memory.pages();
         let name = spec.name.clone();
         let handle = self.hosts[best].machine.add_vm(spec)?;
@@ -515,6 +812,8 @@ impl Cluster {
             pages,
             prev_swap_ins: 0,
             last_migration_epoch: None,
+            abort_attempts: 0,
+            retry_not_before: None,
         });
         Ok(TenantId(tenant))
     }
@@ -546,11 +845,24 @@ impl Cluster {
         loop {
             let mut any_runnable = false;
             for h in &mut self.hosts {
-                if h.machine.now() < barrier {
+                if !h.alive {
+                    continue;
+                }
+                // A browned-out host stalls for the whole epoch: its
+                // guests make no progress, but nothing is lost — the
+                // barrier simply passes it by and it resumes next epoch.
+                let browned = self
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| p.brownout_at(entity_key(&h.name), self.epoch));
+                if browned {
+                    h.brownouts += 1;
+                } else if h.machine.now() < barrier {
                     h.machine.run_until(barrier);
                 }
                 any_runnable |= h.machine.has_runnable_workloads();
             }
+            self.inject_crashes(barrier);
             self.poll_scheduler(barrier);
             self.epoch += 1;
             if !any_runnable {
@@ -561,7 +873,7 @@ impl Cluster {
             let slowest_runnable = self
                 .hosts
                 .iter()
-                .filter(|h| h.machine.has_runnable_workloads())
+                .filter(|h| h.alive && h.machine.has_runnable_workloads())
                 .map(|h| h.machine.now())
                 .min();
             barrier = slowest_runnable.map_or(barrier, |t| t.max(barrier)) + interval;
@@ -583,6 +895,9 @@ impl Cluster {
                 name: h.name.clone(),
                 migrations_in: h.migrations_in,
                 migrations_out: h.migrations_out,
+                alive: h.alive,
+                quarantined_polls: h.quarantined_polls,
+                brownout_epochs: h.brownouts,
                 report,
             });
         }
@@ -591,6 +906,9 @@ impl Cluster {
             hosts,
             migrations: self.migrations.clone(),
             tenant_names: self.tenants.iter().map(|t| t.name.clone()).collect(),
+            crashes: self.crashes.clone(),
+            aborted_migrations: self.aborted.clone(),
+            abandoned_migrations: self.abandoned_migrations,
             latency,
         }
     }
@@ -628,6 +946,9 @@ impl Cluster {
         let mut triggered = Vec::new();
         let dram_frames = self.dram_pages;
         for (i, h) in self.hosts.iter_mut().enumerate() {
+            if !h.alive {
+                continue;
+            }
             let stats = h.machine.host().stats();
             let ops = stats.swap_ins + stats.swap_outs;
             let now = h.machine.now();
@@ -639,6 +960,16 @@ impl Cluster {
             };
             h.prev_swap_ops = ops;
             h.last_poll = now;
+            // Degradation: a host whose *injected* disk-fault rate stays
+            // above the watermark is quarantined from placement and
+            // migration targeting until the rate subsides.
+            let faults = h.machine.host().disk_stats().injected_faults;
+            let delta = faults.saturating_sub(h.prev_injected_faults);
+            h.prev_injected_faults = faults;
+            let secs = sample.interval.as_nanos() as f64 / 1e9;
+            if secs > 0.0 && h.degradation.observe(delta as f64 / secs) {
+                h.quarantined_polls += 1;
+            }
             if h.tracker.observe(&sample) {
                 triggered.push(i);
             }
@@ -665,9 +996,16 @@ impl Cluster {
 
     /// Migrates the hottest-swapping eligible guest off `src` to the
     /// host with the most free frames, if moving it actually helps.
+    ///
+    /// Under a fault plan the pre-copy runs through
+    /// [`LiveMigration::run_with_faults`]: a transient link loss aborts
+    /// the migration, the guest stays on the source, and the tenant
+    /// backs off per [`SchedulerConfig::migration_retry`] before it is
+    /// eligible again; past `max_attempts` the migration is abandoned.
     fn migrate_hottest(&mut self, src: usize, deltas: &[u64], barrier: SimTime) {
         // Victim: largest swap-in delta among this host's tenants not in
-        // cooldown; ties go to the earliest-created tenant.
+        // cooldown or abort backoff; ties go to the earliest-created
+        // tenant.
         let mut victim: Option<(usize, u64)> = None;
         for (i, t) in self.tenants.iter().enumerate() {
             if t.host != src {
@@ -677,6 +1015,9 @@ impl Cluster {
                 if self.epoch - e < self.scheduler.tenant_cooldown_polls {
                     continue;
                 }
+            }
+            if t.retry_not_before.is_some_and(|nb| barrier < nb) {
+                continue;
             }
             if victim.map_or(true, |(_, best)| deltas[i] > best) {
                 victim = Some((i, deltas[i]));
@@ -689,13 +1030,14 @@ impl Cluster {
             self.hosts[t.host].machine.vm_spec(t.handle).guest.disk.pages()
         };
 
-        // Destination: most free frames among hosts that can hold the
-        // VM's disk regions and would be a real improvement over the
-        // source; ties go to the first host in name order.
+        // Destination: most free frames among live, unquarantined hosts
+        // that can hold the VM's disk regions and would be a real
+        // improvement over the source; ties go to the first host in
+        // name order.
         let src_free = self.hosts[src].machine.host().free_frames();
         let mut dst: Option<(usize, u64)> = None;
         for (i, h) in self.hosts.iter().enumerate() {
-            if i == src {
+            if i == src || !h.alive || h.degradation.is_quarantined() {
                 continue;
             }
             let free = h.machine.host().free_frames();
@@ -716,7 +1058,48 @@ impl Cluster {
         // The full cost model: pre-copy rounds on the source (the guest
         // keeps running between rounds), then the page-state hand-off.
         let handle = self.tenants[ti].handle;
-        let mig = LiveMigration::new(self.migration_cfg).run(&mut self.hosts[src].machine, handle);
+        let attempt = self.tenants[ti].abort_attempts;
+        let result = match &self.fault_plan {
+            Some(plan) => LiveMigration::new(self.migration_cfg).run_with_faults(
+                &mut self.hosts[src].machine,
+                handle,
+                plan,
+                &self.tenants[ti].name,
+                attempt,
+            ),
+            None => {
+                Ok(LiveMigration::new(self.migration_cfg).run(&mut self.hosts[src].machine, handle))
+            }
+        };
+        let mig = match result {
+            Ok(report) => report,
+            Err(abort) => {
+                // The link died mid-round: the guest never left the
+                // source (pre-copy commits nothing until hand-off), so
+                // rollback is free. Record the abort, back off, and —
+                // past the retry budget — abandon the migration.
+                self.aborted.push(AbortRecord {
+                    tenant: self.tenants[ti].name.clone(),
+                    from: self.hosts[src].name.clone(),
+                    to: self.hosts[dst].name.clone(),
+                    at: barrier,
+                    round: abort.round,
+                    wasted_bytes: abort.wasted_bytes,
+                });
+                let policy = self.scheduler.migration_retry;
+                let t = &mut self.tenants[ti];
+                t.abort_attempts += 1;
+                if t.abort_attempts >= policy.max_attempts {
+                    self.abandoned_migrations += 1;
+                    t.abort_attempts = 0;
+                    t.retry_not_before = None;
+                    t.last_migration_epoch = Some(self.epoch);
+                } else {
+                    t.retry_not_before = Some(barrier + policy.backoff(t.abort_attempts - 1));
+                }
+                return;
+            }
+        };
         let grant = self.hosts[src].machine.extract_vm(handle);
         let flush = grant.flush_cost();
         let arrival =
@@ -747,6 +1130,126 @@ impl Cluster {
         t.handle = new_handle;
         t.prev_swap_ins = 0;
         t.last_migration_epoch = Some(self.epoch);
+        t.abort_attempts = 0;
+        t.retry_not_before = None;
+    }
+
+    /// Fires any host crashes the fault plan schedules for this epoch.
+    ///
+    /// A crash is fail-stop: DRAM is lost but the host-local disk
+    /// (image blocks and swap slots) survives, so evacuation replays
+    /// Mapper block-references and swap-slot records onto survivors and
+    /// re-faults only what had no durable copy. A crash that cannot be
+    /// fully evacuated (no survivor has capacity, or it would kill the
+    /// last live host) is suppressed entirely — the plan is a schedule
+    /// of *attempts*, and a half-applied crash would corrupt state.
+    fn inject_crashes(&mut self, barrier: SimTime) {
+        let Some(plan) = self.fault_plan.clone() else { return };
+        for src in 0..self.hosts.len() {
+            if !self.hosts[src].alive
+                || !plan.crashes_at(entity_key(&self.hosts[src].name), self.epoch)
+            {
+                continue;
+            }
+            if self.hosts.iter().filter(|h| h.alive).count() <= 1 {
+                continue;
+            }
+            if let Some(assignments) = self.plan_evacuation(src) {
+                self.crash_host(src, assignments, barrier);
+            }
+        }
+    }
+
+    /// Greedily assigns every tenant on `src` to a surviving host, or
+    /// `None` if any tenant cannot be placed anywhere.
+    ///
+    /// Capacity model per destination: enough free disk pages for the
+    /// guest's image regions and enough estimated free frames to boot
+    /// it, decremented as assignments accumulate. Quarantined survivors
+    /// are used only when no healthy host fits — losing placement
+    /// hygiene beats losing a guest.
+    fn plan_evacuation(&self, src: usize) -> Option<Vec<(usize, usize)>> {
+        let mut disk_free: Vec<u64> =
+            self.hosts.iter().map(|h| h.machine.host().disk_free_pages()).collect();
+        let mut frames_free: Vec<u64> =
+            self.hosts.iter().map(|h| h.machine.host().free_frames()).collect();
+        let mut assignments = Vec::new();
+        for (ti, t) in self.tenants.iter().enumerate() {
+            if t.host != src {
+                continue;
+            }
+            let image_pages = self.hosts[src].machine.vm_spec(t.handle).guest.disk.pages();
+            let fits = |i: usize| {
+                disk_free[i] >= image_pages + self.hv_code_pages
+                    && frames_free[i] >= self.hv_code_pages
+            };
+            let mut pick: Option<(usize, u64)> = None;
+            for quarantined_ok in [false, true] {
+                for (i, h) in self.hosts.iter().enumerate() {
+                    if i == src || !h.alive || !fits(i) {
+                        continue;
+                    }
+                    if h.degradation.is_quarantined() != quarantined_ok {
+                        continue;
+                    }
+                    if pick.map_or(true, |(_, best)| frames_free[i] > best) {
+                        pick = Some((i, frames_free[i]));
+                    }
+                }
+                if pick.is_some() {
+                    break;
+                }
+            }
+            let (dest, _) = pick?;
+            disk_free[dest] -= image_pages;
+            frames_free[dest] = frames_free[dest].saturating_sub(t.pages / 2);
+            assignments.push((ti, dest));
+        }
+        Some(assignments)
+    }
+
+    /// Executes a planned crash: evacuates every assigned guest to its
+    /// survivor, then marks the host dead.
+    fn crash_host(&mut self, src: usize, assignments: Vec<(usize, usize)>, barrier: SimTime) {
+        let guests = assignments.len() as u64;
+        let at = self.hosts[src].machine.now();
+        self.hosts[src].machine.event_log().emit_with(at, None, || Event::HostCrash { guests });
+        let mut recovered_pages = 0u64;
+        let mut refaulted_pages = 0u64;
+        let mut dropped_buffers = 0u64;
+        for (ti, dest) in assignments {
+            let handle = self.tenants[ti].handle;
+            let pages = self.tenants[ti].pages;
+            let evac = self.hosts[src].machine.evacuate_vm(handle);
+            recovered_pages += evac.recovered_pages;
+            refaulted_pages += evac.refaulted_pages;
+            dropped_buffers += evac.dropped_buffers;
+            let arrival = self.hosts[src].machine.now().max(self.hosts[dest].machine.now());
+            let new_handle = self.hosts[dest]
+                .machine
+                .admit_vm(evac.vm, arrival)
+                .expect("evacuation destination was capacity-checked");
+            let tenant_idx = u32::try_from(ti).expect("tenant count fits u32");
+            self.note_tenant_on_host(dest, new_handle, tenant_idx);
+            self.hosts[src].committed_pages = self.hosts[src].committed_pages.saturating_sub(pages);
+            self.hosts[dest].committed_pages += pages;
+            let t = &mut self.tenants[ti];
+            t.host = dest;
+            t.handle = new_handle;
+            t.prev_swap_ins = 0;
+            t.last_migration_epoch = Some(self.epoch);
+            t.abort_attempts = 0;
+            t.retry_not_before = None;
+        }
+        self.hosts[src].alive = false;
+        self.crashes.push(CrashRecord {
+            host: self.hosts[src].name.clone(),
+            at: barrier,
+            guests,
+            recovered_pages,
+            refaulted_pages,
+            dropped_buffers,
+        });
     }
 
     fn note_tenant_on_host(&mut self, host: usize, handle: VmHandle, tenant: u32) {
@@ -801,6 +1304,35 @@ mod tests {
             sustain_polls: 1,
             ..SchedulerConfig::default()
         }
+    }
+
+    #[test]
+    fn zero_hosts_is_a_typed_config_error_not_a_panic() {
+        let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
+        let err = Cluster::new(ClusterConfig::homogeneous(0, machine)).unwrap_err();
+        assert!(matches!(err, MachineError::Config(_)), "got {err:?}");
+        assert!(err.to_string().contains("at least one host"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_host_names_are_a_typed_config_error() {
+        let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
+        let mut cfg = ClusterConfig::homogeneous(0, machine);
+        cfg.host_names = vec!["rack-a".to_owned(), "rack-a".to_owned()];
+        let err = Cluster::new(cfg).unwrap_err();
+        assert!(matches!(err, MachineError::Config(_)), "got {err:?}");
+        assert!(err.to_string().contains("rack-a"), "{err}");
+    }
+
+    #[test]
+    fn guest_too_big_for_every_host_is_a_typed_config_error() {
+        let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
+        let mut cluster = Cluster::new(ClusterConfig::homogeneous(2, machine)).unwrap();
+        // 128 MB actual against 48 MB hosts: no host could ever boot it.
+        let err = cluster.place_vm(guest("whale", 256, 128)).unwrap_err();
+        assert!(matches!(err, MachineError::Config(_)), "got {err:?}");
+        assert!(err.to_string().contains("whale"), "the error names the guest: {err}");
+        assert!(cluster.place_vm(guest("minnow", 16, 8)).is_ok(), "the cluster still works");
     }
 
     #[test]

@@ -58,12 +58,18 @@ pub mod preventer;
 pub mod report;
 pub mod workload_api;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, SchedulerConfig, TenantId};
+pub use cluster::{
+    AbortRecord, Cluster, ClusterConfig, ClusterReport, CrashRecord, HostReport, MigrationRecord,
+    SchedulerConfig, TenantId,
+};
 pub use config::{Ballooning, MachineConfig, SwapPolicy};
-pub use machine::{Machine, MachineError, MigratedVm, VmHandle};
+pub use machine::{EvacuatedVm, Machine, MachineError, MigratedVm, VmHandle};
 pub use mapper::SwapMapper;
-pub use migration::{LiveMigration, MigrationConfig, MigrationReport, NetSpec};
+pub use migration::{LiveMigration, MigrationAborted, MigrationConfig, MigrationReport, NetSpec};
 pub use pathology::{Pathology, PathologyBreakdown};
 pub use preventer::{FalseReadsPreventer, PreventerConfig, PreventerStats};
 pub use report::{RunReport, VmReport};
-pub use vswap_disk::{FaultConfig, FaultPlan, FaultProfile};
+pub use vswap_disk::{
+    ClusterFaultConfig, ClusterFaultPlan, ClusterFaultProfile, FaultConfig, FaultPlan,
+    FaultProfile, LinkFault,
+};

@@ -40,6 +40,9 @@ pub enum MachineError {
     Boot(GuestError),
     /// Static balloon inflation failed at VM setup.
     Balloon(GuestError),
+    /// The configuration was rejected before any host work was done
+    /// (e.g. a cluster with zero hosts, or a guest no host can hold).
+    Config(String),
 }
 
 impl fmt::Display for MachineError {
@@ -48,6 +51,7 @@ impl fmt::Display for MachineError {
             MachineError::Host(e) => write!(f, "host: {e}"),
             MachineError::Boot(e) => write!(f, "guest boot: {e}"),
             MachineError::Balloon(e) => write!(f, "static balloon setup: {e}"),
+            MachineError::Config(msg) => write!(f, "config: {msg}"),
         }
     }
 }
@@ -146,6 +150,26 @@ impl MigratedVm {
     pub fn flush_cost(&self) -> SimDuration {
         self.flush_cost
     }
+}
+
+/// A VM rescued off a *crashed* host by [`Machine::evacuate_vm`]: the
+/// lossy migrant plus an exact accounting of what survived the crash
+/// and what the guest will have to re-fault. Nothing is silently
+/// dropped — every page is either recovered from an on-disk record or
+/// counted here and invalidated guest-side.
+pub struct EvacuatedVm {
+    /// The migrant, admissible on a surviving host via
+    /// [`Machine::admit_vm`] like any orderly migration.
+    pub vm: MigratedVm,
+    /// Pages recovered without their bytes: Mapper block references and
+    /// host swap-slot records, both of which survive on disk.
+    pub recovered_pages: u64,
+    /// Pages whose only copy was the dead host's DRAM; invalidated in
+    /// the guest so it re-faults (re-reads or re-initializes) them.
+    pub refaulted_pages: u64,
+    /// Preventer write buffers dropped un-merged — in-flight emulated
+    /// writes the crash destroyed (their pages count as refaulted).
+    pub dropped_buffers: u64,
 }
 
 /// The machine. See the crate-level docs for a quick-start example.
@@ -622,6 +646,55 @@ impl Machine {
             prev_guest_swap_outs: 0,
             export,
             flush_cost,
+        }
+    }
+
+    /// Lifts a VM off this machine as if the host just *crashed*
+    /// (fail-stop: DRAM gone, host-local disk intact). The orderly
+    /// extraction path is impossible — there is no time to merge
+    /// Preventer buffers or read swapped pages back — so:
+    ///
+    /// * pending write-buffer emulations are dropped un-merged,
+    /// * the host replays what its disk still knows (Mapper block
+    ///   references, swap-slot records) into the wire state,
+    /// * every page whose only copy was DRAM is invalidated in the
+    ///   guest kernel, so the guest re-faults it after admission
+    ///   instead of reading stale content.
+    ///
+    /// Guests on a Mapper-less host lose *all* resident pages — the
+    /// paper's disposable-memory argument, seen from the fault-tolerance
+    /// side: block references make most guest memory recoverable.
+    pub fn evacuate_vm(&mut self, vm: VmHandle) -> EvacuatedVm {
+        let now = self.clock.now();
+        let dropped = self.preventer.dispose_vm(&mut self.host, now, vm.0);
+        let crash = self.host.export_vm_crashed(vm.0);
+        let idx = self.vms.iter().position(|e| e.id == vm.0).expect("unknown VM");
+        let mut entry = self.vms.remove(idx);
+        let mut refaulted = 0u64;
+        for &gfn in crash.lost.iter().chain(dropped.iter()) {
+            if entry.guest.crash_drop_page(gfn) {
+                refaulted += 1;
+            }
+        }
+        let recovered = crash.recovered_refs + crash.recovered_slots;
+        self.events.emit_with(now, Some(vm.0.get()), || Event::Evacuation {
+            recovered_pages: recovered,
+            refaulted_pages: refaulted,
+        });
+        EvacuatedVm {
+            vm: MigratedVm {
+                spec: entry.spec,
+                guest: entry.guest,
+                slots: entry.slots,
+                next_slot: entry.next_slot,
+                history: entry.history,
+                prev_guest_swap_outs: 0,
+                export: crash.export,
+                flush_cost: SimDuration::ZERO,
+            },
+            recovered_pages: recovered,
+            refaulted_pages: refaulted,
+            dropped_buffers: dropped.len() as u64,
         }
     }
 

@@ -28,6 +28,8 @@
 use crate::machine::{Machine, VmHandle};
 use sim_core::SimDuration;
 use sim_obs::Event;
+use std::fmt;
+use vswap_disk::{entity_key, ClusterFaultPlan, LinkFault};
 use vswap_hostos::PageResidency;
 use vswap_mem::{ContentLabel, Gfn};
 
@@ -106,7 +108,38 @@ pub struct MigrationReport {
     pub total_time: SimDuration,
     /// Guest downtime (the stop-and-copy round).
     pub downtime: SimDuration,
+    /// Rounds whose transfer arrived torn and was re-sent whole (link
+    /// faults; always zero on a clean link).
+    pub torn_resends: u64,
 }
+
+/// A migration attempt that died on the wire: the link dropped with a
+/// round's data in flight, nothing of the attempt committed, and the
+/// guest keeps running on the source (pre-copy's natural rollback — the
+/// hand-off never happened). Returned by
+/// [`LiveMigration::run_with_faults`]; the caller decides whether to
+/// retry with backoff or abandon.
+#[derive(Debug, Clone)]
+pub struct MigrationAborted {
+    /// Zero-based round the link failed in.
+    pub round: u32,
+    /// Bytes this attempt put on the wire that bought nothing.
+    pub wasted_bytes: u64,
+    /// Simulated time the attempt consumed before aborting.
+    pub elapsed: SimDuration,
+}
+
+impl fmt::Display for MigrationAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "migration aborted in round {}: link lost with {} bytes wasted",
+            self.round, self.wasted_bytes
+        )
+    }
+}
+
+impl std::error::Error for MigrationAborted {}
 
 impl MigrationReport {
     /// Sum of a per-round field across all rounds.
@@ -132,8 +165,41 @@ impl LiveMigration {
     /// the simulation measures the *cost* of migration, which is all the
     /// paper's future-work claim concerns.
     pub fn run(&self, machine: &mut Machine, vm: VmHandle) -> MigrationReport {
+        self.run_inner(machine, vm, None).expect("a clean link never aborts")
+    }
+
+    /// Like [`LiveMigration::run`], over a link that can fail. Each
+    /// round consults the cluster fault plan (keyed by tenant name,
+    /// round, and the caller's retry `attempt`):
+    ///
+    /// * a **transient** link loss kills the attempt — nothing of it
+    ///   committed, the guest keeps running on the source, and the
+    ///   bytes and time already spent are reported wasted;
+    /// * a **torn** transfer arrives corrupt and is re-sent whole, so
+    ///   the round completes at double the traffic and link time.
+    ///
+    /// With the no-op plan every draw is `None` and this is byte-for-
+    /// byte the fault-free migration.
+    pub fn run_with_faults(
+        &self,
+        machine: &mut Machine,
+        vm: VmHandle,
+        plan: &ClusterFaultPlan,
+        tenant: &str,
+        attempt: u32,
+    ) -> Result<MigrationReport, MigrationAborted> {
+        self.run_inner(machine, vm, Some((plan, tenant, attempt)))
+    }
+
+    fn run_inner(
+        &self,
+        machine: &mut Machine,
+        vm: VmHandle,
+        faults: Option<(&ClusterFaultPlan, &str, u32)>,
+    ) -> Result<MigrationReport, MigrationAborted> {
         let vm_id = vm.vm_id();
         let gfn_count = machine.guest(vm).spec().memory.pages();
+        let faults = faults.map(|(plan, tenant, attempt)| (plan, entity_key(tenant), attempt));
         let mut report = MigrationReport::default();
         // Signatures as of the last transfer; None = never sent.
         let mut sent: Vec<Option<Option<ContentLabel>>> = vec![None; gfn_count as usize];
@@ -155,7 +221,10 @@ impl LiveMigration {
             let final_round = round == self.cfg.max_rounds
                 || (dirty.len() as u64) <= self.cfg.stop_copy_threshold_pages;
 
-            // Transfer the dirty set.
+            // Transfer the dirty set. Signature updates stay pending
+            // until the round is known to have committed: a transient
+            // link loss discards them (that data never arrived).
+            let mut pending: Vec<(usize, Option<ContentLabel>)> = Vec::new();
             let mut io_cost = SimDuration::ZERO;
             for &gfn in &dirty {
                 let sig = machine.host().page_signature(vm_id, gfn);
@@ -177,12 +246,52 @@ impl LiveMigration {
                             machine.host_mut().migration_read_swapped(now + io_cost, vm_id, gfn);
                     }
                 }
-                sent[gfn.index()] = Some(sig);
+                pending.push((gfn.index(), sig));
             }
 
             rr.duration = self.cfg.net.transfer_time(rr.bytes_sent).max(io_cost);
-            report.total_bytes += rr.bytes_sent;
 
+            let fault = faults.and_then(|(plan, tenant_key, attempt)| {
+                plan.link_fault(tenant_key, round, attempt)
+            });
+            match fault {
+                Some(LinkFault::Transient) => {
+                    // The link died with this round in flight. The time
+                    // and traffic are spent — the device reads happened,
+                    // the wire carried the bytes — but nothing committed.
+                    report.total_bytes += rr.bytes_sent;
+                    report.total_time += rr.duration;
+                    let wasted = report.total_bytes;
+                    machine.event_log().emit_with(now, Some(vm_id.get()), || {
+                        Event::MigrationAbort { round, wasted_bytes: wasted }
+                    });
+                    if final_round {
+                        // The guest was paused for the doomed
+                        // stop-and-copy; attribute that downtime.
+                        machine.note_migration_stall(vm_id, rr.duration);
+                    } else {
+                        machine.run_until(now + rr.duration);
+                    }
+                    return Err(MigrationAborted {
+                        round,
+                        wasted_bytes: wasted,
+                        elapsed: report.total_time,
+                    });
+                }
+                Some(LinkFault::Torn) => {
+                    // Arrived corrupt; the whole round is re-sent (and
+                    // the re-send, by construction, lands intact).
+                    rr.duration += self.cfg.net.transfer_time(rr.bytes_sent);
+                    rr.bytes_sent *= 2;
+                    report.torn_resends += 1;
+                }
+                None => {}
+            }
+            for (i, sig) in pending {
+                sent[i] = Some(sig);
+            }
+
+            report.total_bytes += rr.bytes_sent;
             report.total_time += rr.duration;
 
             machine.event_log().emit_with(now, Some(vm_id.get()), || Event::MigrationRound {
@@ -204,7 +313,7 @@ impl LiveMigration {
             machine.run_until(deadline);
             report.rounds.push(rr);
         }
-        report
+        Ok(report)
     }
 }
 

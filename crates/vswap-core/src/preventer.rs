@@ -392,6 +392,31 @@ impl FalseReadsPreventer {
         }
     }
 
+    /// Drops every emulation belonging to one VM *without* promotion —
+    /// the crash path. The host is dead: there is no time to merge, so
+    /// each buffered write's content is simply gone. Returns the guest
+    /// frames whose content was lost this way; the caller must
+    /// invalidate them guest-side so the guest re-faults rather than
+    /// reading stale bytes. Contrast [`FalseReadsPreventer::flush_vm`],
+    /// the orderly-migration path that merges instead.
+    pub fn dispose_vm(&mut self, host: &mut HostKernel, now: SimTime, vm: VmId) -> Vec<Gfn> {
+        let mut dropped = Vec::new();
+        while let Some(pos) = self.emus.iter().position(|e| e.vm == vm) {
+            let emu = self.take_emu(pos);
+            host.drop_buffer_frame(vm, emu.frame);
+            self.stats.cancelled += 1;
+            self.latency.record(
+                vm.get(),
+                LatencyClass::PreventedWrite,
+                now.saturating_since(emu.first_write),
+            );
+            self.events
+                .emit_with(now, Some(vm.get()), || Event::PreventerDiscard { gfn: emu.gfn.get() });
+            dropped.push(emu.gfn);
+        }
+        dropped
+    }
+
     /// Merges every emulation belonging to one VM immediately. Live
     /// migration calls this before detaching the VM: a buffered write is
     /// content that exists only in this host's emulation table, so it

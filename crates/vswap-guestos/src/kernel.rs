@@ -507,6 +507,35 @@ impl GuestKernel {
         elapsed
     }
 
+    /// Invalidates one page whose only copy died with a crashed host:
+    /// the guest drops it and re-faults on next access, exactly like a
+    /// page-cache drop or a never-swapped-in anonymous page after a
+    /// power failure. A dirty cache page reverts to the on-disk file
+    /// content (the un-synced write is lost); a resident anonymous page
+    /// reverts to untouched (zero-fill on next touch). Kernel, balloon,
+    /// and free pages need no invalidation. Returns `true` if guest
+    /// state changed.
+    pub fn crash_drop_page(&mut self, gfn: Gfn) -> bool {
+        match self.page_state[gfn.index()] {
+            GuestPageState::Cache { image_page } => {
+                self.clear_dirty(image_page);
+                self.cache_lru.remove(gfn.index());
+                self.cache.remove(image_page);
+                self.cache_len -= 1;
+                self.stats.dropped_clean += 1;
+                self.release_gfn(gfn);
+                true
+            }
+            GuestPageState::Anon { proc, vpn } => {
+                self.anon_lru.remove(gfn.index());
+                self.processes[proc.index()].pages[vpn.index()] = AnonPage::Untouched;
+                self.release_gfn(gfn);
+                true
+            }
+            GuestPageState::Kernel | GuestPageState::Balloon | GuestPageState::Free => false,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Anonymous memory
     // ------------------------------------------------------------------

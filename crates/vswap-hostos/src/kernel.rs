@@ -134,6 +134,28 @@ pub struct VmExport {
     pub protected_below: u64,
 }
 
+/// The result of detaching a VM from a crashed host
+/// ([`HostKernel::export_vm_crashed`]): the lossy wire state plus an
+/// exact accounting of what was recovered from on-disk records and what
+/// perished with the host's DRAM.
+#[derive(Debug)]
+pub struct CrashExport {
+    /// The wire state a surviving host can admit. Pages listed in
+    /// `lost` are exported as [`PageState::Untouched`].
+    pub export: VmExport,
+    /// Guest frames whose only copy was the crashed host's DRAM; the
+    /// caller must invalidate these guest-side so the guest re-faults
+    /// them instead of reading stale content.
+    pub lost: Vec<Gfn>,
+    /// Pages recovered via Mapper block references (clean named frames
+    /// and discarded associations) — no bytes needed, the shared image
+    /// has them.
+    pub recovered_refs: u64,
+    /// Pages recovered from host swap-area slot records, which survive
+    /// on the host's disk.
+    pub recovered_slots: u64,
+}
+
 /// Where a guest page's content currently lives (migration's view).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageResidency {
@@ -598,6 +620,69 @@ impl HostKernel {
         let protected_below = self.vms[vm.index()].protected_below;
         let image = self.release_vm(vm);
         VmExport { cfg, image, pages, protected_below }
+    }
+
+    /// Detaches a VM from a *crashed* host. Unlike [`HostKernel::export_vm`]
+    /// the host's DRAM is gone, so only state with an on-disk record
+    /// survives: Mapper block references (clean named pages), discarded
+    /// associations, and swap-slot records are replayed into the wire
+    /// state; every resident page whose sole copy was DRAM — dirty
+    /// frames, unassociated anonymous content, and *all* resident pages
+    /// on a Mapper-less host — is exported as untouched and listed in
+    /// `lost`, so the caller can invalidate it guest-side and the guest
+    /// re-faults it. Nothing is ever silently dropped: a page is either
+    /// recovered or reported lost.
+    pub fn export_vm_crashed(&mut self, vm: VmId) -> CrashExport {
+        let gfn_count = self.vms[vm.index()].ept.gfn_count();
+        let mut pages = Vec::with_capacity(gfn_count as usize);
+        let mut lost = Vec::new();
+        let mut recovered_refs = 0u64;
+        let mut recovered_slots = 0u64;
+        for g in 0..gfn_count {
+            let gfn = Gfn::new(g);
+            let mm = &self.vms[vm.index()];
+            let state = match mm.ept.translate(gfn) {
+                Some(frame) => match mm.origin.page_for_gfn(gfn) {
+                    Some(page) if mm.mapper_enabled && !self.frames.dirty(frame) => {
+                        // The block reference survives on shared storage.
+                        recovered_refs += 1;
+                        PageState::Named { image_page: page, resident: false }
+                    }
+                    _ => {
+                        // The only copy was the crashed host's DRAM.
+                        lost.push(gfn);
+                        PageState::Untouched
+                    }
+                },
+                None => match mm.ept.backing(gfn).expect("non-present") {
+                    Backing::None => PageState::Untouched,
+                    Backing::SwapSlot(slot) => {
+                        // The slot record survives on the host's disk.
+                        recovered_slots += 1;
+                        PageState::Anon { label: self.swap.get(slot).expect("occupied slot").label }
+                    }
+                    Backing::ImagePage(page) => {
+                        recovered_refs += 1;
+                        PageState::Named { image_page: page, resident: false }
+                    }
+                },
+            };
+            pages.push(state);
+        }
+        let cfg = VmMmConfig {
+            gfn_count,
+            image_pages: self.vms[vm.index()].image.pages(),
+            mem_limit_pages: self.vms[vm.index()].mem_limit,
+            mapper_enabled: self.vms[vm.index()].mapper_enabled,
+        };
+        let protected_below = self.vms[vm.index()].protected_below;
+        let image = self.release_vm(vm);
+        CrashExport {
+            export: VmExport { cfg, image, pages, protected_below },
+            lost,
+            recovered_refs,
+            recovered_slots,
+        }
     }
 
     /// Frees every host resource a VM holds and vacates its slot,

@@ -56,7 +56,8 @@ pub mod swaparea;
 
 pub use image::ImageStore;
 pub use kernel::{
-    AccessOutcome, HostError, HostKernel, PageResidency, PageState, VmExport, VmMmConfig,
+    AccessOutcome, CrashExport, HostError, HostKernel, PageResidency, PageState, VmExport,
+    VmMmConfig,
 };
 pub use origin::OriginMap;
 pub use spec::HostSpec;

@@ -35,6 +35,6 @@ pub mod retry;
 pub mod vm;
 
 pub use balloon::{BalloonManager, BalloonPolicy, VmTelemetry};
-pub use pressure::{HostPressure, PressureTracker};
+pub use pressure::{DegradationTracker, HostPressure, PressureTracker};
 pub use retry::RetryPolicy;
 pub use vm::VmSpec;

@@ -122,6 +122,77 @@ impl PressureTracker {
     }
 }
 
+/// Hysteretic degraded-host detector: a host whose injected disk-fault
+/// rate stays above the watermark for `sustain_polls` consecutive polls
+/// is *quarantined* — excluded from placement (new admissions, migration
+/// and evacuation destinations) — until the rate stays below the
+/// watermark for `recover_polls` consecutive polls.
+///
+/// Both transitions are debounced so a single bad poll neither
+/// quarantines a healthy host nor paroles a degraded one.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationTracker {
+    /// Injected disk faults per simulated second above which a poll
+    /// counts as degraded.
+    pub fault_rate_watermark: f64,
+    /// Consecutive degraded polls required to quarantine.
+    pub sustain_polls: u32,
+    /// Consecutive clean polls required to recover.
+    pub recover_polls: u32,
+    /// Consecutive polls agreeing with the opposite of the current
+    /// state.
+    streak: u32,
+    quarantined: bool,
+}
+
+impl DegradationTracker {
+    /// A tracker with the given thresholds, initially healthy.
+    pub fn new(fault_rate_watermark: f64, sustain_polls: u32, recover_polls: u32) -> Self {
+        DegradationTracker {
+            fault_rate_watermark,
+            sustain_polls,
+            recover_polls,
+            streak: 0,
+            quarantined: false,
+        }
+    }
+
+    /// Feeds one poll's injected-fault rate (faults per simulated second
+    /// since the previous poll). Returns the quarantine state *after*
+    /// this poll.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vswap_hypervisor::DegradationTracker;
+    ///
+    /// let mut t = DegradationTracker::new(10.0, 2, 2);
+    /// assert!(!t.observe(50.0), "one bad poll is not sustained");
+    /// assert!(t.observe(50.0), "two consecutive bad polls quarantine");
+    /// assert!(t.observe(0.0), "one clean poll does not parole");
+    /// assert!(!t.observe(0.0), "two consecutive clean polls do");
+    /// ```
+    pub fn observe(&mut self, faults_per_sec: f64) -> bool {
+        let degraded = faults_per_sec > self.fault_rate_watermark;
+        if degraded != self.quarantined {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        let needed = if self.quarantined { self.recover_polls } else { self.sustain_polls };
+        if self.streak >= needed.max(1) {
+            self.quarantined = !self.quarantined;
+            self.streak = 0;
+        }
+        self.quarantined
+    }
+
+    /// The current quarantine state.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +246,32 @@ mod tests {
         let s = sample(500, 0);
         assert_eq!(s.placement_score(200), 300);
         assert_eq!(s.placement_score(900), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn degradation_is_hysteretic() {
+        let mut t = DegradationTracker::new(25.0, 3, 2);
+        assert!(!t.is_quarantined());
+        assert!(!t.observe(100.0));
+        assert!(!t.observe(100.0));
+        assert!(t.observe(100.0), "three sustained bad polls quarantine");
+        assert!(t.is_quarantined());
+        assert!(t.observe(100.0), "staying bad keeps the quarantine");
+        assert!(t.observe(0.0), "one clean poll is not parole");
+        assert!(t.observe(100.0), "a relapse restarts the recovery count");
+        assert!(t.observe(0.0));
+        assert!(!t.observe(0.0), "two consecutive clean polls recover");
+        assert!(!t.is_quarantined());
+    }
+
+    #[test]
+    fn degradation_blips_are_debounced() {
+        let mut t = DegradationTracker::new(25.0, 2, 1);
+        assert!(!t.observe(100.0));
+        assert!(!t.observe(0.0), "streak broken by a clean poll");
+        assert!(!t.observe(100.0));
+        assert!(t.observe(100.0));
+        assert!(!t.observe(0.0), "recover_polls=1 paroles immediately");
     }
 
     #[test]

@@ -6,7 +6,9 @@ written by ``vswap verify-tables --bench-out``. This script validates
 the whole trajectory, not just the newest file:
 
 * every ``BENCH_<n>.json`` at the repo root carries the full timing
-  schema with sane values;
+  schema with sane values — including every ``phases`` entry
+  (``phase`` name + non-negative ``wall_secs``, no duplicates) and
+  every ``experiments`` row;
 * the indices are contiguous (a renamed or dropped entry breaks the
   history the trajectory exists to preserve);
 * the suite only grows: experiment count and pages simulated are
@@ -52,6 +54,11 @@ EXPERIMENT_SCHEMA = {
     "parallel_busy_secs": (int, float),
 }
 
+PHASE_SCHEMA = {
+    "phase": str,
+    "wall_secs": (int, float),
+}
+
 POSITIVE = (
     "serial_wall_secs",
     "parallel_wall_secs",
@@ -84,6 +91,23 @@ def validate(label, data):
             errors.append(f"{label}: `{field}` must be positive, got {value}")
     if data.get("scale") not in (None, "smoke"):
         errors.append(f"{label}: `scale` must be \"smoke\", got {data['scale']!r}")
+    phases = data.get("phases")
+    if isinstance(phases, list):
+        if not phases:
+            errors.append(f"{label}: `phases` must not be empty")
+        seen_phases = set()
+        for i, ph in enumerate(phases):
+            if not isinstance(ph, dict):
+                errors.append(f"{label}: phases[{i}] must be an object")
+                continue
+            check_fields(errors, f"{label}: phases[{i}]", ph, PHASE_SCHEMA)
+            secs = ph.get("wall_secs")
+            if isinstance(secs, (int, float)) and not isinstance(secs, bool) and secs < 0:
+                errors.append(f"{label}: phases[{i}].wall_secs must be non-negative, got {secs}")
+            name = ph.get("phase")
+            if name in seen_phases:
+                errors.append(f"{label}: duplicate phase `{name}`")
+            seen_phases.add(name)
     experiments = data.get("experiments")
     if isinstance(experiments, list):
         if not experiments:

@@ -111,6 +111,17 @@ fn migration_conserves_guest_content_under_transient_faults() {
 }
 
 #[test]
+fn migration_conserves_guest_content_under_torn_faults() {
+    // Torn multi-sector writes corrupt the tail of a write that the
+    // journal then repairs; a migration whose source disk tears writes
+    // mid-pre-copy must still hand over every page intact.
+    let (cluster, tenants, report) = run_sheds_heavy(FaultProfile::Torn);
+    assert!(report.migration_count() >= 1, "torn writes must not suppress the migration");
+    assert_eq!(report.completed_workloads(), 2);
+    check_conservation(&cluster, &tenants, "torn");
+}
+
+#[test]
 fn host_enumeration_order_does_not_change_the_report() {
     let run = |names: &[&str]| {
         let machine = MachineConfig::preset(SwapPolicy::Vswapper).with_host(small_host());
@@ -119,6 +130,8 @@ fn host_enumeration_order_does_not_change_the_report() {
             machine,
             scheduler: hair_trigger(),
             migration: vswap_core::MigrationConfig::default(),
+            cluster_faults: vswap_core::ClusterFaultProfile::None,
+            cluster_fault_seed: None,
         };
         let mut cluster = Cluster::new(cfg).expect("valid cluster");
         let heavy = cluster.place_vm(guest("heavy", 32, 16)).expect("fits");

@@ -1,0 +1,224 @@
+//! The fleet-wide chaos oracle. Under every cluster fault profile —
+//! host crashes with guest evacuation, brown-out stalls, and
+//! migration-link failures with abort/rollback/retry — the cluster must
+//! conserve guest content exactly: no page a guest holds live may be
+//! lost or duplicated across any crash/evacuation/abort interleaving,
+//! the accounting invariants must audit clean on every surviving host,
+//! and the suite's `cluster-chaos` experiment must render bitwise
+//! identically at any worker count.
+
+use vswap_bench::suite::{run_suite, SuiteOptions};
+use vswap_bench::Scale;
+use vswap_core::workload_api::FileScan;
+use vswap_core::{
+    Cluster, ClusterConfig, ClusterFaultProfile, ClusterReport, MachineConfig, SchedulerConfig,
+    SwapPolicy, TenantId,
+};
+use vswap_guestos::GuestSpec;
+use vswap_hostos::HostSpec;
+use vswap_hypervisor::VmSpec;
+use vswap_mem::MemBytes;
+
+fn small_host() -> HostSpec {
+    HostSpec {
+        dram: MemBytes::from_mb(48),
+        disk_pages: MemBytes::from_mb(512).pages(),
+        swap_pages: MemBytes::from_mb(64).pages(),
+        hypervisor_code_pages: 16,
+        ..HostSpec::paper_testbed()
+    }
+}
+
+fn guest(name: &str, mem_mb: u64, actual_mb: u64) -> VmSpec {
+    VmSpec::linux(name, MemBytes::from_mb(mem_mb), MemBytes::from_mb(actual_mb)).with_guest(
+        GuestSpec {
+            memory: MemBytes::from_mb(mem_mb),
+            disk: MemBytes::from_mb(64),
+            swap: MemBytes::from_mb(16),
+            kernel_pages: 64,
+            boot_file_pages: 128,
+            boot_anon_pages: 64,
+            ..GuestSpec::linux_default()
+        },
+    )
+}
+
+/// A scheduler that migrates on the first whiff of swap traffic and
+/// polls every 10 ms, so the run spans enough epochs for the per-epoch
+/// fault draws (crashes, brown-outs) to actually fire and link faults
+/// get migrations to chew on.
+fn hair_trigger() -> SchedulerConfig {
+    SchedulerConfig {
+        swap_ops_per_sec_threshold: 1.0,
+        free_frac_low_watermark: 1.1,
+        sustain_polls: 1,
+        poll_interval: sim_core::SimDuration::from_millis(10),
+        ..SchedulerConfig::default()
+    }
+}
+
+/// Boots a 4-host fleet with a mix of thrashing and light tenants under
+/// the given fault profile and runs it to completion. The long
+/// multi-pass scans keep the fleet alive for enough epochs that
+/// per-epoch fault draws actually fire.
+fn run_fleet(
+    policy: SwapPolicy,
+    profile: ClusterFaultProfile,
+    fault_seed: Option<u64>,
+) -> (Cluster, Vec<TenantId>, ClusterReport) {
+    let machine = MachineConfig::preset(policy).with_host(small_host());
+    let mut cfg = ClusterConfig::homogeneous(4, machine).with_cluster_faults(profile);
+    if let Some(fs) = fault_seed {
+        cfg = cfg.with_cluster_fault_seed(fs);
+    }
+    cfg.scheduler = hair_trigger();
+    let mut cluster = Cluster::new(cfg).expect("valid cluster");
+    let mut tenants = Vec::new();
+    for i in 0..6 {
+        // Even tenants thrash (24 MB scanned inside a 16 MB grant),
+        // keeping swap pressure — and migration attempts — alive for
+        // the whole run; odd tenants are light ballast.
+        let (mem, actual, scan, passes) = if i % 2 == 0 { (32, 16, 24, 8) } else { (8, 4, 2, 2) };
+        let t = cluster.place_vm(guest(&format!("tenant{i}"), mem, actual)).expect("fits");
+        cluster.launch(t, Box::new(FileScan::new(MemBytes::from_mb(scan).pages(), passes)));
+        tenants.push(t);
+    }
+    let report = cluster.run();
+    cluster.audit().expect("accounting invariants hold on every surviving host");
+    (cluster, tenants, report)
+}
+
+/// The conservation oracle: every page a guest counts as live must
+/// carry, on whatever host the guest now occupies, exactly the content
+/// the guest expects to read back — after any number of crashes,
+/// evacuations, and aborted migrations. A page served from the wrong
+/// host, a stale copy, or a silently dropped page all fail here.
+fn check_conservation(cluster: &Cluster, tenants: &[TenantId], tag: &str) {
+    for &t in tenants {
+        let m = cluster.tenant_machine(t);
+        let vm = cluster.tenant_handle(t);
+        let expected = m.guest(vm).expected_resident_content();
+        assert!(!expected.is_empty(), "{tag}: tenant must end holding live pages");
+        for &(gfn, label) in &expected {
+            assert_eq!(
+                m.host().page_signature(vm.vm_id(), gfn),
+                Some(label),
+                "{tag}: {gfn:?} lost or corrupted its content"
+            );
+        }
+    }
+}
+
+/// No tenant may be duplicated: each lives on exactly one host, and the
+/// fleet completed each workload exactly once (a duplicated guest would
+/// run — and count — its workload twice; a lost one, zero times).
+fn check_no_duplication(report: &ClusterReport, tenants: &[TenantId], tag: &str) {
+    assert_eq!(
+        report.completed_workloads(),
+        tenants.len(),
+        "{tag}: every workload completes exactly once"
+    );
+    assert_eq!(report.kill_count(), 0, "{tag}: chaos must not OOM-kill guests");
+}
+
+#[test]
+fn crashes_evacuate_guests_without_losing_content() {
+    let (cluster, tenants, report) =
+        run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::Crashes, None);
+    assert!(report.crash_count() >= 1, "the crash profile must crash at least one host");
+    assert!(report.hosts.iter().any(|h| !h.alive), "a crashed host stays dead in the report");
+    assert!(report.hosts.iter().any(|h| h.alive), "never the last host");
+    assert_eq!(
+        report.evacuated_guests(),
+        report.crashes.iter().map(|c| c.guests).sum::<u64>(),
+        "every evacuated guest is accounted to exactly one crash record"
+    );
+    check_no_duplication(&report, &tenants, "crashes");
+    check_conservation(&cluster, &tenants, "crashes");
+}
+
+#[test]
+fn baseline_crash_refaults_what_vswapper_recovers() {
+    // The paper's block-reference argument, seen from the fault side:
+    // with the Mapper on, clean file-backed pages survive a host crash
+    // as disk-image references; the baseline must re-fault them all.
+    let (_, _, vswapper) = run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::Crashes, None);
+    let (_, _, baseline) = run_fleet(SwapPolicy::Baseline, ClusterFaultProfile::Crashes, None);
+    assert!(vswapper.crash_count() >= 1 && baseline.crash_count() >= 1);
+    let v_ratio = vswapper.recovered_pages() as f64
+        / (vswapper.recovered_pages() + vswapper.refaulted_pages()).max(1) as f64;
+    let b_ratio = baseline.recovered_pages() as f64
+        / (baseline.recovered_pages() + baseline.refaulted_pages()).max(1) as f64;
+    assert!(
+        v_ratio > b_ratio,
+        "the Mapper must recover a larger fraction of crashed pages \
+         (vswapper {v_ratio:.2} vs baseline {b_ratio:.2})"
+    );
+}
+
+#[test]
+fn link_failures_abort_roll_back_and_eventually_converge() {
+    let (cluster, tenants, report) =
+        run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::FlakyLinks, None);
+    assert!(report.abort_count() >= 1, "flaky links must abort at least one migration");
+    for a in &report.aborted_migrations {
+        assert!(a.wasted_bytes > 0, "an aborted round wasted real pre-copy traffic");
+        assert_ne!(a.from, a.to);
+    }
+    // Bounded bursts + capped retry: aborts never wedge the fleet.
+    check_no_duplication(&report, &tenants, "flaky-links");
+    check_conservation(&cluster, &tenants, "flaky-links");
+}
+
+#[test]
+fn brownouts_stall_hosts_but_lose_nothing() {
+    let (cluster, tenants, report) =
+        run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::BrownOuts, None);
+    assert!(report.brownout_epochs() >= 1, "the brown-out profile must stall somebody");
+    assert!(report.hosts.iter().all(|h| h.alive), "brown-outs degrade, never kill");
+    check_no_duplication(&report, &tenants, "brownouts");
+    check_conservation(&cluster, &tenants, "brownouts");
+}
+
+#[test]
+fn fleet_storm_interleaving_is_deterministic_and_conserving() {
+    let (cluster, tenants, report) =
+        run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::FleetStorm, None);
+    let (_, _, again) = run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::FleetStorm, None);
+    assert_eq!(report.to_json(), again.to_json(), "same seed, same storm, same bytes");
+    check_no_duplication(&report, &tenants, "fleet-storm");
+    check_conservation(&cluster, &tenants, "fleet-storm");
+}
+
+#[test]
+fn fault_seed_decouples_the_schedule_from_the_machine_seed() {
+    let (_, _, a) = run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::Crashes, Some(1));
+    let (_, _, b) = run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::Crashes, Some(2));
+    let (_, _, a2) = run_fleet(SwapPolicy::Vswapper, ClusterFaultProfile::Crashes, Some(1));
+    assert_eq!(a.to_json(), a2.to_json(), "the fault seed is deterministic");
+    assert_ne!(
+        a.crashes.iter().map(|c| (&c.host, c.at)).collect::<Vec<_>>(),
+        b.crashes.iter().map(|c| (&c.host, c.at)).collect::<Vec<_>>(),
+        "different fault seeds draw different crash schedules"
+    );
+}
+
+#[test]
+fn chaos_suite_is_bitwise_identical_at_any_worker_count() {
+    let only = vec!["cluster-chaos".to_owned()];
+    let serial = run_suite(&SuiteOptions::new(Scale::Smoke).with_jobs(1).with_only(only.clone()));
+    for jobs in [2, 8] {
+        let parallel =
+            run_suite(&SuiteOptions::new(Scale::Smoke).with_jobs(jobs).with_only(only.clone()));
+        assert_eq!(
+            serial.rendered(),
+            parallel.rendered(),
+            "cluster-chaos tables must be bitwise identical at {jobs} workers"
+        );
+        assert_eq!(
+            serial.metrics.to_string(),
+            parallel.metrics.to_string(),
+            "merged chaos metrics must be identical at {jobs} workers"
+        );
+    }
+}

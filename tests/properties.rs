@@ -1104,3 +1104,101 @@ proptest! {
         prop_assert_eq!(disk.stats().doorbells, disk.stats().ops);
     }
 }
+
+// ----------------------------------------------------------------------
+// extract_vm / admit_vm round-trip under injected disk faults
+// ----------------------------------------------------------------------
+
+/// One round-trip: run a squeezed guest on a faulting source machine,
+/// extract it, admit it onto an (independently faulting) destination,
+/// and require every page the guest counts as live to read back with
+/// the same content signature. Returns the label of the first violated
+/// expectation, or `None` on success.
+fn fault_round_trip(
+    seed: u64,
+    scan_mb: u64,
+    passes: u32,
+    profile: vswap_core::FaultProfile,
+) -> Option<String> {
+    use vswap_core::workload_api::FileScan;
+    use vswap_core::{Machine, MachineConfig, SwapPolicy};
+    use vswap_hypervisor::VmSpec;
+
+    let host = HostSpec {
+        dram: MemBytes::from_mb(48),
+        disk_pages: MemBytes::from_mb(512).pages(),
+        swap_pages: MemBytes::from_mb(64).pages(),
+        hypervisor_code_pages: 16,
+        ..HostSpec::paper_testbed()
+    };
+    let cfg = MachineConfig::preset(SwapPolicy::Vswapper)
+        .with_host(host)
+        .with_seed(seed)
+        .with_faults(profile);
+    let mut src = Machine::new(cfg.clone()).expect("valid source");
+    // The destination forks its seed so its fault schedule is
+    // independent — both sides inject while the hand-off runs.
+    let mut dst = Machine::new(cfg.with_seed(seed.wrapping_add(1))).expect("valid destination");
+
+    let spec = VmSpec::linux("mover", MemBytes::from_mb(32), MemBytes::from_mb(16)).with_guest(
+        GuestSpec {
+            memory: MemBytes::from_mb(32),
+            disk: MemBytes::from_mb(64),
+            swap: MemBytes::from_mb(16),
+            kernel_pages: 64,
+            boot_file_pages: 128,
+            boot_anon_pages: 64,
+            ..GuestSpec::linux_default()
+        },
+    );
+    let vm = src.add_vm(spec).expect("fits");
+    // Scan more than the 16 MB grant: the squeeze pushes pages through
+    // host swap and the Mapper under live fault traffic.
+    src.launch(vm, Box::new(FileScan::new(MemBytes::from_mb(scan_mb).pages(), passes)));
+    src.run();
+    src.host().audit().expect("source invariants hold before extraction");
+
+    let before = src.guest(vm).expected_resident_content();
+    if before.is_empty() {
+        return Some("the guest must end holding live pages".to_owned());
+    }
+
+    let grant = src.extract_vm(vm);
+    let arrival = src.now().max(dst.now());
+    let vm = dst.admit_vm(grant, arrival).expect("destination fits the VM");
+    dst.host().audit().expect("destination invariants hold after admission");
+
+    let after = dst.guest(vm).expected_resident_content();
+    if before != after {
+        return Some(format!(
+            "{}: the guest's view of its live pages changed in transit",
+            profile.label()
+        ));
+    }
+    for &(gfn, label) in &after {
+        if dst.host().page_signature(vm.vm_id(), gfn) != Some(label) {
+            return Some(format!("{}: {gfn:?} lost its content crossing hosts", profile.label()));
+        }
+    }
+    None
+}
+
+// The migration hand-off must conserve guest content even when the
+// source disk is actively misbehaving — under `torn` (corrupted
+// multi-sector writes repaired by the journal) and `transient`
+// (retried read/write failures) profiles alike.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn extract_admit_round_trips_content_under_disk_faults(
+        seed in any::<u64>(),
+        scan_mb in 18u64..26,
+        passes in 1u32..3,
+    ) {
+        use vswap_core::FaultProfile;
+        for profile in [FaultProfile::Torn, FaultProfile::Transient] {
+            let violation = fault_round_trip(seed, scan_mb, passes, profile);
+            prop_assert_eq!(violation, None);
+        }
+    }
+}
